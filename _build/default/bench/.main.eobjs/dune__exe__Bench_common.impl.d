@@ -1,0 +1,1 @@
+bench/bench_common.ml: Analyze Array Bechamel Benchmark Crimson_sim Crimson_tree Crimson_util Filename Fun Hashtbl List Measure Printf Sys Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/exp_benchmark_manager.ml: Array Bench_common Crimson_benchmark Crimson_core Crimson_tree Crimson_util Float List Printf T

@@ -1,0 +1,1 @@
+bench/exp_buffer_pool.ml: Array Bench_common Crimson_core Crimson_storage Crimson_util List Printf T

@@ -1,0 +1,1 @@
+bench/exp_label_size.ml: Bench_common Crimson_label Crimson_tree Printf T

@@ -1,0 +1,1 @@
+bench/exp_lca.ml: Array Bench_common Crimson_label Crimson_tree Crimson_util T

@@ -1,0 +1,1 @@
+bench/exp_load.ml: Bench_common Crimson_core Crimson_sim Crimson_tree Crimson_util Option Printf T

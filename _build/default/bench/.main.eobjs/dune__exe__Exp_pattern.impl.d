@@ -1,0 +1,1 @@
+bench/exp_pattern.ml: Array Bench_common Crimson_core Crimson_tree Crimson_util List Option Printf T

@@ -1,0 +1,1 @@
+bench/exp_projection.ml: Bench_common Crimson_core Crimson_tree Crimson_util List Printf T

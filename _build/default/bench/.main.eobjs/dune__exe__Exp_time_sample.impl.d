@@ -1,0 +1,1 @@
+bench/exp_time_sample.ml: Array Bench_common Crimson_core Crimson_tree Crimson_util Float List Printf T

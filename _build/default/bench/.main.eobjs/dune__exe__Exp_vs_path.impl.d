@@ -1,0 +1,1 @@
+bench/exp_vs_path.ml: Array Bench_common Crimson_core Crimson_tree Crimson_util Printf T

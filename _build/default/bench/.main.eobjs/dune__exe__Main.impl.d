@@ -1,0 +1,1 @@
+bench/main.ml: Array Exp_benchmark_manager Exp_buffer_pool Exp_label_size Exp_lca Exp_load Exp_pattern Exp_projection Exp_time_sample Exp_vs_path List Micro Printf String Sys Unix

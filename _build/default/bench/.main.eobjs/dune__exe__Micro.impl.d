@@ -1,0 +1,1 @@
+bench/micro.ml: Array Bechamel Bench_common Crimson_label Crimson_tree Crimson_util List Printf T

@@ -1,0 +1,67 @@
+(* E1 — Label size: flat Dewey vs the layered scheme.
+
+   Paper claim (§1, §2.1): flat Dewey labels grow with depth and "may
+   become large enough to hurt query performance" on phylogenies whose
+   depth reaches a million levels; the layered scheme bounds per-node
+   label size. This experiment reproduces the claim across tree shapes
+   and depths, including the f ablation. *)
+
+open Bench_common
+module Tree = Crimson_tree.Tree
+module Dewey = Crimson_label.Dewey
+module Layered = Crimson_label.Layered
+
+let run () =
+  section "E1" "label size: flat Dewey vs layered (per-node stored bytes)";
+  let table =
+    T.create
+      ~columns:
+        [
+          ("tree", T.Left);
+          ("nodes", T.Right);
+          ("depth", T.Right);
+          ("flat mean", T.Right);
+          ("flat max", T.Right);
+          ("f=4 max", T.Right);
+          ("f=8 max", T.Right);
+          ("f=16 max", T.Right);
+          ("f=8 mean", T.Right);
+          ("f=8 layers", T.Right);
+        ]
+  in
+  let row name tree =
+    let flat = Dewey.size_stats tree in
+    let layered f =
+      let ix = Layered.build ~f tree in
+      Layered.stats ix
+    in
+    let s4 = layered 4 and s8 = layered 8 and s16 = layered 16 in
+    T.add_row table
+      [
+        name;
+        string_of_int (Tree.node_count tree);
+        string_of_int (Tree.height tree);
+        Printf.sprintf "%.1f B" flat.mean_bytes;
+        pretty_bytes flat.max_bytes;
+        pretty_bytes s4.max_label_bytes;
+        pretty_bytes s8.max_label_bytes;
+        pretty_bytes s16.max_label_bytes;
+        Printf.sprintf "%.1f B" s8.mean_label_bytes;
+        string_of_int s8.layers;
+      ]
+  in
+  row "caterpillar 1k" (caterpillar 1_000);
+  row "caterpillar 10k" (caterpillar 10_000);
+  row "caterpillar 100k" (caterpillar 100_000);
+  row "caterpillar 500k" (caterpillar 500_000);
+  T.add_separator table;
+  row "yule 10k" (yule 10_000);
+  row "yule 100k" (yule 100_000);
+  row "coalescent 10k" (coalescent 10_000);
+  row "random-attach 10k" (random_attachment 10_000);
+  T.print table;
+  note
+    "Flat labels scale with depth (the 500k-deep caterpillar needs ~%s per\n\
+     deep node); layered labels stay bounded by f components plus a varint\n\
+     subtree id at every depth, matching the paper's design goal."
+    (pretty_bytes (Dewey.size_stats (caterpillar 500_000)).max_bytes)

@@ -1,0 +1,81 @@
+(* E5 — Tree pattern match (paper §2.2).
+
+   Matching = project the pattern's leaves, then compare trees (linear
+   time). Both matching and refuting patterns are timed, across pattern
+   sizes. *)
+
+open Bench_common
+module Tree = Crimson_tree.Tree
+module Ops = Crimson_tree.Ops
+module Repo = Crimson_core.Repo
+module Loader = Crimson_core.Loader
+module Sampling = Crimson_core.Sampling
+module Projection = Crimson_core.Projection
+module Pattern = Crimson_core.Pattern
+module Prng = Crimson_util.Prng
+
+(* Perturb a pattern by swapping two leaf names: §3's mismatch example. *)
+let swap_two_leaves tree =
+  let leaves = Tree.leaves tree in
+  let a = leaves.(0) and b = leaves.(Array.length leaves - 1) in
+  let name_a = Tree.name tree a and name_b = Tree.name tree b in
+  let builder = Tree.Builder.create () in
+  let ids = Array.make (Tree.node_count tree) Tree.nil in
+  Array.iter
+    (fun v ->
+      let name = if v = a then name_b else if v = b then name_a else Tree.name tree v in
+      let p = Tree.parent tree v in
+      if p = Tree.nil then ids.(v) <- Tree.Builder.add_root ?name builder
+      else
+        ids.(v) <-
+          Tree.Builder.add_child ?name ~branch_length:(Tree.branch_length tree v) builder
+            ~parent:ids.(p))
+    (Tree.preorder tree);
+  Tree.Builder.finish builder
+
+let run () =
+  section "E5" "tree pattern match latency (stored yule 50k)";
+  let repo = Repo.open_mem ~pool_size:1024 () in
+  let stored = (Loader.load_tree ~f:8 repo ~name:"gold" (yule 50_000)).tree in
+  let table =
+    T.create
+      ~columns:
+        [
+          ("pattern leaves", T.Right);
+          ("true pattern ms", T.Right);
+          ("matched", T.Right);
+          ("swapped pattern ms", T.Right);
+          ("matched", T.Right);
+        ]
+  in
+  List.iter
+    (fun k ->
+      let rng = Prng.create (7 * k) in
+      let sample = Sampling.uniform stored ~rng ~k in
+      (* A true pattern: the projection itself. *)
+      let pattern = Projection.project stored sample in
+      let r = ref None in
+      let ms_true =
+        time_mean ~reps:3 (fun () -> r := Some (Pattern.match_pattern stored pattern))
+      in
+      let matched_true = (Option.get !r).Pattern.matched in
+      let swapped = swap_two_leaves pattern in
+      let ms_false =
+        time_mean ~reps:3 (fun () -> r := Some (Pattern.match_pattern stored swapped))
+      in
+      let matched_false = (Option.get !r).Pattern.matched in
+      T.add_row table
+        [
+          string_of_int k;
+          Printf.sprintf "%.2f" ms_true;
+          string_of_bool matched_true;
+          Printf.sprintf "%.2f" ms_false;
+          string_of_bool matched_false;
+        ])
+    [ 5; 20; 50; 200; 500 ];
+  T.print table;
+  Repo.close repo;
+  note
+    "Match cost is dominated by the projection (grows with pattern size);\n\
+     the comparison itself is linear in the pattern. Swapping two species\n\
+     flips the verdict without changing the cost, as in the paper's demo."

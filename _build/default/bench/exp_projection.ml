@@ -1,0 +1,53 @@
+(* E4 — Tree projection latency vs sample size (paper §1, §2.2).
+
+   Projection is Crimson's workhorse: sort the sampled leaves in
+   preorder, take LCAs of adjacent pairs, hang everything off an
+   ancestor stack. Cost should scale roughly linearly in k (each step is
+   O(f·log depth) stored-index work), independent of the full tree size. *)
+
+open Bench_common
+module Tree = Crimson_tree.Tree
+module Repo = Crimson_core.Repo
+module Loader = Crimson_core.Loader
+module Sampling = Crimson_core.Sampling
+module Projection = Crimson_core.Projection
+module Prng = Crimson_util.Prng
+
+let run () =
+  section "E4" "projection latency vs sample size (stored yule 100k)";
+  let repo = Repo.open_mem ~pool_size:1024 () in
+  let tree = yule 100_000 in
+  let stored, load_ms = time_once (fun () -> (Loader.load_tree ~f:8 repo ~name:"gold" tree).tree) in
+  note "loaded 100k-leaf gold standard in %.1f s" (load_ms /. 1000.0);
+  let table =
+    T.create
+      ~columns:
+        [
+          ("k", T.Right);
+          ("projection ms", T.Right);
+          ("ms per species", T.Right);
+          ("result nodes", T.Right);
+        ]
+  in
+  List.iter
+    (fun k ->
+      let rng = Prng.create (100 + k) in
+      let sample = Sampling.uniform stored ~rng ~k in
+      let proj = ref (Projection.project stored sample) in
+      let ms = time_mean ~reps:3 (fun () -> proj := Projection.project stored sample) in
+      T.add_row table
+        [
+          string_of_int k;
+          Printf.sprintf "%.2f" ms;
+          Printf.sprintf "%.4f" (ms /. float_of_int k);
+          string_of_int (Tree.node_count !proj);
+        ])
+    [ 10; 50; 100; 500; 1000; 5000 ];
+  T.print table;
+  Repo.close repo;
+  note
+    "Per-species cost stays within a small constant band (the mild growth\n\
+     is the O(k log k) preorder sort whose comparisons are stored-index\n\
+     queries): projection touches O(k) index paths of the stored tree and\n\
+     never the other 100k species — the access pattern the paper designed\n\
+     the repository around."

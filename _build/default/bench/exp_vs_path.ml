@@ -1,0 +1,84 @@
+(* E8 — Structure queries vs path-materialising evaluation ("Why don't
+   we use XML?", paper §3).
+
+   XML engines answer ancestor/LCA questions by comparing root paths;
+   on stored trees that means fetching O(depth) node rows per query. The
+   layered index answers the same questions in O(f · log_f depth) row
+   fetches. This experiment runs both against the same repository. *)
+
+open Bench_common
+module Repo = Crimson_core.Repo
+module Loader = Crimson_core.Loader
+module Stored_tree = Crimson_core.Stored_tree
+module Prng = Crimson_util.Prng
+
+(* Baseline: XML-style evaluation — materialise root paths by fetching
+   parent rows, then compare. *)
+let path_of stored n =
+  let rec up acc v = if v < 0 then acc else up (v :: acc) (Stored_tree.parent stored v) in
+  up [] n
+
+let path_lca stored a b =
+  let rec common last pa pb =
+    match (pa, pb) with
+    | x :: pa', y :: pb' when x = y -> common x pa' pb'
+    | _ -> last
+  in
+  match (path_of stored a, path_of stored b) with
+  | x :: pa, y :: pb when x = y -> common x pa pb
+  | _ -> invalid_arg "disconnected"
+
+let run () =
+  section "E8" "indexed structure queries vs path-based (XML-style) evaluation";
+  let table =
+    T.create
+      ~columns:
+        [
+          ("tree", T.Left);
+          ("depth", T.Right);
+          ("layered LCA", T.Right);
+          ("path-based LCA", T.Right);
+          ("speedup", T.Right);
+        ]
+  in
+  let bench name tree =
+    let repo = Repo.open_mem ~pool_size:1024 () in
+    let stored = (Loader.load_tree ~f:8 repo ~name tree).tree in
+    let n = Stored_tree.node_count stored in
+    let rng = Prng.create 3 in
+    let pairs = Array.init 512 (fun _ -> (Prng.int rng n, Prng.int rng n)) in
+    let cursor = ref 0 in
+    let next () =
+      let p = pairs.(!cursor land 511) in
+      incr cursor;
+      p
+    in
+    let layered =
+      ns_per_op ~budget_s:0.5 (fun () ->
+          let a, b = next () in
+          ignore (Stored_tree.lca stored a b))
+    in
+    let path =
+      ns_per_op ~budget_s:0.5 (fun () ->
+          let a, b = next () in
+          ignore (path_lca stored a b))
+    in
+    T.add_row table
+      [
+        name;
+        string_of_int (Crimson_tree.Tree.height tree);
+        pretty_ns layered;
+        pretty_ns path;
+        Printf.sprintf "%.1fx" (path /. layered);
+      ];
+    Repo.close repo
+  in
+  bench "yule 20k" (yule 20_000);
+  bench "coalescent 20k" (coalescent 20_000);
+  bench "caterpillar 2k" (caterpillar 2_000);
+  bench "caterpillar 20k" (caterpillar 20_000);
+  T.print table;
+  note
+    "On shallow trees path comparison is tolerable; on deep phylogenies it\n\
+     fetches thousands of rows per query while the layered index stays\n\
+     logarithmic — the paper's core argument against XML machinery."

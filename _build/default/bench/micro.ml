@@ -1,0 +1,80 @@
+(* Bechamel micro-benchmarks: robust per-operation estimates for the
+   core in-memory kernels (one Test.make per operation family). *)
+
+open Bench_common
+module Tree = Crimson_tree.Tree
+module Ops = Crimson_tree.Ops
+module Dewey = Crimson_label.Dewey
+module Layered = Crimson_label.Layered
+module Prng = Crimson_util.Prng
+
+let run () =
+  section "MICRO" "bechamel estimates of the in-memory kernels (ns/op)";
+  let tree = yule 10_000 in
+  let n = Tree.node_count tree in
+  let ix8 = Layered.build ~f:8 tree in
+  let ix32 = Layered.build ~f:32 tree in
+  let labels = Dewey.assign tree in
+  let rng = Prng.create 1 in
+  let pairs = Array.init 1024 (fun _ -> (Prng.int rng n, Prng.int rng n)) in
+  let cursor = ref 0 in
+  let next () =
+    let p = pairs.(!cursor land 1023) in
+    incr cursor;
+    p
+  in
+  let leaves = Tree.leaves tree in
+  let sample =
+    Array.to_list
+      (Array.map (fun i -> leaves.(i))
+         (Prng.sample_without_replacement rng ~k:50 ~n:(Array.length leaves)))
+  in
+  let deep = caterpillar 50_000 in
+  let ixdeep = Layered.build ~f:8 deep in
+  let ndeep = Tree.node_count deep in
+  let deep_pairs = Array.init 1024 (fun _ -> (Prng.int rng ndeep, Prng.int rng ndeep)) in
+  let next_deep () =
+    let p = deep_pairs.(!cursor land 1023) in
+    incr cursor;
+    p
+  in
+  let tests =
+    [
+      Bechamel.Test.make ~name:"lca/naive-walk (yule 10k)"
+        (Bechamel.Staged.stage (fun () ->
+             let a, b = next () in
+             ignore (Ops.naive_lca tree a b)));
+      Bechamel.Test.make ~name:"lca/flat-dewey (yule 10k)"
+        (Bechamel.Staged.stage (fun () ->
+             let a, b = next () in
+             ignore (Dewey.lca labels.(a) labels.(b))));
+      Bechamel.Test.make ~name:"lca/layered-f8 (yule 10k)"
+        (Bechamel.Staged.stage (fun () ->
+             let a, b = next () in
+             ignore (Layered.lca ix8 a b)));
+      Bechamel.Test.make ~name:"lca/layered-f32 (yule 10k)"
+        (Bechamel.Staged.stage (fun () ->
+             let a, b = next () in
+             ignore (Layered.lca ix32 a b)));
+      Bechamel.Test.make ~name:"lca/layered-f8 (caterpillar 50k)"
+        (Bechamel.Staged.stage (fun () ->
+             let a, b = next_deep () in
+             ignore (Layered.lca ixdeep a b)));
+      Bechamel.Test.make ~name:"lca/naive-walk (caterpillar 50k)"
+        (Bechamel.Staged.stage (fun () ->
+             let a, b = next_deep () in
+             ignore (Ops.naive_lca deep a b)));
+      Bechamel.Test.make ~name:"compare-preorder/layered-f8 (yule 10k)"
+        (Bechamel.Staged.stage (fun () ->
+             let a, b = next () in
+             ignore (Layered.compare_preorder ix8 a b)));
+      Bechamel.Test.make ~name:"projection/in-memory k=50 (yule 10k)"
+        (Bechamel.Staged.stage (fun () -> ignore (Ops.induced_subtree tree sample)));
+    ]
+  in
+  let results = bechamel_estimates tests in
+  let table = T.create ~columns:[ ("operation", T.Left); ("ns/op", T.Right) ] in
+  List.iter
+    (fun (name, ns) -> T.add_row table [ name; Printf.sprintf "%.0f" ns ])
+    results;
+  T.print table

@@ -1,0 +1,583 @@
+(* The Crimson command-line interface — the scripting face of the paper's
+   GUI Manager. Every §3 demo feature is a subcommand: loading data
+   (trees, structure only, or appending species data), tree projection
+   with all three selection methods, visualisation (ASCII dendrogram /
+   Newick / NEXUS), structure queries, gold-standard simulation, the
+   Benchmark Manager, and the query history. *)
+
+module Tree = Crimson_tree.Tree
+module Ops = Crimson_tree.Ops
+module Newick = Crimson_formats.Newick
+module Nexus = Crimson_formats.Nexus
+module Dendrogram = Crimson_formats.Dendrogram
+module Repo = Crimson_core.Repo
+module Stored_tree = Crimson_core.Stored_tree
+module Loader = Crimson_core.Loader
+module Sampling = Crimson_core.Sampling
+module Projection = Crimson_core.Projection
+module Clade = Crimson_core.Clade
+module Pattern = Crimson_core.Pattern
+module Models = Crimson_sim.Models
+module Seqevo = Crimson_sim.Seqevo
+module B = Crimson_benchmark.Benchmark_manager
+module Prng = Crimson_util.Prng
+
+open Cmdliner
+
+(* ----------------------------- Helpers ----------------------------- *)
+
+let setup_logs style_renderer level =
+  Fmt_tty.setup_std_outputs ?style_renderer ();
+  Logs.set_level level;
+  Logs.set_reporter (Logs_fmt.reporter ())
+
+let logging =
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+
+let repo_arg =
+  let doc = "Repository directory (created if absent)." in
+  Arg.(required & opt (some string) None & info [ "r"; "repo" ] ~docv:"DIR" ~doc)
+
+let tree_arg =
+  let doc = "Name of the tree in the repository." in
+  Arg.(required & opt (some string) None & info [ "t"; "tree" ] ~docv:"NAME" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (results are deterministic for a given seed)." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
+
+let with_repo dir f =
+  let repo = Repo.open_dir dir in
+  Fun.protect ~finally:(fun () -> Repo.close repo) (fun () -> f repo)
+
+let with_tree dir name f =
+  with_repo dir (fun repo ->
+      match Stored_tree.open_name repo name with
+      | stored -> f repo stored
+      | exception Stored_tree.Unknown_tree _ ->
+          fail "no tree named %S in %s (try 'crimson list')" name dir)
+
+(* Wrap command bodies: turn library exceptions into CLI errors, matching
+   the paper's "if an input value is invalid … error messages". *)
+let guarded f =
+  try f () with
+  | Sampling.Invalid_sample msg -> fail "invalid sample: %s" msg
+  | Projection.Projection_error msg -> fail "projection failed: %s" msg
+  | Pattern.Pattern_error msg -> fail "pattern match failed: %s" msg
+  | Loader.Load_error msg -> fail "load failed: %s" msg
+  | B.Benchmark_error msg -> fail "benchmark failed: %s" msg
+  | Newick.Parse_error { pos; message } -> fail "Newick error at offset %d: %s" pos message
+  | Nexus.Parse_error { line; message } -> fail "NEXUS error at line %d: %s" line message
+  | Sys_error msg -> fail "%s" msg
+
+let resolve_names stored names =
+  match Stored_tree.leaf_ids_by_names stored names with
+  | Ok ids -> Ok ids
+  | Error name -> Error name
+
+let node_label stored n =
+  match Stored_tree.node_name stored n with
+  | Some s -> s
+  | None -> Printf.sprintf "#%d" n
+
+(* ------------------------------- load ------------------------------ *)
+
+let load_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE"
+         ~doc:"Input file (Newick or NEXUS; NEXUS may carry species data).")
+  in
+  let name_opt =
+    Arg.(value & opt (some string) None & info [ "n"; "name" ] ~docv:"NAME"
+         ~doc:"Name for the loaded tree (default: file stem or NEXUS tree name).")
+  in
+  let f_param =
+    Arg.(value & opt int 8 & info [ "f" ] ~docv:"F"
+         ~doc:"Depth bound of the hierarchical labeling (>= 2).")
+  in
+  let structure_only =
+    Arg.(value & flag & info [ "structure-only" ]
+         ~doc:"Ignore species data in the input (load the tree structure only).")
+  in
+  let run () dir file name f structure_only =
+    guarded (fun () ->
+        with_repo dir (fun repo ->
+            let is_nexus =
+              let ic = open_in_bin file in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () ->
+                  let probe = really_input_string ic (min 6 (in_channel_length ic)) in
+                  String.uppercase_ascii probe = "#NEXUS")
+            in
+            let reports =
+              if is_nexus then begin
+                let doc = Nexus.parse_file file in
+                let doc =
+                  if structure_only then { doc with Nexus.characters = [] } else doc
+                in
+                let doc =
+                  match (name, doc.Nexus.trees) with
+                  | Some n, [ (_, t) ] -> { doc with Nexus.trees = [ (n, t) ] }
+                  | _ -> doc
+                in
+                Loader.load_nexus ~f repo doc
+              end
+              else begin
+                let tree = Newick.parse_file file in
+                let name =
+                  match name with
+                  | Some n -> n
+                  | None -> Filename.remove_extension (Filename.basename file)
+                in
+                [ Loader.load_tree ~f repo ~name tree ]
+              end
+            in
+            List.iter
+              (fun (r : Loader.report) ->
+                Printf.printf
+                  "loaded %S: %d nodes (%d leaves), %d layer rows, %d species rows\n"
+                  (Stored_tree.name r.tree)
+                  (Stored_tree.node_count r.tree)
+                  (Stored_tree.leaf_count r.tree)
+                  r.layer_rows r.species_rows)
+              reports;
+            `Ok ()))
+  in
+  let info =
+    Cmd.info "load" ~doc:"Load a phylogenetic tree (and species data) into a repository"
+  in
+  Cmd.v info
+    Term.(ret (const run $ logging $ repo_arg $ file $ name_opt $ f_param $ structure_only))
+
+(* ------------------------------- list ------------------------------ *)
+
+let list_cmd =
+  let run () dir =
+    guarded (fun () ->
+        with_repo dir (fun repo ->
+            let trees = Stored_tree.list_all repo in
+            if trees = [] then print_endline "(no trees loaded)"
+            else
+              List.iter
+                (fun (id, name) ->
+                  let s = Stored_tree.open_id repo id in
+                  Printf.printf "#%d %-20s %8d nodes %8d leaves  f=%d layers=%d\n" id
+                    name (Stored_tree.node_count s) (Stored_tree.leaf_count s)
+                    (Stored_tree.f s) (Stored_tree.layer_count s))
+                trees;
+            `Ok ()))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the trees in a repository")
+    Term.(ret (const run $ logging $ repo_arg))
+
+(* ------------------------------ delete ----------------------------- *)
+
+let delete_cmd =
+  let run () dir name =
+    guarded (fun () ->
+        with_tree dir name (fun repo stored ->
+            Loader.delete_tree repo stored;
+            Printf.printf "deleted %S\n" name;
+            `Ok ()))
+  in
+  Cmd.v (Cmd.info "delete" ~doc:"Remove a tree from the repository")
+    Term.(ret (const run $ logging $ repo_arg $ tree_arg))
+
+(* ------------------------------- lca ------------------------------- *)
+
+let species_pos =
+  Arg.(non_empty & pos_all string [] & info [] ~docv:"SPECIES" ~doc:"Species names.")
+
+let lca_cmd =
+  let run () dir tree names =
+    guarded (fun () ->
+        with_tree dir tree (fun repo stored ->
+            match resolve_names stored names with
+            | Error n -> fail "unknown species %S" n
+            | Ok ids ->
+                let l = Stored_tree.lca_set stored ids in
+                Printf.printf "LCA(%s) = %s (depth %d, distance from root %g)\n"
+                  (String.concat ", " names) (node_label stored l)
+                  (Stored_tree.depth stored l)
+                  (Stored_tree.root_distance stored l);
+                ignore
+                  (Repo.record_query repo
+                     ~text:(Printf.sprintf "lca %s" (String.concat "," names))
+                     ~result:(node_label stored l));
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "lca" ~doc:"Least common ancestor of a set of species")
+    Term.(ret (const run $ logging $ repo_arg $ tree_arg $ species_pos))
+
+(* ------------------------------ clade ------------------------------ *)
+
+let clade_cmd =
+  let run () dir tree names =
+    guarded (fun () ->
+        with_tree dir tree (fun repo stored ->
+            match resolve_names stored names with
+            | Error n -> fail "unknown species %S" n
+            | Ok ids ->
+                let root = Clade.root_of stored ids in
+                let size = Clade.size stored ids in
+                Printf.printf "minimal spanning clade rooted at %s: %d species\n"
+                  (node_label stored root) size;
+                if size <= 50 then begin
+                  let members = Clade.leaf_ids stored ids in
+                  Printf.printf "  members: %s\n"
+                    (String.concat ", " (List.map (node_label stored) members))
+                end;
+                ignore
+                  (Repo.record_query repo
+                     ~text:(Printf.sprintf "clade %s" (String.concat "," names))
+                     ~result:(Printf.sprintf "%d species" size));
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "clade" ~doc:"Minimal spanning clade of a set of species")
+    Term.(ret (const run $ logging $ repo_arg $ tree_arg $ species_pos))
+
+(* ----------------------------- project ----------------------------- *)
+
+let output_format =
+  Arg.(value
+       & opt
+           (enum
+              [ ("ascii", `Ascii); ("newick", `Newick); ("nexus", `Nexus); ("dot", `Dot) ])
+           `Ascii
+       & info [ "format" ] ~docv:"FMT" ~doc:"Output format: ascii, newick, nexus or dot.")
+
+let output_file =
+  Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+       ~doc:"Write the result to a file instead of standard output.")
+
+let emit_tree fmt out tree =
+  let text =
+    match fmt with
+    | `Ascii -> Dendrogram.render tree
+    | `Newick -> Newick.to_string tree ^ "\n"
+    | `Nexus -> Nexus.to_string (Nexus.of_tree tree)
+    | `Dot -> Crimson_formats.Dot.render tree
+  in
+  match out with
+  | None -> print_string text
+  | Some path ->
+      let oc = open_out_bin path in
+      Fun.protect ~finally:(fun () -> close_out_noerr oc) (fun () -> output_string oc text);
+      Printf.printf "wrote %s\n" path
+
+let project_cmd =
+  let names =
+    Arg.(value & opt (some (list string)) None & info [ "names" ] ~docv:"A,B,C"
+         ~doc:"Project over these species (user-input selection).")
+  in
+  let sample_k =
+    Arg.(value & opt (some int) None & info [ "sample" ] ~docv:"K"
+         ~doc:"Project over K randomly sampled species.")
+  in
+  let time =
+    Arg.(value & opt (some float) None & info [ "time" ] ~docv:"T"
+         ~doc:"With --sample: sample with respect to evolutionary time T (paper §2.2).")
+  in
+  let run () dir tree names sample_k time seed fmt out =
+    guarded (fun () ->
+        with_tree dir tree (fun repo stored ->
+            let selection =
+              match (names, sample_k) with
+              | Some ns, None -> (
+                  match resolve_names stored ns with
+                  | Ok ids -> Ok (ids, Printf.sprintf "names=%s" (String.concat "," ns))
+                  | Error n -> Error (Printf.sprintf "unknown species %S" n))
+              | None, Some k ->
+                  let rng = Prng.create seed in
+                  let ids, how =
+                    match time with
+                    | None -> (Sampling.uniform stored ~rng ~k, Printf.sprintf "sample=%d" k)
+                    | Some t ->
+                        ( Sampling.with_time stored ~rng ~k ~time:t,
+                          Printf.sprintf "sample=%d time=%g" k t )
+                  in
+                  Ok (ids, how)
+              | Some _, Some _ -> Error "use either --names or --sample, not both"
+              | None, None -> Error "choose species with --names or --sample"
+            in
+            match selection with
+            | Error msg -> fail "%s" msg
+            | Ok (ids, how) ->
+                let projection = Projection.project stored ids in
+                emit_tree fmt out projection;
+                ignore
+                  (Repo.record_query repo
+                     ~text:(Printf.sprintf "project tree=%s %s" tree how)
+                     ~result:(Printf.sprintf "%d nodes" (Tree.node_count projection)));
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "project" ~doc:"Tree projection over selected or sampled species")
+    Term.(ret
+            (const run $ logging $ repo_arg $ tree_arg $ names $ sample_k $ time
+           $ seed_arg $ output_format $ output_file))
+
+(* ------------------------------ match ------------------------------ *)
+
+let match_cmd =
+  let pattern_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"PATTERN"
+         ~doc:"Newick file holding the pattern tree.")
+  in
+  let run () dir tree pattern_file =
+    guarded (fun () ->
+        with_tree dir tree (fun repo stored ->
+            let pattern = Newick.parse_file pattern_file in
+            let r = Pattern.match_pattern stored pattern in
+            Printf.printf "matched: %b (weights too: %b)\n" r.matched r.weighted_match;
+            Printf.printf "clade RF distance vs projection: %d (normalized %.3f)\n"
+              r.rf_distance r.rf_normalized;
+            ignore
+              (Repo.record_query repo
+                 ~text:(Printf.sprintf "match tree=%s pattern=%s" tree pattern_file)
+                 ~result:(string_of_bool r.matched));
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "match" ~doc:"Tree pattern match against the stored tree")
+    Term.(ret (const run $ logging $ repo_arg $ tree_arg $ pattern_file))
+
+(* ----------------------------- simulate ---------------------------- *)
+
+let simulate_cmd =
+  let model =
+    Arg.(value
+         & opt (enum
+                  [
+                    ("yule", `Yule); ("birth-death", `Bd); ("coalescent", `Coal);
+                    ("caterpillar", `Cat); ("balanced", `Bal);
+                  ]) `Yule
+         & info [ "model" ] ~docv:"MODEL"
+             ~doc:"Tree model: yule, birth-death, coalescent, caterpillar or balanced.")
+  in
+  let leaves =
+    Arg.(value & opt int 100 & info [ "leaves" ] ~docv:"N" ~doc:"Number of species.")
+  in
+  let height =
+    Arg.(value & opt (some float) None & info [ "height" ] ~docv:"H"
+         ~doc:"Normalise tree height to H expected substitutions per site.")
+  in
+  let seq_len =
+    Arg.(value & opt (some int) None & info [ "sequences" ] ~docv:"LEN"
+         ~doc:"Also evolve DNA sequences of this length (JC69).")
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
+         ~doc:"Output NEXUS file.")
+  in
+  let run () model leaves height seq_len seed out =
+    guarded (fun () ->
+        let rng = Prng.create seed in
+        let tree =
+          match model with
+          | `Yule -> Models.yule ~rng ~leaves ()
+          | `Bd -> Models.birth_death ~rng ~leaves ()
+          | `Coal -> Models.coalescent ~rng ~leaves ()
+          | `Cat -> Models.caterpillar ~rng ~leaves ()
+          | `Bal ->
+              let height =
+                int_of_float (Float.round (Float.log2 (float_of_int (max 2 leaves))))
+              in
+              Models.balanced ~rng ~height ()
+        in
+        let tree =
+          match height with
+          | Some h -> Ops.normalize_height tree ~target:h
+          | None -> tree
+        in
+        let characters =
+          match seq_len with
+          | Some length -> Seqevo.evolve ~rng ~model:Seqevo.JC69 ~length tree
+          | None -> []
+        in
+        let doc = { (Nexus.of_tree ~name:"simulated" tree) with Nexus.characters } in
+        Nexus.write_file out doc;
+        Format.printf "simulated %a@." Tree.pp_stats (Tree.stats tree);
+        Printf.printf "wrote %s\n" out;
+        `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Generate a gold-standard simulation tree (and sequences)")
+    Term.(ret (const run $ logging $ model $ leaves $ height $ seq_len $ seed_arg $ out))
+
+(* ----------------------------- benchmark --------------------------- *)
+
+let benchmark_cmd =
+  let k = Arg.(value & opt int 20 & info [ "k" ] ~docv:"K" ~doc:"Sample size.") in
+  let len =
+    Arg.(value & opt int 500 & info [ "length" ] ~docv:"LEN" ~doc:"Sequence length.")
+  in
+  let reps =
+    Arg.(value & opt int 3 & info [ "replicates" ] ~docv:"R" ~doc:"Replicates.")
+  in
+  let time =
+    Arg.(value & opt (some float) None & info [ "time" ] ~docv:"T"
+         ~doc:"Sample with respect to evolutionary time T instead of uniformly.")
+  in
+  let algos =
+    let all =
+      [ ("nj", B.nj_jc); ("nj-k2p", B.nj_k2p); ("nj-p", B.nj_p);
+        ("upgma", B.upgma_jc); ("parsimony", B.parsimony) ]
+    in
+    Arg.(value
+         & opt (list (enum all)) [ B.nj_jc; B.upgma_jc; B.parsimony ]
+         & info [ "algorithms" ] ~docv:"A,B"
+             ~doc:"Algorithms: nj, nj-k2p, nj-p, upgma, parsimony.")
+  in
+  let run () dir tree k len reps time algos seed =
+    guarded (fun () ->
+        with_tree dir tree (fun repo stored ->
+            let config =
+              {
+                B.default_config with
+                sample_method = (match time with None -> B.Uniform | Some t -> B.With_time t);
+                sample_k = k;
+                sequence_length = len;
+                replicates = reps;
+                algorithms = algos;
+                seed;
+              }
+            in
+            let outcomes = B.run repo stored config in
+            print_string (B.report (B.summarize outcomes));
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "benchmark"
+       ~doc:"Evaluate reconstruction algorithms against the gold standard")
+    Term.(ret
+            (const run $ logging $ repo_arg $ tree_arg $ k $ len $ reps $ time $ algos
+           $ seed_arg))
+
+(* --------------------------- append-species ------------------------ *)
+
+let append_species_cmd =
+  let fasta_file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FASTA"
+         ~doc:"FASTA file whose sequence names match leaves of the tree.")
+  in
+  let run () dir tree fasta_file =
+    guarded (fun () ->
+        with_tree dir tree (fun repo stored ->
+            match Crimson_formats.Fasta.parse_file fasta_file with
+            | exception Crimson_formats.Fasta.Parse_error { line; message } ->
+                fail "FASTA error at line %d: %s" line message
+            | pairs ->
+                let rows = Loader.append_species repo stored pairs in
+                Printf.printf "appended %d species (%d rows) to %S\n"
+                  (List.length pairs) rows tree;
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "append-species"
+       ~doc:"Append species sequence data (FASTA) to an existing tree")
+    Term.(ret (const run $ logging $ repo_arg $ tree_arg $ fasta_file))
+
+(* ------------------------------- stats ----------------------------- *)
+
+let stats_cmd =
+  let run () dir tree =
+    guarded (fun () ->
+        with_tree dir tree (fun repo stored ->
+            print_string (Crimson_core.Tree_stats.to_string
+                            (Crimson_core.Tree_stats.compute repo stored));
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Structural statistics of a stored tree")
+    Term.(ret (const run $ logging $ repo_arg $ tree_arg))
+
+(* ------------------------------- query ----------------------------- *)
+
+let query_cmd =
+  let queries =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY"
+         ~doc:"Queries like 'lca(A,B)' — see the command help for the language.")
+  in
+  let run () dir tree seed queries =
+    guarded (fun () ->
+        with_tree dir tree (fun repo stored ->
+            let rng = Prng.create seed in
+            let errors = ref 0 in
+            List.iter
+              (fun q ->
+                match Crimson_core.Query_lang.run ~rng repo stored q with
+                | Ok { result; _ } -> Printf.printf "%s\n  = %s\n" q result
+                | Error msg ->
+                    incr errors;
+                    Printf.printf "%s\n  ! %s\n" q msg)
+              queries;
+            if !errors > 0 then fail "%d quer%s failed" !errors
+                (if !errors = 1 then "y" else "ies")
+            else `Ok ()))
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Run one or more textual queries against a stored tree.";
+      `Pre Crimson_core.Query_lang.help;
+    ]
+  in
+  Cmd.v
+    (Cmd.info "query" ~doc:"Run textual queries (lca, clade, project, sample, …)" ~man)
+    Term.(ret (const run $ logging $ repo_arg $ tree_arg $ seed_arg $ queries))
+
+(* ------------------------------ history ---------------------------- *)
+
+let history_cmd =
+  let run () dir =
+    guarded (fun () ->
+        with_repo dir (fun repo ->
+            let entries = Repo.history repo in
+            if entries = [] then print_endline "(no queries recorded)"
+            else
+              List.iter
+                (fun (id, time, text, result) ->
+                  let tm = Unix.localtime time in
+                  Printf.printf "#%-4d %04d-%02d-%02d %02d:%02d  %-40s -> %s\n" id
+                    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+                    tm.Unix.tm_hour tm.Unix.tm_min text result)
+                entries;
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "history" ~doc:"Show the Query Repository (recorded queries)")
+    Term.(ret (const run $ logging $ repo_arg))
+
+(* ------------------------------- show ------------------------------ *)
+
+let show_cmd =
+  let run () dir tree fmt out =
+    guarded (fun () ->
+        with_tree dir tree (fun _repo stored ->
+            emit_tree fmt out (Loader.fetch_tree stored);
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Display or export a stored tree")
+    Term.(ret (const run $ logging $ repo_arg $ tree_arg $ output_format $ output_file))
+
+(* ------------------------------- main ------------------------------ *)
+
+let () =
+  let doc = "Crimson: data management for evaluating phylogenetic tree reconstruction" in
+  let info = Cmd.info "crimson" ~version:"1.0.0" ~doc in
+  let group =
+    Cmd.group info
+      [
+        load_cmd; append_species_cmd; list_cmd; delete_cmd; show_cmd; stats_cmd;
+        lca_cmd; clade_cmd; project_cmd; match_cmd; query_cmd; simulate_cmd;
+        benchmark_cmd; history_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

@@ -1,0 +1,1 @@
+examples/deep_tree_queries.ml: Crimson_core Crimson_label Crimson_sim Crimson_tree Crimson_util List Printf Unix

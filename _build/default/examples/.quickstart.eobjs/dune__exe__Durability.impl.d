@@ -1,0 +1,1 @@
+examples/durability.ml: Array Bytes Crimson_core Crimson_sim Crimson_storage Crimson_tree Crimson_util Filename Printf Sys Unix

@@ -1,0 +1,1 @@
+examples/gold_standard_pipeline.ml: Array Crimson_core Crimson_formats Crimson_sim Crimson_tree Crimson_util Filename Format List Option Printf String

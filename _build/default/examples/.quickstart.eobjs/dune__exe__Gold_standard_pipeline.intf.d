@@ -1,0 +1,1 @@
+examples/gold_standard_pipeline.mli:

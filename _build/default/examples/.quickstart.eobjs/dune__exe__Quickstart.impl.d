@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Crimson_core Crimson_formats Crimson_label Crimson_tree Crimson_util List Option Printf String

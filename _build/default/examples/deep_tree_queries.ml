@@ -1,0 +1,97 @@
+(* Deep-tree queries: the regime the paper is built for.
+
+   Simulation phylogenies are thousands to a million levels deep, where
+   flat Dewey labels blow up (their size is proportional to depth). This
+   example builds a deep caterpillar and a large Yule tree, compares flat
+   vs layered label sizes, and runs LCA / ancestor / projection queries
+   through the storage-backed index under a small buffer pool.
+
+   Run with: dune exec examples/deep_tree_queries.exe *)
+
+module Tree = Crimson_tree.Tree
+module Dewey = Crimson_label.Dewey
+module Layered = Crimson_label.Layered
+module Models = Crimson_sim.Models
+module Repo = Crimson_core.Repo
+module Stored_tree = Crimson_core.Stored_tree
+module Loader = Crimson_core.Loader
+module Projection = Crimson_core.Projection
+module Sampling = Crimson_core.Sampling
+module Prng = Crimson_util.Prng
+module T = Crimson_util.Table_printer
+
+let () =
+  let rng = Prng.create 7 in
+
+  Printf.printf "Label sizes: flat Dewey vs layered (f=8)\n\n";
+  let table =
+    T.create
+      ~columns:
+        [
+          ("tree", T.Left);
+          ("nodes", T.Right);
+          ("depth", T.Right);
+          ("flat max B", T.Right);
+          ("flat mean B", T.Right);
+          ("layered max B", T.Right);
+          ("layered mean B", T.Right);
+        ]
+  in
+  let row name tree =
+    let flat = Dewey.size_stats tree in
+    let ix = Layered.build ~f:8 tree in
+    let layered = Layered.stats ix in
+    T.add_row table
+      [
+        name;
+        string_of_int (Tree.node_count tree);
+        string_of_int (Tree.height tree);
+        string_of_int flat.max_bytes;
+        Printf.sprintf "%.1f" flat.mean_bytes;
+        string_of_int layered.max_label_bytes;
+        Printf.sprintf "%.1f" layered.mean_label_bytes;
+      ]
+  in
+  row "caterpillar 1k" (Models.caterpillar ~rng ~leaves:1_000 ());
+  row "caterpillar 10k" (Models.caterpillar ~rng ~leaves:10_000 ());
+  row "caterpillar 100k" (Models.caterpillar ~rng ~leaves:100_000 ());
+  row "yule 10k" (Models.yule ~rng ~leaves:10_000 ());
+  row "coalescent 10k" (Models.coalescent ~rng ~leaves:10_000 ());
+  T.print table;
+
+  (* Load a deep tree into a repository with a deliberately tiny buffer
+     pool: queries still work by fetching the few pages they need. *)
+  Printf.printf "\nStored queries on a 50k-deep caterpillar (pool = 64 pages)\n\n";
+  let deep = Models.caterpillar ~rng ~leaves:50_000 () in
+  let repo = Repo.open_mem ~pool_size:64 () in
+  let t0 = Unix.gettimeofday () in
+  let report = Loader.load_tree ~f:16 repo ~name:"deep" deep in
+  let stored = report.tree in
+  Printf.printf "  loaded %d nodes in %.2fs (%d layers)\n" report.node_rows
+    (Unix.gettimeofday () -. t0)
+    (Stored_tree.layer_count stored);
+
+  let n = Stored_tree.node_count stored in
+  let t0 = Unix.gettimeofday () in
+  let queries = 200 in
+  for _ = 1 to queries do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    ignore (Stored_tree.lca stored a b)
+  done;
+  Printf.printf "  %d random LCA queries: %.1f ms total (%.3f ms each)\n" queries
+    (1000.0 *. (Unix.gettimeofday () -. t0))
+    (1000.0 *. (Unix.gettimeofday () -. t0) /. float_of_int queries);
+
+  let t0 = Unix.gettimeofday () in
+  let sample = Sampling.uniform stored ~rng ~k:100 in
+  let projection = Projection.project stored sample in
+  Printf.printf "  projected 100 random species: %d-node tree in %.1f ms\n"
+    (Tree.node_count projection)
+    (1000.0 *. (Unix.gettimeofday () -. t0));
+
+  (* Depth of the deepest sampled leaf, to show how deep queries reach. *)
+  let deepest =
+    List.fold_left (fun acc l -> max acc (Stored_tree.depth stored l)) 0 sample
+  in
+  Printf.printf "  deepest sampled species sits %d levels down\n" deepest;
+  Repo.close repo

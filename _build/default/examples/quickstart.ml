@@ -1,0 +1,119 @@
+(* Quickstart: the paper's running example, end to end.
+
+   Builds Figure 1's tree, loads it into an in-memory Crimson repository,
+   and walks through every query family of §2: Dewey labels, layered LCA,
+   minimal spanning clade, time-respecting sampling, tree projection
+   (Figure 2) and tree pattern match.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+module Tree = Crimson_tree.Tree
+module Newick = Crimson_formats.Newick
+module Dendrogram = Crimson_formats.Dendrogram
+module Dewey = Crimson_label.Dewey
+module Repo = Crimson_core.Repo
+module Stored_tree = Crimson_core.Stored_tree
+module Loader = Crimson_core.Loader
+module Sampling = Crimson_core.Sampling
+module Projection = Crimson_core.Projection
+module Clade = Crimson_core.Clade
+module Pattern = Crimson_core.Pattern
+module Prng = Crimson_util.Prng
+
+let section title =
+  Printf.printf "\n=== %s ===\n" title
+
+let () =
+  (* The paper's Figure 1 tree, in Newick. *)
+  let figure1 =
+    "(Bha:1.25,((Lla:1,Spy:1)x:0.75,Syn:2.5)u:0.5,Bsu:1.5)root;"
+  in
+  let tree = Newick.parse figure1 in
+
+  section "Figure 1 (the sample phylogenetic tree)";
+  print_string (Dendrogram.render tree);
+
+  section "Flat Dewey labels (paper §2.1)";
+  let labels = Dewey.assign tree in
+  List.iter
+    (fun name ->
+      let node = Option.get (Tree.find_by_name tree name) in
+      Printf.printf "  %-4s -> %s\n" name (Dewey.to_string labels.(node)))
+    [ "Lla"; "Spy"; "x"; "Syn"; "Bsu" ];
+  let lla = Option.get (Tree.find_by_name tree "Lla") in
+  let spy = Option.get (Tree.find_by_name tree "Spy") in
+  Printf.printf "  LCA(Lla, Spy) by longest common prefix = %s\n"
+    (Dewey.to_string (Dewey.lca labels.(lla) labels.(spy)));
+
+  (* Load into a Crimson repository (in-memory here; pass a directory to
+     Repo.open_dir for a persistent one). f=2 exaggerates the layering on
+     this tiny tree so several layers exist, as in Figure 4. *)
+  section "Loading into the Tree Repository";
+  let repo = Repo.open_mem () in
+  let report = Loader.load_tree ~f:2 repo ~name:"figure1" tree in
+  let stored = report.tree in
+  Printf.printf "  loaded %d node rows, %d layer rows, %d subtree rows\n"
+    report.node_rows report.layer_rows report.subtree_rows;
+  Printf.printf "  layered index: f=%d, %d layers\n" (Stored_tree.f stored)
+    (Stored_tree.layer_count stored);
+
+  section "Structure queries on the stored tree";
+  let node name = Option.get (Stored_tree.node_by_name stored name) in
+  let show_lca a b =
+    let l = Stored_tree.lca stored (node a) (node b) in
+    Printf.printf "  LCA(%s, %s) = %s\n" a b
+      (Option.value ~default:"?" (Stored_tree.node_name stored l))
+  in
+  show_lca "Lla" "Spy";
+  show_lca "Syn" "Lla";
+  show_lca "Lla" "Bsu";
+  Printf.printf "  minimal spanning clade of {Lla, Syn}: %d leaves under %s\n"
+    (Clade.size stored [ node "Lla"; node "Syn" ])
+    (Option.value ~default:"?"
+       (Stored_tree.node_name stored (Clade.root_of stored [ node "Lla"; node "Syn" ])));
+
+  section "Sampling with respect to evolutionary time 1 (paper §2.2)";
+  let frontier = Sampling.frontier_at stored ~time:1.0 in
+  Printf.printf "  frontier nodes: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun n -> Option.value ~default:"?" (Stored_tree.node_name stored n))
+          frontier));
+  let rng = Prng.create 2026 in
+  let sample = Sampling.with_time stored ~rng ~k:4 ~time:1.0 in
+  Printf.printf "  sampled species: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun n -> Option.value ~default:"?" (Stored_tree.node_name stored n))
+          sample));
+
+  section "Tree projection over {Bha, Lla, Syn} (Figure 2)";
+  let projection = Projection.project_names stored [ "Bha"; "Lla"; "Syn" ] in
+  print_string (Dendrogram.render projection);
+  Printf.printf "  as Newick: %s\n" (Newick.to_string projection);
+
+  section "Tree pattern match (paper §2.2)";
+  let pattern = Newick.parse "(Bha,(Lla,Syn));" in
+  let result = Pattern.match_pattern stored pattern in
+  Printf.printf "  pattern (Bha,(Lla,Syn))          -> matched: %b\n" result.matched;
+  let swapped = Newick.parse "(Lla,(Bha,Syn));" in
+  let result' = Pattern.match_pattern stored swapped in
+  Printf.printf "  swapped pattern (Lla,(Bha,Syn))  -> matched: %b (RF distance %d)\n"
+    result'.matched result'.rf_distance;
+
+  section "Textual queries (the CLI's query wizard)";
+  List.iter
+    (fun q ->
+      match Crimson_core.Query_lang.run repo stored q with
+      | Ok { result; _ } -> Printf.printf "  %-28s = %s\n" q result
+      | Error msg -> Printf.printf "  %-28s ! %s\n" q msg)
+    [ "distance(Bha, Syn)"; "path(Lla, Bsu)"; "clade(Lla, Syn)"; "depth(Spy)" ];
+
+  section "Query history";
+  ignore (Repo.record_query repo ~text:"quickstart session" ~result:"ok");
+  List.iter
+    (fun (id, _, text, result) -> Printf.printf "  #%d %s -> %s\n" id text result)
+    (Repo.history repo);
+
+  Repo.close repo;
+  print_newline ()

@@ -1,0 +1,1 @@
+lib/benchmark/benchmark_manager.ml: Array Crimson_core Crimson_recon Crimson_sim Crimson_tree Crimson_util Hashtbl List Logs Option Printf String Unix

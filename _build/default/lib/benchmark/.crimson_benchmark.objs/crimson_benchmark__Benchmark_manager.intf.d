@@ -1,0 +1,1 @@
+lib/benchmark/benchmark_manager.mli: Crimson_core Crimson_sim Crimson_tree

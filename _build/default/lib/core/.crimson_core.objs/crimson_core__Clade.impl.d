@@ -1,0 +1,1 @@
+lib/core/clade.ml: Crimson_tree Crimson_util List Printf Stored_tree

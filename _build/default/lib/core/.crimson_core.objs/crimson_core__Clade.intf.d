@@ -1,0 +1,1 @@
+lib/core/clade.mli: Crimson_tree Stored_tree

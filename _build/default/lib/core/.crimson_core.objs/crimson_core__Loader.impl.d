@@ -1,0 +1,1 @@
+lib/core/loader.ml: Array Crimson_formats Crimson_label Crimson_storage Crimson_tree Fun Hashtbl List Logs Printf Repo Schema Stored_tree String

@@ -1,0 +1,1 @@
+lib/core/loader.mli: Crimson_formats Crimson_tree Repo Stored_tree

@@ -1,0 +1,1 @@
+lib/core/pattern.ml: Array Crimson_tree Hashtbl List Printf Projection

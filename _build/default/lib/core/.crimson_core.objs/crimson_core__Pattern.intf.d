@@ -1,0 +1,1 @@
+lib/core/pattern.mli: Crimson_tree Stored_tree

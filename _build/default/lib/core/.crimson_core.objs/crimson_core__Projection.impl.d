@@ -1,0 +1,1 @@
+lib/core/projection.ml: Crimson_tree Float List Printf Stored_tree

@@ -1,0 +1,1 @@
+lib/core/query_lang.ml: Buffer Clade Crimson_formats Crimson_tree Crimson_util List Loader Pattern Printf Projection Repo Sampling Stored_tree String

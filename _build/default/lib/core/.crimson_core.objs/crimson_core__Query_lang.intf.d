@@ -1,0 +1,1 @@
+lib/core/query_lang.mli: Crimson_util Repo Stored_tree

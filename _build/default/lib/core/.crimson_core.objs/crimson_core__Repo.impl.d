@@ -1,0 +1,1 @@
+lib/core/repo.ml: Crimson_storage Int List Schema Unix

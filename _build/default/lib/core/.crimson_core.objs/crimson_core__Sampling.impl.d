@@ -1,0 +1,1 @@
+lib/core/sampling.ml: Array Crimson_util List Printf Stored_tree

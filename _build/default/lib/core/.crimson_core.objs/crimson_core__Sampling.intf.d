@@ -1,0 +1,1 @@
+lib/core/sampling.mli: Crimson_util Stored_tree

@@ -1,0 +1,1 @@
+lib/core/schema.ml: Crimson_storage

@@ -1,0 +1,1 @@
+lib/core/stored_tree.ml: Crimson_label Crimson_storage List Printf Repo Schema

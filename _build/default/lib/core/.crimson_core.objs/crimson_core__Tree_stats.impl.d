@@ -1,0 +1,1 @@
+lib/core/tree_stats.ml: Array Crimson_storage Float Format Hashtbl List Option Printf Repo Schema Stored_tree

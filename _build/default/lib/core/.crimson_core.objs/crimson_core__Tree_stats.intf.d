@@ -1,0 +1,1 @@
+lib/core/tree_stats.mli: Format Repo Stored_tree

@@ -1,0 +1,57 @@
+let root_of tree inputs = Stored_tree.lca_set tree inputs
+
+let size tree inputs =
+  let lca = root_of tree inputs in
+  let lo, hi = Stored_tree.leaf_interval tree lca in
+  hi - lo
+
+let leaf_ids ?(limit = 10_000) tree inputs =
+  let lca = root_of tree inputs in
+  let lo, hi = Stored_tree.leaf_interval tree lca in
+  let count = min limit (hi - lo) in
+  List.init count (fun i -> Stored_tree.leaf_by_ordinal tree (lo + i))
+
+let member tree ~clade_of node =
+  let lca = root_of tree clade_of in
+  Stored_tree.is_ancestor_or_self tree ~ancestor:lca node
+
+let subtree ?(limit = 100_000) tree inputs =
+  let module T = Crimson_tree.Tree in
+  let lca = root_of tree inputs in
+  let b = T.Builder.create () in
+  let count = ref 0 in
+  (* Iterative DFS: (stored node, parent id in the new tree). *)
+  let stack = Crimson_util.Vec.create () in
+  Crimson_util.Vec.push stack (lca, T.nil);
+  while not (Crimson_util.Vec.is_empty stack) do
+    let v, parent = Crimson_util.Vec.pop stack in
+    incr count;
+    if !count > limit then
+      invalid_arg (Printf.sprintf "Clade.subtree: clade exceeds %d nodes" limit);
+    let name = Stored_tree.node_name tree v in
+    let id =
+      if parent = T.nil then T.Builder.add_root ?name b
+      else
+        T.Builder.add_child ?name
+          ~branch_length:(Stored_tree.branch_length tree v)
+          b ~parent
+    in
+    List.iter
+      (fun c -> Crimson_util.Vec.push stack (c, id))
+      (List.rev (Stored_tree.children tree v))
+  done;
+  T.Builder.finish b
+
+let nodes ?(limit = 10_000) tree inputs =
+  let lca = root_of tree inputs in
+  let acc = ref [] in
+  let count = ref 0 in
+  let rec visit v =
+    if !count < limit then begin
+      incr count;
+      acc := v :: !acc;
+      List.iter visit (Stored_tree.children tree v)
+    end
+  in
+  visit lca;
+  List.rev !acc

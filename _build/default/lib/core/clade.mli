@@ -1,0 +1,29 @@
+(** Minimal spanning clade (paper §2.2): given input leaves, the set of
+    nodes in the subtree rooted at their least common ancestor. *)
+
+val root_of : Stored_tree.t -> int list -> int
+(** The clade root = LCA of the input nodes. Raises [Invalid_argument]
+    on the empty list. *)
+
+val size : Stored_tree.t -> int list -> int
+(** Number of {e leaves} in the clade, from stored leaf-ordinal intervals
+    — O(1) after the LCA. *)
+
+val leaf_ids : ?limit:int -> Stored_tree.t -> int list -> int list
+(** Leaves of the clade in preorder, at most [limit] (default 10_000) to
+    keep huge clades from materialising by accident. *)
+
+val member : Stored_tree.t -> clade_of:int list -> int -> bool
+(** Is a node inside the minimal spanning clade? One LCA plus one
+    ancestor check. *)
+
+val nodes : ?limit:int -> Stored_tree.t -> int list -> int list
+(** All node ids of the clade (internal nodes included), preorder, capped
+    by [limit] (default 10_000). Uses the children index. *)
+
+val subtree : ?limit:int -> Stored_tree.t -> int list -> Crimson_tree.Tree.t
+(** Materialise the minimal spanning clade as an in-memory tree (names
+    and branch lengths preserved; the clade root's incoming edge is
+    dropped). Raises [Invalid_argument] when the clade exceeds [limit]
+    nodes (default 100_000) — spanning clades of a huge tree can be the
+    whole tree. *)

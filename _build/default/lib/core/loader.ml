@@ -1,0 +1,289 @@
+module Tree = Crimson_tree.Tree
+module Ops = Crimson_tree.Ops
+module Layered = Crimson_label.Layered
+module Table = Crimson_storage.Table
+module Record = Crimson_storage.Record
+
+let src = Logs.Src.create "crimson.loader" ~doc:"Crimson data loader"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+exception Load_error of string
+
+let load_error fmt = Printf.ksprintf (fun s -> raise (Load_error s)) fmt
+
+type report = {
+  tree : Stored_tree.t;
+  node_rows : int;
+  layer_rows : int;
+  subtree_rows : int;
+  species_rows : int;
+}
+
+let next_tree_id repo =
+  let max_id = ref (-1) in
+  Table.scan (Repo.trees repo) (fun _ row ->
+      max_id := max !max_id (Record.get_int row Schema.Trees.c_id));
+  !max_id + 1
+
+let name_taken repo name =
+  Table.lookup_unique (Repo.trees repo) ~index:"by_name" ~key:(Schema.Trees.key_name name)
+  <> None
+
+(* Split a sequence into page-sized chunks. *)
+let chunks_of seq =
+  let n = String.length seq in
+  let size = Schema.Species.chunk_size in
+  let count = max 1 ((n + size - 1) / size) in
+  List.init count (fun i -> (i, String.sub seq (i * size) (min size (n - (i * size)))))
+
+let insert_species_rows repo ~tree_id pairs =
+  let rows = ref 0 in
+  List.iter
+    (fun (name, seq) ->
+      List.iter
+        (fun (chunk, piece) ->
+          ignore
+            (Table.insert (Repo.species repo)
+               [|
+                 Record.VInt tree_id; Record.VText name; Record.VInt chunk;
+                 Record.VBlob piece;
+               |]);
+          incr rows)
+        (chunks_of seq))
+    pairs;
+  !rows
+
+let has_species repo ~tree_id ~name =
+  let found = ref false in
+  Table.iter_index (Repo.species repo) ~index:"by_chunk"
+    ~prefix:(Schema.Species.key_name ~tree:tree_id ~name) (fun _ _ ->
+      found := true;
+      false);
+  !found
+
+let validate_species_names tree pairs ~check_duplicates repo =
+  List.iter
+    (fun (name, _) ->
+      (match Stored_tree.node_by_name tree name with
+      | Some node when Stored_tree.is_leaf tree node -> ()
+      | Some _ -> load_error "species %S names an internal node" name
+      | None -> load_error "species %S is not a leaf of tree %S" name (Stored_tree.name tree));
+      if check_duplicates && has_species repo ~tree_id:(Stored_tree.id tree) ~name then
+        load_error "species %S already has sequence data" name)
+    pairs
+
+let load_tree_internal ?(f = 8) repo ~name tree ~species =
+  if name_taken repo name then load_error "a tree named %S is already loaded" name;
+  let tree_id = next_tree_id repo in
+  Log.info (fun m ->
+      m "loading tree %S (#%d): %d nodes, f=%d" name tree_id (Tree.node_count tree) f);
+  (* Renumber to dense preorder ids so that parents precede children. *)
+  let t, _mapping = Ops.copy_with_mapping tree in
+  let ix = Layered.build ~f t in
+  let root_dist = Tree.root_distance t in
+  (* Leaf ordinal intervals per node: leaves numbered in preorder. *)
+  let n = Tree.node_count t in
+  let leaf_lo = Array.make n max_int in
+  let leaf_hi = Array.make n (-1) in
+  let ord = ref 0 in
+  Array.iter
+    (fun v ->
+      if Tree.is_leaf t v then begin
+        leaf_lo.(v) <- !ord;
+        leaf_hi.(v) <- !ord + 1;
+        incr ord
+      end)
+    (Tree.preorder t);
+  Array.iter
+    (fun v ->
+      Tree.iter_children t v (fun c ->
+          leaf_lo.(v) <- min leaf_lo.(v) leaf_lo.(c);
+          leaf_hi.(v) <- max leaf_hi.(v) leaf_hi.(c)))
+    (Tree.postorder t);
+  let n_leaves = !ord in
+  (* Node rows. *)
+  let nodes_table = Repo.nodes repo in
+  let node_rows = ref 0 in
+  for v = 0 to n - 1 do
+    let row =
+      [|
+        Record.VInt tree_id;
+        Record.VInt v;
+        Record.VInt (Tree.parent t v);
+        Record.VInt (Layered.raw_edge_index ix ~layer:0 v);
+        Record.VText (match Tree.name t v with Some s -> s | None -> "");
+        Record.VFloat (Tree.branch_length t v);
+        Record.VFloat root_dist.(v);
+        Record.VInt (Layered.raw_sub ix ~layer:0 v);
+        Record.VInt (Layered.raw_local_depth ix ~layer:0 v);
+        Record.VInt leaf_lo.(v);
+        Record.VInt leaf_hi.(v);
+      |]
+    in
+    ignore (Table.insert nodes_table row);
+    incr node_rows;
+    if !node_rows mod 100_000 = 0 then
+      Log.info (fun m -> m "  … %d node rows written" !node_rows)
+  done;
+  (* Leaf ordinals. *)
+  for v = 0 to n - 1 do
+    if Tree.is_leaf t v then
+      ignore
+        (Table.insert (Repo.leaves repo)
+           [| Record.VInt tree_id; Record.VInt leaf_lo.(v); Record.VInt v |])
+  done;
+  (* Higher layers and subtree roots. *)
+  let layer_rows = ref 0 in
+  let subtree_rows = ref 0 in
+  for layer = 1 to Layered.layer_count ix - 1 do
+    for v = 0 to Layered.layer_node_count ix ~layer - 1 do
+      ignore
+        (Table.insert (Repo.layers repo)
+           [|
+             Record.VInt tree_id;
+             Record.VInt layer;
+             Record.VInt v;
+             Record.VInt (Layered.raw_parent ix ~layer v);
+             Record.VInt (Layered.raw_edge_index ix ~layer v);
+             Record.VInt (Layered.raw_sub ix ~layer v);
+             Record.VInt (Layered.raw_local_depth ix ~layer v);
+           |]);
+      incr layer_rows
+    done
+  done;
+  for layer = 0 to Layered.layer_count ix - 1 do
+    for s = 0 to Layered.subtree_count ix ~layer - 1 do
+      ignore
+        (Table.insert (Repo.subtrees repo)
+           [|
+             Record.VInt tree_id;
+             Record.VInt layer;
+             Record.VInt s;
+             Record.VInt (Layered.raw_sub_root ix ~layer s);
+           |]);
+      incr subtree_rows
+    done
+  done;
+  (* Tree metadata last, so a crash mid-load leaves no visible tree. *)
+  ignore
+    (Table.insert (Repo.trees repo)
+       [|
+         Record.VInt tree_id;
+         Record.VText name;
+         Record.VInt f;
+         Record.VInt (Layered.layer_count ix);
+         Record.VInt n;
+         Record.VInt n_leaves;
+       |]);
+  let stored = Stored_tree.open_id repo tree_id in
+  (* Species data, validated against the stored tree. *)
+  let species_rows =
+    match species with
+    | [] -> 0
+    | pairs ->
+        validate_species_names stored pairs ~check_duplicates:false repo;
+        insert_species_rows repo ~tree_id pairs
+  in
+  Repo.flush repo;
+  Log.info (fun m ->
+      m "loaded %S: %d node rows, %d layer rows, %d subtree rows, %d species rows" name
+        !node_rows !layer_rows !subtree_rows species_rows);
+  {
+    tree = stored;
+    node_rows = !node_rows;
+    layer_rows = !layer_rows;
+    subtree_rows = !subtree_rows;
+    species_rows;
+  }
+
+let load_tree ?f ?(species = []) repo ~name tree =
+  load_tree_internal ?f repo ~name tree ~species
+
+let load_structure_only ?f repo ~name tree =
+  load_tree_internal ?f repo ~name tree ~species:[]
+
+let append_species repo tree pairs =
+  validate_species_names tree pairs ~check_duplicates:true repo;
+  let rows = insert_species_rows repo ~tree_id:(Stored_tree.id tree) pairs in
+  Repo.flush repo;
+  Log.info (fun m -> m "appended %d species rows to %S" rows (Stored_tree.name tree));
+  rows
+
+let species_sequence repo tree name =
+  let parts = ref [] in
+  Table.iter_index (Repo.species repo) ~index:"by_chunk"
+    ~prefix:(Schema.Species.key_name ~tree:(Stored_tree.id tree) ~name) (fun _ row ->
+      parts := Record.get_blob row Schema.Species.c_seq :: !parts;
+      true);
+  match !parts with
+  | [] -> None
+  | parts -> Some (String.concat "" (List.rev parts))
+
+let species_names repo tree =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  Table.scan (Repo.species repo) (fun _ row ->
+      if Record.get_int row Schema.Species.c_tree = Stored_tree.id tree then begin
+        let name = Record.get_text row Schema.Species.c_name in
+        if not (Hashtbl.mem seen name) then begin
+          Hashtbl.add seen name ();
+          acc := name :: !acc
+        end
+      end);
+  List.sort String.compare !acc
+
+let load_nexus ?f repo (doc : Crimson_formats.Nexus.t) =
+  if doc.trees = [] then load_error "NEXUS document contains no trees";
+  List.map
+    (fun (name, tree) ->
+      let leaf_names =
+        Array.to_list (Tree.leaves tree)
+        |> List.filter_map (fun l -> Tree.name tree l)
+      in
+      let covered (taxon, _) = List.mem taxon leaf_names in
+      let species = List.filter covered doc.characters in
+      load_tree_internal ?f repo ~name tree ~species)
+    doc.trees
+
+let fetch_tree stored =
+  let n = Stored_tree.node_count stored in
+  let b = Tree.Builder.create ~capacity:n () in
+  (* Stored ids are preorder-dense: parents precede children, and sibling
+     order is edge order, so inserting 0..n-1 reproduces ids exactly. *)
+  let ids = Array.make n Tree.nil in
+  for v = 0 to n - 1 do
+    let name = Stored_tree.node_name stored v in
+    let p = Stored_tree.parent stored v in
+    if p = Tree.nil then ids.(v) <- Tree.Builder.add_root ?name b
+    else
+      ids.(v) <-
+        Tree.Builder.add_child ?name
+          ~branch_length:(Stored_tree.branch_length stored v)
+          b ~parent:ids.(p)
+  done;
+  let t = Tree.Builder.finish b in
+  assert (Array.for_all2 ( = ) ids (Array.init n Fun.id));
+  t
+
+let delete_tree repo stored =
+  let tree_id = Stored_tree.id stored in
+  let drop table =
+    let rids = ref [] in
+    Table.scan table (fun rid row ->
+        if Record.get_int row 0 = tree_id then rids := rid :: !rids);
+    List.iter (fun rid -> ignore (Table.delete table rid)) !rids
+  in
+  (* Metadata first so the tree disappears atomically from listings. *)
+  (match
+     Table.lookup_unique (Repo.trees repo) ~index:"by_id" ~key:(Schema.Trees.key_id tree_id)
+   with
+  | Some (rid, _) -> ignore (Table.delete (Repo.trees repo) rid)
+  | None -> ());
+  drop (Repo.nodes repo);
+  drop (Repo.layers repo);
+  drop (Repo.subtrees repo);
+  drop (Repo.leaves repo);
+  drop (Repo.species repo);
+  Repo.flush repo;
+  Log.info (fun m -> m "deleted tree %S" (Stored_tree.name stored))

@@ -1,0 +1,60 @@
+(** Loading trees and species data into the repositories (the paper's
+    Data Loader, §3 "Loading Data").
+
+    A tree is renumbered to dense preorder ids, its hierarchical layered
+    index is built in memory, and everything is written to the [nodes],
+    [layers], [subtrees] and [leaves] tables. Species sequences are
+    chunked into the [species] table and may also be appended to an
+    already-loaded tree. *)
+
+exception Load_error of string
+
+type report = {
+  tree : Stored_tree.t;
+  node_rows : int;
+  layer_rows : int;
+  subtree_rows : int;
+  species_rows : int;
+}
+
+val load_tree :
+  ?f:int ->
+  ?species:(string * string) list ->
+  Repo.t ->
+  name:string ->
+  Crimson_tree.Tree.t ->
+  report
+(** Load a tree under a unique name. [f] (default 8) is the layered-index
+    depth bound. [species] are (leaf name, sequence) pairs stored in the
+    Species Repository; names must match leaves of the tree. Raises
+    {!Load_error} on duplicate tree names or unknown species names, and
+    logs progress on the [crimson.loader] source (the GUI's "messages
+    about the loading status"). *)
+
+val load_structure_only :
+  ?f:int -> Repo.t -> name:string -> Crimson_tree.Tree.t -> report
+(** The paper's "load a phylogenetic tree structure only" option. *)
+
+val append_species : Repo.t -> Stored_tree.t -> (string * string) list -> int
+(** Append species data to an existing tree ("append species data to an
+    existing phylogenetic tree"); returns rows written. Raises
+    {!Load_error} for names that are not leaves of the tree or already
+    have data. *)
+
+val species_sequence : Repo.t -> Stored_tree.t -> string -> string option
+(** Reassemble a species' sequence from its chunks. *)
+
+val species_names : Repo.t -> Stored_tree.t -> string list
+(** Names with stored sequences, sorted. *)
+
+val load_nexus : ?f:int -> Repo.t -> Crimson_formats.Nexus.t -> report list
+(** Load every tree of a NEXUS document; the document's character matrix
+    is attached to each tree whose leaves cover the matrix taxa (matching
+    the paper's "load a phylogenetic tree with species data"). *)
+
+val fetch_tree : Stored_tree.t -> Crimson_tree.Tree.t
+(** Materialise a stored tree back into memory (export, visualisation).
+    Node ids are preserved. *)
+
+val delete_tree : Repo.t -> Stored_tree.t -> unit
+(** Remove the tree's rows from every repository table. *)

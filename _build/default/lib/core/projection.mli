@@ -1,0 +1,27 @@
+(** Tree projection (paper §1 and §2.2).
+
+    Given leaves S of stored tree T, the projection is the subtree of T
+    induced by S: every edge is a subpath of a root-to-S path, unary
+    nodes are merged with their child summing the edge weights, and the
+    result is rooted at the LCA of S. Runs entirely on the stored layered
+    index: leaves are sorted by preorder comparison, the projection node
+    set is S plus LCAs of preorder-consecutive leaves, and parent edges
+    fall out of a single ancestor-stack sweep. Edge weights come from
+    stored cumulative root distances, so no path walking is needed. *)
+
+exception Projection_error of string
+
+val project : Stored_tree.t -> int list -> Crimson_tree.Tree.t
+(** Projection over the given leaf node ids. Node names and merged edge
+    weights are preserved; the result is an in-memory tree (projections
+    are small — that is why they exist). Raises {!Projection_error} on an
+    empty set, duplicate ids, or ids that are not leaves. *)
+
+val project_names : Stored_tree.t -> string list -> Crimson_tree.Tree.t
+(** Convenience: resolve leaf names first. Raises {!Projection_error} on
+    unknown names. *)
+
+val projection_nodes : Stored_tree.t -> int list -> int list
+(** The stored-tree node ids that appear in the projection (leaves and
+    branching ancestors), in preorder — exposed for tests and for the
+    minimal-spanning-clade machinery. *)

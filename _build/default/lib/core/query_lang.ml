@@ -1,0 +1,252 @@
+module Tree = Crimson_tree.Tree
+module Newick = Crimson_formats.Newick
+module Prng = Crimson_util.Prng
+
+type outcome = {
+  text : string;
+  result : string;
+}
+
+(* ----------------------------- Parsing ----------------------------- *)
+
+type arg =
+  | Name of string  (** Bare or quoted word. *)
+  | Number of float
+
+type call = {
+  fn : string;
+  args : arg list;
+}
+
+exception Bad_query of string
+
+let bad fmt = Printf.ksprintf (fun s -> raise (Bad_query s)) fmt
+
+let is_bare_char c =
+  match c with
+  | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | '-' | '.' | '#' -> true
+  | _ -> false
+
+let parse_query s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while !pos < n && (s.[!pos] = ' ' || s.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let bare () =
+    let start = !pos in
+    while !pos < n && is_bare_char s.[!pos] do
+      incr pos
+    done;
+    if !pos = start then bad "expected a name at position %d" start;
+    String.sub s start (!pos - start)
+  in
+  let quoted () =
+    (* Single quotes, '' escapes a quote. *)
+    incr pos;
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      if !pos >= n then bad "unterminated quote"
+      else if s.[!pos] = '\'' then begin
+        incr pos;
+        if !pos < n && s.[!pos] = '\'' then begin
+          Buffer.add_char buf '\'';
+          incr pos;
+          loop ()
+        end
+      end
+      else begin
+        Buffer.add_char buf s.[!pos];
+        incr pos;
+        loop ()
+      end
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  skip_ws ();
+  let fn = String.lowercase_ascii (bare ()) in
+  skip_ws ();
+  (match peek () with
+  | Some '(' -> incr pos
+  | _ -> bad "expected '(' after %s" fn);
+  let args = ref [] in
+  let rec parse_args () =
+    skip_ws ();
+    match peek () with
+    | Some ')' -> incr pos
+    | None -> bad "missing ')'"
+    | Some '\'' ->
+        args := Name (quoted ()) :: !args;
+        after_arg ()
+    | Some c when is_bare_char c ->
+        let word = bare () in
+        let arg =
+          match float_of_string_opt word with
+          | Some v -> Number v
+          | None -> Name word
+        in
+        args := arg :: !args;
+        after_arg ()
+    | Some c -> bad "unexpected character %C" c
+  and after_arg () =
+    skip_ws ();
+    match peek () with
+    | Some ',' ->
+        incr pos;
+        parse_args ()
+    | Some ')' -> incr pos
+    | Some c -> bad "expected ',' or ')', found %C" c
+    | None -> bad "missing ')'"
+  in
+  parse_args ();
+  skip_ws ();
+  if !pos <> n then bad "trailing input after ')'";
+  { fn; args = List.rev !args }
+
+(* ---------------------------- Execution ---------------------------- *)
+
+let node_label stored n =
+  match Stored_tree.node_name stored n with
+  | Some s -> s
+  | None -> Printf.sprintf "#%d" n
+
+let resolve stored = function
+  | Number v -> bad "expected a species name, found the number %g" v
+  | Name name -> (
+      match Stored_tree.node_by_name stored name with
+      | Some n -> n
+      | None -> (
+          (* Allow raw node ids written as #123. *)
+          match
+            if String.length name > 1 && name.[0] = '#' then
+              int_of_string_opt (String.sub name 1 (String.length name - 1))
+            else None
+          with
+          | Some id when id >= 0 && id < Stored_tree.node_count stored -> id
+          | Some _ | None -> bad "unknown species or node %S" name))
+
+let number = function
+  | Number v -> v
+  | Name s -> bad "expected a number, found %S" s
+
+let string_arg = function
+  | Name s -> s
+  | Number v -> bad "expected a string, found the number %g" v
+
+let names_of stored nodes = String.concat ", " (List.map (node_label stored) nodes)
+
+let execute ~rng repo stored { fn; args } =
+  match (fn, args) with
+  | "lca", (_ :: _ :: _ as species) ->
+      let nodes = List.map (resolve stored) species in
+      let l = Stored_tree.lca_set stored nodes in
+      Printf.sprintf "%s (depth %d, distance from root %g)" (node_label stored l)
+        (Stored_tree.depth stored l)
+        (Stored_tree.root_distance stored l)
+  | "lca", _ -> bad "lca needs at least two species"
+  | "clade", (_ :: _ as species) ->
+      let nodes = List.map (resolve stored) species in
+      let root = Clade.root_of stored nodes in
+      let size = Clade.size stored nodes in
+      if size <= 20 then
+        Printf.sprintf "root %s, %d species: %s" (node_label stored root) size
+          (names_of stored (Clade.leaf_ids stored nodes))
+      else Printf.sprintf "root %s, %d species" (node_label stored root) size
+  | "clade", [] -> bad "clade needs at least one species"
+  | "distance", [ a; b ] ->
+      Printf.sprintf "%g"
+        (Stored_tree.path_distance stored (resolve stored a) (resolve stored b))
+  | "distance", _ -> bad "distance needs exactly two species"
+  | "path", [ a; b ] ->
+      names_of stored
+        (Stored_tree.path_nodes stored (resolve stored a) (resolve stored b))
+  | "path", _ -> bad "path needs exactly two species"
+  | "depth", [ a ] -> string_of_int (Stored_tree.depth stored (resolve stored a))
+  | "depth", _ -> bad "depth needs exactly one species"
+  | "parent", [ a ] -> (
+      match Stored_tree.parent stored (resolve stored a) with
+      | -1 -> "(root has no parent)"
+      | p -> node_label stored p)
+  | "parent", _ -> bad "parent needs exactly one species"
+  | "children", [ a ] -> (
+      match Stored_tree.children stored (resolve stored a) with
+      | [] -> "(leaf)"
+      | kids -> names_of stored kids)
+  | "children", _ -> bad "children needs exactly one node"
+  | "project", (_ :: _ as species) ->
+      let nodes = List.map (resolve stored) species in
+      Newick.to_string (Projection.project stored nodes)
+  | "project", [] -> bad "project needs at least one species"
+  | "sample", [ k ] ->
+      let k = int_of_float (number k) in
+      names_of stored (Sampling.uniform stored ~rng ~k)
+  | "sample", [ k; t ] ->
+      let k = int_of_float (number k) in
+      names_of stored (Sampling.with_time stored ~rng ~k ~time:(number t))
+  | "sample", _ -> bad "sample needs (k) or (k, time)"
+  | "frontier", [ t ] ->
+      let nodes = Sampling.frontier_at stored ~time:(number t) in
+      Printf.sprintf "%d nodes: %s" (List.length nodes) (names_of stored nodes)
+  | "frontier", _ -> bad "frontier needs exactly one time"
+  | "match", [ p ] ->
+      let pattern = Newick.parse (string_arg p) in
+      let r = Pattern.match_pattern stored pattern in
+      Printf.sprintf "matched=%b rf=%d" r.Pattern.matched r.Pattern.rf_distance
+  | "match", _ -> bad "match needs exactly one quoted Newick pattern"
+  | "seq", [ a ] -> (
+      let name =
+        match a with
+        | Name s -> s
+        | Number _ -> bad "seq needs a species name"
+      in
+      match Loader.species_sequence repo stored name with
+      | None -> Printf.sprintf "(no sequence stored for %s)" name
+      | Some s when String.length s <= 60 -> s
+      | Some s -> Printf.sprintf "%s… (%d sites)" (String.sub s 0 60) (String.length s))
+  | "seq", _ -> bad "seq needs exactly one species"
+  | "info", [] ->
+      Printf.sprintf "tree %S: %d nodes, %d species, f=%d, %d layers"
+        (Stored_tree.name stored)
+        (Stored_tree.node_count stored)
+        (Stored_tree.leaf_count stored) (Stored_tree.f stored)
+        (Stored_tree.layer_count stored)
+  | "info", _ -> bad "info takes no arguments"
+  | fn, _ -> bad "unknown function %S (see 'crimson query --help')" fn
+
+let run ?rng ?(record = true) repo stored text =
+  let rng = match rng with Some r -> r | None -> Prng.create 0 in
+  match
+    let call = parse_query text in
+    execute ~rng repo stored call
+  with
+  | result ->
+      if record then ignore (Repo.record_query repo ~text ~result);
+      Ok { text; result }
+  | exception Bad_query msg -> Error msg
+  | exception Sampling.Invalid_sample msg -> Error msg
+  | exception Projection.Projection_error msg -> Error msg
+  | exception Pattern.Pattern_error msg -> Error msg
+  | exception Newick.Parse_error { pos; message } ->
+      Error (Printf.sprintf "Newick error at offset %d: %s" pos message)
+  | exception Stored_tree.Unknown_node n -> Error (Printf.sprintf "unknown node %d" n)
+
+let help =
+  {|Queries are function calls over species names:
+  lca(Lla, Spy)              least common ancestor
+  clade(Lla, Syn)            minimal spanning clade
+  distance(Bha, Syn)         path length between two species
+  path(Lla, Bsu)             node path between two species
+  depth(Spy)                 node depth
+  parent(Spy), children(x)   navigation
+  project(Bha, Lla, Syn)     induced subtree, as Newick
+  sample(4)                  uniform random sample
+  sample(4, 1.0)             sample w.r.t. evolutionary time 1.0
+  frontier(1.0)              minimal nodes beyond time 1.0
+  match('(Bha,(Lla,Syn));')  tree pattern match
+  seq(Bha)                   stored sequence (preview)
+  info()                     tree metadata
+Names may be bare or 'single-quoted'; #123 addresses a node by id.|}

@@ -1,0 +1,45 @@
+(** A small textual query language over a stored tree.
+
+    The paper's GUI offers a query wizard and a Python scripting
+    interface; this module is the equivalent surface for the CLI and for
+    programmatic use. Queries are function-call expressions over species
+    names:
+
+    {v
+    lca(Lla, Spy)              least common ancestor
+    clade(Lla, Syn)            minimal spanning clade
+    distance(Bha, Syn)         path length between two species
+    path(Lla, Bsu)             node path between two species
+    depth(Spy)                 node depth
+    parent(Spy)  children(x)   navigation
+    project(Bha, Lla, Syn)     induced subtree, as Newick
+    sample(4)                  uniform random sample
+    sample(4, 1.0)             sample w.r.t. evolutionary time 1.0
+    frontier(1.0)              the minimal nodes beyond time 1.0
+    match('(Bha,(Lla,Syn));')  tree pattern match
+    seq(Bha)                   stored sequence (preview)
+    info()                     tree metadata
+    v}
+
+    Names may be bare (letters, digits, [_-.]) or single-quoted. Every
+    successful query is recorded in the Query Repository. *)
+
+type outcome = {
+  text : string;  (** The normalised query text. *)
+  result : string;  (** Human-readable result. *)
+}
+
+val run :
+  ?rng:Crimson_util.Prng.t ->
+  ?record:bool ->
+  Repo.t ->
+  Stored_tree.t ->
+  string ->
+  (outcome, string) result
+(** Parse and execute one query. [rng] (default seed 0) feeds the
+    sampling functions; [record] (default true) appends to the history.
+    Returns [Error message] on parse or execution failure — never
+    raises. *)
+
+val help : string
+(** The cheat sheet above, for the CLI. *)

@@ -1,0 +1,118 @@
+module Database = Crimson_storage.Database
+module Table = Crimson_storage.Table
+module Record = Crimson_storage.Record
+
+type t = {
+  db : Database.t;
+  trees : Table.t;
+  nodes : Table.t;
+  layers : Table.t;
+  subtrees : Table.t;
+  leaves : Table.t;
+  species : Table.t;
+  queries : Table.t;
+  mutable next_query_id : int option; (* lazily initialised from storage *)
+}
+
+let open_tables db =
+  let trees =
+    Database.table db ~name:"trees" ~schema:Schema.Trees.schema
+      ~indexes:Schema.Trees.indexes
+  in
+  let nodes =
+    Database.table db ~name:"nodes" ~schema:Schema.Nodes.schema
+      ~indexes:Schema.Nodes.indexes
+  in
+  let layers =
+    Database.table db ~name:"layers" ~schema:Schema.Layers.schema
+      ~indexes:Schema.Layers.indexes
+  in
+  let subtrees =
+    Database.table db ~name:"subtrees" ~schema:Schema.Subtrees.schema
+      ~indexes:Schema.Subtrees.indexes
+  in
+  let leaves =
+    Database.table db ~name:"leaves" ~schema:Schema.Leaves.schema
+      ~indexes:Schema.Leaves.indexes
+  in
+  let species =
+    Database.table db ~name:"species" ~schema:Schema.Species.schema
+      ~indexes:Schema.Species.indexes
+  in
+  let queries =
+    Database.table db ~name:"queries" ~schema:Schema.Queries.schema
+      ~indexes:Schema.Queries.indexes
+  in
+  {
+    db;
+    trees;
+    nodes;
+    layers;
+    subtrees;
+    leaves;
+    species;
+    queries;
+    next_query_id = None;
+  }
+
+let open_dir ?pool_size ?durable dir =
+  open_tables (Database.open_dir ?pool_size ?durable dir)
+let open_mem ?pool_size () = open_tables (Database.open_mem ?pool_size ())
+
+let database t = t.db
+let trees t = t.trees
+let nodes t = t.nodes
+let layers t = t.layers
+let subtrees t = t.subtrees
+let leaves t = t.leaves
+let species t = t.species
+let queries t = t.queries
+
+let flush t = Database.flush t.db
+let close t = Database.close t.db
+
+(* --------------------------- Query history ------------------------- *)
+
+let next_query_id t =
+  match t.next_query_id with
+  | Some id -> id
+  | None ->
+      let max_id = ref (-1) in
+      Table.scan t.queries (fun _ row ->
+          max_id := max !max_id (Record.get_int row Schema.Queries.c_id));
+      !max_id + 1
+
+let record_query t ~text ~result =
+  let id = next_query_id t in
+  t.next_query_id <- Some (id + 1);
+  ignore
+    (Table.insert t.queries
+       [|
+         Record.VInt id;
+         Record.VFloat (Unix.gettimeofday ());
+         Record.VText text;
+         Record.VText result;
+       |]);
+  id
+
+let history t =
+  let acc = ref [] in
+  Table.scan t.queries (fun _ row ->
+      acc :=
+        ( Record.get_int row Schema.Queries.c_id,
+          Record.get_float row Schema.Queries.c_time,
+          Record.get_text row Schema.Queries.c_text,
+          Record.get_text row Schema.Queries.c_result )
+        :: !acc);
+  List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) !acc
+
+let history_entry t id =
+  match
+    Table.lookup_unique t.queries ~index:"by_id" ~key:(Schema.Queries.key_id id)
+  with
+  | Some (_, row) ->
+      Some
+        ( Record.get_float row Schema.Queries.c_time,
+          Record.get_text row Schema.Queries.c_text,
+          Record.get_text row Schema.Queries.c_result )
+  | None -> None

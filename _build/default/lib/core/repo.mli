@@ -1,0 +1,39 @@
+(** The Repository Manager: one handle bundling the Tree Repository,
+    Species Repository and Query Repository over a single database
+    directory (paper §2.1, Figure 3). *)
+
+module Database = Crimson_storage.Database
+module Table = Crimson_storage.Table
+
+type t
+
+val open_dir : ?pool_size:int -> ?durable:bool -> string -> t
+(** Open or create the repositories under a directory. [pool_size] is the
+    per-file buffer pool size in pages; [durable] enables write-ahead
+    logging for crash-atomic checkpoints. *)
+
+val open_mem : ?pool_size:int -> unit -> t
+(** Volatile repositories (tests, benchmarks). *)
+
+val database : t -> Database.t
+val trees : t -> Table.t
+val nodes : t -> Table.t
+val layers : t -> Table.t
+val subtrees : t -> Table.t
+val leaves : t -> Table.t
+val species : t -> Table.t
+val queries : t -> Table.t
+
+val flush : t -> unit
+val close : t -> unit
+
+(** {1 Query Repository} *)
+
+val record_query : t -> text:string -> result:string -> int
+(** Append to the history; returns the query id. Timestamps come from the
+    system clock. *)
+
+val history : t -> (int * float * string * string) list
+(** All recorded queries, oldest first: (id, unix time, text, result). *)
+
+val history_entry : t -> int -> (float * string * string) option

@@ -1,0 +1,206 @@
+module Record = Crimson_storage.Record
+module Table = Crimson_storage.Table
+module Key = Crimson_storage.Key
+
+let ix name key unique : Table.index_spec =
+  { Table.index_name = name; key_of_row = key; unique }
+
+module Trees = struct
+  let schema : Record.schema =
+    [|
+      ("id", Record.Int);
+      ("name", Record.Text);
+      ("f", Record.Int);
+      ("layers", Record.Int);
+      ("nodes", Record.Int);
+      ("leaves", Record.Int);
+    |]
+
+  let c_id = 0
+  let c_name = 1
+  let c_f = 2
+  let c_layers = 3
+  let c_nodes = 4
+  let c_leaves = 5
+  let key_id id = Key.int id
+  let key_name name = Key.text name
+
+  let indexes =
+    [
+      ix "by_id" (fun row -> key_id (Record.get_int row c_id)) true;
+      ix "by_name" (fun row -> key_name (Record.get_text row c_name)) true;
+    ]
+end
+
+module Nodes = struct
+  let schema : Record.schema =
+    [|
+      ("tree", Record.Int);
+      ("node", Record.Int);
+      ("parent", Record.Int);
+      ("edge_index", Record.Int);
+      ("name", Record.Text);
+      ("blen", Record.Float);
+      ("root_dist", Record.Float);
+      ("sub", Record.Int);
+      ("local_depth", Record.Int);
+      ("leaf_lo", Record.Int);
+      ("leaf_hi", Record.Int);
+    |]
+
+  let c_tree = 0
+  let c_node = 1
+  let c_parent = 2
+  let c_edge_index = 3
+  let c_name = 4
+  let c_blen = 5
+  let c_root_dist = 6
+  let c_sub = 7
+  let c_local_depth = 8
+  let c_leaf_lo = 9
+  let c_leaf_hi = 10
+  let key_node ~tree node = Key.cat [ Key.int tree; Key.int node ]
+  let key_name ~tree name = Key.cat [ Key.int tree; Key.text name ]
+  let key_children ~tree ~parent = Key.cat [ Key.int tree; Key.int parent ]
+
+  let indexes =
+    [
+      ix "by_node"
+        (fun row -> key_node ~tree:(Record.get_int row c_tree) (Record.get_int row c_node))
+        true;
+      ix "by_name"
+        (fun row -> key_name ~tree:(Record.get_int row c_tree) (Record.get_text row c_name))
+        false;
+      ix "by_parent"
+        (fun row ->
+          Key.cat
+            [
+              Key.int (Record.get_int row c_tree);
+              Key.int (Record.get_int row c_parent);
+              Key.int (Record.get_int row c_edge_index);
+            ])
+        false;
+    ]
+end
+
+module Layers = struct
+  let schema : Record.schema =
+    [|
+      ("tree", Record.Int);
+      ("layer", Record.Int);
+      ("node", Record.Int);
+      ("parent", Record.Int);
+      ("edge_index", Record.Int);
+      ("sub", Record.Int);
+      ("local_depth", Record.Int);
+    |]
+
+  let c_tree = 0
+  let c_layer = 1
+  let c_node = 2
+  let c_parent = 3
+  let c_edge_index = 4
+  let c_sub = 5
+  let c_local_depth = 6
+
+  let key_node ~tree ~layer node = Key.cat [ Key.int tree; Key.int layer; Key.int node ]
+
+  let indexes =
+    [
+      ix "by_node"
+        (fun row ->
+          key_node ~tree:(Record.get_int row c_tree)
+            ~layer:(Record.get_int row c_layer) (Record.get_int row c_node))
+        true;
+    ]
+end
+
+module Subtrees = struct
+  let schema : Record.schema =
+    [|
+      ("tree", Record.Int);
+      ("layer", Record.Int);
+      ("sub", Record.Int);
+      ("root", Record.Int);
+    |]
+
+  let c_tree = 0
+  let c_layer = 1
+  let c_sub = 2
+  let c_root = 3
+  let key_sub ~tree ~layer sub = Key.cat [ Key.int tree; Key.int layer; Key.int sub ]
+
+  let indexes =
+    [
+      ix "by_sub"
+        (fun row ->
+          key_sub ~tree:(Record.get_int row c_tree)
+            ~layer:(Record.get_int row c_layer) (Record.get_int row c_sub))
+        true;
+    ]
+end
+
+module Leaves = struct
+  let schema : Record.schema =
+    [| ("tree", Record.Int); ("ord", Record.Int); ("node", Record.Int) |]
+
+  let c_tree = 0
+  let c_ord = 1
+  let c_node = 2
+  let key_ord ~tree ord = Key.cat [ Key.int tree; Key.int ord ]
+
+  let indexes =
+    [
+      ix "by_ord"
+        (fun row -> key_ord ~tree:(Record.get_int row c_tree) (Record.get_int row c_ord))
+        true;
+    ]
+end
+
+module Species = struct
+  let chunk_size = 2048
+
+  let schema : Record.schema =
+    [|
+      ("tree", Record.Int);
+      ("name", Record.Text);
+      ("chunk", Record.Int);
+      ("seq", Record.Blob);
+    |]
+
+  let c_tree = 0
+  let c_name = 1
+  let c_chunk = 2
+  let c_seq = 3
+
+  let key_chunk ~tree ~name chunk =
+    Crimson_storage.Key.cat [ Key.int tree; Key.text name; Key.int chunk ]
+
+  let key_name ~tree ~name = Key.cat [ Key.int tree; Key.text name ]
+
+  let indexes =
+    [
+      ix "by_chunk"
+        (fun row ->
+          key_chunk ~tree:(Record.get_int row c_tree)
+            ~name:(Record.get_text row c_name) (Record.get_int row c_chunk))
+        true;
+    ]
+end
+
+module Queries = struct
+  let schema : Record.schema =
+    [|
+      ("id", Record.Int);
+      ("time", Record.Float);
+      ("text", Record.Text);
+      ("result", Record.Text);
+    |]
+
+  let c_id = 0
+  let c_time = 1
+  let c_text = 2
+  let c_result = 3
+  let key_id id = Key.int id
+  let indexes = [ ix "by_id" (fun row -> key_id (Record.get_int row c_id)) true ]
+end

@@ -1,0 +1,111 @@
+(** Relational schemas of the Crimson repositories.
+
+    The Repository Manager stores everything in five tables:
+
+    - [trees] — one row per loaded tree (metadata, labeling parameters);
+    - [nodes] — layer-0 rows: structure, branch length, cumulative
+      root distance, layered-label fields, descendant-leaf interval;
+    - [layers] — nodes of layers >= 1 of the hierarchical index;
+    - [subtrees] — per (layer, subtree id): the subtree's root node;
+    - [leaves] — leaf ordinal -> node mapping for O(1) uniform sampling;
+    - [species] — sequence data, chunked to fit pages;
+    - [queries] — the Query Repository (history of user queries).
+
+    Column positions are exposed as integer constants so the query layer
+    decodes rows without string lookups. *)
+
+module Record = Crimson_storage.Record
+module Table = Crimson_storage.Table
+
+(** [trees] columns. *)
+module Trees : sig
+  val schema : Record.schema
+  val c_id : int
+  val c_name : int
+  val c_f : int
+  val c_layers : int
+  val c_nodes : int
+  val c_leaves : int
+  val indexes : Table.index_spec list
+  val key_id : int -> string
+  val key_name : string -> string
+end
+
+(** [nodes] columns (layer 0). *)
+module Nodes : sig
+  val schema : Record.schema
+  val c_tree : int
+  val c_node : int
+  val c_parent : int
+  val c_edge_index : int
+  val c_name : int
+  val c_blen : int
+  val c_root_dist : int
+  val c_sub : int
+  val c_local_depth : int
+  val c_leaf_lo : int
+  val c_leaf_hi : int
+  val indexes : Table.index_spec list
+  val key_node : tree:int -> int -> string
+  val key_name : tree:int -> string -> string
+  val key_children : tree:int -> parent:int -> string
+end
+
+(** [layers] columns (layers >= 1). *)
+module Layers : sig
+  val schema : Record.schema
+  val c_tree : int
+  val c_layer : int
+  val c_node : int
+  val c_parent : int
+  val c_edge_index : int
+  val c_sub : int
+  val c_local_depth : int
+  val indexes : Table.index_spec list
+  val key_node : tree:int -> layer:int -> int -> string
+end
+
+(** [subtrees] columns. *)
+module Subtrees : sig
+  val schema : Record.schema
+  val c_tree : int
+  val c_layer : int
+  val c_sub : int
+  val c_root : int
+  val indexes : Table.index_spec list
+  val key_sub : tree:int -> layer:int -> int -> string
+end
+
+(** [leaves] columns. *)
+module Leaves : sig
+  val schema : Record.schema
+  val c_tree : int
+  val c_ord : int
+  val c_node : int
+  val indexes : Table.index_spec list
+  val key_ord : tree:int -> int -> string
+end
+
+(** [species] columns; long sequences are split into fixed-size chunks. *)
+module Species : sig
+  val chunk_size : int
+  val schema : Record.schema
+  val c_tree : int
+  val c_name : int
+  val c_chunk : int
+  val c_seq : int
+  val indexes : Table.index_spec list
+  val key_chunk : tree:int -> name:string -> int -> string
+  val key_name : tree:int -> name:string -> string
+end
+
+(** [queries] columns — the Query Repository. *)
+module Queries : sig
+  val schema : Record.schema
+  val c_id : int
+  val c_time : int
+  val c_text : int
+  val c_result : int
+  val indexes : Table.index_spec list
+  val key_id : int -> string
+end

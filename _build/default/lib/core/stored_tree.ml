@@ -1,0 +1,208 @@
+module Table = Crimson_storage.Table
+module Record = Crimson_storage.Record
+module Layered = Crimson_label.Layered
+
+exception Unknown_tree of string
+exception Unknown_node of int
+
+type t = {
+  repo : Repo.t;
+  id : int;
+  name : string;
+  f : int;
+  layer_count : int;
+  node_count : int;
+  leaf_count : int;
+}
+
+let of_meta_row repo row =
+  {
+    repo;
+    id = Record.get_int row Schema.Trees.c_id;
+    name = Record.get_text row Schema.Trees.c_name;
+    f = Record.get_int row Schema.Trees.c_f;
+    layer_count = Record.get_int row Schema.Trees.c_layers;
+    node_count = Record.get_int row Schema.Trees.c_nodes;
+    leaf_count = Record.get_int row Schema.Trees.c_leaves;
+  }
+
+let open_id repo id =
+  match
+    Table.lookup_unique (Repo.trees repo) ~index:"by_id" ~key:(Schema.Trees.key_id id)
+  with
+  | Some (_, row) -> of_meta_row repo row
+  | None -> raise (Unknown_tree (Printf.sprintf "#%d" id))
+
+let open_name repo name =
+  match
+    Table.lookup_unique (Repo.trees repo) ~index:"by_name"
+      ~key:(Schema.Trees.key_name name)
+  with
+  | Some (_, row) -> of_meta_row repo row
+  | None -> raise (Unknown_tree name)
+
+let list_all repo =
+  let acc = ref [] in
+  Table.scan (Repo.trees repo) (fun _ row ->
+      acc :=
+        (Record.get_int row Schema.Trees.c_id, Record.get_text row Schema.Trees.c_name)
+        :: !acc);
+  List.sort compare !acc
+
+let repo t = t.repo
+let id t = t.id
+let name t = t.name
+let f t = t.f
+let layer_count t = t.layer_count
+let node_count t = t.node_count
+let leaf_count t = t.leaf_count
+let root _ = 0
+
+(* --------------------------- Row fetching --------------------------- *)
+
+let node_row t node =
+  match
+    Table.lookup_unique (Repo.nodes t.repo) ~index:"by_node"
+      ~key:(Schema.Nodes.key_node ~tree:t.id node)
+  with
+  | Some (_, row) -> row
+  | None -> raise (Unknown_node node)
+
+let layer_row t ~layer node =
+  match
+    Table.lookup_unique (Repo.layers t.repo) ~index:"by_node"
+      ~key:(Schema.Layers.key_node ~tree:t.id ~layer node)
+  with
+  | Some (_, row) -> row
+  | None -> raise (Unknown_node node)
+
+let subtree_root t ~layer sub =
+  match
+    Table.lookup_unique (Repo.subtrees t.repo) ~index:"by_sub"
+      ~key:(Schema.Subtrees.key_sub ~tree:t.id ~layer sub)
+  with
+  | Some (_, row) -> Record.get_int row Schema.Subtrees.c_root
+  | None -> raise (Unknown_node sub)
+
+let parent t node = Record.get_int (node_row t node) Schema.Nodes.c_parent
+let edge_index t node = Record.get_int (node_row t node) Schema.Nodes.c_edge_index
+
+let node_name t node =
+  match Record.get_text (node_row t node) Schema.Nodes.c_name with
+  | "" -> None
+  | s -> Some s
+
+let branch_length t node = Record.get_float (node_row t node) Schema.Nodes.c_blen
+let root_distance t node = Record.get_float (node_row t node) Schema.Nodes.c_root_dist
+
+let children t node =
+  ignore (node_row t node);
+  let acc = ref [] in
+  Table.iter_index (Repo.nodes t.repo) ~index:"by_parent"
+    ~prefix:(Schema.Nodes.key_children ~tree:t.id ~parent:node) (fun _ row ->
+      acc := Record.get_int row Schema.Nodes.c_node :: !acc;
+      true);
+  List.rev !acc
+
+let leaf_interval t node =
+  let row = node_row t node in
+  (Record.get_int row Schema.Nodes.c_leaf_lo, Record.get_int row Schema.Nodes.c_leaf_hi)
+
+let is_leaf t node =
+  (* A leaf spans exactly one ordinal; an internal unary chain above a
+     single leaf spans one too, so confirm the absence of children. *)
+  let lo, hi = leaf_interval t node in
+  hi = lo + 1 && children t node = []
+
+let leaf_by_ordinal t ord =
+  match
+    Table.lookup_unique (Repo.leaves t.repo) ~index:"by_ord"
+      ~key:(Schema.Leaves.key_ord ~tree:t.id ord)
+  with
+  | Some (_, row) -> Record.get_int row Schema.Leaves.c_node
+  | None -> raise (Unknown_node ord)
+
+let node_by_name t name =
+  if name = "" then None
+  else begin
+    let found = ref None in
+    Table.iter_index (Repo.nodes t.repo) ~index:"by_name"
+      ~prefix:(Schema.Nodes.key_name ~tree:t.id name) (fun _ row ->
+        found := Some (Record.get_int row Schema.Nodes.c_node);
+        false);
+    !found
+  end
+
+let leaf_ids_by_names t names =
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | name :: rest -> (
+        match node_by_name t name with
+        | Some node when is_leaf t node -> go (node :: acc) rest
+        | Some _ | None -> Error name)
+  in
+  go [] names
+
+(* ----------------------- Layered-label engine ----------------------- *)
+
+module Store = struct
+  type nonrec t = t
+
+  let layer_count t = t.layer_count
+
+  let parent t ~layer n =
+    if layer = 0 then Record.get_int (node_row t n) Schema.Nodes.c_parent
+    else Record.get_int (layer_row t ~layer n) Schema.Layers.c_parent
+
+  let edge_index t ~layer n =
+    if layer = 0 then Record.get_int (node_row t n) Schema.Nodes.c_edge_index
+    else Record.get_int (layer_row t ~layer n) Schema.Layers.c_edge_index
+
+  let sub t ~layer n =
+    if layer = 0 then Record.get_int (node_row t n) Schema.Nodes.c_sub
+    else Record.get_int (layer_row t ~layer n) Schema.Layers.c_sub
+
+  let local_depth t ~layer n =
+    if layer = 0 then Record.get_int (node_row t n) Schema.Nodes.c_local_depth
+    else Record.get_int (layer_row t ~layer n) Schema.Layers.c_local_depth
+
+  let sub_root t ~layer s = subtree_root t ~layer s
+end
+
+module Engine = Layered.Engine (Store)
+
+let lca t a b =
+  ignore (node_row t a);
+  ignore (node_row t b);
+  Engine.lca t a b
+
+let lca_set t = function
+  | [] -> invalid_arg "Stored_tree.lca_set: empty set"
+  | first :: rest -> List.fold_left (lca t) first rest
+
+let is_ancestor_or_self t ~ancestor n = Engine.is_ancestor_or_self t ~ancestor n
+let compare_preorder t a b = Engine.compare_preorder t a b
+
+let path_distance t a b =
+  let l = lca t a b in
+  root_distance t a +. root_distance t b -. (2.0 *. root_distance t l)
+
+let path_nodes t a b =
+  let l = lca t a b in
+  let rec climb v acc = if v = l then acc else climb (parent t v) (v :: acc) in
+  (* a … l ascending, then l, then descend to b. *)
+  let up_side = List.rev (climb a []) in
+  let down_side = climb b [] in
+  up_side @ (l :: down_side)
+
+let depth t n =
+  (* Σ_k local_depth_k · f^k along the subtree chain. *)
+  let total = ref 0 in
+  let span = ref 1 in
+  let x = ref n in
+  for k = 0 to t.layer_count - 1 do
+    total := !total + (Store.local_depth t ~layer:k !x * !span);
+    span := !span * t.f;
+    if k < t.layer_count - 1 then x := Store.sub t ~layer:k !x
+  done;
+  !total

@@ -1,0 +1,83 @@
+(** Handle to a tree persisted in the Tree Repository.
+
+    Node ids are the dense preorder ids assigned at load time. Every
+    accessor fetches rows through the storage engine's buffer pool — no
+    in-memory mirror of the tree is kept, per the paper's design point
+    that simulation trees exceed main memory while individual queries
+    touch few pages.
+
+    Structure queries (LCA, ancestor tests, preorder comparison) run the
+    {!Crimson_label.Layered.Engine} algorithms over the stored layered
+    labels. *)
+
+type t
+
+exception Unknown_tree of string
+exception Unknown_node of int
+
+val open_id : Repo.t -> int -> t
+(** Raises {!Unknown_tree}. *)
+
+val open_name : Repo.t -> string -> t
+(** Raises {!Unknown_tree}. *)
+
+val list_all : Repo.t -> (int * string) list
+(** (id, name) of every stored tree. *)
+
+(** {1 Metadata} *)
+
+val repo : t -> Repo.t
+val id : t -> int
+val name : t -> string
+val f : t -> int
+val layer_count : t -> int
+val node_count : t -> int
+val leaf_count : t -> int
+val root : t -> int
+(** Always node 0 (preorder ids). *)
+
+(** {1 Node accessors (disk-backed)} *)
+
+val parent : t -> int -> int
+(** [-1] for the root. Raises {!Unknown_node}. *)
+
+val edge_index : t -> int -> int
+val node_name : t -> int -> string option
+val branch_length : t -> int -> float
+val root_distance : t -> int -> float
+val children : t -> int -> int list
+(** In edge order, via the [by_parent] index. *)
+
+val is_leaf : t -> int -> bool
+val leaf_interval : t -> int -> int * int
+(** [(lo, hi)]: the half-open interval of leaf ordinals under the node. *)
+
+val leaf_by_ordinal : t -> int -> int
+(** Node id of the leaf with the given preorder ordinal. Raises
+    {!Unknown_node} when out of range. *)
+
+val node_by_name : t -> string -> int option
+(** First node carrying the name (index lookup, not a scan). *)
+
+val leaf_ids_by_names : t -> string list -> (int list, string) result
+(** Resolve leaf names; [Error name] on the first unknown or non-leaf
+    name. *)
+
+(** {1 Structure queries (the paper's §2.1 index)} *)
+
+val lca : t -> int -> int -> int
+val lca_set : t -> int list -> int
+(** Raises [Invalid_argument] on the empty list. *)
+
+val is_ancestor_or_self : t -> ancestor:int -> int -> bool
+val compare_preorder : t -> int -> int -> int
+val depth : t -> int -> int
+
+val path_distance : t -> int -> int -> float
+(** Evolutionary distance between two nodes: sum of branch lengths along
+    the path through their LCA, computed from stored cumulative root
+    distances in one LCA query. *)
+
+val path_nodes : t -> int -> int -> int list
+(** The nodes on the path from the first node to the second (inclusive),
+    through their LCA. Costs O(path length) row fetches. *)

@@ -1,0 +1,1 @@
+lib/formats/dendrogram.ml: Buffer Crimson_tree Printf String

@@ -1,0 +1,1 @@
+lib/formats/dendrogram.mli: Crimson_tree

@@ -1,0 +1,1 @@
+lib/formats/dot.ml: Array Buffer Crimson_tree Fun Printf String

@@ -1,0 +1,1 @@
+lib/formats/dot.mli: Crimson_tree

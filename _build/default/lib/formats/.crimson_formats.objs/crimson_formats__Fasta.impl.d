@@ -1,0 +1,1 @@
+lib/formats/fasta.ml: Buffer Fun Hashtbl List Printf String

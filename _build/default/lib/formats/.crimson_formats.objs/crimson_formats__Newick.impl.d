@@ -1,0 +1,1 @@
+lib/formats/newick.ml: Array Buffer Crimson_tree Crimson_util Float Fun Hashtbl Printf String

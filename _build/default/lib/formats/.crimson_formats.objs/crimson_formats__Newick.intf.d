@@ -1,0 +1,1 @@
+lib/formats/newick.mli: Crimson_tree

@@ -1,0 +1,1 @@
+lib/formats/nexus.ml: Array Buffer Crimson_tree Fun Hashtbl List Newick Printf String

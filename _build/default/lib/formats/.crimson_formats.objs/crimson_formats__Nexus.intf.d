@@ -1,0 +1,1 @@
+lib/formats/nexus.mli: Crimson_tree

@@ -1,0 +1,52 @@
+module Tree = Crimson_tree.Tree
+
+let label ~show_lengths t n =
+  let name = match Tree.name t n with Some s -> s | None -> "*" in
+  if show_lengths && n <> Tree.root t then
+    Printf.sprintf "%s:%g" name (Tree.branch_length t n)
+  else name
+
+(* Render node [n] into [lines]; [prefix] is the gutter for continuation
+   lines, [connector] the branch glyph for this node's own line. The
+   recursion depth equals tree height, so very deep trees are cut off by
+   the caller's budget before the stack is at risk (max_nodes bounds the
+   visited node count, and each visited path is at most that long). *)
+let rec render_node ~show_lengths ~budget lines t n prefix connector =
+  if !budget <= 0 then begin
+    if !budget = 0 then begin
+      Buffer.add_string lines (prefix ^ connector ^ "...\n");
+      decr budget
+    end
+  end
+  else begin
+    decr budget;
+    Buffer.add_string lines (prefix ^ connector ^ label ~show_lengths t n ^ "\n");
+    let kids = Tree.children t n in
+    let child_prefix =
+      match connector with
+      | "" -> prefix
+      | _ when String.length connector >= 4 && connector.[0] = '`' ->
+          prefix ^ "    "
+      | _ -> prefix ^ "|   "
+    in
+    let rec each = function
+      | [] -> ()
+      | [ last ] -> render_node ~show_lengths ~budget lines t last child_prefix "`-- "
+      | k :: rest ->
+          render_node ~show_lengths ~budget lines t k child_prefix "|-- ";
+          each rest
+    in
+    each kids
+  end
+
+let render ?(show_lengths = true) ?(max_nodes = 10_000) t =
+  let lines = Buffer.create 256 in
+  let budget = ref max_nodes in
+  render_node ~show_lengths ~budget lines t (Tree.root t) "" "";
+  if !budget < 0 then
+    Buffer.add_string lines
+      (Printf.sprintf "[truncated: tree has %d nodes, showing %d]\n"
+         (Tree.node_count t) max_nodes);
+  Buffer.contents lines
+
+let print ?show_lengths t = print_string (render ?show_lengths t)

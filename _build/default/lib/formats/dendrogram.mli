@@ -1,0 +1,14 @@
+(** ASCII dendrogram rendering.
+
+    Stands in for the paper's Walrus-based 3D viewer: result trees from
+    projection and benchmarking are displayed as text dendrograms in the
+    CLI and examples. Intended for small result trees (the projections a
+    reconstruction algorithm can handle), not million-node inputs. *)
+
+val render : ?show_lengths:bool -> ?max_nodes:int -> Crimson_tree.Tree.t -> string
+(** Multi-line drawing, one leaf per line. When the tree exceeds
+    [max_nodes] (default 10_000) the output is truncated with a notice
+    rather than producing megabytes of art. [show_lengths] (default
+    [true]) appends [":len"] to each labelled node. *)
+
+val print : ?show_lengths:bool -> Crimson_tree.Tree.t -> unit

@@ -1,0 +1,46 @@
+module Tree = Crimson_tree.Tree
+
+let escape s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render ?(graph_name = "phylogeny") ?(show_lengths = true) t =
+  let buf = Buffer.create (64 * Tree.node_count t) in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape graph_name));
+  Buffer.add_string buf "  rankdir=LR;\n  node [fontsize=10];\n";
+  Array.iter
+    (fun v ->
+      let label = match Tree.name t v with Some s -> escape s | None -> "" in
+      let attrs =
+        if Tree.is_leaf t v then Printf.sprintf "shape=box, label=\"%s\"" label
+        else if label = "" then "shape=point"
+        else Printf.sprintf "shape=ellipse, label=\"%s\"" label
+      in
+      Buffer.add_string buf (Printf.sprintf "  n%d [%s];\n" v attrs))
+    (Tree.preorder t);
+  Array.iter
+    (fun v ->
+      if v <> Tree.root t then begin
+        let label =
+          if show_lengths then Printf.sprintf " [label=\"%g\"]" (Tree.branch_length t v)
+          else ""
+        in
+        Buffer.add_string buf (Printf.sprintf "  n%d -> n%d%s;\n" (Tree.parent t v) v label)
+      end)
+    (Tree.preorder t);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ?graph_name ?show_lengths path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (render ?graph_name ?show_lengths t))

@@ -1,0 +1,13 @@
+(** Graphviz DOT export.
+
+    The demo visualised result trees in Walrus (a 3D graph viewer); DOT
+    is the portable equivalent: pipe the output through [dot -Tsvg] or
+    any Graphviz front end. Leaves are boxes, internal nodes points,
+    edges labelled with branch lengths. *)
+
+val render : ?graph_name:string -> ?show_lengths:bool -> Crimson_tree.Tree.t -> string
+(** [graph_name] defaults to ["phylogeny"]; node identifiers are the
+    dense node ids, so the output is stable for a given tree. *)
+
+val write_file :
+  ?graph_name:string -> ?show_lengths:bool -> string -> Crimson_tree.Tree.t -> unit

@@ -1,0 +1,85 @@
+exception Parse_error of {
+  line : int;
+  message : string;
+}
+
+let fail line fmt = Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let parse src =
+  let lines = String.split_on_char '\n' src in
+  let entries = ref [] in
+  let current : (string * Buffer.t) option ref = ref None in
+  let seen = Hashtbl.create 16 in
+  let flush line_no =
+    match !current with
+    | None -> ()
+    | Some (name, buf) ->
+        if Buffer.length buf = 0 then fail line_no "empty sequence for %S" name;
+        entries := (name, Buffer.contents buf) :: !entries
+  in
+  List.iteri
+    (fun i line ->
+      let line_no = i + 1 in
+      let line =
+        (* Tolerate CRLF input. *)
+        if String.length line > 0 && line.[String.length line - 1] = '\r' then
+          String.sub line 0 (String.length line - 1)
+        else line
+      in
+      if String.length line = 0 then ()
+      else if line.[0] = '>' then begin
+        flush line_no;
+        let header = String.sub line 1 (String.length line - 1) in
+        let name =
+          match String.index_opt header ' ' with
+          | Some i -> String.sub header 0 i
+          | None -> header
+        in
+        let name = String.trim name in
+        if name = "" then fail line_no "empty sequence name";
+        if Hashtbl.mem seen name then fail line_no "duplicate sequence %S" name;
+        Hashtbl.add seen name ();
+        current := Some (name, Buffer.create 256)
+      end
+      else if line.[0] = ';' then () (* classic FASTA comment *)
+      else
+        match !current with
+        | None -> fail line_no "sequence data before the first '>' header"
+        | Some (_, buf) ->
+            String.iter
+              (fun c -> if c <> ' ' && c <> '\t' then Buffer.add_char buf c)
+              line)
+    lines;
+  flush (List.length lines);
+  List.rev !entries
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+let to_string ?(width = 70) entries =
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (name, seq) ->
+      Buffer.add_char buf '>';
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\n';
+      let n = String.length seq in
+      let rec chunk pos =
+        if pos < n then begin
+          Buffer.add_string buf (String.sub seq pos (min width (n - pos)));
+          Buffer.add_char buf '\n';
+          chunk (pos + width)
+        end
+      in
+      chunk 0)
+    entries;
+  Buffer.contents buf
+
+let write_file ?width path entries =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string ?width entries))

@@ -1,0 +1,23 @@
+(** FASTA sequence format.
+
+    The lingua franca for raw sequence exchange; Crimson accepts it as a
+    source of species data to append to an already-loaded tree (paper §3,
+    "append species data to an existing phylogenetic tree"). *)
+
+exception Parse_error of {
+  line : int;
+  message : string;
+}
+
+val parse : string -> (string * string) list
+(** [(name, sequence)] pairs in file order. The name is the first
+    whitespace-delimited token after ['>']; sequences may span lines;
+    blank lines are ignored. Raises {!Parse_error} on content before the
+    first header, an empty name, duplicate names, or an empty sequence. *)
+
+val parse_file : string -> (string * string) list
+
+val to_string : ?width:int -> (string * string) list -> string
+(** Render with lines wrapped at [width] (default 70) characters. *)
+
+val write_file : ?width:int -> string -> (string * string) list -> unit

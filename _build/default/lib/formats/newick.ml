@@ -1,0 +1,292 @@
+module Tree = Crimson_tree.Tree
+
+exception Parse_error of {
+  pos : int;
+  message : string;
+}
+
+let fail pos fmt = Printf.ksprintf (fun message -> raise (Parse_error { pos; message })) fmt
+
+type cursor = {
+  src : string;
+  mutable pos : int;
+}
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+(* Skip whitespace and [...] comments (Newick comments do not nest in the
+   classic grammar, but nesting is accepted here since NEXUS writers emit
+   nested metadata comments). *)
+let rec skip_blank c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance c;
+      skip_blank c
+  | Some '[' ->
+      let start = c.pos in
+      let depth = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match peek c with
+        | None -> fail start "unterminated comment"
+        | Some '[' ->
+            incr depth;
+            advance c
+        | Some ']' ->
+            decr depth;
+            advance c;
+            if !depth = 0 then continue := false
+        | Some _ -> advance c
+      done;
+      skip_blank c
+  | Some _ | None -> ()
+
+let is_label_char ch =
+  match ch with
+  | '(' | ')' | ',' | ':' | ';' | '[' | ']' | '\'' | ' ' | '\t' | '\n' | '\r' -> false
+  | _ -> true
+
+let parse_quoted_label c =
+  (* Opening quote already seen. Doubled '' is an escaped quote. *)
+  let buf = Buffer.create 16 in
+  advance c;
+  let rec loop () =
+    match peek c with
+    | None -> fail c.pos "unterminated quoted label"
+    | Some '\'' ->
+        advance c;
+        (match peek c with
+        | Some '\'' ->
+            Buffer.add_char buf '\'';
+            advance c;
+            loop ()
+        | Some _ | None -> Buffer.contents buf)
+    | Some ch ->
+        Buffer.add_char buf ch;
+        advance c;
+        loop ()
+  in
+  loop ()
+
+let parse_label c =
+  skip_blank c;
+  match peek c with
+  | Some '\'' -> Some (parse_quoted_label c)
+  | Some ch when is_label_char ch ->
+      let start = c.pos in
+      while
+        match peek c with
+        | Some ch when is_label_char ch -> true
+        | Some _ | None -> false
+      do
+        advance c
+      done;
+      Some (String.sub c.src start (c.pos - start))
+  | Some _ | None -> None
+
+let parse_length c =
+  skip_blank c;
+  match peek c with
+  | Some ':' ->
+      advance c;
+      skip_blank c;
+      let start = c.pos in
+      while
+        match peek c with
+        | Some ('0' .. '9' | '.' | '-' | '+' | 'e' | 'E') -> true
+        | Some _ | None -> false
+      do
+        advance c
+      done;
+      if c.pos = start then fail start "expected a branch length after ':'";
+      let text = String.sub c.src start (c.pos - start) in
+      (match float_of_string_opt text with
+      | Some v when Float.is_finite v ->
+          (* Some writers emit tiny negative lengths from rounding; clamp. *)
+          Some (Float.max v 0.0)
+      | Some _ | None -> fail start "invalid branch length %S" text)
+  | Some _ | None -> None
+
+let parse src =
+  let c = { src; pos = 0 } in
+  let b = Tree.Builder.create () in
+  (* Iterative descent: [stack] holds the chain of currently-open internal
+     nodes (their builder ids). Reading '(' opens an anonymous internal
+     node whose label/length arrive at the matching ')'. Because the
+     builder needs names at node-creation time, internal nodes are created
+     unnamed and their (name, length) patched via a post-pass; instead of
+     mutating the builder we record pending internal nodes and rebuild.
+     To avoid a rebuild we parse in two conceptual steps folded into one:
+     each '(' pushes a placeholder whose children hang off it, and at ')'
+     we read the label+length and remember them in [pending] to apply when
+     constructing the final tree. The builder API lacks set_name, so we
+     instead delay node creation: children are built before their parent
+     would be named — which the arena cannot express (parents must exist
+     first). The pragmatic resolution: build with unnamed internals, then
+     rebuild once with names applied. Tree sizes make the extra O(n) pass
+     irrelevant. *)
+  let names : (int, string) Hashtbl.t = Hashtbl.create 64 in
+  let lengths : (int, float) Hashtbl.t = Hashtbl.create 64 in
+  let stack = Crimson_util.Vec.create () in
+  skip_blank c;
+  let root = Tree.Builder.add_root b in
+  (* The whole input is the root's description. If it starts with '(' the
+     root is internal; otherwise it is a single-node tree. *)
+  let attach_meta id =
+    (match parse_label c with
+    | Some l -> Hashtbl.replace names id l
+    | None -> ());
+    match parse_length c with
+    | Some v -> Hashtbl.replace lengths id v
+    | None -> ()
+  in
+  skip_blank c;
+  (match peek c with
+  | Some '(' ->
+      advance c;
+      Crimson_util.Vec.push stack root;
+      let expect_node = ref true in
+      while not (Crimson_util.Vec.is_empty stack) do
+        skip_blank c;
+        if !expect_node then begin
+          match peek c with
+          | Some '(' ->
+              advance c;
+              let parent = Crimson_util.Vec.last stack in
+              let id = Tree.Builder.add_child b ~parent ~branch_length:0.0 in
+              Crimson_util.Vec.push stack id
+          | Some (')' | ',') -> fail c.pos "empty subtree"
+          | None -> fail c.pos "unexpected end of input"
+          | Some _ ->
+              let parent = Crimson_util.Vec.last stack in
+              let id = Tree.Builder.add_child b ~parent ~branch_length:0.0 in
+              attach_meta id;
+              expect_node := false
+        end
+        else begin
+          match peek c with
+          | Some ',' ->
+              advance c;
+              expect_node := true
+          | Some ')' ->
+              advance c;
+              let id = Crimson_util.Vec.pop stack in
+              attach_meta id;
+              expect_node := false
+          | Some ch -> fail c.pos "expected ',' or ')', found %C" ch
+          | None -> fail c.pos "unbalanced parentheses: %d still open" (Crimson_util.Vec.length stack)
+        end
+      done;
+      (* The root's own metadata was attached when its ')' popped it. *)
+      ()
+  | Some _ | None -> attach_meta root);
+  skip_blank c;
+  (match peek c with
+  | Some ';' -> advance c
+  | Some ch -> fail c.pos "trailing garbage: %C" ch
+  | None -> ());
+  skip_blank c;
+  (match peek c with
+  | Some ch -> fail c.pos "trailing garbage after ';': %C" ch
+  | None -> ());
+  let skeleton = Tree.Builder.finish b in
+  (* Rebuild with names and branch lengths applied. Node ids are created in
+     the same (preorder-compatible) order, so the mapping is identity, but
+     we go through the generic rebuild for clarity and safety. *)
+  let b2 = Tree.Builder.create ~capacity:(Tree.node_count skeleton) () in
+  let mapping = Array.make (Tree.node_count skeleton) Tree.nil in
+  Array.iter
+    (fun n ->
+      let name = Hashtbl.find_opt names n in
+      if n = Tree.root skeleton then mapping.(n) <- Tree.Builder.add_root ?name b2
+      else
+        let branch_length =
+          match Hashtbl.find_opt lengths n with Some v -> v | None -> 0.0
+        in
+        mapping.(n) <-
+          Tree.Builder.add_child ?name ~branch_length b2
+            ~parent:mapping.(Tree.parent skeleton n))
+    (Tree.preorder skeleton);
+  Tree.Builder.finish b2
+
+let needs_quoting s =
+  s = "" || not (String.for_all is_label_char s)
+
+let quote s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '\'';
+  String.iter
+    (fun ch ->
+      if ch = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf ch)
+    s;
+  Buffer.add_char buf '\'';
+  Buffer.contents buf
+
+let format_length v =
+  (* Shortest representation that round-trips typical values. *)
+  let s = Printf.sprintf "%.12g" v in
+  s
+
+let to_string ?(include_lengths = true) t =
+  let buf = Buffer.create (16 * Tree.node_count t) in
+  let emit_meta n =
+    (match Tree.name t n with
+    | Some s -> Buffer.add_string buf (if needs_quoting s then quote s else s)
+    | None -> ());
+    if include_lengths && n <> Tree.root t then begin
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (format_length (Tree.branch_length t n))
+    end
+  in
+  (* Iterative emission: a work stack of tokens. *)
+  let stack = Crimson_util.Vec.create () in
+  (* Work items: [`Open n] visit node n; [`Close n] emit ')' + metadata;
+     [`Comma] separator. *)
+  Crimson_util.Vec.push stack (`Open (Tree.root t));
+  while not (Crimson_util.Vec.is_empty stack) do
+    match Crimson_util.Vec.pop stack with
+    | `Comma -> Buffer.add_char buf ','
+    | `Close n ->
+        Buffer.add_char buf ')';
+        emit_meta n
+    | `Open n ->
+        if Tree.is_leaf t n then emit_meta n
+        else begin
+          Buffer.add_char buf '(';
+          Crimson_util.Vec.push stack (`Close n);
+          (* Children with commas between, pushed in reverse. *)
+          let kids = Tree.children t n in
+          let rec push_kids = function
+            | [] -> ()
+            | [ k ] -> Crimson_util.Vec.push stack (`Open k)
+            | k :: rest ->
+                push_kids rest;
+                Crimson_util.Vec.push stack `Comma;
+                Crimson_util.Vec.push stack (`Open k)
+          in
+          (* push_kids recurses once per child of a single node; phylo
+             nodes have tiny out-degree so this is safe. *)
+          push_kids kids
+        end
+  done;
+  Buffer.add_char buf ';';
+  Buffer.contents buf
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      let content = really_input_string ic n in
+      parse content)
+
+let write_file ?include_lengths path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () ->
+      output_string oc (to_string ?include_lengths t);
+      output_char oc '\n')

@@ -1,0 +1,27 @@
+(** Newick tree format.
+
+    The interchange syntax embedded in NEXUS TREES blocks:
+    [(A:0.75,((Lla:0.5,Spy:1)x:1,Syn:1.25)y:1.5)root;]. Both parser and
+    printer are iterative so trees a million levels deep (the paper's
+    stated regime) neither overflow the stack nor retain quadratic
+    garbage. *)
+
+exception Parse_error of {
+  pos : int;
+  message : string;
+}
+
+val parse : string -> Crimson_tree.Tree.t
+(** Parse a single Newick string (trailing [';'] optional). Supports
+    quoted labels ['like this'], bracket comments [[...]], branch lengths
+    after [':'], and arbitrary out-degree. Raises {!Parse_error} on
+    malformed input. *)
+
+val to_string : ?include_lengths:bool -> Crimson_tree.Tree.t -> string
+(** Render with a trailing [';']. Labels needing quoting are quoted.
+    Branch lengths are printed unless [include_lengths] is [false]. *)
+
+val parse_file : string -> Crimson_tree.Tree.t
+(** Parse the first tree in a file. Raises {!Parse_error} or [Sys_error]. *)
+
+val write_file : ?include_lengths:bool -> string -> Crimson_tree.Tree.t -> unit

@@ -1,0 +1,450 @@
+module Tree = Crimson_tree.Tree
+
+exception Parse_error of {
+  line : int;
+  message : string;
+}
+
+type t = {
+  taxa : string list;
+  characters : (string * string) list;
+  trees : (string * Tree.t) list;
+}
+
+let empty = { taxa = []; characters = []; trees = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Tokenizer                                                           *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Word of string  (** Bare or quoted word. *)
+  | Punct of char  (** One of [ ; = , ]. *)
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+}
+
+let lex_fail lx fmt =
+  Printf.ksprintf (fun message -> raise (Parse_error { line = lx.line; message })) fmt
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let next_char lx =
+  let c = lx.src.[lx.pos] in
+  lx.pos <- lx.pos + 1;
+  if c = '\n' then lx.line <- lx.line + 1;
+  c
+
+let rec skip_space lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      ignore (next_char lx);
+      skip_space lx
+  | Some '[' ->
+      (* NEXUS comment; nesting allowed. *)
+      let depth = ref 0 in
+      let continue = ref true in
+      while !continue do
+        match peek_char lx with
+        | None -> lex_fail lx "unterminated comment"
+        | Some '[' ->
+            incr depth;
+            ignore (next_char lx)
+        | Some ']' ->
+            decr depth;
+            ignore (next_char lx);
+            if !depth = 0 then continue := false
+        | Some _ -> ignore (next_char lx)
+      done;
+      skip_space lx
+  | Some _ | None -> ()
+
+let is_word_char c =
+  match c with
+  | ' ' | '\t' | '\r' | '\n' | '[' | ']' | ';' | '=' | ',' | '\'' | '(' | ')' -> false
+  | _ -> true
+
+let next_token lx =
+  skip_space lx;
+  match peek_char lx with
+  | None -> None
+  | Some (';' | '=' | ',') -> Some (Punct (next_char lx))
+  | Some '\'' ->
+      ignore (next_char lx);
+      let buf = Buffer.create 16 in
+      let rec loop () =
+        match peek_char lx with
+        | None -> lex_fail lx "unterminated quoted token"
+        | Some '\'' -> (
+            ignore (next_char lx);
+            match peek_char lx with
+            | Some '\'' ->
+                Buffer.add_char buf '\'';
+                ignore (next_char lx);
+                loop ()
+            | Some _ | None -> Some (Word (Buffer.contents buf)))
+        | Some _ ->
+            Buffer.add_char buf (next_char lx);
+            loop ()
+      in
+      loop ()
+  | Some c when is_word_char c ->
+      let buf = Buffer.create 16 in
+      while
+        match peek_char lx with
+        | Some c when is_word_char c -> true
+        | Some _ | None -> false
+      do
+        Buffer.add_char buf (next_char lx)
+      done;
+      Some (Word (Buffer.contents buf))
+  | Some c -> lex_fail lx "unexpected character %C" c
+
+(* Raw capture of everything up to (not including) the next top-level ';',
+   honouring quotes and comments — used for TREE statements whose Newick
+   payload has its own grammar. *)
+let capture_until_semicolon lx =
+  let buf = Buffer.create 64 in
+  let rec loop () =
+    match peek_char lx with
+    | None -> lex_fail lx "unterminated statement (missing ';')"
+    | Some ';' ->
+        ignore (next_char lx);
+        Buffer.contents buf
+    | Some '\'' ->
+        Buffer.add_char buf (next_char lx);
+        let rec in_quote () =
+          match peek_char lx with
+          | None -> lex_fail lx "unterminated quote"
+          | Some '\'' -> (
+              Buffer.add_char buf (next_char lx);
+              match peek_char lx with
+              | Some '\'' ->
+                  Buffer.add_char buf (next_char lx);
+                  in_quote ()
+              | Some _ | None -> ())
+          | Some _ ->
+              Buffer.add_char buf (next_char lx);
+              in_quote ()
+        in
+        in_quote ();
+        loop ()
+    | Some '[' ->
+        (* Keep comments out of the captured payload. *)
+        let depth = ref 0 in
+        let continue = ref true in
+        while !continue do
+          match peek_char lx with
+          | None -> lex_fail lx "unterminated comment"
+          | Some '[' ->
+              incr depth;
+              ignore (next_char lx)
+          | Some ']' ->
+              decr depth;
+              ignore (next_char lx);
+              if !depth = 0 then continue := false
+          | Some _ -> ignore (next_char lx)
+        done;
+        loop ()
+    | Some _ ->
+        Buffer.add_char buf (next_char lx);
+        loop ()
+  in
+  loop ()
+
+(* ------------------------------------------------------------------ *)
+(* Parser                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let ueq a b = String.equal (String.uppercase_ascii a) b
+
+let expect_word lx =
+  match next_token lx with
+  | Some (Word w) -> w
+  | Some (Punct c) -> lex_fail lx "expected a word, found %C" c
+  | None -> lex_fail lx "expected a word, found end of input"
+
+let expect_punct lx c =
+  match next_token lx with
+  | Some (Punct p) when p = c -> ()
+  | Some (Punct p) -> lex_fail lx "expected %C, found %C" c p
+  | Some (Word w) -> lex_fail lx "expected %C, found %S" c w
+  | None -> lex_fail lx "expected %C, found end of input" c
+
+(* Skip tokens until after the next ';'. *)
+let skip_statement lx =
+  let rec loop () =
+    match next_token lx with
+    | Some (Punct ';') -> ()
+    | Some _ -> loop ()
+    | None -> lex_fail lx "unterminated statement"
+  in
+  loop ()
+
+(* Skip a whole unknown block: everything until END;. *)
+let skip_block lx =
+  let rec loop () =
+    match next_token lx with
+    | Some (Word w) when ueq w "END" || ueq w "ENDBLOCK" ->
+        expect_punct lx ';'
+    | Some _ -> loop ()
+    | None -> lex_fail lx "unterminated block"
+  in
+  loop ()
+
+let parse_taxa_block lx =
+  let taxa = ref [] in
+  let rec statements () =
+    match next_token lx with
+    | Some (Word w) when ueq w "END" || ueq w "ENDBLOCK" -> expect_punct lx ';'
+    | Some (Word w) when ueq w "DIMENSIONS" ->
+        skip_statement lx;
+        statements ()
+    | Some (Word w) when ueq w "TAXLABELS" ->
+        let rec labels () =
+          match next_token lx with
+          | Some (Word name) ->
+              taxa := name :: !taxa;
+              labels ()
+          | Some (Punct ';') -> ()
+          | Some (Punct c) -> lex_fail lx "unexpected %C in TAXLABELS" c
+          | None -> lex_fail lx "unterminated TAXLABELS"
+        in
+        labels ();
+        statements ()
+    | Some _ ->
+        skip_statement lx;
+        statements ()
+    | None -> lex_fail lx "unterminated TAXA block"
+  in
+  statements ();
+  List.rev !taxa
+
+let parse_matrix lx =
+  (* Rows: taxon-name sequence-word(s), newline-insensitive. A row ends
+     when the next token is a taxon name; since sequences may be split into
+     several words, we treat a word following a word that itself followed a
+     sequence as a new row only when it cannot extend the current sequence.
+     The robust convention used by exporters (and here): each row is
+     NAME SEQ with SEQ a single word; interleaved matrices repeat names. *)
+  let acc : (string, Buffer.t) Hashtbl.t = Hashtbl.create 16 in
+  let order = ref [] in
+  let rec rows () =
+    match next_token lx with
+    | Some (Punct ';') -> ()
+    | Some (Word name) -> (
+        match next_token lx with
+        | Some (Word seq) ->
+            (match Hashtbl.find_opt acc name with
+            | Some buf -> Buffer.add_string buf seq
+            | None ->
+                let buf = Buffer.create (String.length seq) in
+                Buffer.add_string buf seq;
+                Hashtbl.add acc name buf;
+                order := name :: !order);
+            rows ()
+        | Some (Punct ';') -> lex_fail lx "matrix row for %S has no sequence" name
+        | Some (Punct c) -> lex_fail lx "unexpected %C in MATRIX" c
+        | None -> lex_fail lx "unterminated MATRIX")
+    | Some (Punct c) -> lex_fail lx "unexpected %C in MATRIX" c
+    | None -> lex_fail lx "unterminated MATRIX"
+  in
+  rows ();
+  List.rev_map (fun name -> (name, Buffer.contents (Hashtbl.find acc name))) !order
+
+let parse_characters_block lx =
+  let matrix = ref [] in
+  let rec statements () =
+    match next_token lx with
+    | Some (Word w) when ueq w "END" || ueq w "ENDBLOCK" -> expect_punct lx ';'
+    | Some (Word w) when ueq w "MATRIX" ->
+        matrix := parse_matrix lx;
+        statements ()
+    | Some (Word w) when ueq w "DIMENSIONS" || ueq w "FORMAT" ->
+        skip_statement lx;
+        statements ()
+    | Some _ ->
+        skip_statement lx;
+        statements ()
+    | None -> lex_fail lx "unterminated CHARACTERS block"
+  in
+  statements ();
+  !matrix
+
+let parse_translate lx =
+  (* TRANSLATE key name, key name, … ; *)
+  let table = Hashtbl.create 16 in
+  let rec entries () =
+    match next_token lx with
+    | Some (Punct ';') -> ()
+    | Some (Word key) -> (
+        match next_token lx with
+        | Some (Word name) -> (
+            Hashtbl.replace table key name;
+            match next_token lx with
+            | Some (Punct ',') -> entries ()
+            | Some (Punct ';') -> ()
+            | Some (Word w) -> lex_fail lx "expected ',' or ';' in TRANSLATE, found %S" w
+            | Some (Punct c) -> lex_fail lx "unexpected %C in TRANSLATE" c
+            | None -> lex_fail lx "unterminated TRANSLATE")
+        | _ -> lex_fail lx "TRANSLATE entry for %S has no name" key)
+    | Some (Punct c) -> lex_fail lx "unexpected %C in TRANSLATE" c
+    | None -> lex_fail lx "unterminated TRANSLATE"
+  in
+  entries ();
+  table
+
+let apply_translate table tree =
+  if Hashtbl.length table = 0 then tree
+  else begin
+    let b = Tree.Builder.create ~capacity:(Tree.node_count tree) () in
+    let mapping = Array.make (Tree.node_count tree) Tree.nil in
+    Array.iter
+      (fun n ->
+        let name =
+          match Tree.name tree n with
+          | Some s -> (
+              match Hashtbl.find_opt table s with Some t -> Some t | None -> Some s)
+          | None -> None
+        in
+        if n = Tree.root tree then mapping.(n) <- Tree.Builder.add_root ?name b
+        else
+          mapping.(n) <-
+            Tree.Builder.add_child ?name ~branch_length:(Tree.branch_length tree n) b
+              ~parent:mapping.(Tree.parent tree n))
+      (Tree.preorder tree);
+    Tree.Builder.finish b
+  end
+
+let parse_trees_block lx =
+  let translate = ref (Hashtbl.create 0) in
+  let trees = ref [] in
+  let rec statements () =
+    match next_token lx with
+    | Some (Word w) when ueq w "END" || ueq w "ENDBLOCK" -> expect_punct lx ';'
+    | Some (Word w) when ueq w "TRANSLATE" ->
+        translate := parse_translate lx;
+        statements ()
+    | Some (Word w) when ueq w "TREE" || ueq w "UTREE" ->
+        let name = expect_word lx in
+        expect_punct lx '=';
+        let payload = capture_until_semicolon lx in
+        let tree =
+          try Newick.parse payload
+          with Newick.Parse_error { pos; message } ->
+            lex_fail lx "in TREE %s: Newick error at offset %d: %s" name pos message
+        in
+        trees := (name, apply_translate !translate tree) :: !trees;
+        statements ()
+    | Some _ ->
+        skip_statement lx;
+        statements ()
+    | None -> lex_fail lx "unterminated TREES block"
+  in
+  statements ();
+  List.rev !trees
+
+let parse src =
+  let lx = { src; pos = 0; line = 1 } in
+  (* Header: the literal #NEXUS. *)
+  (match next_token lx with
+  | Some (Word w) when ueq w "#NEXUS" -> ()
+  | Some _ | None -> lex_fail lx "missing #NEXUS header");
+  let taxa = ref [] in
+  let characters = ref [] in
+  let trees = ref [] in
+  let rec blocks () =
+    match next_token lx with
+    | None -> ()
+    | Some (Word w) when ueq w "BEGIN" ->
+        let kind = expect_word lx in
+        expect_punct lx ';';
+        (if ueq kind "TAXA" then taxa := !taxa @ parse_taxa_block lx
+         else if ueq kind "CHARACTERS" || ueq kind "DATA" then
+           characters := !characters @ parse_characters_block lx
+         else if ueq kind "TREES" then trees := !trees @ parse_trees_block lx
+         else skip_block lx);
+        blocks ()
+    | Some (Word w) -> lex_fail lx "expected BEGIN, found %S" w
+    | Some (Punct c) -> lex_fail lx "expected BEGIN, found %C" c
+  in
+  blocks ();
+  { taxa = !taxa; characters = !characters; trees = !trees }
+
+let parse_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      parse (really_input_string ic n))
+
+(* ------------------------------------------------------------------ *)
+(* Printer                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let needs_quoting s = s = "" || not (String.for_all is_word_char s)
+
+let quote_word s =
+  if not (needs_quoting s) then s
+  else begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '\'';
+    String.iter
+      (fun c -> if c = '\'' then Buffer.add_string buf "''" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '\'';
+    Buffer.contents buf
+  end
+
+let to_string t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "#NEXUS\n";
+  if t.taxa <> [] then begin
+    Buffer.add_string buf "BEGIN TAXA;\n";
+    Buffer.add_string buf
+      (Printf.sprintf "  DIMENSIONS NTAX=%d;\n" (List.length t.taxa));
+    Buffer.add_string buf "  TAXLABELS";
+    List.iter (fun name -> Buffer.add_string buf (" " ^ quote_word name)) t.taxa;
+    Buffer.add_string buf ";\nEND;\n"
+  end;
+  if t.characters <> [] then begin
+    let nchar =
+      match t.characters with (_, seq) :: _ -> String.length seq | [] -> 0
+    in
+    Buffer.add_string buf "BEGIN CHARACTERS;\n";
+    Buffer.add_string buf (Printf.sprintf "  DIMENSIONS NCHAR=%d;\n" nchar);
+    Buffer.add_string buf "  FORMAT DATATYPE=DNA MISSING=? GAP=-;\n";
+    Buffer.add_string buf "  MATRIX\n";
+    List.iter
+      (fun (name, seq) ->
+        Buffer.add_string buf (Printf.sprintf "    %s %s\n" (quote_word name) seq))
+      t.characters;
+    Buffer.add_string buf "  ;\nEND;\n"
+  end;
+  if t.trees <> [] then begin
+    Buffer.add_string buf "BEGIN TREES;\n";
+    List.iter
+      (fun (name, tree) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  TREE %s = %s\n" (quote_word name) (Newick.to_string tree)))
+      t.trees;
+    Buffer.add_string buf "END;\n"
+  end;
+  Buffer.contents buf
+
+let write_file path t =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string t))
+
+let of_tree ?(name = "tree1") tree =
+  let taxa =
+    Array.to_list (Tree.leaves tree)
+    |> List.filter_map (fun leaf -> Tree.name tree leaf)
+  in
+  { taxa; characters = []; trees = [ (name, tree) ] }

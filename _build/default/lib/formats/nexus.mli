@@ -1,0 +1,43 @@
+(** NEXUS file format (Maddison, Swofford & Maddison 1997).
+
+    The standard interchange format for phylogenetic data and the loading
+    format of the paper's Repository Manager. This implementation covers
+    the blocks Crimson needs:
+
+    - [TAXA] — [DIMENSIONS NTAX], [TAXLABELS];
+    - [CHARACTERS] / [DATA] — [DIMENSIONS NCHAR], [FORMAT DATATYPE=…],
+      [MATRIX] of per-taxon sequences;
+    - [TREES] — optional [TRANSLATE] table and one or more
+      [TREE name = …] statements in Newick syntax.
+
+    Unknown blocks are skipped, as the NEXUS standard requires. *)
+
+exception Parse_error of {
+  line : int;
+  message : string;
+}
+
+type t = {
+  taxa : string list;  (** From TAXA, or inferred from other blocks. *)
+  characters : (string * string) list;
+      (** [(taxon, sequence)] pairs from CHARACTERS / DATA matrices. *)
+  trees : (string * Crimson_tree.Tree.t) list;
+      (** Named trees with TRANSLATE mappings already applied. *)
+}
+
+val empty : t
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input. *)
+
+val parse_file : string -> t
+
+val to_string : t -> string
+(** Renders TAXA (when [taxa] is non-empty), CHARACTERS (when non-empty)
+    and TREES blocks. *)
+
+val write_file : string -> t -> unit
+
+val of_tree : ?name:string -> Crimson_tree.Tree.t -> t
+(** Convenience: a document holding one tree, taxa taken from its leaf
+    names. *)

@@ -1,0 +1,1 @@
+lib/label/dewey.ml: Array Crimson_tree Crimson_util Int List Printf String

@@ -1,0 +1,1 @@
+lib/label/dewey.mli: Crimson_tree

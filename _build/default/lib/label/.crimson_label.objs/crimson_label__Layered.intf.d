@@ -1,0 +1,1 @@
+lib/label/layered.mli: Crimson_tree Dewey

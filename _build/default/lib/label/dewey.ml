@@ -1,0 +1,130 @@
+module Tree = Crimson_tree.Tree
+module Codec = Crimson_util.Codec
+
+type t = int array
+
+let root : t = [||]
+
+let compare (a : t) (b : t) =
+  let la = Array.length a and lb = Array.length b in
+  let rec loop i =
+    if i = la && i = lb then 0
+    else if i = la then -1
+    else if i = lb then 1
+    else
+      let c = Int.compare a.(i) b.(i) in
+      if c <> 0 then c else loop (i + 1)
+  in
+  loop 0
+
+let equal a b = compare a b = 0
+let depth = Array.length
+
+let parent (l : t) =
+  if Array.length l = 0 then invalid_arg "Dewey.parent: root label";
+  Array.sub l 0 (Array.length l - 1)
+
+let child (l : t) i =
+  if i < 1 then invalid_arg "Dewey.child: components are 1-based";
+  Array.append l [| i |]
+
+let is_ancestor_or_self (a : t) (b : t) =
+  let la = Array.length a in
+  la <= Array.length b
+  &&
+  let rec loop i = i = la || (a.(i) = b.(i) && loop (i + 1)) in
+  loop 0
+
+let lca (a : t) (b : t) =
+  let n = min (Array.length a) (Array.length b) in
+  let rec common i = if i < n && a.(i) = b.(i) then common (i + 1) else i in
+  Array.sub a 0 (common 0)
+
+let to_string (l : t) =
+  if Array.length l = 0 then "."
+  else String.concat "." (Array.to_list (Array.map string_of_int l))
+
+let of_string s =
+  if s = "." then root
+  else
+    let parts = String.split_on_char '.' s in
+    let comps =
+      List.map
+        (fun p ->
+          match int_of_string_opt p with
+          | Some v when v >= 1 -> v
+          | Some _ | None ->
+              invalid_arg (Printf.sprintf "Dewey.of_string: bad component %S" p))
+        parts
+    in
+    Array.of_list comps
+
+let encode (l : t) =
+  let w = Codec.Writer.create ~capacity:(Array.length l + 2) () in
+  Codec.Writer.varint w (Array.length l);
+  Array.iter (fun c -> Codec.Writer.varint w c) l;
+  Codec.Writer.contents w
+
+let decode s =
+  let r = Codec.Reader.create s in
+  let n = Codec.Reader.varint r in
+  let label = Array.make n 0 in
+  for i = 0 to n - 1 do
+    label.(i) <- Codec.Reader.varint r
+  done;
+  label
+
+let varint_size v =
+  let rec loop v acc = if v < 0x80 then acc else loop (v lsr 7) (acc + 1) in
+  loop v 1
+
+let size_bytes (l : t) =
+  Array.fold_left (fun acc c -> acc + varint_size c) (varint_size (Array.length l)) l
+
+let assign t =
+  let n = Tree.node_count t in
+  let labels = Array.make n root in
+  (* Edge indexes are 1-based positions among siblings, assigned once. *)
+  let order = Tree.preorder t in
+  Array.iter
+    (fun v ->
+      let idx = ref 0 in
+      Tree.iter_children t v (fun c ->
+          incr idx;
+          labels.(c) <- child labels.(v) !idx))
+    order;
+  labels
+
+type size_stats = {
+  total_bytes : int;
+  mean_bytes : float;
+  max_bytes : int;
+  max_components : int;
+}
+
+let size_stats t =
+  let n = Tree.node_count t in
+  (* bytes.(v) excludes the length prefix; paths sum component sizes. *)
+  let bytes = Array.make n 0 in
+  let comps = Array.make n 0 in
+  let total = ref 0 in
+  let max_b = ref 0 in
+  let max_c = ref 0 in
+  Array.iter
+    (fun v ->
+      let idx = ref 0 in
+      Tree.iter_children t v (fun c ->
+          incr idx;
+          bytes.(c) <- bytes.(v) + varint_size !idx;
+          comps.(c) <- comps.(v) + 1);
+      let full = bytes.(v) + varint_size comps.(v) in
+      total := !total + full;
+      if full > !max_b then max_b := full;
+      if comps.(v) > !max_c then max_c := comps.(v))
+    (Tree.preorder t);
+  {
+    total_bytes = !total;
+    mean_bytes = float_of_int !total /. float_of_int n;
+    max_bytes = !max_b;
+    max_components = !max_c;
+  }

@@ -1,0 +1,67 @@
+(** Flat Dewey labels (Vesper's "Let's do Dewey", the paper's ref [11]).
+
+    A node's label is the sequence of 1-based child indexes along the path
+    from the root: in the paper's Figure 1, [Lla = 2.1.1], [Spy = 2.1.2]
+    and their least common ancestor is the longest common prefix [2.1].
+    Labels support ancestor tests, LCA and document-order (preorder)
+    comparison without touching the tree — but their size is proportional
+    to node depth, which is exactly the weakness Crimson's layered scheme
+    (see {!Layered}) addresses on deep phylogenies. *)
+
+type t = int array
+(** Component array, root = [[||]]. All components are >= 1. *)
+
+val root : t
+val compare : t -> t -> int
+(** Lexicographic; prefixes sort first, so this is preorder order. *)
+
+val equal : t -> t -> bool
+val depth : t -> int
+val parent : t -> t
+(** Raises [Invalid_argument] on the root label. *)
+
+val child : t -> int -> t
+(** [child l i] appends 1-based component [i]. Raises [Invalid_argument]
+    when [i < 1]. *)
+
+val is_ancestor_or_self : t -> t -> bool
+(** [is_ancestor_or_self a b]: is [a] a prefix of [b]? *)
+
+val lca : t -> t -> t
+(** Longest common prefix. *)
+
+val to_string : t -> string
+(** Dot-separated: ["2.1.1"]; the root label is ["."]. *)
+
+val of_string : string -> t
+(** Raises [Invalid_argument] on malformed input. *)
+
+val encode : t -> string
+(** Varint components; component byte order preserves label order only
+    per-component, so compare decoded labels, not encodings. *)
+
+val decode : string -> t
+(** Raises [Crimson_util.Codec.Corrupt]. *)
+
+val size_bytes : t -> int
+(** Bytes of {!encode} without materialising it. *)
+
+(** {1 Whole-tree assignment} *)
+
+val assign : Crimson_tree.Tree.t -> t array
+(** Label of every node, using the tree's child order as edge numbering
+    (the paper randomises the order; Crimson's loader may shuffle children
+    first if desired). Memory is O(sum of depths) — quadratic on
+    degenerate deep trees; see {!size_stats} for measuring without
+    materialising. *)
+
+type size_stats = {
+  total_bytes : int;
+  mean_bytes : float;
+  max_bytes : int;
+  max_components : int;
+}
+
+val size_stats : Crimson_tree.Tree.t -> size_stats
+(** Size of the flat labels of every node, computed in O(n) time and O(n)
+    memory without building the labels. *)

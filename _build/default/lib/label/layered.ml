@@ -1,0 +1,375 @@
+module Tree = Crimson_tree.Tree
+module Vec = Crimson_util.Vec
+
+let nil = -1
+
+module type STORE = sig
+  type t
+
+  val layer_count : t -> int
+  val parent : t -> layer:int -> int -> int
+  val edge_index : t -> layer:int -> int -> int
+  val sub : t -> layer:int -> int -> int
+  val local_depth : t -> layer:int -> int -> int
+  val sub_root : t -> layer:int -> int -> int
+end
+
+module Engine (S : STORE) = struct
+  let walk_up s ~layer x steps =
+    let cur = ref x in
+    for _ = 1 to steps do
+      cur := S.parent s ~layer !cur
+    done;
+    !cur
+
+  (* LCA of two nodes in the same bounded-depth subtree: equalise local
+     depths, then climb in lockstep — the longest-common-prefix rule on
+     local Dewey labels, executed on parent pointers. O(f). *)
+  let local_lca s ~layer a b =
+    let da = S.local_depth s ~layer a and db = S.local_depth s ~layer b in
+    let a = if da > db then walk_up s ~layer a (da - db) else a in
+    let b = if db > da then walk_up s ~layer b (db - da) else b in
+    let ra = ref a and rb = ref b in
+    while !ra <> !rb do
+      ra := S.parent s ~layer !ra;
+      rb := S.parent s ~layer !rb
+    done;
+    !ra
+
+  (* Child of [l] on the path down to [x]; [l] must be a proper ancestor
+     of [x] within [layer]'s tree. *)
+  let rec child_toward_at s ~layer ~ancestor:l x =
+    if S.sub s ~layer x = S.sub s ~layer l then
+      (* Same subtree: the answer is x's ancestor one level below l. *)
+      walk_up s ~layer x (S.local_depth s ~layer x - S.local_depth s ~layer l - 1)
+    else begin
+      (* Different subtrees: find, one layer up, the subtree [c] just
+         below l's subtree on the chain toward x. Its root's parent (the
+         source node) is l's descendant-side representative inside l's
+         subtree. *)
+      let c =
+        child_toward_at s ~layer:(layer + 1)
+          ~ancestor:(S.sub s ~layer l)
+          (S.sub s ~layer x)
+      in
+      let root_c = S.sub_root s ~layer c in
+      let x' = S.parent s ~layer root_c in
+      if x' = l then root_c
+      else walk_up s ~layer x' (S.local_depth s ~layer x' - S.local_depth s ~layer l - 1)
+    end
+
+  (* Ancestor-or-self of [x] lying in subtree [target_sub]; requires the
+     layer-(k+1) node [target_sub] to be an ancestor-or-self of [sub x]. *)
+  let entry s ~layer target_sub x =
+    if S.sub s ~layer x = target_sub then x
+    else
+      let c =
+        child_toward_at s ~layer:(layer + 1) ~ancestor:target_sub (S.sub s ~layer x)
+      in
+      S.parent s ~layer (S.sub_root s ~layer c)
+
+  let rec lca_at s ~layer a b =
+    let sa = S.sub s ~layer a and sb = S.sub s ~layer b in
+    if sa = sb then local_lca s ~layer a b
+    else begin
+      (* §2.1 of the paper: go up one layer, find the LCA l' of the two
+         representative nodes; the answer lies in the subtree l'
+         represents. Enter it through source nodes, finish locally. *)
+      let l' = lca_at s ~layer:(layer + 1) sa sb in
+      let a' = entry s ~layer l' a in
+      let b' = entry s ~layer l' b in
+      local_lca s ~layer a' b'
+    end
+
+  let lca s a b = lca_at s ~layer:0 a b
+
+  let is_ancestor_or_self s ~ancestor x = lca s ancestor x = ancestor
+
+  let child_toward s ~ancestor x =
+    if ancestor = x || not (is_ancestor_or_self s ~ancestor x) then
+      invalid_arg "Layered.child_toward: not a proper ancestor";
+    child_toward_at s ~layer:0 ~ancestor x
+
+  let edge_toward s ~ancestor x =
+    S.edge_index s ~layer:0 (child_toward s ~ancestor x)
+
+  let compare_preorder s a b =
+    if a = b then 0
+    else
+      let l = lca s a b in
+      if l = a then -1
+      else if l = b then 1
+      else
+        let ia = S.edge_index s ~layer:0 (child_toward_at s ~layer:0 ~ancestor:l a) in
+        let ib = S.edge_index s ~layer:0 (child_toward_at s ~layer:0 ~ancestor:l b) in
+        Int.compare ia ib
+
+end
+
+(* ------------------------------------------------------------------ *)
+(* In-memory store                                                     *)
+(* ------------------------------------------------------------------ *)
+
+type layer = {
+  parent : int array;
+  edge_index : int array;
+  sub : int array;
+  local_depth : int array;
+  sub_root : int array;
+}
+
+type t = {
+  f : int;
+  layers : layer array;
+}
+
+module Mem_store = struct
+  type nonrec t = t
+
+  let layer_count t = Array.length t.layers
+  let parent t ~layer n = t.layers.(layer).parent.(n)
+  let edge_index t ~layer n = t.layers.(layer).edge_index.(n)
+  let sub t ~layer n = t.layers.(layer).sub.(n)
+  let local_depth t ~layer n = t.layers.(layer).local_depth.(n)
+  let sub_root t ~layer s = t.layers.(layer).sub_root.(s)
+end
+
+module E = Engine (Mem_store)
+
+(* Build one layer from a tree given as (parent, ordered children).
+   Returns the layer plus, when it has more than one subtree, the parent
+   array and children lists of the next layer's tree. *)
+let build_layer ~f ~parent ~children =
+  let n = Array.length parent in
+  (* Iterative preorder over the layer tree. *)
+  let order = Array.make n 0 in
+  let root =
+    let r = ref nil in
+    Array.iteri (fun i p -> if p = nil then r := i) parent;
+    if !r = nil then invalid_arg "Layered.build_layer: no root";
+    !r
+  in
+  let idx = ref 0 in
+  let stack = Vec.create () in
+  Vec.push stack root;
+  while not (Vec.is_empty stack) do
+    let v = Vec.pop stack in
+    order.(!idx) <- v;
+    incr idx;
+    List.iter (fun c -> Vec.push stack c) (List.rev children.(v))
+  done;
+  let depth = Array.make n 0 in
+  let edge_index = Array.make n 0 in
+  let sub = Array.make n 0 in
+  let local_depth = Array.make n 0 in
+  let sub_root = Vec.create () in
+  Array.iter
+    (fun v ->
+      if parent.(v) = nil then depth.(v) <- 0
+      else depth.(v) <- depth.(parent.(v)) + 1;
+      local_depth.(v) <- depth.(v) mod f;
+      if local_depth.(v) = 0 then begin
+        sub.(v) <- Vec.length sub_root;
+        Vec.push sub_root v
+      end
+      else sub.(v) <- sub.(parent.(v));
+      let i = ref 0 in
+      List.iter
+        (fun c ->
+          incr i;
+          edge_index.(c) <- !i)
+        children.(v))
+    order;
+  let sub_root = Vec.to_array sub_root in
+  let layer = { parent; edge_index; sub; local_depth; sub_root } in
+  let m = Array.length sub_root in
+  if m <= 1 then (layer, None)
+  else begin
+    (* Next layer: one node per subtree. Parent = subtree of the source
+       node. Children ordered by subtree id, which follows the layer
+       preorder of their roots. *)
+    let parent' = Array.make m nil in
+    let children' = Array.make m [] in
+    for c = m - 1 downto 0 do
+      let src = parent.(sub_root.(c)) in
+      if src <> nil then begin
+        let p = sub.(src) in
+        parent'.(c) <- p;
+        children'.(p) <- c :: children'.(p)
+      end
+    done;
+    (layer, Some (parent', children'))
+  end
+
+let build ?(f = 8) tree =
+  if f < 2 then invalid_arg "Layered.build: f must be >= 2";
+  let n = Tree.node_count tree in
+  let parent0 = Array.init n (fun v -> Tree.parent tree v) in
+  let children0 = Array.init n (fun v -> Tree.children tree v) in
+  let layers = Vec.create () in
+  let rec loop parent children =
+    let layer, next = build_layer ~f ~parent ~children in
+    Vec.push layers layer;
+    match next with
+    | None -> ()
+    | Some (parent', children') -> loop parent' children'
+  in
+  loop parent0 children0;
+  { f; layers = Vec.to_array layers }
+
+let f t = t.f
+let layer_count t = Array.length t.layers
+let node_count t = Array.length t.layers.(0).parent
+let layer_node_count t ~layer = Array.length t.layers.(layer).parent
+let subtree_count t ~layer = Array.length t.layers.(layer).sub_root
+
+let lca = E.lca
+let is_ancestor_or_self = E.is_ancestor_or_self
+let child_toward = E.child_toward
+let edge_toward = E.edge_toward
+let compare_preorder = E.compare_preorder
+
+let depth t n =
+  (* Σ_k local_depth_k · f^k over the subtree chain of n. *)
+  let total = ref 0 in
+  let span = ref 1 in
+  let x = ref n in
+  for k = 0 to layer_count t - 1 do
+    total := !total + (t.layers.(k).local_depth.(!x) * !span);
+    span := !span * t.f;
+    if k < layer_count t - 1 then x := t.layers.(k).sub.(!x)
+  done;
+  !total
+
+let raw_parent t ~layer n = t.layers.(layer).parent.(n)
+let raw_edge_index t ~layer n = t.layers.(layer).edge_index.(n)
+let raw_sub t ~layer n = t.layers.(layer).sub.(n)
+let raw_local_depth t ~layer n = t.layers.(layer).local_depth.(n)
+let raw_sub_root t ~layer s = t.layers.(layer).sub_root.(s)
+
+let source t ~layer s = t.layers.(layer).parent.(t.layers.(layer).sub_root.(s))
+
+(* Local Dewey segment of node [x] within its subtree at [layer]:
+   edge indexes from the subtree root's child down to x. *)
+let local_segment t ~layer x =
+  let ld = t.layers.(layer).local_depth.(x) in
+  let seg = Array.make ld 0 in
+  let cur = ref x in
+  for i = ld - 1 downto 0 do
+    seg.(i) <- t.layers.(layer).edge_index.(!cur);
+    cur := t.layers.(layer).parent.(!cur)
+  done;
+  seg
+
+let label t n =
+  let segs = ref [] in
+  let x = ref n in
+  for k = 0 to layer_count t - 1 do
+    segs := local_segment t ~layer:k !x :: !segs;
+    if k < layer_count t - 1 then x := t.layers.(k).sub.(!x)
+  done;
+  !segs
+
+let label_to_string segs =
+  String.concat "|"
+    (List.map
+       (fun seg ->
+         if Array.length seg = 0 then "."
+         else String.concat "." (Array.to_list (Array.map string_of_int seg)))
+       segs)
+
+let flat_label t n =
+  (* Walk the layer-0 subtree chain from n to the root, collecting each
+     local segment plus the reserved edge index of the subtree root. *)
+  let pieces = ref [] in
+  let x = ref n in
+  let continue = ref true in
+  while !continue do
+    let seg = local_segment t ~layer:0 !x in
+    let r = t.layers.(0).sub_root.(t.layers.(0).sub.(!x)) in
+    let src = t.layers.(0).parent.(r) in
+    if src = nil then begin
+      pieces := seg :: !pieces;
+      continue := false
+    end
+    else begin
+      pieces := Array.append [| t.layers.(0).edge_index.(r) |] seg :: !pieces;
+      x := src
+    end
+  done;
+  Array.concat !pieces
+
+let varint_size v =
+  let rec loop v acc = if v < 0x80 then acc else loop (v lsr 7) (acc + 1) in
+  loop v 1
+
+let label_size_bytes t n =
+  (* Per-node row payload: subtree id + local depth + local components. *)
+  let l0 = t.layers.(0) in
+  let bytes = ref (varint_size l0.sub.(n) + varint_size l0.local_depth.(n)) in
+  let cur = ref n in
+  for _ = 1 to l0.local_depth.(n) do
+    bytes := !bytes + varint_size l0.edge_index.(!cur);
+    cur := l0.parent.(!cur)
+  done;
+  !bytes
+
+type stats = {
+  f : int;
+  layers : int;
+  nodes : int;
+  subtrees_per_layer : int array;
+  total_label_bytes : int;
+  mean_label_bytes : float;
+  max_label_bytes : int;
+}
+
+let stats t =
+  let n = node_count t in
+  let total = ref 0 and maxb = ref 0 in
+  for v = 0 to n - 1 do
+    let b = label_size_bytes t v in
+    total := !total + b;
+    if b > !maxb then maxb := b
+  done;
+  {
+    f = t.f;
+    layers = layer_count t;
+    nodes = n;
+    subtrees_per_layer =
+      Array.init (layer_count t) (fun k -> subtree_count t ~layer:k);
+    total_label_bytes = !total;
+    mean_label_bytes = float_of_int !total /. float_of_int n;
+    max_label_bytes = !maxb;
+  }
+
+let validate t tree =
+  let fail fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let n = Tree.node_count tree in
+  if node_count t <> n then fail "node count mismatch"
+  else begin
+    let error = ref None in
+    let record e = if !error = None then error := Some e in
+    let l0 = t.layers.(0) in
+    for v = 0 to n - 1 do
+      if l0.parent.(v) <> Tree.parent tree v then
+        record (Printf.sprintf "node %d: parent mismatch" v);
+      if l0.local_depth.(v) < 0 || l0.local_depth.(v) >= t.f then
+        record (Printf.sprintf "node %d: local depth %d outside [0,%d)" v l0.local_depth.(v) t.f);
+      if l0.local_depth.(v) = 0 then begin
+        if l0.sub_root.(l0.sub.(v)) <> v then
+          record (Printf.sprintf "node %d: claims to root subtree %d but sub_root disagrees" v l0.sub.(v))
+      end
+      else if l0.sub.(v) <> l0.sub.(l0.parent.(v)) then
+        record (Printf.sprintf "node %d: subtree differs from parent's" v)
+    done;
+    (* Edge indexes must be the 1-based position among siblings. *)
+    for v = 0 to n - 1 do
+      let i = ref 0 in
+      Tree.iter_children tree v (fun c ->
+          incr i;
+          if l0.edge_index.(c) <> !i then
+            record (Printf.sprintf "node %d: edge index %d, expected %d" c l0.edge_index.(c) !i))
+    done;
+    match !error with None -> Ok () | Some e -> Error e
+  end

@@ -1,0 +1,1 @@
+lib/recon/bionj.ml: Array Crimson_tree Distance Float Fun Hashtbl List Nj

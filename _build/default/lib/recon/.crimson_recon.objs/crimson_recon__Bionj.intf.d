@@ -1,0 +1,1 @@
+lib/recon/bionj.mli: Crimson_tree Distance

@@ -1,0 +1,1 @@
+lib/recon/bootstrap.ml: Array Consensus Crimson_tree Crimson_util List String

@@ -1,0 +1,1 @@
+lib/recon/bootstrap.mli: Crimson_tree Crimson_util

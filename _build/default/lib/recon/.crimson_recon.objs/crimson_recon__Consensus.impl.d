@@ -1,0 +1,1 @@
+lib/recon/consensus.ml: Array Crimson_tree Hashtbl List Option Set String

@@ -1,0 +1,1 @@
+lib/recon/consensus.mli: Crimson_tree

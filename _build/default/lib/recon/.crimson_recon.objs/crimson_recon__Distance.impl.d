@@ -1,0 +1,1 @@
+lib/recon/distance.ml: Array Char Crimson_tree Float Hashtbl List Printf String

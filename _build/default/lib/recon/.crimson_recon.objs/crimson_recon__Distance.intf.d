@@ -1,0 +1,1 @@
+lib/recon/distance.mli: Crimson_tree

@@ -1,0 +1,1 @@
+lib/recon/nj.ml: Array Crimson_tree Distance Float Fun Hashtbl List

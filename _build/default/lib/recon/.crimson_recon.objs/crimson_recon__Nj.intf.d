@@ -1,0 +1,1 @@
+lib/recon/nj.mli: Crimson_tree Distance

@@ -1,0 +1,1 @@
+lib/recon/parsimony.ml: Array Crimson_tree Crimson_util Fun Hashtbl List Printf String

@@ -1,0 +1,1 @@
+lib/recon/parsimony.mli: Crimson_tree Crimson_util

@@ -1,0 +1,1 @@
+lib/recon/reroot.ml: Array Crimson_tree Crimson_util Float List

@@ -1,0 +1,1 @@
+lib/recon/reroot.mli: Crimson_tree

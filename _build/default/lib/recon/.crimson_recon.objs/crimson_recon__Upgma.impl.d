@@ -1,0 +1,1 @@
+lib/recon/upgma.ml: Array Crimson_tree Crimson_util Distance Float Hashtbl List

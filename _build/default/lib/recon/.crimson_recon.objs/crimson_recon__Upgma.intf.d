@@ -1,0 +1,1 @@
+lib/recon/upgma.mli: Crimson_tree Distance

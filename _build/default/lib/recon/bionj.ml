@@ -1,0 +1,110 @@
+module Tree = Crimson_tree.Tree
+
+(* Structure mirrors Nj.reconstruct; the difference is the reduction
+   step, which maintains a variance matrix V alongside D and picks the
+   mixing weight lambda minimising the reduced variance (Gascuel 1997,
+   eq. 9–10). *)
+let reconstruct (dm : Distance.t) =
+  let n = Distance.size dm in
+  if n < 2 then invalid_arg "Bionj.reconstruct: need at least 2 taxa";
+  if n <= 3 then Nj.reconstruct dm
+  else begin
+    let total = (2 * n) - 2 in
+    let children = Array.make total [] in
+    let next = ref n in
+    let active = Array.init n Fun.id in
+    let count = ref n in
+    let key a b = (min a b * total) + max a b in
+    let dist = Hashtbl.create (n * 4) in
+    let var = Hashtbl.create (n * 4) in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let d = Distance.get dm i j in
+        Hashtbl.replace dist (key i j) d;
+        (* Initial variances proportional to the distances. *)
+        Hashtbl.replace var (key i j) d
+      done
+    done;
+    let get tbl a b = if a = b then 0.0 else Hashtbl.find tbl (key a b) in
+    while !count > 3 do
+      let m = !count in
+      let r = Array.make m 0.0 in
+      for i = 0 to m - 1 do
+        for j = 0 to m - 1 do
+          if i <> j then r.(i) <- r.(i) +. get dist active.(i) active.(j)
+        done
+      done;
+      let best_i = ref 0 and best_j = ref 1 and best_q = ref infinity in
+      for i = 0 to m - 1 do
+        for j = i + 1 to m - 1 do
+          let q =
+            (float_of_int (m - 2) *. get dist active.(i) active.(j)) -. r.(i) -. r.(j)
+          in
+          if q < !best_q then begin
+            best_q := q;
+            best_i := i;
+            best_j := j
+          end
+        done
+      done;
+      let i = !best_i and j = !best_j in
+      let a = active.(i) and b = active.(j) in
+      let dij = get dist a b in
+      let la = (dij /. 2.0) +. ((r.(i) -. r.(j)) /. (2.0 *. float_of_int (m - 2))) in
+      let la = Float.max 0.0 (Float.min dij la) in
+      let lb = Float.max 0.0 (dij -. la) in
+      let v = !next in
+      incr next;
+      children.(v) <- [ (a, la); (b, lb) ];
+      (* BIONJ mixing weight: lambda = 1/2 + Σ_c (V(b,c) - V(a,c)) /
+         (2 (m-2) V(a,b)), clamped to [0,1]. *)
+      let vab = get var a b in
+      let lambda =
+        if vab <= 0.0 || m <= 2 then 0.5
+        else begin
+          let s = ref 0.0 in
+          for x = 0 to m - 1 do
+            if x <> i && x <> j then begin
+              let c = active.(x) in
+              s := !s +. (get var b c -. get var a c)
+            end
+          done;
+          let l = 0.5 +. (!s /. (2.0 *. float_of_int (m - 2) *. vab)) in
+          Float.max 0.0 (Float.min 1.0 l)
+        end
+      in
+      for x = 0 to m - 1 do
+        if x <> i && x <> j then begin
+          let c = active.(x) in
+          let dac = get dist a c and dbc = get dist b c in
+          let d' =
+            (lambda *. (dac -. la)) +. ((1.0 -. lambda) *. (dbc -. lb))
+          in
+          Hashtbl.replace dist (key v c) (Float.max 0.0 d');
+          let vac = get var a c and vbc = get var b c in
+          let v' =
+            (lambda *. vac) +. ((1.0 -. lambda) *. vbc)
+            -. (lambda *. (1.0 -. lambda) *. vab)
+          in
+          Hashtbl.replace var (key v c) (Float.max 0.0 v')
+        end
+      done;
+      active.(i) <- v;
+      active.(j) <- active.(m - 1);
+      count := m - 1
+    done;
+    (* Final three-way join, as in NJ. *)
+    let b = Tree.Builder.create ~capacity:(2 * total) () in
+    let root = Tree.Builder.add_root b in
+    let rec attach parent (v, len) =
+      let name = if v < n then Some dm.Distance.names.(v) else None in
+      let id = Tree.Builder.add_child ?name ~branch_length:(Float.max 0.0 len) b ~parent in
+      List.iter (attach id) children.(v)
+    in
+    let a = active.(0) and bb = active.(1) and c = active.(2) in
+    let dab = get dist a bb and dac = get dist a c and dbc = get dist bb c in
+    attach root (a, Float.max 0.0 ((dab +. dac -. dbc) /. 2.0));
+    attach root (bb, Float.max 0.0 ((dab +. dbc -. dac) /. 2.0));
+    attach root (c, Float.max 0.0 ((dac +. dbc -. dab) /. 2.0));
+    Tree.Builder.finish b
+  end

@@ -1,0 +1,12 @@
+(** BIONJ (Gascuel 1997): neighbor joining with variance-weighted
+    distance reduction.
+
+    Same O(n³) skeleton and the same Q criterion as classic NJ, but when
+    two clusters merge, the distances from the new node are a convex
+    combination chosen to minimise the variance of the reduced matrix
+    (short branches are trusted more). On noisy (finite-sequence) data
+    it is a strictly better estimator than plain NJ; on exact additive
+    data the two coincide. *)
+
+val reconstruct : Distance.t -> Crimson_tree.Tree.t
+(** Raises [Invalid_argument] on matrices smaller than 2. *)

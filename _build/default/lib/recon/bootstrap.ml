@@ -1,0 +1,37 @@
+module Tree = Crimson_tree.Tree
+module Prng = Crimson_util.Prng
+
+type result = {
+  replicates : Tree.t list;
+  consensus : Tree.t;
+  support : (string list * float) list;
+}
+
+let resample_columns ~rng seqs =
+  match seqs with
+  | [] -> invalid_arg "Bootstrap.resample_columns: empty alignment"
+  | (_, first) :: _ ->
+      let len = String.length first in
+      if len = 0 then invalid_arg "Bootstrap.resample_columns: empty sequences";
+      let picks = Array.init len (fun _ -> Prng.int rng len) in
+      List.map
+        (fun (name, seq) ->
+          if String.length seq <> len then
+            invalid_arg "Bootstrap.resample_columns: ragged alignment";
+          (name, String.init len (fun i -> seq.[picks.(i)])))
+        seqs
+
+let run ~rng ~replicates ~infer seqs =
+  if replicates < 1 then invalid_arg "Bootstrap.run: need at least one replicate";
+  let trees =
+    List.init replicates (fun _ -> infer (resample_columns ~rng seqs))
+  in
+  let consensus = Consensus.majority_rule trees in
+  let support = Consensus.clade_support trees in
+  { replicates = trees; consensus; support }
+
+let support_of_clade result clade =
+  let key = List.sort String.compare clade in
+  match List.find_opt (fun (c, _) -> c = key) result.support with
+  | Some (_, s) -> s
+  | None -> 0.0

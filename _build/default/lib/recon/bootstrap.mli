@@ -1,0 +1,31 @@
+(** Felsenstein's nonparametric bootstrap.
+
+    Resample alignment columns with replacement, re-run the inference,
+    and read confidence off the replicate trees: the standard way to put
+    support values on a reconstruction — and a natural extension of the
+    paper's Benchmark Manager, whose replicates it reuses (majority-rule
+    consensus comes from ref [1]'s machinery in {!Consensus}). *)
+
+type result = {
+  replicates : Crimson_tree.Tree.t list;
+  consensus : Crimson_tree.Tree.t;  (** Majority-rule consensus. *)
+  support : (string list * float) list;
+      (** Clade -> fraction of replicates containing it, descending. *)
+}
+
+val run :
+  rng:Crimson_util.Prng.t ->
+  replicates:int ->
+  infer:((string * string) list -> Crimson_tree.Tree.t) ->
+  (string * string) list ->
+  result
+(** Raises [Invalid_argument] on an empty alignment or
+    [replicates < 1]. *)
+
+val resample_columns :
+  rng:Crimson_util.Prng.t -> (string * string) list -> (string * string) list
+(** One bootstrap pseudo-alignment (same taxa, same length, columns drawn
+    with replacement) — exposed for tests. *)
+
+val support_of_clade : result -> string list -> float
+(** Support of a specific clade (leaf names, any order); 0 when absent. *)

@@ -1,0 +1,113 @@
+module Tree = Crimson_tree.Tree
+module Metrics = Crimson_tree.Metrics
+
+exception Inconsistent_leaves of string
+
+let leaf_names t =
+  Array.to_list (Tree.leaves t)
+  |> List.map (fun l ->
+         match Tree.name t l with
+         | Some s -> s
+         | None -> raise (Inconsistent_leaves "unnamed leaf"))
+  |> List.sort String.compare
+
+let gather_counts trees =
+  let reference = leaf_names (List.hd trees) in
+  List.iter
+    (fun t ->
+      if leaf_names t <> reference then
+        raise (Inconsistent_leaves "input trees have different leaf sets"))
+    trees;
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun t ->
+      (* Count each distinct clade of this tree once. *)
+      let seen = Hashtbl.create 16 in
+      List.iter
+        (fun clade ->
+          let key = String.concat "\x00" clade in
+          if not (Hashtbl.mem seen key) then begin
+            Hashtbl.add seen key ();
+            Hashtbl.replace counts key (1 + Option.value ~default:0 (Hashtbl.find_opt counts key))
+          end)
+        (Metrics.clades t))
+    trees;
+  (reference, counts)
+
+let clade_support trees =
+  if trees = [] then invalid_arg "Consensus.clade_support: empty list";
+  let _, counts = gather_counts trees in
+  let n = float_of_int (List.length trees) in
+  Hashtbl.fold
+    (fun key count acc ->
+      (String.split_on_char '\x00' key, float_of_int count /. n) :: acc)
+    counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let majority_rule ?(threshold = 0.5) trees =
+  if trees = [] then invalid_arg "Consensus.majority_rule: empty list";
+  if threshold < 0.5 then
+    invalid_arg "Consensus.majority_rule: threshold below 0.5 is not well-defined";
+  let leaves, counts = gather_counts trees in
+  let n = float_of_int (List.length trees) in
+  let kept =
+    Hashtbl.fold
+      (fun key count acc ->
+        if float_of_int count /. n > threshold then
+          String.split_on_char '\x00' key :: acc
+        else acc)
+      counts []
+  in
+  (* Majority clades are pairwise compatible (two incompatible clades
+     cannot both appear in more than half the trees), so nesting them by
+     size builds the tree directly. *)
+  let module SS = Set.Make (String) in
+  let clades = List.map SS.of_list kept in
+  let clades = List.sort (fun a b -> compare (SS.cardinal b) (SS.cardinal a)) clades in
+  let universe = SS.of_list leaves in
+  (* parent_of c = smallest strict superset among universe :: clades. *)
+  let b = Tree.Builder.create () in
+  let root = Tree.Builder.add_root b in
+  (* Associate every clade (and the universe) with its builder node. *)
+  let nodes = ref [ (universe, root) ] in
+  List.iter
+    (fun clade ->
+      (* The enclosing clade is the most recently added (smallest) strict
+         superset; [nodes] is scanned smallest-first. *)
+      let parent =
+        List.fold_left
+          (fun best (set, id) ->
+            match best with
+            | Some (bset, _) ->
+                if SS.subset clade set && SS.cardinal set < SS.cardinal bset then
+                  Some (set, id)
+                else best
+            | None -> if SS.subset clade set then Some (set, id) else None)
+          None !nodes
+      in
+      match parent with
+      | Some (_, pid) ->
+          let id = Tree.Builder.add_child ~branch_length:1.0 b ~parent:pid in
+          nodes := (clade, id) :: !nodes
+      | None -> ())
+    clades;
+  (* Attach each leaf under its smallest containing clade. *)
+  List.iter
+    (fun leaf ->
+      let parent =
+        List.fold_left
+          (fun best (set, id) ->
+            match best with
+            | Some (bset, _) ->
+                if SS.mem leaf set && SS.cardinal set < SS.cardinal bset then
+                  Some (set, id)
+                else best
+            | None -> if SS.mem leaf set then Some (set, id) else None)
+          None !nodes
+      in
+      match parent with
+      | Some (_, pid) ->
+          ignore (Tree.Builder.add_child ~name:leaf ~branch_length:1.0 b ~parent:pid)
+      | None -> assert false)
+    leaves;
+  Tree.Builder.finish b

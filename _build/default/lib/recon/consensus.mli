@@ -1,0 +1,22 @@
+(** Majority-rule consensus trees (the paper's reference [1], Amenta,
+    Clarke & St. John's linear-time majority tree).
+
+    Given several estimates of the same phylogeny (replicate runs,
+    bootstrap samples), the majority-rule consensus contains exactly the
+    clades present in more than half of the inputs; such clades are
+    pairwise compatible, so the tree always exists and is unique. *)
+
+exception Inconsistent_leaves of string
+
+val majority_rule :
+  ?threshold:float -> Crimson_tree.Tree.t list -> Crimson_tree.Tree.t
+(** [threshold] (default 0.5, strictly-greater-than) can be raised toward
+    1.0 for a stricter consensus. All input trees must share the same
+    leaf-name set; raises {!Inconsistent_leaves} otherwise and
+    [Invalid_argument] on an empty list or a threshold below 0.5 (clades
+    at 50% or less may be mutually incompatible). Edge lengths in the
+    output are 1.0; internal nodes are unnamed. *)
+
+val clade_support : Crimson_tree.Tree.t list -> (string list * float) list
+(** Every clade appearing in any input with its support fraction, sorted
+    by decreasing support — bootstrap-style support values. *)

@@ -1,0 +1,108 @@
+module Tree = Crimson_tree.Tree
+
+let reconstruct (dm : Distance.t) =
+  let n = Distance.size dm in
+  if n < 2 then invalid_arg "Nj.reconstruct: need at least 2 taxa";
+  if n = 2 then begin
+    let b = Tree.Builder.create () in
+    let r = Tree.Builder.add_root b in
+    let d = Float.max 0.0 (Distance.get dm 0 1) in
+    ignore (Tree.Builder.add_child ~name:dm.Distance.names.(0) ~branch_length:(d /. 2.0) b ~parent:r);
+    ignore (Tree.Builder.add_child ~name:dm.Distance.names.(1) ~branch_length:(d /. 2.0) b ~parent:r);
+    Tree.Builder.finish b
+  end
+  else begin
+    (* Node bookkeeping: taxa are 0..n-1; internal joins allocate new ids.
+       children.(v) lists (child, branch length). *)
+    let total = (2 * n) - 2 in
+    let children = Array.make total [] in
+    let next = ref n in
+    (* Active node ids and the working distance matrix, indexed by a dense
+       slot per active node. *)
+    let active = Array.init n Fun.id in
+    let count = ref n in
+    let d = Array.init n (fun i -> Array.init n (fun j -> Distance.get dm i j)) in
+    (* Grow d lazily: represent as dynamic via Hashtbl keyed by node ids to
+       keep the code clear (n is at most a few thousand in practice). *)
+    let dist = Hashtbl.create (n * 4) in
+    let key a b = (min a b * total) + max a b in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        Hashtbl.replace dist (key i j) d.(i).(j)
+      done
+    done;
+    let get a b = if a = b then 0.0 else Hashtbl.find dist (key a b) in
+    while !count > 3 do
+      let m = !count in
+      (* Row sums. *)
+      let r = Array.make m 0.0 in
+      for i = 0 to m - 1 do
+        for j = 0 to m - 1 do
+          if i <> j then r.(i) <- r.(i) +. get active.(i) active.(j)
+        done
+      done;
+      (* Minimise the Q criterion. *)
+      let best_i = ref 0 and best_j = ref 1 and best_q = ref infinity in
+      for i = 0 to m - 1 do
+        for j = i + 1 to m - 1 do
+          let q = (float_of_int (m - 2) *. get active.(i) active.(j)) -. r.(i) -. r.(j) in
+          if q < !best_q then begin
+            best_q := q;
+            best_i := i;
+            best_j := j
+          end
+        done
+      done;
+      let i = !best_i and j = !best_j in
+      let a = active.(i) and b = active.(j) in
+      let dij = get a b in
+      let la =
+        (dij /. 2.0) +. ((r.(i) -. r.(j)) /. (2.0 *. float_of_int (m - 2)))
+      in
+      let la = Float.max 0.0 (Float.min dij la) in
+      let lb = Float.max 0.0 (dij -. la) in
+      let v = !next in
+      incr next;
+      children.(v) <- [ (a, la); (b, lb) ];
+      (* Distances from the new node. *)
+      for x = 0 to m - 1 do
+        if x <> i && x <> j then begin
+          let c = active.(x) in
+          let dv = Float.max 0.0 ((get a c +. get b c -. dij) /. 2.0) in
+          Hashtbl.replace dist (key v c) dv
+        end
+      done;
+      (* Replace slot i with v; remove slot j. *)
+      active.(i) <- v;
+      active.(j) <- active.(m - 1);
+      count := m - 1
+    done;
+    (* Final join: connect the last 3 (or 2) nodes at a root. *)
+    let b = Tree.Builder.create ~capacity:(2 * total) () in
+    let root = Tree.Builder.add_root b in
+    let rec attach parent (v, len) =
+      let name = if v < n then Some dm.Distance.names.(v) else None in
+      let id = Tree.Builder.add_child ?name ~branch_length:(Float.max 0.0 len) b ~parent in
+      List.iter (attach id) children.(v)
+    in
+    (* attach recurses once per tree edge with depth bounded by the join
+       tree height (~log n on random inputs, n worst case) — acceptable
+       for the few-thousand-taxon inputs NJ is used on. *)
+    if !count = 3 then begin
+      let a = active.(0) and bb = active.(1) and c = active.(2) in
+      let dab = get a bb and dac = get a c and dbc = get bb c in
+      let la = Float.max 0.0 ((dab +. dac -. dbc) /. 2.0) in
+      let lb = Float.max 0.0 ((dab +. dbc -. dac) /. 2.0) in
+      let lc = Float.max 0.0 ((dac +. dbc -. dab) /. 2.0) in
+      attach root (a, la);
+      attach root (bb, lb);
+      attach root (c, lc)
+    end
+    else begin
+      let a = active.(0) and bb = active.(1) in
+      let dab = get a bb in
+      attach root (a, dab /. 2.0);
+      attach root (bb, dab /. 2.0)
+    end;
+    Tree.Builder.finish b
+  end

@@ -1,0 +1,11 @@
+(** Neighbor joining (Saitou & Nei 1987).
+
+    The workhorse distance method: statistically consistent on additive
+    distances, O(n³). The result is an unrooted binary tree represented
+    with a trifurcating root (the final three-way join); compare with
+    {!Crimson_tree.Metrics.robinson_foulds_unrooted}, or root it first
+    with {!Reroot}. *)
+
+val reconstruct : Distance.t -> Crimson_tree.Tree.t
+(** Raises [Invalid_argument] on matrices smaller than 2. Negative
+    branch-length estimates are clamped to zero (standard practice). *)

@@ -1,0 +1,264 @@
+module Tree = Crimson_tree.Tree
+module Prng = Crimson_util.Prng
+
+(* ------------------------ Pattern compression ----------------------- *)
+
+type patterns = {
+  masks : int array array; (* masks.(taxon).(pattern): 4-bit base set *)
+  weights : int array; (* occurrences of each pattern *)
+  n_sites : int;
+}
+
+let mask_of_base c =
+  match c with
+  | 'A' | 'a' -> 1
+  | 'C' | 'c' -> 2
+  | 'G' | 'g' -> 4
+  | 'T' | 't' -> 8
+  | c -> invalid_arg (Printf.sprintf "Parsimony: non-DNA character %C" c)
+
+let compress seqs =
+  let arr = Array.of_list seqs in
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Parsimony: no sequences";
+  let len = String.length (snd arr.(0)) in
+  Array.iter
+    (fun (name, s) ->
+      if String.length s <> len then
+        invalid_arg (Printf.sprintf "Parsimony: %s has a different length" name))
+    arr;
+  let column i = String.init n (fun t -> (snd arr.(t)).[i]) in
+  let table = Hashtbl.create (2 * len) in
+  let order = ref [] in
+  for i = 0 to len - 1 do
+    let c = column i in
+    match Hashtbl.find_opt table c with
+    | Some w -> Hashtbl.replace table c (w + 1)
+    | None ->
+        Hashtbl.add table c 1;
+        order := c :: !order
+  done;
+  let cols = Array.of_list (List.rev !order) in
+  let weights = Array.map (fun c -> Hashtbl.find table c) cols in
+  let masks =
+    Array.init n (fun t -> Array.map (fun c -> mask_of_base c.[t]) cols)
+  in
+  (Array.map fst arr, { masks; weights; n_sites = len })
+
+(* ------------------------- Fitch on Tree.t -------------------------- *)
+
+let fitch_score tree seqs =
+  let names, pats = compress seqs in
+  let index_of = Hashtbl.create 16 in
+  Array.iteri (fun i name -> Hashtbl.replace index_of name i) names;
+  let np = Array.length pats.weights in
+  let n = Tree.node_count tree in
+  let masks = Array.make n [||] in
+  let cost = ref 0 in
+  Array.iter
+    (fun v ->
+      if Tree.is_leaf tree v then begin
+        let name =
+          match Tree.name tree v with
+          | Some s -> s
+          | None -> invalid_arg "Parsimony.fitch_score: unnamed leaf"
+        in
+        match Hashtbl.find_opt index_of name with
+        | Some t -> masks.(v) <- Array.copy pats.masks.(t)
+        | None ->
+            invalid_arg (Printf.sprintf "Parsimony.fitch_score: no sequence for %S" name)
+      end
+      else begin
+        (* Fold children pairwise (exact for binary nodes, standard
+           generalisation for multifurcations). *)
+        let acc = ref [||] in
+        Tree.iter_children tree v (fun c ->
+            if Array.length !acc = 0 then acc := Array.copy masks.(c)
+            else begin
+              let m = !acc in
+              for p = 0 to np - 1 do
+                let inter = m.(p) land masks.(c).(p) in
+                if inter <> 0 then m.(p) <- inter
+                else begin
+                  m.(p) <- m.(p) lor masks.(c).(p);
+                  cost := !cost + pats.weights.(p)
+                end
+              done
+            end);
+        masks.(v) <- !acc
+      end)
+    (Tree.postorder tree);
+  !cost
+
+(* --------------------- Search over binary topologies ---------------- *)
+
+type pt =
+  | Leaf of int
+  | Node of pt * pt
+
+let rec pt_size = function Leaf _ -> 1 | Node (l, r) -> pt_size l + pt_size r
+
+(* Fitch score of a candidate topology over compressed patterns. *)
+let score pats pt =
+  let np = Array.length pats.weights in
+  let cost = ref 0 in
+  let rec go = function
+    | Leaf t -> pats.masks.(t)
+    | Node (l, r) ->
+        let ml = go l and mr = go r in
+        let m = Array.make np 0 in
+        for p = 0 to np - 1 do
+          let inter = ml.(p) land mr.(p) in
+          if inter <> 0 then m.(p) <- inter
+          else begin
+            m.(p) <- ml.(p) lor mr.(p);
+            cost := !cost + pats.weights.(p)
+          end
+        done;
+        m
+  in
+  ignore (go pt);
+  !cost
+
+(* All trees obtained by attaching [leaf] to one edge of [t] (including
+   above the root). Persistent sharing keeps this O(edges) trees of
+   O(depth) fresh nodes each. *)
+let insertions t leaf =
+  let rec go t =
+    let here = Node (t, leaf) in
+    match t with
+    | Leaf _ -> [ here ]
+    | Node (l, r) ->
+        here
+        :: (List.map (fun l' -> Node (l', r)) (go l)
+           @ List.map (fun r' -> Node (l, r')) (go r))
+  in
+  go t
+
+(* NNI neighbours: for every internal edge (u = Node(a,b)) under parent
+   with sibling c, the two alternative quartets. *)
+let nni_neighbours t =
+  let rec go t =
+    match t with
+    | Leaf _ -> []
+    | Node (l, r) ->
+        let local =
+          match (l, r) with
+          | Node (a, b), c -> [ Node (Node (a, c), b); Node (Node (b, c), a) ]
+          | c, Node (a, b) -> [ Node (Node (a, c), b); Node (Node (b, c), a) ]
+          | Leaf _, Leaf _ -> []
+        in
+        local
+        @ List.map (fun l' -> Node (l', r)) (go l)
+        @ List.map (fun r' -> Node (l, r')) (go r)
+  in
+  go t
+
+(* ------------------------ Output conversion ------------------------- *)
+
+(* Branch lengths from a Fitch assignment: fraction of sites whose state
+   changes along the edge. *)
+let to_tree names pats pt =
+  let np = Array.length pats.weights in
+  let total_sites = float_of_int pats.n_sites in
+  (* Bottom-up masks. *)
+  let rec masks_of = function
+    | Leaf t -> (pats.masks.(t), `Leaf t)
+    | Node (l, r) ->
+        let ml, sl = masks_of l and mr, sr = masks_of r in
+        let m = Array.make np 0 in
+        for p = 0 to np - 1 do
+          let inter = ml.(p) land mr.(p) in
+          m.(p) <- (if inter <> 0 then inter else ml.(p) lor mr.(p))
+        done;
+        (m, `Node ((ml, sl), (mr, sr)))
+  in
+  let root_masks, skel = masks_of pt in
+  let b = Tree.Builder.create () in
+  let low_bit m = m land -m in
+  let root_states = Array.map low_bit root_masks in
+  let root = Tree.Builder.add_root b in
+  let rec emit parent parent_states (masks, skel) =
+    let states =
+      Array.mapi
+        (fun p m ->
+          if m land parent_states.(p) <> 0 then m land parent_states.(p) else low_bit m)
+        masks
+    in
+    let changes = ref 0 in
+    Array.iteri
+      (fun p s -> if s <> parent_states.(p) then changes := !changes + pats.weights.(p))
+      states;
+    let branch_length = float_of_int !changes /. total_sites in
+    match skel with
+    | `Leaf t ->
+        ignore (Tree.Builder.add_child ~name:names.(t) ~branch_length b ~parent)
+    | `Node (l, r) ->
+        let id = Tree.Builder.add_child ~branch_length b ~parent in
+        emit id states l;
+        emit id states r
+  in
+  (match skel with
+  | `Leaf t ->
+      ignore (Tree.Builder.add_child ~name:names.(t) ~branch_length:0.0 b ~parent:root)
+  | `Node (l, r) ->
+      emit root root_states l;
+      emit root root_states r);
+  Tree.Builder.finish b
+
+let search_once rng pats n ~nni_rounds =
+  let order = Array.init n Fun.id in
+  Prng.shuffle rng order;
+  (* Greedy stepwise addition. *)
+  let tree = ref (Node (Leaf order.(0), Leaf order.(1))) in
+  for i = 2 to n - 1 do
+    let leaf = Leaf order.(i) in
+    let candidates = insertions !tree leaf in
+    let best =
+      List.fold_left
+        (fun (bt, bs) c ->
+          let s = score pats c in
+          if s < bs then (c, s) else (bt, bs))
+        (List.hd candidates, score pats (List.hd candidates))
+        (List.tl candidates)
+    in
+    tree := fst best
+  done;
+  (* NNI hill climbing. *)
+  let current = ref !tree in
+  let current_score = ref (score pats !current) in
+  let improved = ref true in
+  let rounds = ref 0 in
+  while !improved && !rounds < nni_rounds do
+    incr rounds;
+    improved := false;
+    List.iter
+      (fun cand ->
+        let s = score pats cand in
+        if s < !current_score then begin
+          current := cand;
+          current_score := s;
+          improved := true
+        end)
+      (nni_neighbours !current)
+  done;
+  (!current, !current_score)
+
+let reconstruct ?rng ?(nni_rounds = 8) seqs =
+  let rng = match rng with Some r -> r | None -> Prng.create 0 in
+  let names, pats = compress seqs in
+  let n = Array.length names in
+  if n < 2 then invalid_arg "Parsimony.reconstruct: need at least 2 taxa";
+  (* Random-restart hill climbing: a few independent addition orders
+     escape most NNI local optima at small extra cost. *)
+  let restarts = 3 in
+  let best = ref None in
+  for _ = 1 to restarts do
+    let t, s = search_once rng pats n ~nni_rounds in
+    match !best with
+    | Some (_, bs) when bs <= s -> ()
+    | Some _ | None -> best := Some (t, s)
+  done;
+  let t = match !best with Some (t, _) -> t | None -> assert false in
+  assert (pt_size t = n);
+  to_tree names pats t

@@ -1,0 +1,23 @@
+(** Maximum parsimony reconstruction.
+
+    The character-based contrast to the distance methods: score a
+    topology by the minimum number of substitutions needed to explain the
+    sequences (Fitch's algorithm, with site-pattern compression), search
+    topology space by greedy stepwise addition followed by
+    nearest-neighbor-interchange hill climbing. Branch lengths on the
+    output are per-edge average substitution counts. *)
+
+val fitch_score : Crimson_tree.Tree.t -> (string * string) list -> int
+(** Parsimony score of the given leaf-labelled tree. Raises
+    [Invalid_argument] when a leaf has no sequence, sequences disagree in
+    length, or the alphabet is not ACGT. *)
+
+val reconstruct :
+  ?rng:Crimson_util.Prng.t ->
+  ?nni_rounds:int ->
+  (string * string) list ->
+  Crimson_tree.Tree.t
+(** Stepwise addition in a randomised taxon order (deterministic for a
+    given [rng]; default seed 0), then at most [nni_rounds] (default 8)
+    sweeps of NNI hill climbing. Raises [Invalid_argument] on fewer than
+    2 taxa. *)

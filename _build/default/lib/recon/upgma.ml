@@ -1,0 +1,91 @@
+module Tree = Crimson_tree.Tree
+
+(* Clusters carry (member count, height, builder subtree as a closure to
+   attach under a parent). Subtrees are built bottom-up with explicit
+   node records, converted to a Tree.t at the end. *)
+type cluster = {
+  size : int;
+  height : float;
+  node : int; (* index into the node arrays *)
+}
+
+let reconstruct (dm : Distance.t) =
+  let n = Distance.size dm in
+  if n < 2 then invalid_arg "Upgma.reconstruct: need at least 2 taxa";
+  (* Node arrays for up to 2n-1 nodes. *)
+  let total = (2 * n) - 1 in
+  let left = Array.make total (-1) in
+  let right = Array.make total (-1) in
+  let height = Array.make total 0.0 in
+  let next = ref n in
+  (* Active clusters and a mutable distance matrix (average linkage). *)
+  let active = ref (List.init n (fun i -> { size = 1; height = 0.0; node = i })) in
+  let d = Hashtbl.create (n * n) in
+  let dist_key a b = (min a b * total) + max a b in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      Hashtbl.replace d (dist_key i j) (Distance.get dm i j)
+    done
+  done;
+  let dist a b = Hashtbl.find d (dist_key a.node b.node) in
+  while List.length !active > 1 do
+    (* Find the closest pair. *)
+    let best = ref None in
+    let rec pairs = function
+      | [] -> ()
+      | a :: rest ->
+          List.iter
+            (fun b ->
+              let dv = dist a b in
+              match !best with
+              | Some (_, _, best_d) when dv >= best_d -> ()
+              | _ -> best := Some (a, b, dv))
+            rest;
+          pairs rest
+    in
+    pairs !active;
+    let a, b, dv =
+      match !best with Some x -> x | None -> assert false
+    in
+    let merged_node = !next in
+    incr next;
+    left.(merged_node) <- a.node;
+    right.(merged_node) <- b.node;
+    height.(merged_node) <- dv /. 2.0;
+    let merged = { size = a.size + b.size; height = dv /. 2.0; node = merged_node } in
+    let remaining = List.filter (fun c -> c != a && c != b) !active in
+    (* Average-linkage update. *)
+    List.iter
+      (fun c ->
+        let da = Hashtbl.find d (dist_key a.node c.node) in
+        let db = Hashtbl.find d (dist_key b.node c.node) in
+        let v =
+          ((float_of_int a.size *. da) +. (float_of_int b.size *. db))
+          /. float_of_int (a.size + b.size)
+        in
+        Hashtbl.replace d (dist_key merged_node c.node) v)
+      remaining;
+    active := merged :: remaining
+  done;
+  let root = (List.hd !active).node in
+  (* Convert to a Tree.t; edge length = parent height - child height. *)
+  let b = Tree.Builder.create ~capacity:total () in
+  let stack = Crimson_util.Vec.create () in
+  let ids = Array.make total Tree.nil in
+  Crimson_util.Vec.push stack (root, Tree.nil);
+  while not (Crimson_util.Vec.is_empty stack) do
+    let v, parent = Crimson_util.Vec.pop stack in
+    let name = if v < n then Some dm.Distance.names.(v) else None in
+    let id =
+      if parent = Tree.nil then Tree.Builder.add_root ?name b
+      else
+        let branch_length = Float.max 0.0 (height.(parent) -. height.(v)) in
+        Tree.Builder.add_child ?name ~branch_length b ~parent:ids.(parent)
+    in
+    ids.(v) <- id;
+    if v >= n then begin
+      Crimson_util.Vec.push stack (right.(v), v);
+      Crimson_util.Vec.push stack (left.(v), v)
+    end
+  done;
+  Tree.Builder.finish b

@@ -1,0 +1,10 @@
+(** UPGMA (average-linkage) clustering.
+
+    The classic distance method: repeatedly merge the closest pair of
+    clusters, heights equal to half the inter-cluster distance. Produces
+    a rooted, ultrametric binary tree — accurate when evolution is
+    clock-like, a known-biased baseline otherwise, which is exactly why
+    the Benchmark Manager compares it against NJ. *)
+
+val reconstruct : Distance.t -> Crimson_tree.Tree.t
+(** Raises [Invalid_argument] on a matrix smaller than 2. *)

@@ -1,0 +1,1 @@
+lib/sim/matrix4.mli:

@@ -1,0 +1,1 @@
+lib/sim/models.ml: Array Crimson_tree Crimson_util Hashtbl List Printf

@@ -1,0 +1,1 @@
+lib/sim/models.mli: Crimson_tree Crimson_util

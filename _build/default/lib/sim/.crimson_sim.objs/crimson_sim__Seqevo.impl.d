@@ -1,0 +1,1 @@
+lib/sim/seqevo.ml: Array Crimson_tree Crimson_util Float Hashtbl List Matrix4 Printf String

@@ -1,0 +1,1 @@
+lib/sim/seqevo.mli: Crimson_tree Crimson_util Matrix4

@@ -1,0 +1,63 @@
+type t = float array array
+
+let zero () = Array.init 4 (fun _ -> Array.make 4 0.0)
+
+let identity () =
+  let m = zero () in
+  for i = 0 to 3 do
+    m.(i).(i) <- 1.0
+  done;
+  m
+
+let of_rows rows =
+  if Array.length rows <> 4 || Array.exists (fun r -> Array.length r <> 4) rows then
+    invalid_arg "Matrix4.of_rows: need a 4x4 array";
+  Array.map Array.copy rows
+
+let add a b = Array.init 4 (fun i -> Array.init 4 (fun j -> a.(i).(j) +. b.(i).(j)))
+let scale s a = Array.map (Array.map (fun x -> s *. x)) a
+
+let mul a b =
+  let c = zero () in
+  for i = 0 to 3 do
+    for k = 0 to 3 do
+      let aik = a.(i).(k) in
+      if aik <> 0.0 then
+        for j = 0 to 3 do
+          c.(i).(j) <- c.(i).(j) +. (aik *. b.(k).(j))
+        done
+    done
+  done;
+  c
+
+let max_abs a =
+  Array.fold_left
+    (fun acc row -> Array.fold_left (fun acc x -> Float.max acc (Float.abs x)) acc row)
+    0.0 a
+
+let expm a =
+  (* Scale so the norm is below 1/2, take a 16-term Taylor series, then
+     square back. For 4x4 rate matrices (norm rarely above ~100) this is
+     both fast and accurate. *)
+  let norm = max_abs a in
+  let squarings =
+    if norm <= 0.5 then 0 else int_of_float (Float.ceil (Float.log2 (norm /. 0.5)))
+  in
+  let scaled = scale (1.0 /. Float.pow 2.0 (float_of_int squarings)) a in
+  let result = ref (identity ()) in
+  let term = ref (identity ()) in
+  for k = 1 to 16 do
+    term := scale (1.0 /. float_of_int k) (mul !term scaled);
+    result := add !result !term
+  done;
+  for _ = 1 to squarings do
+    result := mul !result !result
+  done;
+  !result
+
+let row_stochastic ?(tolerance = 1e-9) m =
+  Array.for_all
+    (fun row ->
+      Array.for_all (fun x -> x >= -.tolerance) row
+      && Float.abs (Array.fold_left ( +. ) 0.0 row -. 1.0) <= tolerance)
+    m

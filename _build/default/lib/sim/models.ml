@@ -1,0 +1,287 @@
+module Tree = Crimson_tree.Tree
+module Ops = Crimson_tree.Ops
+module Prng = Crimson_util.Prng
+module Vec = Crimson_util.Vec
+
+let nil = -1
+
+(* Build a Tree.t from parallel arrays where parents may be created after
+   children (coalescent): iterative preorder construction. *)
+let tree_of_arrays ~root ~parent ~blen ~name n =
+  let children = Array.make n [] in
+  for v = n - 1 downto 0 do
+    if v <> root && parent.(v) <> nil then children.(parent.(v)) <- v :: children.(parent.(v))
+  done;
+  let b = Tree.Builder.create ~capacity:n () in
+  let ids = Array.make n Tree.nil in
+  let stack = Vec.create () in
+  Vec.push stack root;
+  while not (Vec.is_empty stack) do
+    let v = Vec.pop stack in
+    if v = root then ids.(v) <- Tree.Builder.add_root ?name:(name v) b
+    else
+      ids.(v) <-
+        Tree.Builder.add_child ?name:(name v) ~branch_length:blen.(v) b
+          ~parent:ids.(parent.(v));
+    List.iter (fun c -> Vec.push stack c) (List.rev children.(v))
+  done;
+  Tree.Builder.finish b
+
+(* ------------------------------- Yule ------------------------------ *)
+
+let yule ~rng ~leaves ?(birth_rate = 1.0) () =
+  if leaves < 1 then invalid_arg "Models.yule: need at least one leaf";
+  if birth_rate <= 0.0 then invalid_arg "Models.yule: birth rate must be positive";
+  let b = Tree.Builder.create ~capacity:(2 * leaves) () in
+  let root = Tree.Builder.add_root b in
+  if leaves = 1 then begin
+    ignore (Tree.Builder.add_child ~name:"T0" ~branch_length:1.0 b ~parent:root);
+    Tree.Builder.finish b
+  end
+  else begin
+    (* Active lineages: (parent node in builder, birth time). The root is
+       the first speciation, so it starts with two lineages — keeping
+       every internal node binary. A global clock avoids touching every
+       lineage per event (O(n) total instead of O(n²)). *)
+    let active = Vec.create () in
+    let now = ref 0.0 in
+    Vec.push active (root, 0.0);
+    Vec.push active (root, 0.0);
+    while Vec.length active < leaves do
+      let k = Vec.length active in
+      now := !now +. Prng.exponential rng ~rate:(birth_rate *. float_of_int k);
+      let i = Prng.int rng k in
+      let p, born = Vec.get active i in
+      let v = Tree.Builder.add_child ~branch_length:(!now -. born) b ~parent:p in
+      (* Replace the split lineage with its two daughters. *)
+      Vec.set active i (v, !now);
+      Vec.push active (v, !now)
+    done;
+    (* One final waiting time so the youngest edges are not zero. *)
+    let k = Vec.length active in
+    now := !now +. Prng.exponential rng ~rate:(birth_rate *. float_of_int k);
+    let counter = ref 0 in
+    Vec.iter
+      (fun (p, born) ->
+        let name = Printf.sprintf "T%d" !counter in
+        incr counter;
+        ignore (Tree.Builder.add_child ~name ~branch_length:(!now -. born) b ~parent:p))
+      active;
+    Tree.Builder.finish b
+  end
+
+(* ---------------------------- Birth-death -------------------------- *)
+
+let birth_death ~rng ~leaves ?(birth_rate = 1.0) ?(death_rate = 0.3) () =
+  if leaves < 1 then invalid_arg "Models.birth_death: need at least one leaf";
+  if birth_rate <= 0.0 || death_rate < 0.0 then
+    invalid_arg "Models.birth_death: rates must be positive";
+  if death_rate >= birth_rate then
+    invalid_arg "Models.birth_death: death rate must be below birth rate";
+  let attempt () =
+    let b = Tree.Builder.create ~capacity:(4 * leaves) () in
+    let root = Tree.Builder.add_root b in
+    let active = Vec.create () in
+    let now = ref 0.0 in
+    Vec.push active (root, 0.0);
+    let events = ref 0 in
+    let failed = ref false in
+    while (not !failed) && Vec.length active < leaves do
+      incr events;
+      if !events > 1000 * leaves then failed := true
+      else begin
+        let k = Vec.length active in
+        if k = 0 then failed := true
+        else begin
+          let total_rate = (birth_rate +. death_rate) *. float_of_int k in
+          now := !now +. Prng.exponential rng ~rate:total_rate;
+          let i = Prng.int rng k in
+          let p, born = Vec.get active i in
+          if Prng.float rng (birth_rate +. death_rate) < birth_rate then begin
+            let v = Tree.Builder.add_child ~branch_length:(!now -. born) b ~parent:p in
+            Vec.set active i (v, !now);
+            Vec.push active (v, !now)
+          end
+          else begin
+            (* Extinction: materialise a doomed leaf and drop the lineage. *)
+            ignore
+              (Tree.Builder.add_child ~name:"@extinct" ~branch_length:(!now -. born) b
+                 ~parent:p);
+            let last = Vec.pop active in
+            if i < Vec.length active then Vec.set active i last
+          end
+        end
+      end
+    done;
+    if !failed then None
+    else begin
+      now :=
+        !now
+        +. Prng.exponential rng
+             ~rate:((birth_rate +. death_rate) *. float_of_int (Vec.length active));
+      let counter = ref 0 in
+      Vec.iter
+        (fun (p, born) ->
+          let name = Printf.sprintf "T%d" !counter in
+          incr counter;
+          ignore (Tree.Builder.add_child ~name ~branch_length:(!now -. born) b ~parent:p))
+        active;
+      let full = Tree.Builder.finish b in
+      match
+        Ops.prune_leaves full (fun l -> Tree.name full l = Some "@extinct")
+      with
+      | None -> None
+      | Some pruned ->
+          let cleaned = Ops.suppress_unary pruned in
+          if Tree.leaf_count cleaned = leaves then Some cleaned else None
+    end
+  in
+  let rec retry n =
+    if n = 0 then
+      invalid_arg "Models.birth_death: failed to reach the target leaf count"
+    else
+      match attempt () with
+      | Some t -> t
+      | None -> retry (n - 1)
+  in
+  retry 1000
+
+(* ---------------------------- Coalescent --------------------------- *)
+
+let coalescent ~rng ~leaves ?(pop_size = 1.0) () =
+  if leaves < 1 then invalid_arg "Models.coalescent: need at least one leaf";
+  if pop_size <= 0.0 then invalid_arg "Models.coalescent: population must be positive";
+  if leaves = 1 then begin
+    let b = Tree.Builder.create () in
+    ignore (Tree.Builder.add_root ~name:"T0" b);
+    Tree.Builder.finish b
+  end
+  else begin
+    let total = (2 * leaves) - 1 in
+    let parent = Array.make total nil in
+    let blen = Array.make total 0.0 in
+    let time = Array.make total 0.0 in
+    let next = ref leaves in
+    (* Lineage pool starts as the leaf ids. *)
+    let pool = Vec.create () in
+    for i = 0 to leaves - 1 do
+      Vec.push pool i
+    done;
+    let now = ref 0.0 in
+    while Vec.length pool > 1 do
+      let k = Vec.length pool in
+      let pairs = float_of_int (k * (k - 1) / 2) in
+      now := !now +. Prng.exponential rng ~rate:(pairs /. pop_size);
+      (* Merge two distinct random lineages. *)
+      let i = Prng.int rng k in
+      let j0 = Prng.int rng (k - 1) in
+      let j = if j0 >= i then j0 + 1 else j0 in
+      let a = Vec.get pool i and b = Vec.get pool j in
+      let v = !next in
+      incr next;
+      parent.(a) <- v;
+      parent.(b) <- v;
+      blen.(a) <- !now -. time.(a);
+      blen.(b) <- !now -. time.(b);
+      time.(v) <- !now;
+      (* Replace slot i with v, remove slot j. *)
+      Vec.set pool i v;
+      let last = Vec.pop pool in
+      if j < Vec.length pool then Vec.set pool j last
+    done;
+    let root = Vec.get pool 0 in
+    tree_of_arrays ~root ~parent ~blen
+      ~name:(fun v -> if v < leaves then Some (Printf.sprintf "T%d" v) else None)
+      total
+  end
+
+(* ------------------------- Deterministic shapes --------------------- *)
+
+let jitter rng base = base *. (0.8 +. Prng.float rng 0.4)
+
+let caterpillar ~rng ~leaves ?(branch_length = 1.0) () =
+  if leaves < 1 then invalid_arg "Models.caterpillar: need at least one leaf";
+  let b = Tree.Builder.create ~capacity:(2 * leaves) () in
+  let spine = ref (Tree.Builder.add_root b) in
+  for i = 0 to leaves - 2 do
+    ignore
+      (Tree.Builder.add_child ~name:(Printf.sprintf "T%d" i)
+         ~branch_length:(jitter rng branch_length) b ~parent:!spine);
+    if i < leaves - 2 then
+      spine :=
+        Tree.Builder.add_child ~branch_length:(jitter rng branch_length) b
+          ~parent:!spine
+  done;
+  ignore
+    (Tree.Builder.add_child
+       ~name:(Printf.sprintf "T%d" (max 0 (leaves - 1)))
+       ~branch_length:(jitter rng branch_length) b ~parent:!spine);
+  Tree.Builder.finish b
+
+let balanced ~rng ~height ?(branch_length = 1.0) () =
+  if height < 0 then invalid_arg "Models.balanced: negative height";
+  let b = Tree.Builder.create () in
+  let root = Tree.Builder.add_root b in
+  let counter = ref 0 in
+  (* Breadth-first expansion avoids recursion depth issues. *)
+  let frontier = ref [ (root, height) ] in
+  while !frontier <> [] do
+    let batch = !frontier in
+    frontier := [];
+    List.iter
+      (fun (node, level) ->
+        if level > 0 then
+          for _ = 1 to 2 do
+            let name =
+              if level = 1 then begin
+                let s = Printf.sprintf "T%d" !counter in
+                incr counter;
+                Some s
+              end
+              else None
+            in
+            let c =
+              Tree.Builder.add_child ?name ~branch_length:(jitter rng branch_length) b
+                ~parent:node
+            in
+            frontier := (c, level - 1) :: !frontier
+          done)
+      batch
+  done;
+  Tree.Builder.finish b
+
+let random_attachment ~rng ~leaves ?(max_children = 8) () =
+  if leaves < 1 then invalid_arg "Models.random_attachment: need at least one leaf";
+  if max_children < 2 then invalid_arg "Models.random_attachment: max_children >= 2";
+  let b = Tree.Builder.create ~capacity:(2 * leaves) () in
+  let root = Tree.Builder.add_root b in
+  let eligible = Vec.create () in
+  let degree = Hashtbl.create 64 in
+  Vec.push eligible root;
+  Hashtbl.replace degree root 0;
+  (* The root alone counts as one leaf; attaching below a leaf keeps the
+     leaf count, attaching below an internal node raises it by one. *)
+  let leaf_count = ref 1 in
+  while !leaf_count < leaves do
+    (* Pick a random eligible node; swap-remove when it reaches capacity. *)
+    let i = Prng.int rng (Vec.length eligible) in
+    let p = Vec.get eligible i in
+    if Hashtbl.find degree p > 0 then incr leaf_count;
+    let c =
+      Tree.Builder.add_child ~branch_length:(0.1 +. Prng.float rng 1.9) b ~parent:p
+    in
+    Hashtbl.replace degree c 0;
+    Vec.push eligible c;
+    let d = Hashtbl.find degree p + 1 in
+    Hashtbl.replace degree p d;
+    if d >= max_children then begin
+      let last = Vec.pop eligible in
+      if last <> p then begin
+        (* p may no longer be at index i after the push; find and replace. *)
+        let idx = ref (-1) in
+        Vec.iteri (fun j x -> if x = p then idx := j) eligible;
+        if !idx >= 0 then Vec.set eligible !idx last else Vec.push eligible last
+      end
+    end
+  done;
+  Ops.rename_leaves (Tree.Builder.finish b) ~prefix:"T"

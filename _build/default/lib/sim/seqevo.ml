@@ -1,0 +1,251 @@
+module Tree = Crimson_tree.Tree
+module Prng = Crimson_util.Prng
+
+type model =
+  | JC69
+  | K2P of { kappa : float }
+  | HKY85 of {
+      kappa : float;
+      pi : float array;
+    }
+  | GTR of {
+      rates : float array;
+      pi : float array;
+    }
+
+exception Invalid_model of string
+
+let invalid fmt = Printf.ksprintf (fun s -> raise (Invalid_model s)) fmt
+
+let check_pi pi =
+  if Array.length pi <> 4 then invalid "base frequencies must have 4 entries";
+  Array.iter (fun p -> if p <= 0.0 then invalid "base frequencies must be positive") pi;
+  let s = Array.fold_left ( +. ) 0.0 pi in
+  if Float.abs (s -. 1.0) > 1e-6 then invalid "base frequencies must sum to 1 (got %g)" s
+
+let uniform_pi = [| 0.25; 0.25; 0.25; 0.25 |]
+
+let stationary = function
+  | JC69 | K2P _ -> Array.copy uniform_pi
+  | HKY85 { pi; _ } | GTR { pi; _ } ->
+      check_pi pi;
+      Array.copy pi
+
+(* Exchangeability matrix entries in GTR order AC,AG,AT,CG,CT,GT; bases
+   indexed A=0, C=1, G=2, T=3. Transitions are A<->G and C<->T. *)
+let exchangeabilities = function
+  | JC69 -> [| 1.0; 1.0; 1.0; 1.0; 1.0; 1.0 |]
+  | K2P { kappa } | HKY85 { kappa; _ } ->
+      if kappa <= 0.0 then invalid "kappa must be positive";
+      [| 1.0; kappa; 1.0; 1.0; kappa; 1.0 |]
+  | GTR { rates; _ } ->
+      if Array.length rates <> 6 then invalid "GTR needs 6 exchangeabilities";
+      Array.iter (fun r -> if r <= 0.0 then invalid "GTR rates must be positive") rates;
+      Array.copy rates
+
+let pair_index i j =
+  match (min i j, max i j) with
+  | 0, 1 -> 0
+  | 0, 2 -> 1
+  | 0, 3 -> 2
+  | 1, 2 -> 3
+  | 1, 3 -> 4
+  | 2, 3 -> 5
+  | _ -> assert false
+
+let rate_matrix model =
+  let pi = stationary model in
+  let ex = exchangeabilities model in
+  let q = Matrix4.zero () in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if i <> j then q.(i).(j) <- ex.(pair_index i j) *. pi.(j)
+    done
+  done;
+  for i = 0 to 3 do
+    q.(i).(i) <- -.(q.(i).(0) +. q.(i).(1) +. q.(i).(2) +. q.(i).(3)) +. q.(i).(i)
+  done;
+  (* Normalise to one expected substitution per unit time. *)
+  let mu = ref 0.0 in
+  for i = 0 to 3 do
+    mu := !mu -. (pi.(i) *. q.(i).(i))
+  done;
+  Matrix4.scale (1.0 /. !mu) q
+
+let transition_matrix model t =
+  if t < 0.0 then invalid_arg "Seqevo.transition_matrix: negative time";
+  Matrix4.expm (Matrix4.scale t (rate_matrix model))
+
+let bases = [| 'A'; 'C'; 'G'; 'T' |]
+let base_of_index i = bases.(i)
+
+let index_of_base = function
+  | 'A' | 'a' -> 0
+  | 'C' | 'c' -> 1
+  | 'G' | 'g' -> 2
+  | 'T' | 't' -> 3
+  | c -> invalid_arg (Printf.sprintf "Seqevo.index_of_base: %C is not a DNA base" c)
+
+type site_rates =
+  | Uniform
+  | Gamma of {
+      alpha : float;
+      categories : int;
+    }
+
+(* Regularised lower incomplete gamma P(a, x), by series (x < a+1) or
+   continued fraction; enough accuracy for quantile bisection. *)
+let gammp a x =
+  if x < 0.0 || a <= 0.0 then invalid_arg "gammp";
+  if x = 0.0 then 0.0
+  else begin
+    let gln =
+      (* Lanczos log-gamma. *)
+      let c =
+        [|
+          76.18009172947146; -86.50532032941677; 24.01409824083091;
+          -1.231739572450155; 0.1208650973866179e-2; -0.5395239384953e-5;
+        |]
+      in
+      let x' = a in
+      let tmp = x' +. 5.5 in
+      let tmp = tmp -. ((x' +. 0.5) *. log tmp) in
+      let ser = ref 1.000000000190015 in
+      for j = 0 to 5 do
+        ser := !ser +. (c.(j) /. (x' +. float_of_int (j + 1)))
+      done;
+      -.tmp +. log (2.5066282746310005 *. !ser /. x')
+    in
+    if x < a +. 1.0 then begin
+      (* Series representation. *)
+      let ap = ref a in
+      let sum = ref (1.0 /. a) in
+      let del = ref !sum in
+      (try
+         for _ = 1 to 200 do
+           ap := !ap +. 1.0;
+           del := !del *. x /. !ap;
+           sum := !sum +. !del;
+           if Float.abs !del < Float.abs !sum *. 1e-14 then raise Exit
+         done
+       with Exit -> ());
+      !sum *. exp ((-.x) +. (a *. log x) -. gln)
+    end
+    else begin
+      (* Continued fraction for Q(a,x), then P = 1 - Q. *)
+      let fpmin = 1e-300 in
+      let b = ref (x +. 1.0 -. a) in
+      let c = ref (1.0 /. fpmin) in
+      let d = ref (1.0 /. !b) in
+      let h = ref !d in
+      (try
+         for i = 1 to 200 do
+           let an = -.float_of_int i *. (float_of_int i -. a) in
+           b := !b +. 2.0;
+           d := (an *. !d) +. !b;
+           if Float.abs !d < fpmin then d := fpmin;
+           c := !b +. (an /. !c);
+           if Float.abs !c < fpmin then c := fpmin;
+           d := 1.0 /. !d;
+           let del = !d *. !c in
+           h := !h *. del;
+           if Float.abs (del -. 1.0) < 1e-14 then raise Exit
+         done
+       with Exit -> ());
+      1.0 -. (exp ((-.x) +. (a *. log x) -. gln) *. !h)
+    end
+  end
+
+(* Quantile of Gamma(shape=a, scale=1/a) (mean 1) by bisection. *)
+let gamma_quantile ~alpha p =
+  let cdf x = gammp alpha (x *. alpha) in
+  let rec widen hi = if cdf hi < p then widen (2.0 *. hi) else hi in
+  let hi = widen 2.0 in
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.0
+    else
+      let mid = (lo +. hi) /. 2.0 in
+      if cdf mid < p then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+  in
+  bisect 0.0 hi 80
+
+let gamma_category_rates ~alpha ~categories =
+  if alpha <= 0.0 then invalid_arg "Seqevo: gamma alpha must be positive";
+  if categories < 1 then invalid_arg "Seqevo: need at least one gamma category";
+  let raw =
+    Array.init categories (fun i ->
+        let p = (2.0 *. float_of_int i +. 1.0) /. (2.0 *. float_of_int categories) in
+        gamma_quantile ~alpha p)
+  in
+  (* Normalise to mean exactly 1 so branch lengths keep their meaning. *)
+  let mean = Array.fold_left ( +. ) 0.0 raw /. float_of_int categories in
+  Array.map (fun r -> r /. mean) raw
+
+let gamma_rates ~rng ~alpha ~categories n =
+  let cats = gamma_category_rates ~alpha ~categories in
+  Array.init n (fun _ -> cats.(Prng.int rng categories))
+
+let sample_from_row rng row =
+  let u = Prng.float rng 1.0 in
+  let rec pick i acc =
+    if i = 3 then 3
+    else
+      let acc = acc +. row.(i) in
+      if u < acc then i else pick (i + 1) acc
+  in
+  pick 0 0.0
+
+let evolve ~rng ~model ?(site_rates = Uniform) ?root_sequence ~length tree =
+  let q = rate_matrix model in
+  let pi = stationary model in
+  let root_seq =
+    match root_sequence with
+    | Some s ->
+        Array.init (String.length s) (fun i -> index_of_base s.[i])
+    | None ->
+        if length <= 0 then invalid_arg "Seqevo.evolve: length must be positive";
+        Array.init length (fun _ -> Prng.discrete rng pi)
+  in
+  let n_sites = Array.length root_seq in
+  let site_rate =
+    match site_rates with
+    | Uniform -> Array.make n_sites 1.0
+    | Gamma { alpha; categories } ->
+        let cats = gamma_category_rates ~alpha ~categories in
+        Array.init n_sites (fun _ -> cats.(Prng.int rng categories))
+  in
+  (* Distinct per-site rates share transition matrices per edge: one expm
+     per (edge, distinct rate). *)
+  let distinct_rates =
+    Array.to_list site_rate |> List.sort_uniq compare |> Array.of_list
+  in
+  let rate_index =
+    let tbl = Hashtbl.create 8 in
+    Array.iteri (fun i r -> Hashtbl.replace tbl r i) distinct_rates;
+    Array.map (fun r -> Hashtbl.find tbl r) site_rate
+  in
+  let results = ref [] in
+  (* Iterative DFS carrying each path's sequence. *)
+  let stack = Crimson_util.Vec.create () in
+  Crimson_util.Vec.push stack (Tree.root tree, root_seq);
+  while not (Crimson_util.Vec.is_empty stack) do
+    let node, seq = Crimson_util.Vec.pop stack in
+    if Tree.is_leaf tree node then begin
+      match Tree.name tree node with
+      | Some name ->
+          let s = String.init n_sites (fun i -> base_of_index seq.(i)) in
+          results := (name, s) :: !results
+      | None -> ()
+    end
+    else
+      Tree.iter_children tree node (fun child ->
+          let t = Tree.branch_length tree child in
+          let mats =
+            Array.map (fun r -> Matrix4.expm (Matrix4.scale (t *. r) q)) distinct_rates
+          in
+          let child_seq =
+            Array.mapi (fun i b -> sample_from_row rng mats.(rate_index.(i)).(b)) seq
+          in
+          Crimson_util.Vec.push stack (child, child_seq))
+  done;
+  List.rev !results

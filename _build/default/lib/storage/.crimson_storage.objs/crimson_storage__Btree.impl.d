@@ -1,0 +1,1 @@
+lib/storage/btree.ml: Array Bytes Crimson_util Hashtbl List Page Pager Printf String

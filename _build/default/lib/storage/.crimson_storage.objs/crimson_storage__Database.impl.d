@@ -1,0 +1,1 @@
+lib/storage/database.ml: Array Btree Crimson_util Filename Fun Hashtbl Heap List Pager Printf Record String Sys Table Unix

@@ -1,0 +1,1 @@
+lib/storage/heap.ml: Bytes List Pager Printf Slotted String

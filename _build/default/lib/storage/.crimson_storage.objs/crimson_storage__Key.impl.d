@@ -1,0 +1,1 @@
+lib/storage/key.ml: Buffer Bytes Crimson_util Int64 String

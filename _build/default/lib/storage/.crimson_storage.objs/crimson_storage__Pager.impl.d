@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Array Bytes Crimson_util Fun Hashtbl List Option Page Printf Sys Unix Wal

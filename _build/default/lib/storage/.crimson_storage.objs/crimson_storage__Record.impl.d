@@ -1,0 +1,1 @@
+lib/storage/record.ml: Array Crimson_util Format Printf String

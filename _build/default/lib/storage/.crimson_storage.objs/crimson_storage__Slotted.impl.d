@@ -1,0 +1,1 @@
+lib/storage/slotted.ml: Bytes Crimson_util Page Printf String

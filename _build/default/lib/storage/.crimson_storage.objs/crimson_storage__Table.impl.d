@@ -1,0 +1,1 @@
+lib/storage/table.ml: Btree Heap Key List Printf Record String

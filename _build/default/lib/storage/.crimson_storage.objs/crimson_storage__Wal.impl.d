@@ -1,0 +1,1 @@
+lib/storage/wal.ml: Bytes Char Crimson_util List Page Unix

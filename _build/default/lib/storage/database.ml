@@ -1,0 +1,224 @@
+module Codec = Crimson_util.Codec
+
+exception Schema_mismatch of string
+
+let mismatch fmt = Printf.ksprintf (fun s -> raise (Schema_mismatch s)) fmt
+
+type catalog_entry = {
+  table_name : string;
+  schema : Record.schema;
+  index_meta : (string * bool) list; (* name, unique *)
+}
+
+type t = {
+  dir : string option; (* None = in-memory *)
+  pool_size : int;
+  durable : bool;
+  mutable catalog : catalog_entry list;
+  open_tables : (string, Table.t * Pager.t list) Hashtbl.t;
+  mutable closed : bool;
+}
+
+(* --------------------------- Catalog file -------------------------- *)
+
+let catalog_path dir = Filename.concat dir "catalog.crim"
+
+let encode_catalog entries =
+  let w = Codec.Writer.create () in
+  Codec.Writer.bytes w "CRIMCATL";
+  Codec.Writer.varint w (List.length entries);
+  List.iter
+    (fun e ->
+      Codec.Writer.string w e.table_name;
+      Codec.Writer.string w (Record.encode_schema e.schema);
+      Codec.Writer.varint w (List.length e.index_meta);
+      List.iter
+        (fun (name, unique) ->
+          Codec.Writer.string w name;
+          Codec.Writer.u8 w (if unique then 1 else 0))
+        e.index_meta)
+    entries;
+  Codec.Writer.contents w
+
+let decode_catalog payload =
+  let r = Codec.Reader.create payload in
+  if Codec.Reader.bytes r 8 <> "CRIMCATL" then
+    raise (Codec.Corrupt "catalog: bad magic");
+  let n = Codec.Reader.varint r in
+  (* Explicit accumulation: decoding must proceed left to right. *)
+  let entries = ref [] in
+  for _ = 1 to n do
+    let table_name = Codec.Reader.string r in
+    let schema = Record.decode_schema (Codec.Reader.string r) in
+    let k = Codec.Reader.varint r in
+    let index_meta = ref [] in
+    for _ = 1 to k do
+      let name = Codec.Reader.string r in
+      let unique = Codec.Reader.u8 r = 1 in
+      index_meta := (name, unique) :: !index_meta
+    done;
+    entries := { table_name; schema; index_meta = List.rev !index_meta } :: !entries
+  done;
+  List.rev !entries
+
+let load_catalog dir =
+  let path = catalog_path dir in
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let n = in_channel_length ic in
+        decode_catalog (really_input_string ic n))
+  end
+
+let save_catalog t =
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+      let tmp = catalog_path dir ^ ".tmp" in
+      let oc = open_out_bin tmp in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () -> output_string oc (encode_catalog t.catalog));
+      Sys.rename tmp (catalog_path dir)
+
+(* ----------------------------- Open/close -------------------------- *)
+
+let open_dir ?(pool_size = 256) ?(durable = false) dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Database.open_dir: %s is not a directory" dir);
+  {
+    dir = Some dir;
+    pool_size;
+    durable;
+    catalog = load_catalog dir;
+    open_tables = Hashtbl.create 8;
+    closed = false;
+  }
+
+let open_mem ?(pool_size = 256) () =
+  {
+    dir = None;
+    pool_size;
+    durable = false;
+    catalog = [];
+    open_tables = Hashtbl.create 8;
+    closed = false;
+  }
+
+let is_persistent t = t.dir <> None
+
+let check_open t = if t.closed then invalid_arg "Database: already closed"
+
+let heap_file_name name = name ^ ".heap"
+let index_file_name name index = Printf.sprintf "%s.%s.idx" name index
+
+let make_pager t file =
+  match t.dir with
+  | Some dir ->
+      Pager.create_file ~pool_size:t.pool_size ~durable:t.durable
+        (Filename.concat dir file)
+  | None -> Pager.create_mem ~pool_size:t.pool_size ()
+
+let same_schema (a : Record.schema) (b : Record.schema) =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun (n1, t1) (n2, t2) -> String.equal n1 n2 && t1 = t2) a b
+
+let table t ~name ~schema ~indexes =
+  check_open t;
+  match Hashtbl.find_opt t.open_tables name with
+  | Some (tbl, _) ->
+      if not (same_schema (Table.schema tbl) schema) then
+        mismatch "table %s already open with a different schema" name;
+      tbl
+  | None ->
+      let requested_meta =
+        List.map (fun (s : Table.index_spec) -> (s.index_name, s.unique)) indexes
+      in
+      let entry = List.find_opt (fun e -> String.equal e.table_name name) t.catalog in
+      (match entry with
+      | Some e ->
+          if not (same_schema e.schema schema) then
+            mismatch "table %s: stored schema differs" name;
+          if e.index_meta <> requested_meta then
+            mismatch "table %s: stored index set differs" name
+      | None ->
+          t.catalog <-
+            t.catalog @ [ { table_name = name; schema; index_meta = requested_meta } ];
+          save_catalog t);
+      let index_missing =
+        match t.dir with
+        | None -> []
+        | Some dir ->
+            List.filter
+              (fun (s : Table.index_spec) ->
+                entry <> None
+                && not (Sys.file_exists (Filename.concat dir (index_file_name name s.index_name))))
+              indexes
+      in
+      let heap_pager = make_pager t (heap_file_name name) in
+      let heap = Heap.create heap_pager in
+      let index_pairs =
+        List.map
+          (fun (s : Table.index_spec) ->
+            let pager = make_pager t (index_file_name name s.index_name) in
+            ((s, Btree.create pager), pager))
+          indexes
+      in
+      let tbl =
+        Table.create ~name ~schema ~heap ~indexes:(List.map fst index_pairs)
+      in
+      (* Rebuild any index whose file vanished under an existing table. *)
+      List.iter
+        (fun (s : Table.index_spec) -> Table.rebuild_index tbl ~index:s.index_name)
+        index_missing;
+      let pagers = heap_pager :: List.map snd index_pairs in
+      Hashtbl.replace t.open_tables name (tbl, pagers);
+      tbl
+
+let table_names t = List.map (fun e -> e.table_name) t.catalog
+
+let drop_table t name =
+  check_open t;
+  if not (List.exists (fun e -> String.equal e.table_name name) t.catalog) then
+    raise Not_found;
+  let entry = List.find (fun e -> String.equal e.table_name name) t.catalog in
+  (match Hashtbl.find_opt t.open_tables name with
+  | Some (_, pagers) ->
+      List.iter Pager.close pagers;
+      Hashtbl.remove t.open_tables name
+  | None -> ());
+  (match t.dir with
+  | None -> ()
+  | Some dir ->
+      let remove file =
+        let path = Filename.concat dir file in
+        if Sys.file_exists path then Sys.remove path
+      in
+      remove (heap_file_name name);
+      List.iter (fun (index, _) -> remove (index_file_name name index)) entry.index_meta);
+  t.catalog <- List.filter (fun e -> not (String.equal e.table_name name)) t.catalog;
+  save_catalog t
+
+let pager_stats t =
+  Hashtbl.fold
+    (fun name (_, pagers) acc ->
+      List.mapi (fun i p -> (Printf.sprintf "%s/%d" name i, Pager.stats p)) pagers @ acc)
+    t.open_tables []
+
+let reset_pager_stats t =
+  Hashtbl.iter (fun _ (_, pagers) -> List.iter Pager.reset_stats pagers) t.open_tables
+
+let flush t =
+  check_open t;
+  Hashtbl.iter (fun _ (tbl, _) -> Table.flush tbl) t.open_tables
+
+let close t =
+  if not t.closed then begin
+    Hashtbl.iter (fun _ (_, pagers) -> List.iter Pager.close pagers) t.open_tables;
+    Hashtbl.reset t.open_tables;
+    t.closed <- true
+  end

@@ -1,0 +1,44 @@
+(** A database: a directory of table heaps and index files plus a catalog.
+
+    Crimson opens one database per repository set (see crimson_core). The
+    catalog persists table schemas and index names; key-extraction
+    functions are code, so callers re-supply the same {!Table.index_spec}
+    list when opening — the catalog verifies names and uniqueness flags
+    and indexes whose files are missing are rebuilt from the heap. *)
+
+type t
+
+exception Schema_mismatch of string
+
+val open_dir : ?pool_size:int -> ?durable:bool -> string -> t
+(** Open or create a database in a directory (created if absent).
+    [pool_size] is the per-file buffer-pool size in pages; [durable]
+    (default false) routes write-backs through per-file write-ahead logs
+    for crash-atomic checkpoints (see {!Pager.create_file}). Committed
+    WALs left by a crash are replayed regardless of the flag. *)
+
+val open_mem : ?pool_size:int -> unit -> t
+(** Fully in-memory database with identical behaviour (tests,
+    benchmarks). *)
+
+val is_persistent : t -> bool
+
+val table :
+  t -> name:string -> schema:Record.schema -> indexes:Table.index_spec list -> Table.t
+(** Open-or-create. Raises {!Schema_mismatch} when the stored schema or
+    index set differs from the request. Idempotent: returns the cached
+    handle on repeat calls. *)
+
+val table_names : t -> string list
+(** Tables recorded in the catalog. *)
+
+val drop_table : t -> string -> unit
+(** Remove a table and its files. Raises [Not_found] for unknown names. *)
+
+val pager_stats : t -> (string * Pager.stats) list
+(** Per-file buffer pool statistics, labelled by file stem. *)
+
+val reset_pager_stats : t -> unit
+
+val flush : t -> unit
+val close : t -> unit

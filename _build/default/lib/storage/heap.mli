@@ -1,0 +1,46 @@
+(** Heap files: unordered record storage with stable record ids.
+
+    A heap file is a sequence of slotted pages behind a {!Pager}. Records
+    get a {!rid} — (page, slot) packed into an int — that never changes,
+    so indexes can point at them. Inserts go to the newest page, opening a
+    fresh page when full. *)
+
+type t
+
+type rid = int
+(** [page lsl 16 lor slot]. *)
+
+val rid_make : page:int -> slot:int -> rid
+val rid_page : rid -> int
+val rid_slot : rid -> int
+val rid_to_string : rid -> string
+
+val create : Pager.t -> t
+(** Wrap a pager as a heap file, formatting it when empty. Raises
+    {!Pager.Corrupt} when the file exists but is not a heap file. *)
+
+val insert : t -> string -> rid
+(** Raises [Invalid_argument] for records larger than
+    {!Slotted.max_record}; Crimson chunks long species sequences above
+    this layer. *)
+
+val get : t -> rid -> string option
+(** [None] for deleted records. Raises [Invalid_argument] for rids that
+    never existed. *)
+
+val delete : t -> rid -> unit
+
+val iter : t -> (rid -> string -> unit) -> unit
+(** Live records in file order. *)
+
+val fold : t -> init:'a -> f:('a -> rid -> string -> 'a) -> 'a
+val record_count : t -> int
+(** Live records, counted by scan. *)
+
+val reset : t -> unit
+(** Reformat every data page as empty. Record ids become invalid; used by
+    {!Table.vacuum}. The file keeps its size (pages are reused, not
+    released — an accepted trade-off, as with VACUUM in most engines). *)
+
+val pager : t -> Pager.t
+val flush : t -> unit

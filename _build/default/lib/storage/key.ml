@@ -1,0 +1,59 @@
+let int v =
+  (* Flipping the sign bit maps signed order onto unsigned byte order. *)
+  let u = Int64.logxor (Int64.of_int v) Int64.min_int in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 u;
+  Bytes.to_string b
+
+let float v =
+  (* Standard IEEE trick: non-negative floats get the sign bit set;
+     negative floats are bitwise complemented, reversing their order. *)
+  let bits = Int64.bits_of_float v in
+  let u =
+    if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int
+    else Int64.lognot bits
+  in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 u;
+  Bytes.to_string b
+
+let text s =
+  (* Escape 0x00 as 0x00 0xFF; terminate with 0x00 0x00. A longer string
+     with a shared prefix then always sorts after, and no encoded field is
+     a prefix of a different field's encoding. *)
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      if c = '\x00' then Buffer.add_string buf "\x00\xff" else Buffer.add_char buf c)
+    s;
+  Buffer.add_string buf "\x00\x00";
+  Buffer.contents buf
+
+let cat = String.concat ""
+
+let corrupt msg = raise (Crimson_util.Codec.Corrupt msg)
+
+let decode_int s ~pos =
+  if pos + 8 > String.length s then corrupt "Key.decode_int: truncated";
+  let u = String.get_int64_be s pos in
+  (Int64.to_int (Int64.logxor u Int64.min_int), pos + 8)
+
+let decode_text s ~pos =
+  let buf = Buffer.create 16 in
+  let n = String.length s in
+  let rec go i =
+    if i >= n then corrupt "Key.decode_text: unterminated"
+    else if s.[i] = '\x00' then
+      if i + 1 >= n then corrupt "Key.decode_text: truncated escape"
+      else if s.[i + 1] = '\x00' then (Buffer.contents buf, i + 2)
+      else if s.[i + 1] = '\xff' then begin
+        Buffer.add_char buf '\x00';
+        go (i + 2)
+      end
+      else corrupt "Key.decode_text: bad escape"
+    else begin
+      Buffer.add_char buf s.[i];
+      go (i + 1)
+    end
+  in
+  go pos

@@ -1,0 +1,25 @@
+(** Order-preserving index-key encoding.
+
+    B+tree keys compare as raw byte strings; these encoders map typed
+    values to byte strings whose lexicographic order equals the natural
+    order of the values, and compose fields so that composite keys sort
+    by field 1, then field 2, … *)
+
+val int : int -> string
+(** 8 bytes, big-endian, sign bit flipped: preserves signed order. *)
+
+val float : float -> string
+(** 8 bytes; total order matching IEEE comparison (NaN sorts last). *)
+
+val text : string -> string
+(** Terminated with a 0x00 sentinel; embedded NUL bytes are escaped so
+    arbitrary strings compose safely. *)
+
+val cat : string list -> string
+(** Concatenate already-encoded fields. *)
+
+val decode_int : string -> pos:int -> int * int
+(** [decode_int s ~pos] is [(value, next_pos)]. Raises
+    [Crimson_util.Codec.Corrupt] when truncated. *)
+
+val decode_text : string -> pos:int -> string * int

@@ -1,0 +1,2 @@
+let size = 4096
+let fresh () = Bytes.make size '\x00'

@@ -1,0 +1,10 @@
+(** Page geometry shared by the storage engine. *)
+
+val size : int
+(** Fixed page size in bytes (4096). Phylogenetic node rows and index
+    cells are small; 4 KiB keeps the buffer pool granular so the paper's
+    "queries touch a small portion of a huge tree" behaviour is visible in
+    hit-rate experiments. *)
+
+val fresh : unit -> bytes
+(** A zeroed page buffer. *)

@@ -1,0 +1,291 @@
+exception Corrupt of string
+
+type backend =
+  | File of {
+      fd : Unix.file_descr;
+      wal : Wal.t option; (* present when the pager is durable *)
+    }
+  | Mem of { pages : bytes Crimson_util.Vec.t }
+
+type frame = {
+  buf : bytes;
+  mutable page_id : int;
+  mutable dirty : bool;
+  mutable pins : int;
+  (* LRU intrusive list; [-1] marks "not linked". *)
+  mutable prev : int;
+  mutable next : int;
+}
+
+type t = {
+  backend : backend;
+  frames : frame array;
+  mutable frame_of_page : (int, int) Hashtbl.t;
+  (* LRU list head/tail over frame indexes (head = most recent). *)
+  mutable lru_head : int;
+  mutable lru_tail : int;
+  mutable free_frames : int list;
+  mutable n_pages : int;
+  mutable closed : bool;
+  mutable reads : int;
+  mutable writes : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let make_frames pool_size =
+  Array.init pool_size (fun _ ->
+      { buf = Page.fresh (); page_id = -1; dirty = false; pins = 0; prev = -1; next = -1 })
+
+let create ~pool_size backend ~n_pages =
+  let pool_size = max 8 pool_size in
+  {
+    backend;
+    frames = make_frames pool_size;
+    frame_of_page = Hashtbl.create (2 * pool_size);
+    lru_head = -1;
+    lru_tail = -1;
+    free_frames = List.init pool_size Fun.id;
+    n_pages;
+    closed = false;
+    reads = 0;
+    writes = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+(* Apply a committed WAL batch to the main file (crash recovery). *)
+let recover fd path =
+  let wal_file = path ^ ".wal" in
+  if Sys.file_exists wal_file && (Unix.stat wal_file).Unix.st_size > 0 then begin
+    let wal = Wal.open_for path in
+    (match Wal.read_committed wal with
+    | Some batch ->
+        List.iter
+          (fun (page_id, image) ->
+            ignore (Unix.lseek fd (page_id * Page.size) Unix.SEEK_SET);
+            let rec drain pos =
+              if pos < Page.size then
+                drain (pos + Unix.write fd image pos (Page.size - pos))
+            in
+            drain 0)
+          batch;
+        Unix.fsync fd
+    | None -> () (* torn before commit: pre-checkpoint state is intact *));
+    Wal.clear wal;
+    Wal.close wal
+  end
+
+let create_file ?(pool_size = 256) ?(durable = false) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  recover fd path;
+  let len = (Unix.fstat fd).Unix.st_size in
+  if len mod Page.size <> 0 then begin
+    Unix.close fd;
+    raise (Corrupt (Printf.sprintf "pager: %s has unaligned length %d" path len))
+  end;
+  let wal = if durable then Some (Wal.open_for path) else None in
+  create ~pool_size (File { fd; wal }) ~n_pages:(len / Page.size)
+
+let create_mem ?(pool_size = 256) () =
+  create ~pool_size (Mem { pages = Crimson_util.Vec.create () }) ~n_pages:0
+
+let check_open t = if t.closed then invalid_arg "Pager: already closed"
+
+let page_count t = t.n_pages
+
+(* ------------------------------- LRU ------------------------------- *)
+
+let lru_unlink t i =
+  let f = t.frames.(i) in
+  if f.prev >= 0 then t.frames.(f.prev).next <- f.next else t.lru_head <- f.next;
+  if f.next >= 0 then t.frames.(f.next).prev <- f.prev else t.lru_tail <- f.prev;
+  f.prev <- -1;
+  f.next <- -1
+
+let lru_push_front t i =
+  let f = t.frames.(i) in
+  f.prev <- -1;
+  f.next <- t.lru_head;
+  if t.lru_head >= 0 then t.frames.(t.lru_head).prev <- i;
+  t.lru_head <- i;
+  if t.lru_tail < 0 then t.lru_tail <- i
+
+let lru_touch t i =
+  if t.lru_head <> i then begin
+    lru_unlink t i;
+    lru_push_front t i
+  end
+
+(* ----------------------------- Backend ----------------------------- *)
+
+let backend_read t page_id buf =
+  t.reads <- t.reads + 1;
+  match t.backend with
+  | File { fd; _ } ->
+      let off = page_id * Page.size in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let rec fill pos =
+        if pos < Page.size then begin
+          let n = Unix.read fd buf pos (Page.size - pos) in
+          if n = 0 then raise (Corrupt (Printf.sprintf "pager: short read of page %d" page_id));
+          fill (pos + n)
+        end
+      in
+      fill 0
+  | Mem { pages } -> Bytes.blit (Crimson_util.Vec.get pages page_id) 0 buf 0 Page.size
+
+let backend_write t page_id buf =
+  t.writes <- t.writes + 1;
+  match t.backend with
+  | File { fd; _ } ->
+      let off = page_id * Page.size in
+      ignore (Unix.lseek fd off Unix.SEEK_SET);
+      let rec drain pos =
+        if pos < Page.size then begin
+          let n = Unix.write fd buf pos (Page.size - pos) in
+          drain (pos + n)
+        end
+      in
+      drain 0
+  | Mem { pages } -> Bytes.blit buf 0 (Crimson_util.Vec.get pages page_id) 0 Page.size
+
+(* Route a batch of dirty pages through the WAL (when durable) before
+   writing them back: the checkpoint becomes all-or-nothing. *)
+let write_back_batch t batch =
+  (match t.backend with
+  | File { wal = Some wal; _ } -> Wal.append_batch wal batch
+  | File { wal = None; _ } | Mem _ -> ());
+  List.iter (fun (page_id, buf) -> backend_write t page_id buf) batch;
+  match t.backend with
+  | File { fd; wal = Some wal } ->
+      Unix.fsync fd;
+      Wal.clear wal
+  | File { wal = None; _ } | Mem _ -> ()
+
+(* ------------------------------ Frames ----------------------------- *)
+
+let evict_one t =
+  (* Walk from the LRU tail for the first unpinned frame. *)
+  let rec find i =
+    if i < 0 then failwith "Pager: all frames pinned; pool too small"
+    else if t.frames.(i).pins = 0 then i
+    else find t.frames.(i).prev
+  in
+  let i = find t.lru_tail in
+  let f = t.frames.(i) in
+  if f.dirty then begin
+    write_back_batch t [ (f.page_id, f.buf) ];
+    f.dirty <- false
+  end;
+  Hashtbl.remove t.frame_of_page f.page_id;
+  lru_unlink t i;
+  f.page_id <- -1;
+  t.evictions <- t.evictions + 1;
+  i
+
+let frame_for t page_id ~load =
+  match Hashtbl.find_opt t.frame_of_page page_id with
+  | Some i ->
+      t.hits <- t.hits + 1;
+      lru_touch t i;
+      i
+  | None ->
+      t.misses <- t.misses + 1;
+      let i =
+        match t.free_frames with
+        | i :: rest ->
+            t.free_frames <- rest;
+            i
+        | [] -> evict_one t
+      in
+      let f = t.frames.(i) in
+      f.page_id <- page_id;
+      f.dirty <- false;
+      if load then backend_read t page_id f.buf
+      else Bytes.fill f.buf 0 Page.size '\x00';
+      Hashtbl.replace t.frame_of_page page_id i;
+      lru_push_front t i;
+      i
+
+let allocate t =
+  check_open t;
+  let page_id = t.n_pages in
+  t.n_pages <- t.n_pages + 1;
+  (match t.backend with
+  | File _ -> ()
+  | Mem { pages } -> Crimson_util.Vec.push pages (Page.fresh ()));
+  (* Materialise the frame zeroed; it will be written on eviction/flush. *)
+  let i = frame_for t page_id ~load:false in
+  t.frames.(i).dirty <- true;
+  (* A fresh page counts as a cold fetch in miss accounting; undo that to
+     keep hit-rate statistics about reads only. *)
+  t.misses <- t.misses - 1;
+  page_id
+
+let with_frame t page_id ~dirty f =
+  check_open t;
+  if page_id < 0 || page_id >= t.n_pages then
+    invalid_arg (Printf.sprintf "Pager: page %d out of range [0,%d)" page_id t.n_pages);
+  let i = frame_for t page_id ~load:true in
+  let frame = t.frames.(i) in
+  frame.pins <- frame.pins + 1;
+  if dirty then frame.dirty <- true;
+  Fun.protect
+    ~finally:(fun () -> frame.pins <- frame.pins - 1)
+    (fun () -> f frame.buf)
+
+let with_page t page_id f = with_frame t page_id ~dirty:false f
+let with_page_mut t page_id f = with_frame t page_id ~dirty:true f
+
+let flush t =
+  check_open t;
+  let dirty = ref [] in
+  Array.iter
+    (fun f -> if f.page_id >= 0 && f.dirty then dirty := (f.page_id, f.buf) :: !dirty)
+    t.frames;
+  if !dirty <> [] then begin
+    write_back_batch t (List.rev !dirty);
+    Array.iter (fun f -> if f.page_id >= 0 then f.dirty <- false) t.frames
+  end
+
+let close t =
+  if not t.closed then begin
+    flush t;
+    (match t.backend with
+    | File { fd; wal } ->
+        Unix.close fd;
+        Option.iter Wal.close wal
+    | Mem _ -> ());
+    t.closed <- true
+  end
+
+type stats = {
+  reads : int;
+  writes : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  pool_size : int;
+  resident : int;
+}
+
+let stats (t : t) =
+  {
+    reads = t.reads;
+    writes = t.writes;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+    pool_size = Array.length t.frames;
+    resident = Hashtbl.length t.frame_of_page;
+  }
+
+let reset_stats (t : t) =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.hits <- 0;
+  t.misses <- 0;
+  t.evictions <- 0

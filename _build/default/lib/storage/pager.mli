@@ -1,0 +1,62 @@
+(** Page manager with an LRU buffer pool.
+
+    Every on-disk structure (heap files, B+trees) reads and writes fixed
+    {!Page.size} pages through a pager. The pager caches up to [pool_size]
+    frames; clean and dirty frames are evicted least-recently-used, dirty
+    frames being written back first. Pages accessed inside {!with_page}
+    are pinned and never evicted mid-callback.
+
+    This is the component that realises the paper's storage argument:
+    simulation trees are far larger than memory, queries touch few pages,
+    so index-directed random access through a small pool must perform —
+    experiment E9 measures exactly this by shrinking [pool_size]. *)
+
+type t
+
+exception Corrupt of string
+
+val create_file : ?pool_size:int -> ?durable:bool -> string -> t
+(** Open or create a page file. [pool_size] (default 256 frames, minimum
+    8) bounds resident pages. With [durable] (default false) every dirty
+    write-back is routed through a write-ahead log ([<path>.wal]) so
+    checkpoints are atomic under crashes, at the cost of an fsync per
+    flush/eviction batch. Opening always replays a committed WAL left by
+    a crash, durable or not. Raises [Sys_error] on IO failure and
+    {!Corrupt} when the file length is not page-aligned. *)
+
+val create_mem : ?pool_size:int -> unit -> t
+(** Volatile pager backed by memory — same code paths and pool behaviour
+    as the file pager, without a file. Used by tests and benchmarks. *)
+
+val page_count : t -> int
+
+val allocate : t -> int
+(** Append a zeroed page; returns its id. *)
+
+val with_page : t -> int -> (bytes -> 'a) -> 'a
+(** Run the callback on the page's buffer for reading. The page is pinned
+    for the duration. The callback must not retain the buffer. Raises
+    [Invalid_argument] on an out-of-range id. *)
+
+val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
+(** Like {!with_page} but marks the page dirty. *)
+
+val flush : t -> unit
+(** Write back all dirty frames (no-op for memory pagers). *)
+
+val close : t -> unit
+(** Flush and release the backing file. Using a closed pager raises
+    [Invalid_argument]. *)
+
+type stats = {
+  reads : int;  (** Page fetches from the backend (pool misses). *)
+  writes : int;  (** Page write-backs to the backend. *)
+  hits : int;  (** Pool hits. *)
+  misses : int;  (** Pool misses. *)
+  evictions : int;  (** Frames evicted to make room. *)
+  pool_size : int;
+  resident : int;  (** Frames currently cached. *)
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit

@@ -1,0 +1,120 @@
+module Codec = Crimson_util.Codec
+
+type column_type =
+  | Int
+  | Float
+  | Text
+  | Blob
+
+type value =
+  | VInt of int
+  | VFloat of float
+  | VText of string
+  | VBlob of string
+
+type schema = (string * column_type) array
+
+exception Type_error of string
+
+let type_error fmt = Printf.ksprintf (fun s -> raise (Type_error s)) fmt
+
+let type_name = function Int -> "int" | Float -> "float" | Text -> "text" | Blob -> "blob"
+
+let value_matches ty v =
+  match (ty, v) with
+  | Int, VInt _ | Float, VFloat _ | Text, VText _ | Blob, VBlob _ -> true
+  | (Int | Float | Text | Blob), _ -> false
+
+let check schema row =
+  if Array.length schema <> Array.length row then
+    type_error "row has %d values for %d columns" (Array.length row) (Array.length schema);
+  Array.iteri
+    (fun i (name, ty) ->
+      if not (value_matches ty row.(i)) then
+        type_error "column %s expects %s" name (type_name ty))
+    schema
+
+let encode schema row =
+  check schema row;
+  let w = Codec.Writer.create ~capacity:64 () in
+  Array.iter
+    (fun v ->
+      match v with
+      | VInt x -> Codec.Writer.zigzag w x
+      | VFloat x -> Codec.Writer.float64 w x
+      | VText s | VBlob s -> Codec.Writer.string w s)
+    row;
+  Codec.Writer.contents w
+
+let decode schema payload =
+  let r = Codec.Reader.create payload in
+  (* Explicit loop: decoding must consume fields left to right. *)
+  let n = Array.length schema in
+  let row = Array.make n (VInt 0) in
+  for i = 0 to n - 1 do
+    row.(i) <-
+      (match snd schema.(i) with
+      | Int -> VInt (Codec.Reader.zigzag r)
+      | Float -> VFloat (Codec.Reader.float64 r)
+      | Text -> VText (Codec.Reader.string r)
+      | Blob -> VBlob (Codec.Reader.string r))
+  done;
+  if Codec.Reader.remaining r <> 0 then
+    type_error "payload has %d trailing bytes" (Codec.Reader.remaining r);
+  row
+
+let column_index schema name =
+  let rec go i =
+    if i = Array.length schema then raise Not_found
+    else if String.equal (fst schema.(i)) name then i
+    else go (i + 1)
+  in
+  go 0
+
+let get_int row i =
+  match row.(i) with VInt x -> x | _ -> type_error "column %d is not an int" i
+
+let get_float row i =
+  match row.(i) with VFloat x -> x | _ -> type_error "column %d is not a float" i
+
+let get_text row i =
+  match row.(i) with VText s -> s | _ -> type_error "column %d is not text" i
+
+let get_blob row i =
+  match row.(i) with VBlob s -> s | _ -> type_error "column %d is not a blob" i
+
+let type_tag = function Int -> 0 | Float -> 1 | Text -> 2 | Blob -> 3
+
+let type_of_tag = function
+  | 0 -> Int
+  | 1 -> Float
+  | 2 -> Text
+  | 3 -> Blob
+  | t -> type_error "unknown column type tag %d" t
+
+let encode_schema schema =
+  let w = Codec.Writer.create () in
+  Codec.Writer.varint w (Array.length schema);
+  Array.iter
+    (fun (name, ty) ->
+      Codec.Writer.string w name;
+      Codec.Writer.u8 w (type_tag ty))
+    schema;
+  Codec.Writer.contents w
+
+let decode_schema payload =
+  let r = Codec.Reader.create payload in
+  let n = Codec.Reader.varint r in
+  let schema = Array.make n ("", Int) in
+  for i = 0 to n - 1 do
+    let name = Codec.Reader.string r in
+    let ty = type_of_tag (Codec.Reader.u8 r) in
+    schema.(i) <- (name, ty)
+  done;
+  schema
+
+let pp_value ppf = function
+  | VInt x -> Format.fprintf ppf "%d" x
+  | VFloat x -> Format.fprintf ppf "%g" x
+  | VText s -> Format.fprintf ppf "%S" s
+  | VBlob s -> Format.fprintf ppf "<blob %d bytes>" (String.length s)

@@ -1,0 +1,43 @@
+(** Typed rows: schemas, values and their binary encoding. *)
+
+type column_type =
+  | Int  (** 63-bit signed integer. *)
+  | Float  (** IEEE double. *)
+  | Text  (** UTF-8/byte string. *)
+  | Blob  (** Opaque bytes (encoded labels, sequence chunks). *)
+
+type value =
+  | VInt of int
+  | VFloat of float
+  | VText of string
+  | VBlob of string
+
+type schema = (string * column_type) array
+(** Ordered (column name, type) pairs. *)
+
+exception Type_error of string
+
+val check : schema -> value array -> unit
+(** Raises {!Type_error} on arity or type mismatch. *)
+
+val encode : schema -> value array -> string
+(** Checks, then serialises. *)
+
+val decode : schema -> string -> value array
+(** Raises [Crimson_util.Codec.Corrupt] on malformed input and
+    {!Type_error} when the payload disagrees with the schema. *)
+
+val column_index : schema -> string -> int
+(** Raises [Not_found]. *)
+
+val get_int : value array -> int -> int
+val get_float : value array -> int -> float
+val get_text : value array -> int -> string
+val get_blob : value array -> int -> string
+(** Typed accessors; raise {!Type_error} on the wrong variant. *)
+
+val encode_schema : schema -> string
+val decode_schema : string -> schema
+(** Catalog persistence. *)
+
+val pp_value : Format.formatter -> value -> unit

@@ -1,0 +1,68 @@
+(** Tables: typed rows in a heap file plus any number of B+tree indexes.
+
+    This is the relational layer the paper's Repository Manager stores
+    trees and species data in. An index maps a caller-defined key
+    (computed from the row with the {!Key} encoders) to the row's rid;
+    non-unique indexes get the rid appended to the key internally so all
+    entries remain distinct and range scans return duplicates in stable
+    order. *)
+
+exception Constraint_violation of string
+
+type index_spec = {
+  index_name : string;
+  key_of_row : Record.value array -> string;
+      (** Order-preserving encoded key; see {!Key}. *)
+  unique : bool;
+}
+
+type t
+
+val create :
+  name:string ->
+  schema:Record.schema ->
+  heap:Heap.t ->
+  indexes:(index_spec * Btree.t) list ->
+  t
+(** Assemble a table over already-opened storage (done by {!Database}). *)
+
+val name : t -> string
+val schema : t -> Record.schema
+
+val insert : t -> Record.value array -> Heap.rid
+(** Validates against the schema, appends to the heap, maintains all
+    indexes. Raises {!Constraint_violation} when a unique index already
+    holds the key, and {!Record.Type_error} on schema mismatch. *)
+
+val get : t -> Heap.rid -> Record.value array option
+
+val delete : t -> Heap.rid -> bool
+(** Removes the row and its index entries. [false] when already gone. *)
+
+val update : t -> Heap.rid -> Record.value array -> Heap.rid
+(** Delete + insert; returns the new rid. Raises [Invalid_argument] when
+    the rid is dead. *)
+
+val scan : t -> (Heap.rid -> Record.value array -> unit) -> unit
+
+val lookup_unique : t -> index:string -> key:string -> (Heap.rid * Record.value array) option
+(** Point lookup on a unique index. Raises [Not_found] for an unknown
+    index name. *)
+
+val iter_index :
+  t -> index:string -> prefix:string -> (Heap.rid -> Record.value array -> bool) -> unit
+(** All rows whose index key starts with [prefix], in key order; stop on
+    [false]. Works on unique and non-unique indexes. *)
+
+val row_count : t -> int
+val index_names : t -> string list
+val rebuild_index : t -> index:string -> unit
+(** Clear and repopulate from a heap scan (used after index-file loss). *)
+
+val vacuum : t -> int
+(** Compact the table: rewrite live rows contiguously from the first data
+    page and rebuild every index. Record ids change. Returns the live row
+    count. Space freed by {!delete} is reused afterwards (files do not
+    shrink). *)
+
+val flush : t -> unit

@@ -1,0 +1,104 @@
+let magic = "CRIMWAL1"
+
+type t = {
+  fd : Unix.file_descr;
+  mutable closed : bool;
+}
+
+let wal_path page_file = page_file ^ ".wal"
+
+let open_for page_file =
+  let fd = Unix.openfile (wal_path page_file) [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  { fd; closed = false }
+
+let check_open t = if t.closed then invalid_arg "Wal: already closed"
+
+let write_all fd bytes =
+  let len = Bytes.length bytes in
+  let rec go pos =
+    if pos < len then go (pos + Unix.write fd bytes pos (len - pos))
+  in
+  go 0
+
+(* Additive checksum over a page image, mixed with the page id. *)
+let checksum page_id image =
+  let acc = ref (page_id * 2654435761) in
+  for i = 0 to Bytes.length image - 1 do
+    acc := ((!acc * 31) + Char.code (Bytes.get image i)) land 0x3FFFFFFF
+  done;
+  !acc
+
+(* Layout: magic(8) | n(u32) | n x [page_id(u32) image(Page.size)] |
+   commit_checksum(u32). The trailing checksum (sum of per-page
+   checksums, masked) doubles as the commit record: a torn write cannot
+   produce both the right length and the right value. *)
+let append_batch t batch =
+  check_open t;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  Unix.ftruncate t.fd 0;
+  let total = 8 + 4 + (List.length batch * (4 + Page.size)) + 4 in
+  let buf = Bytes.create total in
+  Bytes.blit_string magic 0 buf 0 8;
+  Crimson_util.Codec.set_u32 buf 8 (List.length batch);
+  let pos = ref 12 in
+  let sum = ref 0 in
+  List.iter
+    (fun (page_id, image) ->
+      if Bytes.length image <> Page.size then
+        invalid_arg "Wal.append_batch: image is not one page";
+      Crimson_util.Codec.set_u32 buf !pos page_id;
+      Bytes.blit image 0 buf (!pos + 4) Page.size;
+      sum := (!sum + checksum page_id image) land 0x3FFFFFFF;
+      pos := !pos + 4 + Page.size)
+    batch;
+  Crimson_util.Codec.set_u32 buf !pos !sum;
+  write_all t.fd buf;
+  Unix.fsync t.fd
+
+let read_committed t =
+  check_open t;
+  let len = (Unix.fstat t.fd).Unix.st_size in
+  if len < 12 then None
+  else begin
+    ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+    let buf = Bytes.create len in
+    let rec fill pos =
+      if pos < len then
+        let n = Unix.read t.fd buf pos (len - pos) in
+        if n = 0 then pos else fill (pos + n)
+      else pos
+    in
+    if fill 0 < len then None
+    else if Bytes.sub_string buf 0 8 <> magic then None
+    else begin
+      let n = Crimson_util.Codec.get_u32 buf 8 in
+      let expected = 12 + (n * (4 + Page.size)) + 4 in
+      if len < expected then None (* torn: crash before commit *)
+      else begin
+        let batch = ref [] in
+        let sum = ref 0 in
+        let pos = ref 12 in
+        for _ = 1 to n do
+          let page_id = Crimson_util.Codec.get_u32 buf !pos in
+          let image = Bytes.sub buf (!pos + 4) Page.size in
+          sum := (!sum + checksum page_id image) land 0x3FFFFFFF;
+          batch := (page_id, image) :: !batch;
+          pos := !pos + 4 + Page.size
+        done;
+        let stored = Crimson_util.Codec.get_u32 buf !pos in
+        if stored <> !sum then None else Some (List.rev !batch)
+      end
+    end
+  end
+
+let clear t =
+  check_open t;
+  ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
+  Unix.ftruncate t.fd 0;
+  Unix.fsync t.fd
+
+let close t =
+  if not t.closed then begin
+    Unix.close t.fd;
+    t.closed <- true
+  end

@@ -1,0 +1,32 @@
+(** Write-ahead log for atomic checkpoints.
+
+    The file pager flushes dirty pages in two phases: first every page
+    image goes to the WAL (with a commit record sealing the batch), then
+    the images are applied to the main file and the WAL is cleared. A
+    crash before the commit record leaves the main file in its previous
+    consistent state (the torn WAL is discarded); a crash after it is
+    repaired on the next open by replaying the committed batch. Either
+    way a checkpoint is all-or-nothing — the property the paper gets
+    from its host RDBMS.
+
+    The WAL lives next to the page file as [<path>.wal]. *)
+
+type t
+
+val open_for : string -> t
+(** [open_for page_file_path] opens/creates the sibling WAL. *)
+
+val append_batch : t -> (int * bytes) list -> unit
+(** Write (page id, image) records followed by a commit record, then
+    fsync. Images must be {!Page.size} bytes. *)
+
+val read_committed : t -> (int * bytes) list option
+(** [Some batch] when the WAL holds a complete, checksum-valid committed
+    batch; [None] when empty, torn, or corrupt (torn logs are normal —
+    they mean the crash happened before commit). *)
+
+val clear : t -> unit
+(** Truncate to empty and fsync — called once the batch has been applied
+    to the main file. *)
+
+val close : t -> unit

@@ -1,0 +1,1 @@
+lib/tree/metrics.ml: Array Crimson_util Hashtbl List Ops Option Printf Set String Tree

@@ -1,0 +1,1 @@
+lib/tree/ops.ml: Array Crimson_util Float List Tree

@@ -1,0 +1,1 @@
+lib/tree/ops.mli: Tree

@@ -1,0 +1,1 @@
+lib/tree/tree.ml: Array Crimson_util Float Format List Option Printf String

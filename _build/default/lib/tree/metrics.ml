@@ -1,0 +1,254 @@
+module Prng = Crimson_util.Prng
+
+exception Incomparable of string
+
+let incomparable fmt = Printf.ksprintf (fun s -> raise (Incomparable s)) fmt
+
+(* Leaf name -> node id; checks naming invariants. *)
+let leaf_map t =
+  let map = Hashtbl.create 64 in
+  Array.iter
+    (fun l ->
+      match Tree.name t l with
+      | None -> incomparable "unnamed leaf (node %d)" l
+      | Some name ->
+          if Hashtbl.mem map name then incomparable "duplicate leaf name %S" name;
+          Hashtbl.add map name l)
+    (Tree.leaves t);
+  map
+
+let check_same_leaves ma mb =
+  if Hashtbl.length ma <> Hashtbl.length mb then
+    incomparable "leaf sets differ in size (%d vs %d)" (Hashtbl.length ma)
+      (Hashtbl.length mb);
+  Hashtbl.iter
+    (fun name _ ->
+      if not (Hashtbl.mem mb name) then incomparable "leaf %S only in one tree" name)
+    ma
+
+let clades t =
+  ignore (leaf_map t);
+  let n = Tree.node_count t in
+  let below = Array.make n [] in
+  Array.iter
+    (fun v ->
+      if Tree.is_leaf t v then below.(v) <- [ Option.get (Tree.name t v) ]
+      else
+        Tree.iter_children t v (fun c -> below.(v) <- List.rev_append below.(c) below.(v)))
+    (Tree.postorder t);
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    if (not (Tree.is_leaf t v)) && v <> Tree.root t then
+      acc := List.sort String.compare below.(v) :: !acc
+  done;
+  !acc
+
+let clade_keys t =
+  let keys = Hashtbl.create 64 in
+  List.iter (fun names -> Hashtbl.replace keys (String.concat "\x00" names) ()) (clades t);
+  keys
+
+let prepare a b =
+  let ma = leaf_map a and mb = leaf_map b in
+  check_same_leaves ma mb;
+  (ma, mb)
+
+let robinson_foulds a b =
+  ignore (prepare a b);
+  let ka = clade_keys a and kb = clade_keys b in
+  let diff = ref 0 in
+  Hashtbl.iter (fun k () -> if not (Hashtbl.mem kb k) then incr diff) ka;
+  Hashtbl.iter (fun k () -> if not (Hashtbl.mem ka k) then incr diff) kb;
+  !diff
+
+let shared_clades a b =
+  ignore (prepare a b);
+  let ka = clade_keys a and kb = clade_keys b in
+  let shared = ref 0 in
+  Hashtbl.iter (fun k () -> if Hashtbl.mem kb k then incr shared) ka;
+  !shared
+
+let splits t =
+  let m = leaf_map t in
+  let all_names =
+    Hashtbl.fold (fun k _ acc -> k :: acc) m [] |> List.sort String.compare
+  in
+  let n_leaves = List.length all_names in
+  let reference = match all_names with r :: _ -> r | [] -> "" in
+  let module SS = Set.Make (String) in
+  let universe = SS.of_list all_names in
+  let n = Tree.node_count t in
+  let below = Array.make n SS.empty in
+  Array.iter
+    (fun v ->
+      if Tree.is_leaf t v then below.(v) <- SS.singleton (Option.get (Tree.name t v))
+      else Tree.iter_children t v (fun c -> below.(v) <- SS.union below.(c) below.(v)))
+    (Tree.postorder t);
+  let acc = ref [] in
+  for v = 0 to n - 1 do
+    if (not (Tree.is_leaf t v)) && v <> Tree.root t then begin
+      let side = below.(v) in
+      (* Canonicalise: keep the side without the reference leaf. *)
+      let side = if SS.mem reference side then SS.diff universe side else side in
+      let k = SS.cardinal side in
+      if k >= 2 && k <= n_leaves - 2 then acc := SS.elements side :: !acc
+    end
+  done;
+  (* A rooted tree can induce the same split from two nodes (e.g. a root
+     with two children); dedupe. *)
+  List.sort_uniq compare !acc
+
+let split_keys t =
+  let keys = Hashtbl.create 64 in
+  List.iter (fun names -> Hashtbl.replace keys (String.concat "\x00" names) ()) (splits t);
+  keys
+
+let robinson_foulds_unrooted a b =
+  ignore (prepare a b);
+  let ka = split_keys a and kb = split_keys b in
+  let diff = ref 0 in
+  Hashtbl.iter (fun k () -> if not (Hashtbl.mem kb k) then incr diff) ka;
+  Hashtbl.iter (fun k () -> if not (Hashtbl.mem ka k) then incr diff) kb;
+  !diff
+
+let robinson_foulds_unrooted_normalized a b =
+  ignore (prepare a b);
+  let ka = split_keys a and kb = split_keys b in
+  let total = Hashtbl.length ka + Hashtbl.length kb in
+  if total = 0 then 0.0
+  else float_of_int (robinson_foulds_unrooted a b) /. float_of_int total
+
+let robinson_foulds_normalized a b =
+  ignore (prepare a b);
+  let ka = clade_keys a and kb = clade_keys b in
+  let total = Hashtbl.length ka + Hashtbl.length kb in
+  if total = 0 then 0.0
+  else begin
+    let diff = ref 0 in
+    Hashtbl.iter (fun k () -> if not (Hashtbl.mem kb k) then incr diff) ka;
+    Hashtbl.iter (fun k () -> if not (Hashtbl.mem ka k) then incr diff) kb;
+    float_of_int !diff /. float_of_int total
+  end
+
+(* Rooted triplet topology of (a, b, c): 0 when a,b are the cherry, 1 when
+   a,c are, 2 when b,c are, 3 when unresolved (all three LCAs equal). *)
+let triplet_topology t depths la lb lc =
+  let lab = Ops.naive_lca t la lb in
+  let lac = Ops.naive_lca t la lc in
+  let lbc = Ops.naive_lca t lb lc in
+  let dab = depths.(lab) and dac = depths.(lac) and dbc = depths.(lbc) in
+  if dab > dac && dab > dbc then 0
+  else if dac > dab && dac > dbc then 1
+  else if dbc > dab && dbc > dac then 2
+  else 3
+
+let triplet_distance ?(samples = 2000) ~rng a b =
+  let ma, mb = prepare a b in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) ma [] in
+  let names = Array.of_list (List.sort String.compare names) in
+  let n = Array.length names in
+  if n < 3 then 0.0
+  else begin
+    let da = Tree.depths a and db = Tree.depths b in
+    let disagreements = ref 0 in
+    let total = ref 0 in
+    let test i j k =
+      let la1 = Hashtbl.find ma names.(i)
+      and lb1 = Hashtbl.find ma names.(j)
+      and lc1 = Hashtbl.find ma names.(k) in
+      let la2 = Hashtbl.find mb names.(i)
+      and lb2 = Hashtbl.find mb names.(j)
+      and lc2 = Hashtbl.find mb names.(k) in
+      incr total;
+      if triplet_topology a da la1 lb1 lc1 <> triplet_topology b db la2 lb2 lc2 then
+        incr disagreements
+    in
+    if n <= 25 then
+      for i = 0 to n - 3 do
+        for j = i + 1 to n - 2 do
+          for k = j + 1 to n - 1 do
+            test i j k
+          done
+        done
+      done
+    else
+      for _ = 1 to samples do
+        let pick = Prng.sample_without_replacement rng ~k:3 ~n in
+        test pick.(0) pick.(1) pick.(2)
+      done;
+    if !total = 0 then 0.0 else float_of_int !disagreements /. float_of_int !total
+  end
+
+(* Map each edge (identified by the sorted leaf-name set below it, leaf
+   edges included) to its branch length. *)
+let edge_length_map t =
+  ignore (leaf_map t);
+  let n = Tree.node_count t in
+  let below = Array.make n [] in
+  let map = Hashtbl.create 64 in
+  Array.iter
+    (fun v ->
+      if Tree.is_leaf t v then below.(v) <- [ Option.get (Tree.name t v) ]
+      else
+        Tree.iter_children t v (fun c -> below.(v) <- List.rev_append below.(c) below.(v));
+      if v <> Tree.root t then begin
+        let key = String.concat "\x00" (List.sort String.compare below.(v)) in
+        (* Multifurcation duplicates cannot arise (distinct leaf sets);
+           unary chains can — sum them, matching edge contraction. *)
+        let existing = Option.value ~default:0.0 (Hashtbl.find_opt map key) in
+        Hashtbl.replace map key (existing +. Tree.branch_length t v)
+      end)
+    (Tree.postorder t);
+  map
+
+let branch_score_distance a b =
+  ignore (prepare a b);
+  let ma = edge_length_map a and mb = edge_length_map b in
+  let acc = ref 0.0 in
+  Hashtbl.iter
+    (fun key la ->
+      let lb = Option.value ~default:0.0 (Hashtbl.find_opt mb key) in
+      acc := !acc +. ((la -. lb) *. (la -. lb)))
+    ma;
+  Hashtbl.iter
+    (fun key lb ->
+      if not (Hashtbl.mem ma key) then acc := !acc +. (lb *. lb))
+    mb;
+  sqrt !acc
+
+let path_length_distance a b =
+  let ma, mb = prepare a b in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) ma [] in
+  let names = Array.of_list (List.sort String.compare names) in
+  let n = Array.length names in
+  if n < 2 then 0.0
+  else begin
+    let rda = Tree.root_distance a and rdb = Tree.root_distance b in
+    let dist t rd m x y =
+      let lx = Hashtbl.find m names.(x) and ly = Hashtbl.find m names.(y) in
+      let l = Ops.naive_lca t lx ly in
+      rd.(lx) +. rd.(ly) -. (2.0 *. rd.(l))
+    in
+    let total = ref 0.0 in
+    let count = ref 0 in
+    let consider x y =
+      let d = dist a rda ma x y -. dist b rdb mb x y in
+      total := !total +. (d *. d);
+      incr count
+    in
+    if n <= 200 then
+      for x = 0 to n - 2 do
+        for y = x + 1 to n - 1 do
+          consider x y
+        done
+      done
+    else begin
+      (* Deterministic subsample: stride pairs. *)
+      let rng = Prng.create 1789 in
+      for _ = 1 to 20_000 do
+        let pick = Prng.sample_without_replacement rng ~k:2 ~n in
+        consider pick.(0) pick.(1)
+      done
+    end;
+    sqrt (!total /. float_of_int !count)
+  end

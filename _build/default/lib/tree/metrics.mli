@@ -1,0 +1,57 @@
+(** Tree-comparison metrics.
+
+    Used by the paper's tree pattern match ("compute the difference
+    between them as a measure of similarity", §2.2) and by the Benchmark
+    Manager to score reconstructed trees against the projected truth.
+    Trees are compared by the {e names} of their leaves; both trees must
+    be leaf-labelled. *)
+
+exception Incomparable of string
+(** Raised when the trees' leaf-name sets differ, a leaf is unnamed, or a
+    name repeats. *)
+
+val clades : Tree.t -> string list list
+(** For every internal node except the root: the sorted leaf names below
+    it. This is the rooted analogue of the bipartition set. Trees here
+    are rooted (phylogenies in Crimson are), so metrics are clade-based. *)
+
+val robinson_foulds : Tree.t -> Tree.t -> int
+(** Symmetric difference of the clade sets — the (rooted) Robinson–Foulds
+    distance. 0 iff the trees have the same branching structure over the
+    same leaves. Raises {!Incomparable}. *)
+
+val robinson_foulds_normalized : Tree.t -> Tree.t -> float
+(** RF divided by the total clade count of both trees; in [0, 1]. When
+    neither tree has a non-root internal node the distance is 0. *)
+
+val shared_clades : Tree.t -> Tree.t -> int
+
+val splits : Tree.t -> string list list
+(** Non-trivial {e unrooted} splits: for every internal edge, the leaf
+    names on the side not containing the lexicographically smallest leaf,
+    excluding splits that separate fewer than two leaves. Rooting and
+    root degree do not affect the result. *)
+
+val robinson_foulds_unrooted : Tree.t -> Tree.t -> int
+(** Symmetric difference of the unrooted split sets — the classic RF
+    distance. Use this when one tree comes from an algorithm with
+    arbitrary rooting (e.g. neighbor joining). *)
+
+val robinson_foulds_unrooted_normalized : Tree.t -> Tree.t -> float
+
+val triplet_distance :
+  ?samples:int -> rng:Crimson_util.Prng.t -> Tree.t -> Tree.t -> float
+(** Fraction of leaf triplets on which the two rooted trees disagree,
+    estimated from [samples] (default 2000) random triplets (exact
+    enumeration when the trees have at most 25 leaves). *)
+
+val branch_score_distance : Tree.t -> Tree.t -> float
+(** Kuhner–Felsenstein branch score: the L2 distance between the trees'
+    clade→branch-length maps (clades absent from one tree contribute
+    their full length). 0 iff topologies and internal branch lengths
+    agree. Leaf edges are included, keyed by leaf name. *)
+
+val path_length_distance : Tree.t -> Tree.t -> float
+(** Root-mean-square difference of leaf-pair path lengths (branch-length
+    aware), estimated over all pairs for <= 200 leaves and a deterministic
+    subsample otherwise. *)

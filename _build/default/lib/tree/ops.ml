@@ -1,0 +1,229 @@
+let nil = Tree.nil
+
+let copy_with_mapping t =
+  let b = Tree.Builder.create ~capacity:(Tree.node_count t) () in
+  let mapping = Array.make (Tree.node_count t) nil in
+  let order = Tree.preorder t in
+  Array.iter
+    (fun n ->
+      let name = Tree.name t n in
+      if n = Tree.root t then mapping.(n) <- Tree.Builder.add_root ?name b
+      else
+        mapping.(n) <-
+          Tree.Builder.add_child ?name ~branch_length:(Tree.branch_length t n) b
+            ~parent:mapping.(Tree.parent t n))
+    order;
+  (Tree.Builder.finish b, mapping)
+
+let copy t = fst (copy_with_mapping t)
+
+let extract_subtree t start =
+  if not (Tree.mem t start) then invalid_arg "Ops.extract_subtree: node out of range";
+  let b = Tree.Builder.create () in
+  (* Deep trees forbid recursion; an explicit stack of
+     (node, parent-id-in-new-tree) pairs drives the rebuild. *)
+  let stack = Crimson_util.Vec.create () in
+  Crimson_util.Vec.push stack (start, nil);
+  while not (Crimson_util.Vec.is_empty stack) do
+    let n, parent' = Crimson_util.Vec.pop stack in
+    let name = Tree.name t n in
+    let id =
+      if parent' = nil then Tree.Builder.add_root ?name b
+      else
+        Tree.Builder.add_child ?name ~branch_length:(Tree.branch_length t n) b
+          ~parent:parent'
+    in
+    (* Push children in reverse so preorder (and child order) is kept. *)
+    let kids = List.rev (Tree.children t n) in
+    List.iter (fun c -> Crimson_util.Vec.push stack (c, id)) kids
+  done;
+  Tree.Builder.finish b
+
+(* Rebuild keeping only nodes for which [keep] is true; each surviving
+   non-root node is attached to its nearest surviving proper ancestor with
+   the branch lengths along the skipped path summed. The surviving node
+   closest to the old root becomes the new root. *)
+let filter_contract t keep =
+  let n = Tree.node_count t in
+  let b = Tree.Builder.create ~capacity:n () in
+  (* new_id.(v) is v's id in the new tree when kept, else nil. *)
+  let new_id = Array.make n nil in
+  (* For a dropped node, [carry.(v)] is (nearest kept ancestor's new id, or
+     nil if none, accumulated branch length from it down to v). *)
+  let carry_parent = Array.make n nil in
+  let carry_len = Array.make n 0.0 in
+  let root_seen = ref false in
+  let order = Tree.preorder t in
+  Array.iter
+    (fun v ->
+      let p = Tree.parent t v in
+      let inherited_parent, inherited_len =
+        if p = nil then (nil, 0.0)
+        else if new_id.(p) <> nil then (new_id.(p), 0.0)
+        else (carry_parent.(p), carry_len.(p))
+      in
+      let edge = if p = nil then 0.0 else Tree.branch_length t v in
+      if keep v then begin
+        let name = Tree.name t v in
+        if inherited_parent = nil then begin
+          if !root_seen then
+            invalid_arg "Ops.filter_contract: kept nodes form a forest";
+          root_seen := true;
+          new_id.(v) <- Tree.Builder.add_root ?name b
+        end
+        else
+          new_id.(v) <-
+            Tree.Builder.add_child ?name
+              ~branch_length:(inherited_len +. edge)
+              b ~parent:inherited_parent
+      end
+      else begin
+        carry_parent.(v) <- inherited_parent;
+        carry_len.(v) <- inherited_len +. edge
+      end)
+    order;
+  if not !root_seen then None else Some (Tree.Builder.finish b)
+
+let suppress_unary ?(keep_root = false) t =
+  let keep v =
+    if Tree.out_degree t v <> 1 then true
+    else if v = Tree.root t then keep_root
+    else false
+  in
+  match filter_contract t keep with
+  | Some t' -> t'
+  | None -> assert false (* leaves always survive *)
+
+let naive_lca t a b =
+  if not (Tree.mem t a) || not (Tree.mem t b) then
+    invalid_arg "Ops.naive_lca: node out of range";
+  let rec lift n k = if k = 0 then n else lift (Tree.parent t n) (k - 1) in
+  let da = Tree.depth t a and db = Tree.depth t b in
+  let a = if da > db then lift a (da - db) else a in
+  let b = if db > da then lift b (db - da) else b in
+  let rec walk a b = if a = b then a else walk (Tree.parent t a) (Tree.parent t b) in
+  walk a b
+
+let naive_lca_set t = function
+  | [] -> invalid_arg "Ops.naive_lca_set: empty set"
+  | first :: rest -> List.fold_left (naive_lca t) first rest
+
+let induced_subtree t leaf_list =
+  if leaf_list = [] then invalid_arg "Ops.induced_subtree: empty leaf set";
+  List.iter
+    (fun l ->
+      if not (Tree.mem t l) then invalid_arg "Ops.induced_subtree: node out of range";
+      if not (Tree.is_leaf t l) then invalid_arg "Ops.induced_subtree: not a leaf")
+    leaf_list;
+  (* Mark the union of root paths of the selected leaves. *)
+  let marked = Array.make (Tree.node_count t) false in
+  List.iter
+    (fun l ->
+      let v = ref l in
+      while !v <> nil && not marked.(!v) do
+        marked.(!v) <- true;
+        v := Tree.parent t !v
+      done)
+    leaf_list;
+  let lca = naive_lca_set t leaf_list in
+  (* Keep marked nodes inside the LCA's subtree; then contract unary chains
+     and drop the chain above the LCA. *)
+  let in_scope = Array.make (Tree.node_count t) false in
+  let stack = Crimson_util.Vec.create () in
+  Crimson_util.Vec.push stack lca;
+  while not (Crimson_util.Vec.is_empty stack) do
+    let v = Crimson_util.Vec.pop stack in
+    if marked.(v) then begin
+      in_scope.(v) <- true;
+      Tree.iter_children t v (fun c -> Crimson_util.Vec.push stack c)
+    end
+  done;
+  let pruned =
+    match filter_contract t (fun v -> in_scope.(v)) with
+    | Some p -> p
+    | None -> assert false
+  in
+  suppress_unary pruned
+
+let prune_leaves t drop =
+  (* Iteratively mark dropped nodes bottom-up: a leaf is dropped when the
+     predicate says so; an internal node is dropped when all its children
+     are dropped. *)
+  let n = Tree.node_count t in
+  let dropped = Array.make n false in
+  let order = Tree.postorder t in
+  Array.iter
+    (fun v ->
+      if Tree.is_leaf t v then dropped.(v) <- drop v
+      else begin
+        let all = ref true in
+        Tree.iter_children t v (fun c -> if not dropped.(c) then all := false);
+        dropped.(v) <- !all
+      end)
+    order;
+  if dropped.(Tree.root t) then None
+  else
+    (* filter_contract would also merge unary chains; here we must keep
+       them, so rebuild directly. *)
+    let b = Tree.Builder.create ~capacity:n () in
+    let new_id = Array.make n nil in
+    Array.iter
+      (fun v ->
+        if not dropped.(v) then begin
+          let name = Tree.name t v in
+          let p = Tree.parent t v in
+          if p = nil then new_id.(v) <- Tree.Builder.add_root ?name b
+          else
+            new_id.(v) <-
+              Tree.Builder.add_child ?name ~branch_length:(Tree.branch_length t v) b
+                ~parent:new_id.(p)
+        end)
+      (Tree.preorder t);
+    Some (Tree.Builder.finish b)
+
+let scale_branches t ~factor =
+  if not (Float.is_finite factor) || factor <= 0.0 then
+    invalid_arg "Ops.scale_branches: factor must be positive and finite";
+  let b = Tree.Builder.create ~capacity:(Tree.node_count t) () in
+  let new_id = Array.make (Tree.node_count t) nil in
+  Array.iter
+    (fun v ->
+      let name = Tree.name t v in
+      let p = Tree.parent t v in
+      if p = nil then new_id.(v) <- Tree.Builder.add_root ?name b
+      else
+        new_id.(v) <-
+          Tree.Builder.add_child ?name
+            ~branch_length:(Tree.branch_length t v *. factor)
+            b ~parent:new_id.(p))
+    (Tree.preorder t);
+  Tree.Builder.finish b
+
+let normalize_height t ~target =
+  if not (Float.is_finite target) || target <= 0.0 then
+    invalid_arg "Ops.normalize_height: target must be positive and finite";
+  let height = Array.fold_left Float.max 0.0 (Tree.root_distance t) in
+  if height <= 0.0 then t else scale_branches t ~factor:(target /. height)
+
+let rename_leaves t ~prefix =
+  let b = Tree.Builder.create ~capacity:(Tree.node_count t) () in
+  let new_id = Array.make (Tree.node_count t) nil in
+  let counter = ref 0 in
+  Array.iter
+    (fun v ->
+      let name =
+        if Tree.is_leaf t v then begin
+          let s = prefix ^ string_of_int !counter in
+          incr counter;
+          Some s
+        end
+        else Tree.name t v
+      in
+      let p = Tree.parent t v in
+      if p = nil then new_id.(v) <- Tree.Builder.add_root ?name b
+      else
+        new_id.(v) <-
+          Tree.Builder.add_child ?name ~branch_length:(Tree.branch_length t v) b
+            ~parent:new_id.(p))
+    (Tree.preorder t);
+  Tree.Builder.finish b

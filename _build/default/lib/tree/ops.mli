@@ -1,0 +1,56 @@
+(** Structural tree transformations.
+
+    These are the in-memory reference implementations of the operations
+    Crimson executes through its label index (projection, clade
+    extraction); tests cross-check the indexed versions against these. *)
+
+val copy : Tree.t -> Tree.t
+(** Rebuild the tree; node ids become preorder-dense. Returns the mapping
+    as well via [copy_with_mapping] when needed. *)
+
+val copy_with_mapping : Tree.t -> Tree.t * Tree.node array
+(** [copy_with_mapping t] is [(t', m)] where [m.(old_id) = new_id]. *)
+
+val extract_subtree : Tree.t -> Tree.node -> Tree.t
+(** Subtree rooted at the given node, as a standalone tree (the new root's
+    branch length is dropped). *)
+
+val suppress_unary : ?keep_root:bool -> Tree.t -> Tree.t
+(** Remove nodes with out-degree 1 by merging each with its single child,
+    summing the two branch lengths — the rule the paper applies after
+    projection ("we merge it with its child and take the new edge weight as
+    the sum of the two edge weights"). A unary root is collapsed downward
+    unless [keep_root] is [true] (default [false]). Names on suppressed
+    nodes are discarded; the surviving child keeps its own name. *)
+
+val induced_subtree : Tree.t -> Tree.node list -> Tree.t
+(** Reference tree projection: the subtree of paths from the root to the
+    given leaves, with unary nodes suppressed (weights summed) and the root
+    collapsed to the least common ancestor of the leaf set. Raises
+    [Invalid_argument] when the list is empty or contains non-leaves. *)
+
+val prune_leaves : Tree.t -> (Tree.node -> bool) -> Tree.t option
+(** Remove every leaf satisfying the predicate, then recursively remove
+    internal nodes left childless. [None] when nothing remains. Unary
+    nodes are {e not} suppressed. *)
+
+val naive_lca : Tree.t -> Tree.node -> Tree.node -> Tree.node
+(** Least common ancestor by parent-pointer walking; O(depth). The
+    baseline against which label-index LCA is validated and benchmarked. *)
+
+val naive_lca_set : Tree.t -> Tree.node list -> Tree.node
+(** LCA of a non-empty node set. Raises [Invalid_argument] on []. *)
+
+val rename_leaves : Tree.t -> prefix:string -> Tree.t
+(** Give every leaf a fresh name [prefix ^ string_of_int i] in preorder;
+    internal names are preserved. Used by simulators. *)
+
+val scale_branches : Tree.t -> factor:float -> Tree.t
+(** Multiply every branch length by [factor]. Raises [Invalid_argument]
+    on non-positive or non-finite factors. *)
+
+val normalize_height : Tree.t -> target:float -> Tree.t
+(** Scale so the maximum root-to-leaf distance equals [target] —
+    simulation trees must be brought to a realistic number of expected
+    substitutions per site before sequence evolution, or distances
+    saturate. Trees of zero height are returned unchanged. *)

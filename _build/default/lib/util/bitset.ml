@@ -1,0 +1,91 @@
+type t = {
+  n : int;
+  words : int array; (* 62 usable bits per word to stay in OCaml's int *)
+}
+
+let bits_per_word = 62
+
+let create n =
+  if n < 0 then invalid_arg "Bitset.create: negative capacity";
+  { n; words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0 }
+
+let capacity t = t.n
+
+let check t i op =
+  if i < 0 || i >= t.n then
+    invalid_arg (Printf.sprintf "Bitset.%s: index %d out of bounds [0,%d)" op i t.n)
+
+let mem t i =
+  check t i "mem";
+  t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0
+
+let add t i =
+  check t i "add";
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) lor (1 lsl (i mod bits_per_word))
+
+let remove t i =
+  check t i "remove";
+  let w = i / bits_per_word in
+  t.words.(w) <- t.words.(w) land lnot (1 lsl (i mod bits_per_word))
+
+let popcount x =
+  let rec loop x acc = if x = 0 then acc else loop (x land (x - 1)) (acc + 1) in
+  loop x 0
+
+let cardinal t = Array.fold_left (fun acc w -> acc + popcount w) 0 t.words
+
+let copy t = { t with words = Array.copy t.words }
+
+let clear t = Array.fill t.words 0 (Array.length t.words) 0
+
+let iter f t =
+  for i = 0 to t.n - 1 do
+    if t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then f i
+  done
+
+let to_list t =
+  let acc = ref [] in
+  for i = t.n - 1 downto 0 do
+    if t.words.(i / bits_per_word) land (1 lsl (i mod bits_per_word)) <> 0 then
+      acc := i :: !acc
+  done;
+  !acc
+
+let of_list n l =
+  let t = create n in
+  List.iter (add t) l;
+  t
+
+let same_capacity a b op =
+  if a.n <> b.n then
+    invalid_arg (Printf.sprintf "Bitset.%s: capacity mismatch (%d vs %d)" op a.n b.n)
+
+let equal a b =
+  same_capacity a b "equal";
+  a.words = b.words
+
+let union a b =
+  same_capacity a b "union";
+  { a with words = Array.mapi (fun i w -> w lor b.words.(i)) a.words }
+
+let inter a b =
+  same_capacity a b "inter";
+  { a with words = Array.mapi (fun i w -> w land b.words.(i)) a.words }
+
+let complement t =
+  let r = { t with words = Array.map lnot t.words } in
+  (* Mask off the bits beyond capacity in the last word. *)
+  let rem = t.n mod bits_per_word in
+  let nwords = Array.length r.words in
+  if rem <> 0 && nwords > 0 then
+    r.words.(nwords - 1) <- r.words.(nwords - 1) land ((1 lsl rem) - 1);
+  r
+
+let subset a b =
+  same_capacity a b "subset";
+  let ok = ref true in
+  Array.iteri (fun i w -> if w land lnot b.words.(i) <> 0 then ok := false) a.words;
+  !ok
+
+let hash t = Hashtbl.hash t.words

@@ -1,0 +1,37 @@
+(** Fixed-capacity bit sets.
+
+    Used for leaf-set membership during projection and for bipartition
+    fingerprints in tree comparison, where the universe (number of leaves)
+    is known in advance. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty subset of [{0, …, n-1}]. Raises
+    [Invalid_argument] on negative [n]. *)
+
+val capacity : t -> int
+val mem : t -> int -> bool
+val add : t -> int -> unit
+val remove : t -> int -> unit
+val cardinal : t -> int
+val copy : t -> t
+val clear : t -> unit
+val iter : (int -> unit) -> t -> unit
+val to_list : t -> int list
+val of_list : int -> int list -> t
+
+val equal : t -> t -> bool
+(** Equality of contents; capacities must match. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+
+val complement : t -> t
+(** Complement within the capacity universe. *)
+
+val subset : t -> t -> bool
+(** [subset a b] is true when every member of [a] is in [b]. *)
+
+val hash : t -> int
+(** Content hash, stable across [copy]. *)

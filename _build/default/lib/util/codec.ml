@@ -1,0 +1,127 @@
+exception Corrupt of string
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupt s)) fmt
+
+module Writer = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 64) () = Buffer.create capacity
+  let length = Buffer.length
+  let u8 t v = Buffer.add_char t (Char.chr (v land 0xff))
+
+  let u16 t v =
+    u8 t v;
+    u8 t (v lsr 8)
+
+  let u32 t v =
+    u16 t (v land 0xffff);
+    u16 t ((v lsr 16) land 0xffff)
+
+  let i64 t v = Buffer.add_int64_le t v
+
+  let rec varint t v =
+    if v < 0 then invalid_arg "Codec.Writer.varint: negative";
+    if v < 0x80 then u8 t v
+    else begin
+      u8 t (0x80 lor (v land 0x7f));
+      varint t (v lsr 7)
+    end
+
+  let zigzag t v =
+    (* The zigzag code of min_int-adjacent values uses all 63 bits, whose
+       int representation is negative; emit with logical shifts instead of
+       delegating to the sign-checked [varint]. *)
+    let rec emit u =
+      if u land lnot 0x7f = 0 then u8 t u
+      else begin
+        u8 t (0x80 lor (u land 0x7f));
+        emit (u lsr 7)
+      end
+    in
+    emit ((v lsl 1) lxor (v asr (Sys.int_size - 1)))
+  let float64 t v = i64 t (Int64.bits_of_float v)
+  let bytes t s = Buffer.add_string t s
+
+  let string t s =
+    varint t (String.length s);
+    bytes t s
+
+  let contents = Buffer.contents
+end
+
+module Reader = struct
+  type t = {
+    src : string;
+    mutable pos : int;
+  }
+
+  let create ?(pos = 0) src = { src; pos }
+  let pos t = t.pos
+  let remaining t = String.length t.src - t.pos
+
+  let need t n =
+    if remaining t < n then
+      corrupt "Codec.Reader: need %d bytes at offset %d, have %d" n t.pos (remaining t)
+
+  let u8 t =
+    need t 1;
+    let v = Char.code t.src.[t.pos] in
+    t.pos <- t.pos + 1;
+    v
+
+  let u16 t =
+    let lo = u8 t in
+    let hi = u8 t in
+    lo lor (hi lsl 8)
+
+  let u32 t =
+    let lo = u16 t in
+    let hi = u16 t in
+    lo lor (hi lsl 16)
+
+  let i64 t =
+    need t 8;
+    let v = String.get_int64_le t.src t.pos in
+    t.pos <- t.pos + 8;
+    v
+
+  let varint t =
+    let rec loop shift acc =
+      if shift > Sys.int_size - 7 then corrupt "Codec.Reader.varint: overflow";
+      let b = u8 t in
+      let acc = acc lor ((b land 0x7f) lsl shift) in
+      if b land 0x80 = 0 then acc else loop (shift + 7) acc
+    in
+    loop 0 0
+
+  let zigzag t =
+    let v = varint t in
+    (v lsr 1) lxor - (v land 1)
+
+  let float64 t = Int64.float_of_bits (i64 t)
+
+  let bytes t n =
+    need t n;
+    let s = String.sub t.src t.pos n in
+    t.pos <- t.pos + n;
+    s
+
+  let string t =
+    let n = varint t in
+    bytes t n
+end
+
+let get_u16 b off = Char.code (Bytes.get b off) lor (Char.code (Bytes.get b (off + 1)) lsl 8)
+
+let set_u16 b off v =
+  Bytes.set b off (Char.chr (v land 0xff));
+  Bytes.set b (off + 1) (Char.chr ((v lsr 8) land 0xff))
+
+let get_u32 b off = get_u16 b off lor (get_u16 b (off + 2) lsl 16)
+
+let set_u32 b off v =
+  set_u16 b off (v land 0xffff);
+  set_u16 b (off + 2) ((v lsr 16) land 0xffff)
+
+let get_i64 b off = Bytes.get_int64_le b off
+let set_i64 b off v = Bytes.set_int64_le b off v

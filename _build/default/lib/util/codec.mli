@@ -1,0 +1,61 @@
+(** Binary encoding and decoding over [Bytes.t].
+
+    The storage engine serialises records, B+tree cells and page headers
+    with these primitives. All multi-byte integers are little-endian.
+    Variable-length integers (LEB128) keep Dewey labels and record headers
+    compact. *)
+
+exception Corrupt of string
+(** Raised by decoders on truncated or malformed input. *)
+
+(** Append-only encoder backed by a growable buffer. *)
+module Writer : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val length : t -> int
+  val u8 : t -> int -> unit
+  val u16 : t -> int -> unit
+  val u32 : t -> int -> unit
+  val i64 : t -> int64 -> unit
+  val varint : t -> int -> unit
+  (** Unsigned LEB128; raises [Invalid_argument] on negative input. *)
+
+  val zigzag : t -> int -> unit
+  (** Signed varint via zigzag mapping. *)
+
+  val float64 : t -> float -> unit
+  val bytes : t -> string -> unit
+  (** Raw bytes, no length prefix. *)
+
+  val string : t -> string -> unit
+  (** Varint length prefix followed by the bytes. *)
+
+  val contents : t -> string
+end
+
+(** Cursor-based decoder over a string. *)
+module Reader : sig
+  type t
+
+  val create : ?pos:int -> string -> t
+  val pos : t -> int
+  val remaining : t -> int
+  val u8 : t -> int
+  val u16 : t -> int
+  val u32 : t -> int
+  val i64 : t -> int64
+  val varint : t -> int
+  val zigzag : t -> int
+  val float64 : t -> float
+  val bytes : t -> int -> string
+  val string : t -> string
+end
+
+(** Direct fixed-offset access into a [Bytes.t] buffer (page layouts). *)
+val get_u16 : bytes -> int -> int
+val set_u16 : bytes -> int -> int -> unit
+val get_u32 : bytes -> int -> int
+val set_u32 : bytes -> int -> int -> unit
+val get_i64 : bytes -> int -> int64
+val set_i64 : bytes -> int -> int64 -> unit

@@ -1,0 +1,26 @@
+type t = {
+  ids : (string, int) Hashtbl.t;
+  names : string Vec.t;
+}
+
+let create ?(capacity = 64) () =
+  { ids = Hashtbl.create capacity; names = Vec.create ~capacity () }
+
+let intern t s =
+  match Hashtbl.find_opt t.ids s with
+  | Some id -> id
+  | None ->
+      let id = Vec.length t.names in
+      Hashtbl.add t.ids s id;
+      Vec.push t.names s;
+      id
+
+let find t s = Hashtbl.find_opt t.ids s
+
+let name t id =
+  if id < 0 || id >= Vec.length t.names then
+    invalid_arg (Printf.sprintf "Interner.name: unknown id %d" id);
+  Vec.get t.names id
+
+let count t = Vec.length t.names
+let iter f t = Vec.iteri f t.names

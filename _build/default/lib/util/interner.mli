@@ -1,0 +1,20 @@
+(** String interning.
+
+    Species names recur throughout node tables, sample sets and query
+    results; interning maps each distinct name to a dense integer id so the
+    hot paths compare and hash ints. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val intern : t -> string -> int
+(** Id of the string, allocating a fresh id on first sight. *)
+
+val find : t -> string -> int option
+(** Id if already interned. *)
+
+val name : t -> int -> string
+(** Inverse of [intern]. Raises [Invalid_argument] on an unknown id. *)
+
+val count : t -> int
+val iter : (int -> string -> unit) -> t -> unit

@@ -1,0 +1,67 @@
+type align =
+  | Left
+  | Right
+
+type row =
+  | Cells of string list
+  | Separator
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ~columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t cells =
+  if List.length cells <> List.length t.headers then
+    invalid_arg
+      (Printf.sprintf "Table_printer.add_row: %d cells for %d columns"
+         (List.length cells) (List.length t.headers));
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.fold_left
+      (fun ws row ->
+        match row with
+        | Separator -> ws
+        | Cells cs -> List.map2 (fun w c -> Stdlib.max w (String.length c)) ws cs)
+      (List.map String.length t.headers)
+      rows
+  in
+  let pad align width s =
+    let gap = width - String.length s in
+    match align with
+    | Left -> s ^ String.make gap ' '
+    | Right -> String.make gap ' ' ^ s
+  in
+  let buf = Buffer.create 256 in
+  let emit_cells cells =
+    let padded =
+      List.map2 (fun (w, a) c -> pad a w c) (List.combine widths t.aligns) cells
+    in
+    Buffer.add_string buf ("| " ^ String.concat " | " padded ^ " |\n")
+  in
+  let rule () =
+    let dashes = List.map (fun w -> String.make (w + 2) '-') widths in
+    Buffer.add_string buf ("+" ^ String.concat "+" dashes ^ "+\n")
+  in
+  rule ();
+  emit_cells t.headers;
+  rule ();
+  List.iter
+    (fun row ->
+      match row with
+      | Cells cs -> emit_cells cs
+      | Separator -> rule ())
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,20 @@
+(** Aligned plain-text tables for benchmark and experiment reports. *)
+
+type align =
+  | Left
+  | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Column headers with per-column alignment. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] when the row width differs from the header. *)
+
+val add_separator : t -> unit
+(** Horizontal rule between row groups. *)
+
+val render : t -> string
+val print : t -> unit
+(** [render] followed by [print_string]. *)

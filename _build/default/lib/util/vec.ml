@@ -1,0 +1,79 @@
+type 'a t = {
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ?(capacity = 8) () = { data = [||]; len = -capacity }
+(* An empty vector has no element to use as filler for [Array.make], so we
+   defer allocation to the first push and stash the requested capacity in a
+   negative [len]. *)
+
+let length t = if t.len < 0 then 0 else t.len
+
+let is_empty t = length t = 0
+
+let check t i op =
+  if i < 0 || i >= length t then
+    invalid_arg (Printf.sprintf "Vec.%s: index %d out of bounds [0,%d)" op i (length t))
+
+let get t i =
+  check t i "get";
+  t.data.(i)
+
+let set t i x =
+  check t i "set";
+  t.data.(i) <- x
+
+let push t x =
+  if t.len < 0 then begin
+    let cap = max 1 (-t.len) in
+    t.data <- Array.make cap x;
+    t.len <- 1
+  end
+  else begin
+    if t.len = Array.length t.data then begin
+      let bigger = Array.make (2 * t.len) x in
+      Array.blit t.data 0 bigger 0 t.len;
+      t.data <- bigger
+    end;
+    t.data.(t.len) <- x;
+    t.len <- t.len + 1
+  end
+
+let pop t =
+  if length t = 0 then invalid_arg "Vec.pop: empty";
+  t.len <- t.len - 1;
+  t.data.(t.len)
+
+let last t =
+  if length t = 0 then invalid_arg "Vec.last: empty";
+  t.data.(t.len - 1)
+
+let clear t = if t.len > 0 then t.len <- 0
+
+let iter f t =
+  for i = 0 to length t - 1 do
+    f t.data.(i)
+  done
+
+let iteri f t =
+  for i = 0 to length t - 1 do
+    f i t.data.(i)
+  done
+
+let fold_left f init t =
+  let acc = ref init in
+  for i = 0 to length t - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let to_array t = Array.sub t.data 0 (length t)
+
+let to_list t = Array.to_list (to_array t)
+
+let of_array a = { data = Array.copy a; len = Array.length a }
+
+let truncate t n =
+  if n < 0 then invalid_arg "Vec.truncate: negative length";
+  if t.len > n then t.len <- n

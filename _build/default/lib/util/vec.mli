@@ -1,0 +1,39 @@
+(** Growable arrays.
+
+    The tree builders and page managers accumulate elements whose final
+    count is unknown up front; [Vec] provides amortised O(1) append with
+    O(1) random access, like C++ [std::vector]. *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** Raises [Invalid_argument] when the index is out of bounds. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** Raises [Invalid_argument] when the index is out of bounds. *)
+
+val push : 'a t -> 'a -> unit
+
+val pop : 'a t -> 'a
+(** Removes and returns the last element. Raises [Invalid_argument] when
+    empty. *)
+
+val last : 'a t -> 'a
+(** Raises [Invalid_argument] when empty. *)
+
+val clear : 'a t -> unit
+
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_array : 'a t -> 'a array
+val to_list : 'a t -> 'a list
+val of_array : 'a array -> 'a t
+
+val truncate : 'a t -> int -> unit
+(** [truncate v n] drops all elements at index [>= n]. No-op when
+    [n >= length v]. Raises [Invalid_argument] when [n < 0]. *)

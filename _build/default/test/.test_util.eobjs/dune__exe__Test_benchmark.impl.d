@@ -1,0 +1,1 @@
+test/test_benchmark.ml: Alcotest Crimson_benchmark Crimson_core Crimson_sim Crimson_tree Crimson_util List String

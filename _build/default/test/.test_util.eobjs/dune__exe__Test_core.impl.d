@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Crimson_core Crimson_formats Crimson_tree Crimson_util Filename Fun Helpers Int List Option Printf String Sys Unix

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Crimson_core Crimson_formats Crimson_recon Crimson_sim Crimson_tree Crimson_util Filename Float Fun Helpers List Option String Sys

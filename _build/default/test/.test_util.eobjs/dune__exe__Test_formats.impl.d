@@ -1,0 +1,1 @@
+test/test_formats.ml: Alcotest Crimson_formats Crimson_tree Crimson_util Filename Fun Helpers List Option QCheck QCheck_alcotest String Sys

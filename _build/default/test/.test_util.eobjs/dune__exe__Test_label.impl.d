@@ -1,0 +1,1 @@
+test/test_label.ml: Alcotest Array Crimson_label Crimson_tree Crimson_util Helpers Int List Printf QCheck QCheck_alcotest String

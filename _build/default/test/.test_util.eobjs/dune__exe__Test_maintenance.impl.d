@@ -1,0 +1,1 @@
+test/test_maintenance.ml: Alcotest Array Bytes Char Crimson_core Crimson_storage Crimson_tree Crimson_util Filename Fun Hashtbl Helpers List Printf QCheck QCheck_alcotest Sys Unix

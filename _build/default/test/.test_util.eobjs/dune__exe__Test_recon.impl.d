@@ -1,0 +1,1 @@
+test/test_recon.ml: Alcotest Array Crimson_formats Crimson_recon Crimson_sim Crimson_tree Crimson_util Float List Option String

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Crimson_sim Crimson_tree Crimson_util Float Helpers List String

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Crimson_storage Crimson_util Filename Fun Int List Option Printf QCheck QCheck_alcotest String Sys Unix

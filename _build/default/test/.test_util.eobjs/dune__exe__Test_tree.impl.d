@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Crimson_tree Crimson_util Helpers List Option Printf QCheck QCheck_alcotest

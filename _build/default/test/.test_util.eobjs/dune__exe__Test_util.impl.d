@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Bytes Crimson_util Float Fun Hashtbl Int64 List Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Array Bytes Char Crimson_core Crimson_storage Crimson_tree Filename Fun Helpers List Printf Sys Unix

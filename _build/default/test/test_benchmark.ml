@@ -1,0 +1,217 @@
+(* Tests for crimson_benchmark: the end-to-end Benchmark Manager. *)
+
+module Tree = Crimson_tree.Tree
+module Repo = Crimson_core.Repo
+module Loader = Crimson_core.Loader
+module Models = Crimson_sim.Models
+module Seqevo = Crimson_sim.Seqevo
+module B = Crimson_benchmark.Benchmark_manager
+module Prng = Crimson_util.Prng
+
+let check = Alcotest.check
+
+let setup ?(leaves = 40) ?(seed = 1) () =
+  let repo = Repo.open_mem () in
+  let rng = Prng.create seed in
+  let gold = Models.yule ~rng ~leaves () in
+  let report = Loader.load_tree ~f:4 repo ~name:"gold" gold in
+  (repo, report.tree)
+
+let test_run_produces_outcomes () =
+  let repo, stored = setup () in
+  let config = { B.default_config with replicates = 2; sample_k = 10 } in
+  let outcomes = B.run repo stored config in
+  check Alcotest.int "algorithms x replicates" (List.length config.algorithms * 2)
+    (List.length outcomes);
+  List.iter
+    (fun (o : B.outcome) ->
+      check Alcotest.int "taxa" 10 o.taxa;
+      check Alcotest.bool "rf bounded" true (o.rf >= 0);
+      check Alcotest.bool "nrf in [0,1]" true
+        (o.rf_normalized >= 0.0 && o.rf_normalized <= 1.0);
+      check Alcotest.bool "triplet in [0,1]" true (o.triplet >= 0.0 && o.triplet <= 1.0);
+      check Alcotest.bool "time recorded" true (o.seconds >= 0.0))
+    outcomes
+
+let test_run_deterministic () =
+  let repo, stored = setup () in
+  let config = { B.default_config with replicates = 1; sample_k = 8; record_history = false } in
+  let a = B.run repo stored config in
+  let b = B.run repo stored config in
+  check Alcotest.bool "same seed, same outcomes" true
+    (List.map (fun (o : B.outcome) -> (o.algorithm, o.rf)) a
+    = List.map (fun (o : B.outcome) -> (o.algorithm, o.rf)) b)
+
+let test_long_sequences_help_nj () =
+  (* Signal-quality sanity: with generous data NJ should be much better
+     than the worst case nRF=1. *)
+  let repo, stored = setup ~leaves:30 () in
+  let config =
+    {
+      B.default_config with
+      algorithms = [ B.nj_jc ];
+      sample_k = 12;
+      sequence_length = 4000;
+      replicates = 3;
+    }
+  in
+  let outcomes = B.run repo stored config in
+  let mean =
+    List.fold_left (fun a (o : B.outcome) -> a +. o.rf_normalized) 0.0 outcomes
+    /. float_of_int (List.length outcomes)
+  in
+  check Alcotest.bool "decent accuracy" true (mean < 0.5)
+
+let test_with_time_sampling () =
+  let repo, stored = setup ~leaves:60 () in
+  let config =
+    {
+      B.default_config with
+      sample_method = B.With_time 0.5;
+      sample_k = 8;
+      replicates = 1;
+      algorithms = [ B.nj_jc ];
+    }
+  in
+  match B.run repo stored config with
+  | [ o ] -> check Alcotest.int "taxa" 8 o.taxa
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_named_sampling () =
+  let repo, stored = setup () in
+  let config =
+    {
+      B.default_config with
+      sample_method = B.Named [ "T0"; "T1"; "T2"; "T3"; "T4" ];
+      replicates = 1;
+      algorithms = [ B.nj_jc ];
+    }
+  in
+  match B.run repo stored config with
+  | [ o ] -> check Alcotest.int "taxa" 5 o.taxa
+  | _ -> Alcotest.fail "expected one outcome"
+
+let test_stored_species_data_used () =
+  (* When the repository has sequences for every sampled species, they
+     are used instead of fresh simulation: same sample, same data, so two
+     runs with different seeds but Named sampling coincide. *)
+  let repo = Repo.open_mem () in
+  let rng = Prng.create 2 in
+  let gold = Models.yule ~rng ~leaves:10 () in
+  let seqs = Seqevo.evolve ~rng ~model:Seqevo.JC69 ~length:400 gold in
+  let report = Loader.load_tree ~f:4 repo ~name:"gold" ~species:seqs gold in
+  let names = [ "T0"; "T1"; "T2"; "T3"; "T4"; "T5" ] in
+  let mk seed =
+    {
+      B.default_config with
+      sample_method = B.Named names;
+      seed;
+      replicates = 1;
+      algorithms = [ B.nj_jc ];
+      record_history = false;
+    }
+  in
+  let a = B.run repo report.tree (mk 1) in
+  let b = B.run repo report.tree (mk 999) in
+  check Alcotest.bool "stored data makes runs coincide" true
+    (List.map (fun (o : B.outcome) -> o.rf) a = List.map (fun (o : B.outcome) -> o.rf) b)
+
+let test_history_recorded () =
+  let repo, stored = setup () in
+  let config = { B.default_config with replicates = 2; sample_k = 6 } in
+  ignore (B.run repo stored config);
+  check Alcotest.int "one history row per replicate" 2 (List.length (Repo.history repo))
+
+let test_config_validation () =
+  let repo, stored = setup () in
+  (match B.run repo stored { B.default_config with algorithms = [] } with
+  | exception B.Benchmark_error _ -> ()
+  | _ -> Alcotest.fail "no algorithms accepted");
+  (match B.run repo stored { B.default_config with sample_k = 2 } with
+  | exception B.Benchmark_error _ -> ()
+  | _ -> Alcotest.fail "k=2 accepted");
+  (match B.run repo stored { B.default_config with replicates = 0 } with
+  | exception B.Benchmark_error _ -> ()
+  | _ -> Alcotest.fail "0 replicates accepted");
+  match
+    B.run repo stored { B.default_config with sample_method = B.Named [ "T0"; "Nope"; "T1" ] }
+  with
+  | exception B.Benchmark_error _ -> ()
+  | _ -> Alcotest.fail "unknown species accepted"
+
+let test_summarize_and_report () =
+  let repo, stored = setup () in
+  let config = { B.default_config with replicates = 2; sample_k = 10 } in
+  let outcomes = B.run repo stored config in
+  let summaries = B.summarize outcomes in
+  check Alcotest.int "one summary per algorithm" (List.length config.algorithms)
+    (List.length summaries);
+  List.iter (fun (s : B.summary) -> check Alcotest.int "runs" 2 s.runs) summaries;
+  (* Sorted by accuracy. *)
+  let rec sorted = function
+    | (a : B.summary) :: (b :: _ as rest) ->
+        a.mean_rf_normalized <= b.mean_rf_normalized && sorted rest
+    | [ _ ] | [] -> true
+  in
+  check Alcotest.bool "sorted" true (sorted summaries);
+  let rendered = B.report summaries in
+  List.iter
+    (fun (algo : B.algorithm) ->
+      let contains needle hay =
+        let nl = String.length needle and hl = String.length hay in
+        let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+        scan 0
+      in
+      check Alcotest.bool ("mentions " ^ algo.algo_name) true
+        (contains algo.algo_name rendered))
+    config.algorithms
+
+let test_custom_algorithm () =
+  (* A deliberately bad "star tree" algorithm must rank below NJ. *)
+  let star : B.algorithm =
+    {
+      algo_name = "star";
+      infer =
+        (fun seqs ->
+          let b = Tree.Builder.create () in
+          let r = Tree.Builder.add_root b in
+          List.iter
+            (fun (name, _) ->
+              ignore (Tree.Builder.add_child ~name ~branch_length:1.0 b ~parent:r))
+            seqs;
+          Tree.Builder.finish b);
+    }
+  in
+  let repo, stored = setup ~leaves:40 () in
+  let config =
+    {
+      B.default_config with
+      algorithms = [ B.nj_jc; star ];
+      sample_k = 15;
+      sequence_length = 2000;
+      replicates = 2;
+    }
+  in
+  let summaries = B.summarize (B.run repo stored config) in
+  match summaries with
+  | first :: _ -> check Alcotest.string "nj wins" "nj+jc" first.algorithm
+  | [] -> Alcotest.fail "no summaries"
+
+let () =
+  Alcotest.run "crimson_benchmark"
+    [
+      ( "benchmark_manager",
+        [
+          Alcotest.test_case "produces outcomes" `Quick test_run_produces_outcomes;
+          Alcotest.test_case "deterministic" `Quick test_run_deterministic;
+          Alcotest.test_case "long sequences help" `Slow test_long_sequences_help_nj;
+          Alcotest.test_case "time sampling" `Quick test_with_time_sampling;
+          Alcotest.test_case "named sampling" `Quick test_named_sampling;
+          Alcotest.test_case "stored species data used" `Quick
+            test_stored_species_data_used;
+          Alcotest.test_case "history recorded" `Quick test_history_recorded;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "summaries and report" `Quick test_summarize_and_report;
+          Alcotest.test_case "custom algorithm ranks" `Slow test_custom_algorithm;
+        ] );
+    ]

@@ -1,0 +1,178 @@
+(* End-to-end CLI integration tests: drive the actual `crimson` binary
+   through the §3 demo workflow — simulate, load, query, project, match,
+   benchmark, history. *)
+
+let check = Alcotest.check
+
+let crimson_binary =
+  (* Tests run from _build/default/test; the binary sits in ../bin. *)
+  let candidate =
+    Filename.concat (Filename.dirname (Filename.dirname Sys.executable_name))
+      (Filename.concat "bin" "crimson.exe")
+  in
+  if Sys.file_exists candidate then candidate
+  else Filename.concat (Filename.dirname Sys.executable_name) "../bin/crimson.exe"
+
+let run_cli args =
+  let cmd =
+    Filename.quote_command crimson_binary args ~stdout:"/tmp/crimson_cli_out"
+      ~stderr:"/tmp/crimson_cli_err"
+  in
+  let status = Sys.command cmd in
+  let slurp path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  (status, slurp "/tmp/crimson_cli_out", slurp "/tmp/crimson_cli_err")
+
+let expect_success args =
+  let status, out, err = run_cli args in
+  if status <> 0 then
+    Alcotest.failf "crimson %s failed (%d):\n%s%s" (String.concat " " args) status out err;
+  out
+
+let expect_failure args =
+  let status, _, err = run_cli args in
+  if status = 0 then Alcotest.failf "crimson %s unexpectedly succeeded" (String.concat " " args);
+  err
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+let with_workspace f =
+  let dir = Filename.temp_file "crimson" ".cli" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+      in
+      rm dir)
+    (fun () -> f dir)
+
+let test_full_workflow () =
+  with_workspace (fun dir ->
+      let repo = Filename.concat dir "repo" in
+      let nexus = Filename.concat dir "gold.nex" in
+      (* simulate *)
+      let out =
+        expect_success
+          [ "simulate"; "--model"; "yule"; "--leaves"; "60"; "--height"; "0.8";
+            "--sequences"; "120"; "--seed"; "5"; "-o"; nexus ]
+      in
+      check Alcotest.bool "simulate reports" true (contains "leaves=60" out);
+      (* load *)
+      let out = expect_success [ "load"; "-r"; repo; nexus; "-n"; "gold" ] in
+      check Alcotest.bool "load reports" true (contains "loaded \"gold\"" out);
+      (* list *)
+      let out = expect_success [ "list"; "-r"; repo ] in
+      check Alcotest.bool "list shows tree" true (contains "gold" out);
+      (* stats *)
+      let out = expect_success [ "stats"; "-r"; repo; "-t"; "gold" ] in
+      check Alcotest.bool "stats leaves" true (contains "leaves: 60" out);
+      (* lca *)
+      let out = expect_success [ "lca"; "-r"; repo; "-t"; "gold"; "T0"; "T7" ] in
+      check Alcotest.bool "lca output" true (contains "LCA(T0, T7)" out);
+      (* query *)
+      let out =
+        expect_success [ "query"; "-r"; repo; "-t"; "gold"; "distance(T0, T7)" ]
+      in
+      check Alcotest.bool "query answers" true (contains "=" out);
+      (* project to newick *)
+      let out =
+        expect_success
+          [ "project"; "-r"; repo; "-t"; "gold"; "--names"; "T0,T1,T2"; "--format";
+            "newick" ]
+      in
+      check Alcotest.bool "projection newick" true (contains "T1" out && contains ";" out);
+      (* match: a projection of the tree must match it *)
+      let pattern = Filename.concat dir "pattern.nwk" in
+      let oc = open_out pattern in
+      output_string oc out;
+      close_out oc;
+      let out = expect_success [ "match"; "-r"; repo; "-t"; "gold"; pattern ] in
+      check Alcotest.bool "pattern matches" true (contains "matched: true" out);
+      (* benchmark *)
+      let out =
+        expect_success
+          [ "benchmark"; "-r"; repo; "-t"; "gold"; "-k"; "8"; "--length"; "200";
+            "--replicates"; "1"; "--algorithms"; "nj" ]
+      in
+      check Alcotest.bool "benchmark table" true (contains "nj+jc" out);
+      (* history has accumulated entries *)
+      let out = expect_success [ "history"; "-r"; repo ] in
+      check Alcotest.bool "history recorded" true (contains "lca" out);
+      (* export + delete *)
+      let dot = Filename.concat dir "gold.dot" in
+      ignore
+        (expect_success
+           [ "show"; "-r"; repo; "-t"; "gold"; "--format"; "dot"; "-o"; dot ]);
+      check Alcotest.bool "dot written" true (Sys.file_exists dot);
+      ignore (expect_success [ "delete"; "-r"; repo; "-t"; "gold" ]);
+      let out = expect_success [ "list"; "-r"; repo ] in
+      check Alcotest.bool "deleted" true (contains "no trees" out))
+
+let test_error_reporting () =
+  with_workspace (fun dir ->
+      let repo = Filename.concat dir "repo" in
+      (* Unknown tree name: the paper demos friendly error messages. *)
+      let err = expect_failure [ "lca"; "-r"; repo; "-t"; "missing"; "A"; "B" ] in
+      check Alcotest.bool "names the problem" true (contains "no tree named" err);
+      (* Invalid sample input. *)
+      let nexus = Filename.concat dir "t.nex" in
+      ignore
+        (expect_success
+           [ "simulate"; "--model"; "yule"; "--leaves"; "10"; "--seed"; "1"; "-o"; nexus ]);
+      ignore (expect_success [ "load"; "-r"; repo; nexus; "-n"; "t" ]);
+      let err =
+        expect_failure [ "project"; "-r"; repo; "-t"; "t"; "--sample"; "9999" ]
+      in
+      check Alcotest.bool "invalid sample reported" true (contains "sample" err);
+      (* Malformed pattern file. *)
+      let bad = Filename.concat dir "bad.nwk" in
+      let oc = open_out bad in
+      output_string oc "((broken";
+      close_out oc;
+      let err = expect_failure [ "match"; "-r"; repo; "-t"; "t"; bad ] in
+      check Alcotest.bool "parse error reported" true (contains "Newick" err))
+
+let test_append_species_cli () =
+  with_workspace (fun dir ->
+      let repo = Filename.concat dir "repo" in
+      let nexus = Filename.concat dir "t.nex" in
+      ignore
+        (expect_success
+           [ "simulate"; "--model"; "yule"; "--leaves"; "8"; "--seed"; "2"; "-o"; nexus ]);
+      ignore (expect_success [ "load"; "-r"; repo; nexus; "-n"; "t" ]);
+      let fasta = Filename.concat dir "seqs.fa" in
+      let oc = open_out fasta in
+      output_string oc ">T0\nACGTACGT\n>T1\nTTTTCCCC\n";
+      close_out oc;
+      let out = expect_success [ "append-species"; "-r"; repo; "-t"; "t"; fasta ] in
+      check Alcotest.bool "append reports" true (contains "appended 2 species" out);
+      let out = expect_success [ "query"; "-r"; repo; "-t"; "t"; "seq(T0)" ] in
+      check Alcotest.bool "sequence retrievable" true (contains "ACGTACGT" out))
+
+let () =
+  if not (Sys.file_exists crimson_binary) then begin
+    print_endline "crimson binary not found; skipping CLI tests";
+    exit 0
+  end;
+  Alcotest.run "crimson_cli"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "full workflow" `Slow test_full_workflow;
+          Alcotest.test_case "error reporting" `Quick test_error_reporting;
+          Alcotest.test_case "append species" `Quick test_append_species_cli;
+        ] );
+    ]

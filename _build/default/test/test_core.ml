@@ -1,0 +1,612 @@
+(* Tests for crimson_core: repositories, loader, disk-backed structure
+   queries, sampling, projection, clade, pattern match, query history. *)
+
+module Tree = Crimson_tree.Tree
+module Ops = Crimson_tree.Ops
+module Newick = Crimson_formats.Newick
+module Nexus = Crimson_formats.Nexus
+module Repo = Crimson_core.Repo
+module Stored_tree = Crimson_core.Stored_tree
+module Loader = Crimson_core.Loader
+module Sampling = Crimson_core.Sampling
+module Projection = Crimson_core.Projection
+module Clade = Crimson_core.Clade
+module Pattern = Crimson_core.Pattern
+module Prng = Crimson_util.Prng
+
+let check = Alcotest.check
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "crimson" ".repo" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+      in
+      rm dir)
+    (fun () -> f dir)
+
+let load_figure1 repo =
+  let fx = Helpers.figure1 () in
+  let report = Loader.load_tree ~f:2 repo ~name:"figure1" fx.tree in
+  (fx, report.tree)
+
+(* Figure 1 stored node ids are preorder ranks; the fixture is built in
+   preorder so ids coincide. *)
+let s_root = 0
+and s_bha = 1
+and s_u = 2
+and s_x = 3
+and s_lla = 4
+and s_spy = 5
+and s_syn = 6
+and s_bsu = 7
+
+(* ------------------------------ Loader ----------------------------- *)
+
+let test_load_reports () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  check Alcotest.int "nodes" 8 (Stored_tree.node_count stored);
+  check Alcotest.int "leaves" 5 (Stored_tree.leaf_count stored);
+  check Alcotest.string "name" "figure1" (Stored_tree.name stored);
+  check Alcotest.int "f" 2 (Stored_tree.f stored);
+  check Alcotest.int "root" 0 (Stored_tree.root stored)
+
+let test_load_duplicate_name () =
+  let repo = Repo.open_mem () in
+  let _ = load_figure1 repo in
+  let fx = Helpers.figure1 () in
+  match Loader.load_tree repo ~name:"figure1" fx.tree with
+  | exception Loader.Load_error _ -> ()
+  | _ -> Alcotest.fail "duplicate name accepted"
+
+let test_fetch_roundtrip () =
+  let repo = Repo.open_mem () in
+  let fx, stored = load_figure1 repo in
+  let back = Loader.fetch_tree stored in
+  check Alcotest.bool "round trip" true (Tree.equal_ordered fx.tree back)
+
+let test_fetch_roundtrip_random () =
+  let repo = Repo.open_mem () in
+  let rng = Prng.create 5 in
+  for i = 0 to 4 do
+    let t = Helpers.random_tree rng 60 in
+    let report = Loader.load_tree ~f:3 repo ~name:(Printf.sprintf "r%d" i) t in
+    let back = Loader.fetch_tree report.tree in
+    (* Loader renumbers to preorder ids; ordered equality still holds
+       because renumbering preserves child order. *)
+    check Alcotest.bool "round trip" true (Tree.equal_ordered t back)
+  done
+
+let test_list_trees () =
+  let repo = Repo.open_mem () in
+  let _ = load_figure1 repo in
+  let fx = Helpers.figure1 () in
+  let _ = Loader.load_tree repo ~name:"second" fx.tree in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+    "listing" [ (0, "figure1"); (1, "second") ] (Stored_tree.list_all repo)
+
+let test_open_by_name_and_id () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let by_name = Stored_tree.open_name repo "figure1" in
+  check Alcotest.int "same id" (Stored_tree.id stored) (Stored_tree.id by_name);
+  (match Stored_tree.open_name repo "nope" with
+  | exception Stored_tree.Unknown_tree _ -> ()
+  | _ -> Alcotest.fail "unknown name accepted");
+  match Stored_tree.open_id repo 99 with
+  | exception Stored_tree.Unknown_tree _ -> ()
+  | _ -> Alcotest.fail "unknown id accepted"
+
+let test_delete_tree () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  Loader.delete_tree repo stored;
+  check (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string)) "gone" []
+    (Stored_tree.list_all repo)
+
+(* ------------------------- Stored accessors ------------------------ *)
+
+let test_stored_accessors () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  check Alcotest.int "parent of Lla" s_x (Stored_tree.parent stored s_lla);
+  check Alcotest.int "parent of root" (-1) (Stored_tree.parent stored s_root);
+  check (Alcotest.option Alcotest.string) "name" (Some "Syn")
+    (Stored_tree.node_name stored s_syn);
+  check (Alcotest.option Alcotest.string) "unnamed becomes None" (Some "u")
+    (Stored_tree.node_name stored s_u);
+  check (Alcotest.float 1e-9) "branch length" 2.5 (Stored_tree.branch_length stored s_syn);
+  check (Alcotest.float 1e-9) "root distance x" 1.25
+    (Stored_tree.root_distance stored s_x);
+  check (Alcotest.list Alcotest.int) "children of root" [ s_bha; s_u; s_bsu ]
+    (Stored_tree.children stored s_root);
+  check (Alcotest.list Alcotest.int) "children of x" [ s_lla; s_spy ]
+    (Stored_tree.children stored s_x);
+  check Alcotest.bool "leaf" true (Stored_tree.is_leaf stored s_spy);
+  check Alcotest.bool "internal" false (Stored_tree.is_leaf stored s_u);
+  check Alcotest.int "edge index of Bsu" 3 (Stored_tree.edge_index stored s_bsu);
+  check Alcotest.int "depth of Lla" 3 (Stored_tree.depth stored s_lla)
+
+let test_stored_unknown_node () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  match Stored_tree.parent stored 42 with
+  | exception Stored_tree.Unknown_node 42 -> ()
+  | _ -> Alcotest.fail "expected Unknown_node"
+
+let test_leaf_ordinals () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  (* Leaves in preorder: Bha, Lla, Spy, Syn, Bsu -> ordinals 0..4. *)
+  check Alcotest.int "ord 0" s_bha (Stored_tree.leaf_by_ordinal stored 0);
+  check Alcotest.int "ord 2" s_spy (Stored_tree.leaf_by_ordinal stored 2);
+  check Alcotest.int "ord 4" s_bsu (Stored_tree.leaf_by_ordinal stored 4);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "interval of u" (1, 4)
+    (Stored_tree.leaf_interval stored s_u);
+  check (Alcotest.pair Alcotest.int Alcotest.int) "interval of root" (0, 5)
+    (Stored_tree.leaf_interval stored s_root)
+
+let test_node_by_name () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  check (Alcotest.option Alcotest.int) "Syn" (Some s_syn)
+    (Stored_tree.node_by_name stored "Syn");
+  check (Alcotest.option Alcotest.int) "missing" None
+    (Stored_tree.node_by_name stored "Zzz");
+  match Stored_tree.leaf_ids_by_names stored [ "Bha"; "Lla" ] with
+  | Ok ids -> check (Alcotest.list Alcotest.int) "resolve" [ s_bha; s_lla ] ids
+  | Error e -> Alcotest.failf "unexpected error %s" e
+
+(* ----------------------- Structure queries ------------------------- *)
+
+let test_stored_lca_paper () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  check Alcotest.int "LCA(Lla,Spy)=x" s_x (Stored_tree.lca stored s_lla s_spy);
+  check Alcotest.int "LCA(Syn,Lla)=u" s_u (Stored_tree.lca stored s_syn s_lla);
+  check Alcotest.int "LCA(Lla,Bsu)=root" s_root (Stored_tree.lca stored s_lla s_bsu);
+  check Alcotest.int "LCA set" s_u
+    (Stored_tree.lca_set stored [ s_lla; s_spy; s_syn ]);
+  check Alcotest.bool "ancestor" true
+    (Stored_tree.is_ancestor_or_self stored ~ancestor:s_u s_spy);
+  check Alcotest.bool "not ancestor" false
+    (Stored_tree.is_ancestor_or_self stored ~ancestor:s_bha s_spy)
+
+let test_stored_queries_match_memory () =
+  (* Cross-check disk-backed LCA / compare / depth against the in-memory
+     implementations on random trees. *)
+  let repo = Repo.open_mem () in
+  let rng = Prng.create 11 in
+  for i = 0 to 2 do
+    let t0 = Helpers.random_tree rng 120 in
+    let t, _ = Ops.copy_with_mapping t0 in
+    let report = Loader.load_tree ~f:3 repo ~name:(Printf.sprintf "x%d" i) t in
+    let stored = report.tree in
+    let rank = Tree.preorder_rank t in
+    (* Stored ids are preorder ranks of t's ids. *)
+    let sid v = rank.(v) in
+    let depths = Tree.depths t in
+    for _ = 1 to 150 do
+      let a = Prng.int rng (Tree.node_count t) in
+      let b = Prng.int rng (Tree.node_count t) in
+      let expected = sid (Ops.naive_lca t a b) in
+      let got = Stored_tree.lca stored (sid a) (sid b) in
+      if got <> expected then Alcotest.failf "lca mismatch %d %d" a b;
+      let cmp_mem = compare rank.(a) rank.(b) in
+      let cmp_disk = Stored_tree.compare_preorder stored (sid a) (sid b) in
+      if Int.compare cmp_disk 0 <> Int.compare cmp_mem 0 then
+        Alcotest.failf "compare mismatch %d %d" a b;
+      if Stored_tree.depth stored (sid a) <> depths.(a) then
+        Alcotest.failf "depth mismatch %d" a
+    done
+  done
+
+(* ----------------------------- Sampling ---------------------------- *)
+
+let test_frontier_paper_example () =
+  (* §2.2: sampling at evolutionary distance 1 finds exactly
+     {Bha, x, Syn, Bsu}. *)
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  check (Alcotest.list Alcotest.int) "frontier" [ s_bha; s_x; s_syn; s_bsu ]
+    (Sampling.frontier_at stored ~time:1.0)
+
+let test_with_time_paper_example () =
+  (* The paper's result: {Bha, Lla, Syn, Bsu} or {Bha, Spy, Syn, Bsu}. *)
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let seen_lla = ref false and seen_spy = ref false in
+  for seed = 0 to 30 do
+    let rng = Prng.create seed in
+    let sample = Sampling.with_time stored ~rng ~k:4 ~time:1.0 in
+    let names =
+      List.sort String.compare
+        (List.map (fun n -> Option.get (Stored_tree.node_name stored n)) sample)
+    in
+    (match names with
+    | [ "Bha"; "Bsu"; "Lla"; "Syn" ] -> seen_lla := true
+    | [ "Bha"; "Bsu"; "Spy"; "Syn" ] -> seen_spy := true
+    | _ -> Alcotest.failf "unexpected sample {%s}" (String.concat "," names))
+  done;
+  check Alcotest.bool "both variants occur" true (!seen_lla && !seen_spy)
+
+let test_uniform_sampling () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let rng = Prng.create 3 in
+  let sample = Sampling.uniform stored ~rng ~k:3 in
+  check Alcotest.int "size" 3 (List.length sample);
+  List.iter
+    (fun n -> check Alcotest.bool "is leaf" true (Stored_tree.is_leaf stored n))
+    sample;
+  check Alcotest.int "distinct" 3 (List.length (List.sort_uniq compare sample))
+
+let test_uniform_all () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let rng = Prng.create 3 in
+  let sample = Sampling.uniform stored ~rng ~k:5 in
+  check Alcotest.int "all leaves" 5 (List.length (List.sort_uniq compare sample))
+
+let test_sampling_errors () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let rng = Prng.create 3 in
+  (match Sampling.uniform stored ~rng ~k:0 with
+  | exception Sampling.Invalid_sample _ -> ()
+  | _ -> Alcotest.fail "k=0 accepted");
+  (match Sampling.uniform stored ~rng ~k:6 with
+  | exception Sampling.Invalid_sample _ -> ()
+  | _ -> Alcotest.fail "k>leaves accepted");
+  (match Sampling.with_time stored ~rng ~k:2 ~time:(-1.0) with
+  | exception Sampling.Invalid_sample _ -> ()
+  | _ -> Alcotest.fail "negative time accepted");
+  (* Time beyond every species: frontier empty. *)
+  match Sampling.with_time stored ~rng ~k:1 ~time:100.0 with
+  | exception Sampling.Invalid_sample _ -> ()
+  | _ -> Alcotest.fail "empty frontier accepted"
+
+let test_with_time_quota_spill () =
+  (* Frontier subtree smaller than its quota: excess spills. At time 1,
+     frontier = {Bha(1), x(2), Syn(1), Bsu(1)}: capacity 5. k=5 must pick
+     everything. *)
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let rng = Prng.create 17 in
+  let sample = Sampling.with_time stored ~rng ~k:5 ~time:1.0 in
+  check Alcotest.int "all five" 5 (List.length (List.sort_uniq compare sample))
+
+let test_with_time_deep_tree () =
+  let repo = Repo.open_mem () in
+  let t = Helpers.caterpillar ~branch_length:0.5 200 in
+  let report = Loader.load_tree ~f:4 repo ~name:"cat" t in
+  let stored = report.tree in
+  let rng = Prng.create 23 in
+  let sample = Sampling.with_time stored ~rng ~k:10 ~time:30.0 in
+  check Alcotest.int "k" 10 (List.length sample);
+  (* All sampled species must lie strictly beyond time 30 or be leaves of
+     frontier subtrees (here every leaf under a frontier node is deeper
+     than the frontier node itself minus its own edge). *)
+  List.iter
+    (fun n -> check Alcotest.bool "leaf" true (Stored_tree.is_leaf stored n))
+    sample
+
+(* ---------------------------- Projection --------------------------- *)
+
+let test_projection_figure2 () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let proj = Projection.project_names stored [ "Bha"; "Lla"; "Syn" ] in
+  check Alcotest.int "nodes" 5 (Tree.node_count proj);
+  let lla = Option.get (Tree.leaf_by_name proj "Lla") in
+  check (Alcotest.float 1e-9) "merged weight 0.75+1" 1.75 (Tree.branch_length proj lla);
+  (* Must agree with the in-memory reference implementation. *)
+  let fx = Helpers.figure1 () in
+  let reference = Ops.induced_subtree fx.tree [ fx.bha; fx.lla; fx.syn ] in
+  check Alcotest.bool "matches reference" true (Tree.equal_unordered reference proj)
+
+let test_projection_matches_reference_random () =
+  let repo = Repo.open_mem () in
+  let rng = Prng.create 29 in
+  for i = 0 to 3 do
+    let t0 = Helpers.random_tree rng 150 in
+    let t, _ = Ops.copy_with_mapping t0 in
+    let report = Loader.load_tree ~f:4 repo ~name:(Printf.sprintf "p%d" i) t in
+    let stored = report.tree in
+    let leaves = Tree.leaves t in
+    let rank = Tree.preorder_rank t in
+    for _ = 1 to 10 do
+      let k = 1 + Prng.int rng (Array.length leaves) in
+      let pick = Prng.sample_without_replacement rng ~k ~n:(Array.length leaves) in
+      let subset = Array.to_list (Array.map (fun i -> leaves.(i)) pick) in
+      let reference = Ops.induced_subtree t subset in
+      let proj = Projection.project stored (List.map (fun v -> rank.(v)) subset) in
+      if not (Tree.equal_unordered ~tolerance:1e-6 reference proj) then
+        Alcotest.failf "projection mismatch (tree %d, k=%d)" i k
+    done
+  done
+
+let test_projection_single_leaf () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let proj = Projection.project stored [ s_syn ] in
+  check Alcotest.int "single node" 1 (Tree.node_count proj);
+  check (Alcotest.option Alcotest.string) "named" (Some "Syn")
+    (Tree.name proj (Tree.root proj))
+
+let test_projection_errors () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  (match Projection.project stored [] with
+  | exception Projection.Projection_error _ -> ()
+  | _ -> Alcotest.fail "empty set");
+  (match Projection.project stored [ s_u ] with
+  | exception Projection.Projection_error _ -> ()
+  | _ -> Alcotest.fail "internal node");
+  (match Projection.project stored [ s_syn; s_syn ] with
+  | exception Projection.Projection_error _ -> ()
+  | _ -> Alcotest.fail "duplicates");
+  match Projection.project_names stored [ "Bha"; "Nope" ] with
+  | exception Projection.Projection_error _ -> ()
+  | _ -> Alcotest.fail "unknown name"
+
+(* ------------------------------ Clade ------------------------------ *)
+
+let test_clade_paper () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  check Alcotest.int "root of clade" s_x (Clade.root_of stored [ s_lla; s_spy ]);
+  check Alcotest.int "leaf count" 2 (Clade.size stored [ s_lla; s_spy ]);
+  check (Alcotest.list Alcotest.int) "leaves" [ s_lla; s_spy ]
+    (Clade.leaf_ids stored [ s_lla; s_spy ]);
+  check (Alcotest.list Alcotest.int) "nodes" [ s_x; s_lla; s_spy ]
+    (Clade.nodes stored [ s_lla; s_spy ]);
+  check Alcotest.bool "member" true (Clade.member stored ~clade_of:[ s_lla; s_spy ] s_x);
+  check Alcotest.bool "not member" false
+    (Clade.member stored ~clade_of:[ s_lla; s_spy ] s_syn);
+  (* Clade of Lla+Syn spans u's subtree: 3 leaves. *)
+  check Alcotest.int "bigger clade" 3 (Clade.size stored [ s_lla; s_syn ])
+
+let test_clade_limit () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  check Alcotest.int "limited" 2
+    (List.length (Clade.leaf_ids ~limit:2 stored [ s_lla; s_syn ]))
+
+(* -------------------------- Pattern match -------------------------- *)
+
+let test_pattern_paper_match () =
+  (* Figure 2's pattern matches Figure 1's tree... *)
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let pattern = Newick.parse "(Bha:1.25,(Lla:1.75,Syn:2.5):0.5);" in
+  let r = Pattern.match_pattern stored pattern in
+  check Alcotest.bool "matched" true r.matched;
+  check Alcotest.bool "weighted too" true r.weighted_match;
+  check Alcotest.int "rf 0" 0 r.rf_distance
+
+let test_pattern_paper_mismatch () =
+  (* … but swapping Bha and Lla breaks it (paper §2.2). *)
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let swapped = Newick.parse "(Lla:1.25,(Bha:1.75,Syn:2.5):0.5);" in
+  let r = Pattern.match_pattern stored swapped in
+  check Alcotest.bool "mismatch" false r.matched;
+  check Alcotest.bool "rf positive" true (r.rf_distance > 0)
+
+let test_pattern_weights_differ () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let wrong_weights = Newick.parse "(Bha:9,(Lla:9,Syn:9):9);" in
+  let r = Pattern.match_pattern stored wrong_weights in
+  check Alcotest.bool "topology matches" true r.matched;
+  check Alcotest.bool "weights do not" false r.weighted_match
+
+let test_pattern_errors () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  (match Pattern.match_pattern stored (Newick.parse "(Bha,Bha);") with
+  | exception Pattern.Pattern_error _ -> ()
+  | _ -> Alcotest.fail "duplicate leaves accepted");
+  match Pattern.match_pattern stored (Newick.parse "(Bha,Nope);") with
+  | exception Pattern.Pattern_error _ -> ()
+  | _ -> Alcotest.fail "unknown leaf accepted"
+
+(* --------------------------- Species data -------------------------- *)
+
+let test_species_roundtrip () =
+  let repo = Repo.open_mem () in
+  let fx = Helpers.figure1 () in
+  let seqs = [ ("Bha", "ACGT"); ("Lla", String.make 5000 'A') ] in
+  let report = Loader.load_tree repo ~name:"fig" ~species:seqs fx.tree in
+  check Alcotest.bool "chunked rows" true (report.species_rows >= 4);
+  check (Alcotest.option Alcotest.string) "short" (Some "ACGT")
+    (Loader.species_sequence repo report.tree "Bha");
+  check (Alcotest.option Alcotest.string) "long survives chunking"
+    (Some (String.make 5000 'A'))
+    (Loader.species_sequence repo report.tree "Lla");
+  check (Alcotest.option Alcotest.string) "absent" None
+    (Loader.species_sequence repo report.tree "Syn");
+  check (Alcotest.list Alcotest.string) "names" [ "Bha"; "Lla" ]
+    (Loader.species_names repo report.tree)
+
+let test_append_species () =
+  let repo = Repo.open_mem () in
+  let _, stored = load_figure1 repo in
+  let n = Loader.append_species repo stored [ ("Syn", "GGCC") ] in
+  check Alcotest.int "rows" 1 n;
+  check (Alcotest.option Alcotest.string) "appended" (Some "GGCC")
+    (Loader.species_sequence repo stored "Syn");
+  (match Loader.append_species repo stored [ ("Syn", "AAAA") ] with
+  | exception Loader.Load_error _ -> ()
+  | _ -> Alcotest.fail "duplicate species accepted");
+  (match Loader.append_species repo stored [ ("u", "AAAA") ] with
+  | exception Loader.Load_error _ -> ()
+  | _ -> Alcotest.fail "internal node accepted");
+  match Loader.append_species repo stored [ ("Martian", "AAAA") ] with
+  | exception Loader.Load_error _ -> ()
+  | _ -> Alcotest.fail "unknown species accepted"
+
+let test_load_nexus () =
+  let repo = Repo.open_mem () in
+  let doc =
+    Nexus.parse
+      {|#NEXUS
+BEGIN DATA;
+  MATRIX
+    A ACGT
+    B TTAA
+  ;
+END;
+BEGIN TREES;
+  TREE gold = ((A:1,B:1):1,C:2);
+END;
+|}
+  in
+  match Loader.load_nexus repo doc with
+  | [ report ] ->
+      check Alcotest.int "leaves" 3 (Stored_tree.leaf_count report.tree);
+      check (Alcotest.option Alcotest.string) "species attached" (Some "ACGT")
+        (Loader.species_sequence repo report.tree "A")
+  | _ -> Alcotest.fail "expected one report"
+
+(* -------------------------- Query history -------------------------- *)
+
+let test_query_history () =
+  let repo = Repo.open_mem () in
+  let id1 = Repo.record_query repo ~text:"sample k=4 t=1" ~result:"Bha,Lla,Syn,Bsu" in
+  let id2 = Repo.record_query repo ~text:"project {Bha,Lla,Syn}" ~result:"ok" in
+  check Alcotest.bool "ids increase" true (id2 > id1);
+  (match Repo.history repo with
+  | [ (i1, _, t1, _); (i2, _, t2, _) ] ->
+      check Alcotest.int "first id" id1 i1;
+      check Alcotest.string "first text" "sample k=4 t=1" t1;
+      check Alcotest.int "second id" id2 i2;
+      check Alcotest.string "second text" "project {Bha,Lla,Syn}" t2
+  | _ -> Alcotest.fail "expected two entries");
+  match Repo.history_entry repo id1 with
+  | Some (_, text, result) ->
+      check Alcotest.string "text" "sample k=4 t=1" text;
+      check Alcotest.string "result" "Bha,Lla,Syn,Bsu" result
+  | None -> Alcotest.fail "entry missing"
+
+(* --------------------------- Persistence --------------------------- *)
+
+let test_persistence_across_reopen () =
+  with_temp_dir (fun dir ->
+      let fx = Helpers.figure1 () in
+      (let repo = Repo.open_dir dir in
+       let _ =
+         Loader.load_tree ~f:2 repo ~name:"figure1" ~species:[ ("Bha", "ACGT") ]
+           fx.tree
+       in
+       ignore (Repo.record_query repo ~text:"q" ~result:"r");
+       Repo.close repo);
+      let repo = Repo.open_dir dir in
+      let stored = Stored_tree.open_name repo "figure1" in
+      check Alcotest.int "nodes" 8 (Stored_tree.node_count stored);
+      check Alcotest.int "LCA survives reopen" s_x (Stored_tree.lca stored s_lla s_spy);
+      let proj = Projection.project_names stored [ "Bha"; "Lla"; "Syn" ] in
+      check Alcotest.int "projection works" 5 (Tree.node_count proj);
+      check (Alcotest.option Alcotest.string) "species survive" (Some "ACGT")
+        (Loader.species_sequence repo stored "Bha");
+      check Alcotest.int "history survives" 1 (List.length (Repo.history repo));
+      Repo.close repo)
+
+let test_small_pool_queries () =
+  (* Queries must work when the buffer pool is tiny (the paper's core
+     storage claim): pool of 8 pages, tree of several thousand nodes. *)
+  let repo = Repo.open_mem ~pool_size:8 () in
+  let rng = Prng.create 77 in
+  let t0 = Helpers.random_tree rng 3000 in
+  let t, _ = Ops.copy_with_mapping t0 in
+  let report = Loader.load_tree ~f:8 repo ~name:"big" t in
+  let stored = report.tree in
+  let rank = Tree.preorder_rank t in
+  for _ = 1 to 30 do
+    let a = Prng.int rng (Tree.node_count t) in
+    let b = Prng.int rng (Tree.node_count t) in
+    let expected = rank.(Ops.naive_lca t a b) in
+    check Alcotest.int "lca under tiny pool" expected
+      (Stored_tree.lca stored rank.(a) rank.(b))
+  done
+
+let () =
+  Alcotest.run "crimson_core"
+    [
+      ( "loader",
+        [
+          Alcotest.test_case "load figure 1" `Quick test_load_reports;
+          Alcotest.test_case "duplicate name" `Quick test_load_duplicate_name;
+          Alcotest.test_case "fetch round trip" `Quick test_fetch_roundtrip;
+          Alcotest.test_case "fetch round trip (random)" `Quick
+            test_fetch_roundtrip_random;
+          Alcotest.test_case "list trees" `Quick test_list_trees;
+          Alcotest.test_case "open by name/id" `Quick test_open_by_name_and_id;
+          Alcotest.test_case "delete tree" `Quick test_delete_tree;
+        ] );
+      ( "stored_tree",
+        [
+          Alcotest.test_case "accessors" `Quick test_stored_accessors;
+          Alcotest.test_case "unknown node" `Quick test_stored_unknown_node;
+          Alcotest.test_case "leaf ordinals" `Quick test_leaf_ordinals;
+          Alcotest.test_case "node by name" `Quick test_node_by_name;
+          Alcotest.test_case "LCA (paper walkthrough)" `Quick test_stored_lca_paper;
+          Alcotest.test_case "disk queries = memory queries" `Slow
+            test_stored_queries_match_memory;
+        ] );
+      ( "sampling",
+        [
+          Alcotest.test_case "frontier (paper example)" `Quick
+            test_frontier_paper_example;
+          Alcotest.test_case "time sampling (paper example)" `Quick
+            test_with_time_paper_example;
+          Alcotest.test_case "uniform" `Quick test_uniform_sampling;
+          Alcotest.test_case "uniform k=all" `Quick test_uniform_all;
+          Alcotest.test_case "invalid inputs" `Quick test_sampling_errors;
+          Alcotest.test_case "quota spill" `Quick test_with_time_quota_spill;
+          Alcotest.test_case "deep tree" `Quick test_with_time_deep_tree;
+        ] );
+      ( "projection",
+        [
+          Alcotest.test_case "figure 2" `Quick test_projection_figure2;
+          Alcotest.test_case "matches reference (random)" `Slow
+            test_projection_matches_reference_random;
+          Alcotest.test_case "single leaf" `Quick test_projection_single_leaf;
+          Alcotest.test_case "errors" `Quick test_projection_errors;
+        ] );
+      ( "clade",
+        [
+          Alcotest.test_case "paper semantics" `Quick test_clade_paper;
+          Alcotest.test_case "limit" `Quick test_clade_limit;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "figure 2 matches (paper)" `Quick test_pattern_paper_match;
+          Alcotest.test_case "swapped leaves mismatch (paper)" `Quick
+            test_pattern_paper_mismatch;
+          Alcotest.test_case "weights differ" `Quick test_pattern_weights_differ;
+          Alcotest.test_case "errors" `Quick test_pattern_errors;
+        ] );
+      ( "species",
+        [
+          Alcotest.test_case "round trip with chunking" `Quick test_species_roundtrip;
+          Alcotest.test_case "append" `Quick test_append_species;
+          Alcotest.test_case "nexus load" `Quick test_load_nexus;
+        ] );
+      ("history", [ Alcotest.test_case "record and recall" `Quick test_query_history ]);
+      ( "persistence",
+        [
+          Alcotest.test_case "reopen" `Quick test_persistence_across_reopen;
+          Alcotest.test_case "tiny buffer pool" `Slow test_small_pool_queries;
+        ] );
+    ]

@@ -1,0 +1,303 @@
+(* Tests for crimson_formats: Newick, NEXUS, dendrogram. *)
+
+module Tree = Crimson_tree.Tree
+module Newick = Crimson_formats.Newick
+module Nexus = Crimson_formats.Nexus
+module Dendrogram = Crimson_formats.Dendrogram
+module Prng = Crimson_util.Prng
+
+let check = Alcotest.check
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+(* ------------------------------ Newick ----------------------------- *)
+
+let test_newick_parse_simple () =
+  let t = Newick.parse "(A:1,B:2)root;" in
+  check Alcotest.int "nodes" 3 (Tree.node_count t);
+  check (Alcotest.option Alcotest.string) "root name" (Some "root")
+    (Tree.name t (Tree.root t));
+  let a = Option.get (Tree.leaf_by_name t "A") in
+  check (Alcotest.float 1e-9) "length" 1.0 (Tree.branch_length t a)
+
+let test_newick_parse_figure1 () =
+  let t =
+    Newick.parse
+      "(Bha:1.25,((Lla:1,Spy:1)x:0.75,Syn:2.5)u:0.5,Bsu:1.5)root;"
+  in
+  let fx = Helpers.figure1 () in
+  check Alcotest.bool "matches fixture" true (Tree.equal_unordered fx.tree t)
+
+let test_newick_nested_no_lengths () =
+  let t = Newick.parse "((A,B),(C,(D,E)));" in
+  check Alcotest.int "nodes" 9 (Tree.node_count t);
+  check Alcotest.int "leaves" 5 (Tree.leaf_count t)
+
+let test_newick_quoted_labels () =
+  let t = Newick.parse "('species one':1,'it''s':2)'the root';" in
+  check (Alcotest.option Alcotest.string) "root" (Some "the root")
+    (Tree.name t (Tree.root t));
+  check Alcotest.bool "quoted leaf" true (Tree.leaf_by_name t "species one" <> None);
+  check Alcotest.bool "escaped quote" true (Tree.leaf_by_name t "it's" <> None)
+
+let test_newick_comments_and_whitespace () =
+  let t = Newick.parse "  ( A : 1 , [a comment] B : 2 ) ; " in
+  check Alcotest.int "nodes" 3 (Tree.node_count t);
+  check Alcotest.bool "B parsed" true (Tree.leaf_by_name t "B" <> None)
+
+let test_newick_single_node () =
+  let t = Newick.parse "OnlyOne;" in
+  check Alcotest.int "nodes" 1 (Tree.node_count t);
+  check (Alcotest.option Alcotest.string) "name" (Some "OnlyOne")
+    (Tree.name t (Tree.root t))
+
+let test_newick_multifurcation () =
+  let t = Newick.parse "(A,B,C,D,E,F);" in
+  check Alcotest.int "degree" 6 (Tree.out_degree t (Tree.root t))
+
+let test_newick_errors () =
+  let expect_error s =
+    match Newick.parse s with
+    | exception Newick.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  expect_error "(A,B";
+  expect_error "(A,,B);";
+  expect_error "(A)B)C;";
+  expect_error "(A:x);";
+  expect_error "(A,B); trailing";
+  expect_error "('unterminated:1);";
+  expect_error "(A,B)[unclosed;"
+
+let test_newick_roundtrip_figure1 () =
+  let fx = Helpers.figure1 () in
+  let s = Newick.to_string fx.tree in
+  let t = Newick.parse s in
+  check Alcotest.bool "round trip" true (Tree.equal_ordered fx.tree t)
+
+let test_newick_no_lengths_flag () =
+  let fx = Helpers.figure1 () in
+  let s = Newick.to_string ~include_lengths:false fx.tree in
+  check Alcotest.bool "no colon" false (contains ":" s)
+
+let test_newick_quoting_roundtrip () =
+  let b = Tree.Builder.create () in
+  let r = Tree.Builder.add_root ~name:"has space" b in
+  ignore (Tree.Builder.add_child ~name:"it's" ~branch_length:1.0 b ~parent:r);
+  ignore (Tree.Builder.add_child ~name:"plain" ~branch_length:2.0 b ~parent:r);
+  let t = Tree.Builder.finish b in
+  let t' = Newick.parse (Newick.to_string t) in
+  check Alcotest.bool "round trip" true (Tree.equal_ordered t t')
+
+let test_newick_deep_roundtrip () =
+  (* 50k-level caterpillar: parser and printer must be iterative. *)
+  let t = Helpers.caterpillar 50_000 in
+  let t' = Newick.parse (Newick.to_string t) in
+  check Alcotest.bool "round trip" true (Tree.equal_ordered t t')
+
+let test_newick_file_io () =
+  let fx = Helpers.figure1 () in
+  let path = Filename.temp_file "crimson" ".nwk" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Newick.write_file path fx.tree;
+      let t = Newick.parse_file path in
+      check Alcotest.bool "file round trip" true (Tree.equal_ordered fx.tree t))
+
+let prop_newick_roundtrip =
+  QCheck.Test.make ~name:"newick round-trips random trees" ~count:100
+    (QCheck.make
+       QCheck.Gen.(
+         map
+           (fun (seed, n) ->
+             let rng = Prng.create seed in
+             Helpers.random_tree rng (n + 1))
+           (pair (int_bound 10_000) (int_bound 60))))
+  @@ fun t -> Tree.equal_ordered ~tolerance:1e-6 t (Newick.parse (Newick.to_string t))
+
+(* ------------------------------ NEXUS ------------------------------ *)
+
+let sample_nexus =
+  {|#NEXUS
+[ a file-level comment ]
+BEGIN TAXA;
+  DIMENSIONS NTAX=3;
+  TAXLABELS Bha Lla 'Syn the third';
+END;
+BEGIN CHARACTERS;
+  DIMENSIONS NCHAR=8;
+  FORMAT DATATYPE=DNA MISSING=? GAP=-;
+  MATRIX
+    Bha ACGTACGT
+    Lla ACGTTCGT
+    'Syn the third' ACGAACGA
+  ;
+END;
+BEGIN TREES;
+  TREE gold = ((Bha:1,Lla:2):0.5,'Syn the third':3);
+END;
+|}
+
+let test_nexus_parse_full () =
+  let doc = Nexus.parse sample_nexus in
+  check (Alcotest.list Alcotest.string) "taxa" [ "Bha"; "Lla"; "Syn the third" ] doc.taxa;
+  check Alcotest.int "matrix rows" 3 (List.length doc.characters);
+  check Alcotest.string "sequence" "ACGTTCGT" (List.assoc "Lla" doc.characters);
+  check Alcotest.int "trees" 1 (List.length doc.trees);
+  let _, tree = List.hd doc.trees in
+  check Alcotest.int "tree leaves" 3 (Tree.leaf_count tree);
+  check Alcotest.bool "quoted taxon leaf" true
+    (Tree.leaf_by_name tree "Syn the third" <> None)
+
+let test_nexus_translate () =
+  let src =
+    {|#NEXUS
+BEGIN TREES;
+  TRANSLATE 1 Bha, 2 Lla, 3 Syn;
+  TREE t1 = ((1:1,2:1):1,3:2);
+END;
+|}
+  in
+  let doc = Nexus.parse src in
+  let _, tree = List.hd doc.trees in
+  check Alcotest.bool "translated" true (Tree.leaf_by_name tree "Bha" <> None);
+  check Alcotest.bool "no numeric leaves" true (Tree.leaf_by_name tree "1" = None)
+
+let test_nexus_skips_unknown_blocks () =
+  let src =
+    {|#NEXUS
+BEGIN ASSUMPTIONS;
+  USERTYPE myMatrix = 4: a b c d;
+END;
+BEGIN TREES;
+  TREE only = (A,B);
+END;
+|}
+  in
+  let doc = Nexus.parse src in
+  check Alcotest.int "one tree" 1 (List.length doc.trees)
+
+let test_nexus_interleaved_matrix () =
+  let src =
+    {|#NEXUS
+BEGIN DATA;
+  MATRIX
+    A ACGT
+    B TTTT
+    A GGGG
+    B CCCC
+  ;
+END;
+|}
+  in
+  let doc = Nexus.parse src in
+  check Alcotest.string "A interleaved" "ACGTGGGG" (List.assoc "A" doc.characters);
+  check Alcotest.string "B interleaved" "TTTTCCCC" (List.assoc "B" doc.characters)
+
+let test_nexus_errors () =
+  let expect_error s =
+    match Nexus.parse s with
+    | exception Nexus.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  expect_error "not nexus at all";
+  expect_error "#NEXUS\nBEGIN TREES;\nTREE x = (A,B;\nEND;\n";
+  expect_error "#NEXUS\nBEGIN TAXA;\nTAXLABELS A B\n";
+  expect_error "#NEXUS\nstray;\n"
+
+let test_nexus_roundtrip () =
+  let doc = Nexus.parse sample_nexus in
+  let doc' = Nexus.parse (Nexus.to_string doc) in
+  check (Alcotest.list Alcotest.string) "taxa" doc.taxa doc'.taxa;
+  check Alcotest.int "chars" (List.length doc.characters) (List.length doc'.characters);
+  List.iter
+    (fun (name, seq) ->
+      check Alcotest.string ("seq " ^ name) seq (List.assoc name doc'.characters))
+    doc.characters;
+  let _, t = List.hd doc.trees and _, t' = List.hd doc'.trees in
+  check Alcotest.bool "tree" true (Tree.equal_ordered t t')
+
+let test_nexus_of_tree () =
+  let fx = Helpers.figure1 () in
+  let doc = Nexus.of_tree ~name:"fig1" fx.tree in
+  check Alcotest.int "taxa from leaves" 5 (List.length doc.taxa);
+  let rendered = Nexus.to_string doc in
+  check Alcotest.bool "has TREES block" true (contains "BEGIN TREES;" rendered);
+  let doc' = Nexus.parse rendered in
+  let _, t' = List.hd doc'.trees in
+  check Alcotest.bool "tree preserved" true (Tree.equal_ordered fx.tree t')
+
+let test_nexus_file_io () =
+  let doc = Nexus.parse sample_nexus in
+  let path = Filename.temp_file "crimson" ".nex" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Nexus.write_file path doc;
+      let doc' = Nexus.parse_file path in
+      check Alcotest.int "trees" 1 (List.length doc'.trees))
+
+(* ---------------------------- Dendrogram --------------------------- *)
+
+let test_dendrogram_renders_all_leaves () =
+  let fx = Helpers.figure1 () in
+  let art = Dendrogram.render fx.tree in
+  List.iter
+    (fun name -> check Alcotest.bool ("shows " ^ name) true (contains name art))
+    [ "Bha"; "Lla"; "Spy"; "Syn"; "Bsu" ]
+
+let test_dendrogram_shows_lengths () =
+  let fx = Helpers.figure1 () in
+  let art = Dendrogram.render fx.tree in
+  check Alcotest.bool "length shown" true (contains "Syn:2.5" art);
+  let bare = Dendrogram.render ~show_lengths:false fx.tree in
+  check Alcotest.bool "length hidden" false (contains "2.5" bare)
+
+let test_dendrogram_truncates () =
+  let t = Helpers.balanced_binary 12 in
+  let art = Dendrogram.render ~max_nodes:100 t in
+  check Alcotest.bool "truncation notice" true (contains "[truncated" art)
+
+let () =
+  Alcotest.run "crimson_formats"
+    [
+      ( "newick",
+        [
+          Alcotest.test_case "simple" `Quick test_newick_parse_simple;
+          Alcotest.test_case "figure 1" `Quick test_newick_parse_figure1;
+          Alcotest.test_case "nested, no lengths" `Quick test_newick_nested_no_lengths;
+          Alcotest.test_case "quoted labels" `Quick test_newick_quoted_labels;
+          Alcotest.test_case "comments and whitespace" `Quick
+            test_newick_comments_and_whitespace;
+          Alcotest.test_case "single node" `Quick test_newick_single_node;
+          Alcotest.test_case "multifurcation" `Quick test_newick_multifurcation;
+          Alcotest.test_case "malformed inputs" `Quick test_newick_errors;
+          Alcotest.test_case "round trip figure 1" `Quick test_newick_roundtrip_figure1;
+          Alcotest.test_case "lengths flag" `Quick test_newick_no_lengths_flag;
+          Alcotest.test_case "quoting round trip" `Quick test_newick_quoting_roundtrip;
+          Alcotest.test_case "deep tree round trip" `Slow test_newick_deep_roundtrip;
+          Alcotest.test_case "file io" `Quick test_newick_file_io;
+          QCheck_alcotest.to_alcotest prop_newick_roundtrip;
+        ] );
+      ( "nexus",
+        [
+          Alcotest.test_case "full document" `Quick test_nexus_parse_full;
+          Alcotest.test_case "translate table" `Quick test_nexus_translate;
+          Alcotest.test_case "skips unknown blocks" `Quick test_nexus_skips_unknown_blocks;
+          Alcotest.test_case "interleaved matrix" `Quick test_nexus_interleaved_matrix;
+          Alcotest.test_case "malformed inputs" `Quick test_nexus_errors;
+          Alcotest.test_case "round trip" `Quick test_nexus_roundtrip;
+          Alcotest.test_case "of_tree" `Quick test_nexus_of_tree;
+          Alcotest.test_case "file io" `Quick test_nexus_file_io;
+        ] );
+      ( "dendrogram",
+        [
+          Alcotest.test_case "renders all leaves" `Quick test_dendrogram_renders_all_leaves;
+          Alcotest.test_case "branch lengths" `Quick test_dendrogram_shows_lengths;
+          Alcotest.test_case "truncates huge trees" `Quick test_dendrogram_truncates;
+        ] );
+    ]

@@ -1,0 +1,405 @@
+(* Tests for crimson_label: flat Dewey labels and the hierarchical
+   layered labeling scheme, validated against the paper's worked examples
+   and against naive tree algorithms. *)
+
+module Tree = Crimson_tree.Tree
+module Ops = Crimson_tree.Ops
+module Dewey = Crimson_label.Dewey
+module Layered = Crimson_label.Layered
+module Prng = Crimson_util.Prng
+
+let check = Alcotest.check
+
+(* ------------------------------ Dewey ------------------------------ *)
+
+let test_dewey_assign_figure1 () =
+  (* §2.1: "the label of the leaf node Lla in Figure 1 would be (2.1.1),
+     and that of Spy would be (2.1.2)". *)
+  let fx = Helpers.figure1 () in
+  let labels = Dewey.assign fx.tree in
+  check Alcotest.string "Lla" "2.1.1" (Dewey.to_string labels.(fx.lla));
+  check Alcotest.string "Spy" "2.1.2" (Dewey.to_string labels.(fx.spy));
+  check Alcotest.string "x" "2.1" (Dewey.to_string labels.(fx.x));
+  check Alcotest.string "Bha" "1" (Dewey.to_string labels.(fx.bha));
+  check Alcotest.string "Bsu" "3" (Dewey.to_string labels.(fx.bsu));
+  check Alcotest.string "root" "." (Dewey.to_string labels.(fx.root))
+
+let test_dewey_lca_figure1 () =
+  (* "the least common ancestor of Lla and Spy could be found by computing
+     the longest common prefix of their labels, yielding (2.1)". *)
+  let fx = Helpers.figure1 () in
+  let labels = Dewey.assign fx.tree in
+  check Alcotest.string "LCA(Lla,Spy)" "2.1"
+    (Dewey.to_string (Dewey.lca labels.(fx.lla) labels.(fx.spy)));
+  check Alcotest.string "LCA(Lla,Syn)" "2"
+    (Dewey.to_string (Dewey.lca labels.(fx.lla) labels.(fx.syn)));
+  check Alcotest.string "LCA(Lla,Bsu)" "."
+    (Dewey.to_string (Dewey.lca labels.(fx.lla) labels.(fx.bsu)))
+
+let test_dewey_compare_is_preorder () =
+  let fx = Helpers.figure1 () in
+  let labels = Dewey.assign fx.tree in
+  let rank = Tree.preorder_rank fx.tree in
+  for a = 0 to Tree.node_count fx.tree - 1 do
+    for b = 0 to Tree.node_count fx.tree - 1 do
+      let by_label = Dewey.compare labels.(a) labels.(b) in
+      let by_rank = Int.compare rank.(a) rank.(b) in
+      if Int.compare by_label 0 <> Int.compare by_rank 0 then
+        Alcotest.failf "order mismatch for %d %d" a b
+    done
+  done
+
+let test_dewey_ancestor () =
+  let a = Dewey.of_string "2.1" in
+  let b = Dewey.of_string "2.1.1" in
+  check Alcotest.bool "prefix" true (Dewey.is_ancestor_or_self a b);
+  check Alcotest.bool "self" true (Dewey.is_ancestor_or_self a a);
+  check Alcotest.bool "not prefix" false (Dewey.is_ancestor_or_self b a);
+  check Alcotest.bool "root ancestor of all" true
+    (Dewey.is_ancestor_or_self Dewey.root b);
+  check Alcotest.bool "sibling" false
+    (Dewey.is_ancestor_or_self (Dewey.of_string "2.2") b)
+
+let test_dewey_parent_child () =
+  let l = Dewey.of_string "2.1.3" in
+  check Alcotest.string "parent" "2.1" (Dewey.to_string (Dewey.parent l));
+  check Alcotest.string "child" "2.1.3.7" (Dewey.to_string (Dewey.child l 7));
+  Alcotest.check_raises "root parent" (Invalid_argument "Dewey.parent: root label")
+    (fun () -> ignore (Dewey.parent Dewey.root));
+  Alcotest.check_raises "bad child" (Invalid_argument "Dewey.child: components are 1-based")
+    (fun () -> ignore (Dewey.child l 0))
+
+let test_dewey_string_roundtrip () =
+  List.iter
+    (fun s -> check Alcotest.string "roundtrip" s (Dewey.to_string (Dewey.of_string s)))
+    [ "."; "1"; "2.1.1"; "10.20.30.40" ];
+  Alcotest.check_raises "bad component" (Invalid_argument "Dewey.of_string: bad component \"0\"")
+    (fun () -> ignore (Dewey.of_string "1.0.2"))
+
+let test_dewey_encode_roundtrip () =
+  List.iter
+    (fun s ->
+      let l = Dewey.of_string s in
+      check Alcotest.bool "decode(encode)" true (Dewey.equal l (Dewey.decode (Dewey.encode l)));
+      check Alcotest.int "size_bytes matches" (String.length (Dewey.encode l))
+        (Dewey.size_bytes l))
+    [ "."; "1"; "2.1.1"; "200.1.300.4000" ]
+
+let test_dewey_size_stats_caterpillar () =
+  (* On a caterpillar of depth d, the deepest label has d components: the
+     paper's complaint about flat Dewey labels on deep phylogenies. *)
+  let t = Helpers.caterpillar 500 in
+  let stats = Dewey.size_stats t in
+  check Alcotest.int "max components" 500 stats.max_components;
+  check Alcotest.bool "labels grow with depth" true (stats.max_bytes >= 500)
+
+let test_dewey_size_stats_match_assign () =
+  let fx = Helpers.figure1 () in
+  let labels = Dewey.assign fx.tree in
+  let expected_total =
+    Array.fold_left (fun acc l -> acc + Dewey.size_bytes l) 0 labels
+  in
+  let stats = Dewey.size_stats fx.tree in
+  check Alcotest.int "total" expected_total stats.total_bytes
+
+(* ----------------------------- Layered ----------------------------- *)
+
+let test_layered_figure4 () =
+  (* The paper's Figure 4 decomposes Figure 1's tree into layer-0 subtrees
+     rooted at the root and at x (with f=3 in our depth convention: nodes
+     at depth 0,1,2 in one subtree, x's children split off... the paper
+     cuts at x's children). With f = 3, nodes at depth 3 (Lla, Spy) start
+     new subtrees. We instead reproduce the split structure with f = 2:
+     depth-2 nodes (x, Syn) root new subtrees, so the subtree {x, Lla,
+     Spy} is split off from u — u is its source node, matching the
+     dotted-edge semantics of Figure 4. *)
+  let fx = Helpers.figure1 () in
+  let ix = Layered.build ~f:2 fx.tree in
+  check Alcotest.int "layer count" 2 (Layered.layer_count ix);
+  (* Layer 0 subtrees: {root,Bha,u,Bsu}, {x,Lla,Spy}, {Syn}. *)
+  check Alcotest.int "layer-0 subtrees" 3 (Layered.subtree_count ix ~layer:0);
+  let sub_x = Layered.raw_sub ix ~layer:0 fx.x in
+  check Alcotest.int "x roots its subtree" fx.x (Layered.raw_sub_root ix ~layer:0 sub_x);
+  check Alcotest.int "Lla in x's subtree" sub_x (Layered.raw_sub ix ~layer:0 fx.lla);
+  (* The source node of x's subtree is u: the dotted edge of Figure 4. *)
+  check Alcotest.int "source of split subtree" fx.u (Layered.source ix ~layer:0 sub_x);
+  check Alcotest.int "top subtree has no source" (-1)
+    (Layered.source ix ~layer:0 (Layered.raw_sub ix ~layer:0 fx.root))
+
+let test_layered_lca_paper_walkthrough () =
+  (* §2.1's walkthrough: the LCA of Syn and Lla, which live in different
+     subtrees, is found by going up a layer and entering through source
+     nodes; the answer is u (the paper's node 1 plays the role of the
+     common subtree root; in our decomposition the LCA is u itself). *)
+  let fx = Helpers.figure1 () in
+  let ix = Layered.build ~f:2 fx.tree in
+  check Alcotest.int "LCA(Syn,Lla)" fx.u (Layered.lca ix fx.syn fx.lla);
+  check Alcotest.int "LCA(Lla,Spy)" fx.x (Layered.lca ix fx.lla fx.spy);
+  check Alcotest.int "LCA(Lla,Bsu)" fx.root (Layered.lca ix fx.lla fx.bsu);
+  check Alcotest.int "LCA(self)" fx.lla (Layered.lca ix fx.lla fx.lla);
+  check Alcotest.int "LCA(ancestor)" fx.u (Layered.lca ix fx.u fx.spy)
+
+let test_layered_bounded_labels () =
+  let t = Helpers.caterpillar 1000 in
+  let ix = Layered.build ~f:4 t in
+  let stats = Layered.stats ix in
+  (* Stored per-node labels must be bounded regardless of depth: subtree
+     id varint + local depth + at most f-1 small components. *)
+  check Alcotest.bool "max label small" true (stats.max_label_bytes <= 12);
+  let flat = Dewey.size_stats t in
+  check Alcotest.bool "much smaller than flat" true
+    (stats.max_label_bytes * 20 < flat.max_bytes)
+
+let test_layered_layer_counts () =
+  let t = Helpers.caterpillar 1000 in
+  let ix = Layered.build ~f:4 t in
+  (* Depth 2000/4 = 500 subtree levels, then /4 again… ~log_4 depth layers. *)
+  check Alcotest.bool "several layers" true (Layered.layer_count ix >= 5);
+  (* Subtree counts decrease strictly layer over layer. *)
+  let st = (Layered.stats ix).subtrees_per_layer in
+  Array.iteri
+    (fun i c -> if i > 0 && c >= st.(i - 1) then Alcotest.fail "not shrinking")
+    st;
+  check Alcotest.int "top layer is one subtree" 1 st.(Array.length st - 1)
+
+let test_layered_f_validation () =
+  let fx = Helpers.figure1 () in
+  Alcotest.check_raises "f=1 rejected" (Invalid_argument "Layered.build: f must be >= 2")
+    (fun () -> ignore (Layered.build ~f:1 fx.tree));
+  ignore (Layered.build ~f:2 fx.tree)
+
+let test_layered_single_node () =
+  let b = Tree.Builder.create () in
+  let r = Tree.Builder.add_root b in
+  let t = Tree.Builder.finish b in
+  let ix = Layered.build ~f:4 t in
+  check Alcotest.int "one layer" 1 (Layered.layer_count ix);
+  check Alcotest.int "lca" r (Layered.lca ix r r);
+  check Alcotest.int "depth" 0 (Layered.depth ix r)
+
+let test_layered_flat_label_identity () =
+  (* The concatenation identity: reconstructed flat labels must equal the
+     directly-assigned Dewey labels. *)
+  let fx = Helpers.figure1 () in
+  let labels = Dewey.assign fx.tree in
+  List.iter
+    (fun f ->
+      let ix = Layered.build ~f fx.tree in
+      for v = 0 to Tree.node_count fx.tree - 1 do
+        if not (Dewey.equal labels.(v) (Layered.flat_label ix v)) then
+          Alcotest.failf "f=%d node %d: %s <> %s" f v
+            (Dewey.to_string labels.(v))
+            (Dewey.to_string (Layered.flat_label ix v))
+      done)
+    [ 2; 3; 4; 8 ]
+
+let test_layered_depth () =
+  let t = Helpers.caterpillar 300 in
+  let ix = Layered.build ~f:3 t in
+  let depths = Tree.depths t in
+  for v = 0 to Tree.node_count t - 1 do
+    if Layered.depth ix v <> depths.(v) then
+      Alcotest.failf "depth mismatch at node %d" v
+  done
+
+let test_layered_validate () =
+  let fx = Helpers.figure1 () in
+  let ix = Layered.build ~f:3 fx.tree in
+  match Layered.validate ix fx.tree with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "validate: %s" e
+
+let test_layered_compare_preorder_figure1 () =
+  let fx = Helpers.figure1 () in
+  let ix = Layered.build ~f:2 fx.tree in
+  let rank = Tree.preorder_rank fx.tree in
+  let n = Tree.node_count fx.tree in
+  for a = 0 to n - 1 do
+    for b = 0 to n - 1 do
+      let got = Layered.compare_preorder ix a b in
+      let expected = Int.compare rank.(a) rank.(b) in
+      if Int.compare got 0 <> Int.compare expected 0 then
+        Alcotest.failf "compare mismatch %d %d: %d vs %d" a b got expected
+    done
+  done
+
+let test_layered_child_toward () =
+  let fx = Helpers.figure1 () in
+  let ix = Layered.build ~f:2 fx.tree in
+  check Alcotest.int "root toward Lla" fx.u (Layered.child_toward ix ~ancestor:fx.root fx.lla);
+  check Alcotest.int "u toward Spy" fx.x (Layered.child_toward ix ~ancestor:fx.u fx.spy);
+  check Alcotest.int "x toward Lla" fx.lla (Layered.child_toward ix ~ancestor:fx.x fx.lla);
+  check Alcotest.int "edge toward Bsu" 3 (Layered.edge_toward ix ~ancestor:fx.root fx.bsu);
+  Alcotest.check_raises "not an ancestor"
+    (Invalid_argument "Layered.child_toward: not a proper ancestor") (fun () ->
+      ignore (Layered.child_toward ix ~ancestor:fx.bha fx.lla))
+
+let test_layered_is_ancestor () =
+  let fx = Helpers.figure1 () in
+  let ix = Layered.build ~f:2 fx.tree in
+  check Alcotest.bool "root/leaf" true (Layered.is_ancestor_or_self ix ~ancestor:fx.root fx.lla);
+  check Alcotest.bool "u/Spy" true (Layered.is_ancestor_or_self ix ~ancestor:fx.u fx.spy);
+  check Alcotest.bool "self" true (Layered.is_ancestor_or_self ix ~ancestor:fx.syn fx.syn);
+  check Alcotest.bool "reverse" false (Layered.is_ancestor_or_self ix ~ancestor:fx.lla fx.root);
+  check Alcotest.bool "cousins" false (Layered.is_ancestor_or_self ix ~ancestor:fx.bha fx.bsu)
+
+let test_layered_label_display () =
+  let fx = Helpers.figure1 () in
+  let ix = Layered.build ~f:2 fx.tree in
+  let s = Layered.label_to_string (Layered.label ix fx.lla) in
+  (* Lla sits at local label 1 inside x's subtree; exact higher-layer
+     segments depend on subtree numbering, so only check the shape. *)
+  check Alcotest.bool "non-empty" true (String.length s > 0);
+  check Alcotest.bool "has separator" true (String.contains s '|')
+
+(* --------------------- Properties: layered = naive ------------------ *)
+
+let tree_and_f_gen =
+  QCheck.Gen.(
+    map
+      (fun (seed, n, f) ->
+        let rng = Prng.create seed in
+        (Helpers.random_tree rng (n + 1), f + 2))
+      (triple (int_bound 100_000) (int_bound 150) (int_bound 6)))
+
+let arb_tree_f =
+  QCheck.make tree_and_f_gen ~print:(fun (t, f) ->
+      Printf.sprintf "<tree %d nodes, f=%d>" (Tree.node_count t) f)
+
+let prop_lca_matches_naive =
+  QCheck.Test.make ~name:"layered LCA = naive LCA (random trees, random f)" ~count:150
+    arb_tree_f
+  @@ fun (t, f) ->
+  let ix = Layered.build ~f t in
+  let rng = Prng.create 99 in
+  let n = Tree.node_count t in
+  let ok = ref true in
+  for _ = 1 to 200 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    if Layered.lca ix a b <> Ops.naive_lca t a b then ok := false
+  done;
+  !ok
+
+let prop_compare_matches_preorder =
+  QCheck.Test.make ~name:"layered compare = preorder rank order" ~count:100 arb_tree_f
+  @@ fun (t, f) ->
+  let ix = Layered.build ~f t in
+  let rank = Tree.preorder_rank t in
+  let rng = Prng.create 7 in
+  let n = Tree.node_count t in
+  let ok = ref true in
+  for _ = 1 to 200 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    let got = Layered.compare_preorder ix a b in
+    if Int.compare got 0 <> Int.compare (compare rank.(a) rank.(b)) 0 then ok := false
+  done;
+  !ok
+
+let prop_flat_label_identity =
+  QCheck.Test.make ~name:"flat label reconstruction = direct Dewey assignment"
+    ~count:60 arb_tree_f
+  @@ fun (t, f) ->
+  let ix = Layered.build ~f t in
+  let labels = Dewey.assign t in
+  let ok = ref true in
+  for v = 0 to Tree.node_count t - 1 do
+    if not (Dewey.equal labels.(v) (Layered.flat_label ix v)) then ok := false
+  done;
+  !ok
+
+let prop_validate =
+  QCheck.Test.make ~name:"layered index validates" ~count:60 arb_tree_f
+  @@ fun (t, f) -> Layered.validate (Layered.build ~f t) t = Ok ()
+
+let prop_depth_matches =
+  QCheck.Test.make ~name:"layered depth = tree depth" ~count:60 arb_tree_f
+  @@ fun (t, f) ->
+  let ix = Layered.build ~f t in
+  let depths = Tree.depths t in
+  let ok = ref true in
+  for v = 0 to Tree.node_count t - 1 do
+    if Layered.depth ix v <> depths.(v) then ok := false
+  done;
+  !ok
+
+let prop_is_ancestor_matches =
+  QCheck.Test.make ~name:"layered ancestor test = naive" ~count:60 arb_tree_f
+  @@ fun (t, f) ->
+  let ix = Layered.build ~f t in
+  let rng = Prng.create 13 in
+  let n = Tree.node_count t in
+  let ok = ref true in
+  for _ = 1 to 200 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    let naive = Ops.naive_lca t a b = a in
+    if Layered.is_ancestor_or_self ix ~ancestor:a b <> naive then ok := false
+  done;
+  !ok
+
+let test_layered_deep_caterpillar_lca () =
+  (* The regime the paper targets: a very deep tree where flat labels
+     would be ~depth components. *)
+  let depth = 200_000 in
+  let t = Helpers.caterpillar depth in
+  let ix = Layered.build ~f:16 t in
+  let rng = Prng.create 4242 in
+  let n = Tree.node_count t in
+  for _ = 1 to 50 do
+    let a = Prng.int rng n and b = Prng.int rng n in
+    check Alcotest.int "lca matches naive" (Ops.naive_lca t a b) (Layered.lca ix a b)
+  done;
+  let stats = Layered.stats ix in
+  (* Stored label = varint subtree id (O(log n) bytes) + bounded local
+     segment; on a 200k-deep tree flat Dewey needs >200k bytes. *)
+  check Alcotest.bool "bounded labels on 200k-deep tree" true
+    (stats.max_label_bytes < 32)
+
+let () =
+  Alcotest.run "crimson_label"
+    [
+      ( "dewey",
+        [
+          Alcotest.test_case "figure 1 labels (paper §2.1)" `Quick
+            test_dewey_assign_figure1;
+          Alcotest.test_case "figure 1 LCA (paper §2.1)" `Quick test_dewey_lca_figure1;
+          Alcotest.test_case "compare = preorder" `Quick test_dewey_compare_is_preorder;
+          Alcotest.test_case "ancestor tests" `Quick test_dewey_ancestor;
+          Alcotest.test_case "parent/child" `Quick test_dewey_parent_child;
+          Alcotest.test_case "string round trip" `Quick test_dewey_string_roundtrip;
+          Alcotest.test_case "binary round trip" `Quick test_dewey_encode_roundtrip;
+          Alcotest.test_case "size grows with depth" `Quick
+            test_dewey_size_stats_caterpillar;
+          Alcotest.test_case "size stats match assign" `Quick
+            test_dewey_size_stats_match_assign;
+        ] );
+      ( "layered",
+        [
+          Alcotest.test_case "figure 4 decomposition" `Quick test_layered_figure4;
+          Alcotest.test_case "LCA walkthrough (paper §2.1)" `Quick
+            test_layered_lca_paper_walkthrough;
+          Alcotest.test_case "bounded label size" `Quick test_layered_bounded_labels;
+          Alcotest.test_case "layer counts shrink" `Quick test_layered_layer_counts;
+          Alcotest.test_case "f validation" `Quick test_layered_f_validation;
+          Alcotest.test_case "single node" `Quick test_layered_single_node;
+          Alcotest.test_case "flat label identity (figure 1)" `Quick
+            test_layered_flat_label_identity;
+          Alcotest.test_case "depth reconstruction" `Quick test_layered_depth;
+          Alcotest.test_case "validate" `Quick test_layered_validate;
+          Alcotest.test_case "preorder comparison (figure 1)" `Quick
+            test_layered_compare_preorder_figure1;
+          Alcotest.test_case "child_toward" `Quick test_layered_child_toward;
+          Alcotest.test_case "ancestor tests" `Quick test_layered_is_ancestor;
+          Alcotest.test_case "label display" `Quick test_layered_label_display;
+          Alcotest.test_case "deep caterpillar (200k levels)" `Slow
+            test_layered_deep_caterpillar_lca;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_lca_matches_naive;
+          QCheck_alcotest.to_alcotest prop_compare_matches_preorder;
+          QCheck_alcotest.to_alcotest prop_flat_label_identity;
+          QCheck_alcotest.to_alcotest prop_validate;
+          QCheck_alcotest.to_alcotest prop_depth_matches;
+          QCheck_alcotest.to_alcotest prop_is_ancestor_matches;
+        ] );
+    ]

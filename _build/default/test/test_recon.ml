@@ -1,0 +1,489 @@
+(* Tests for crimson_recon: distances, UPGMA, NJ, parsimony, rerooting,
+   consensus — and the tree metrics they are scored with. *)
+
+module Tree = Crimson_tree.Tree
+module Metrics = Crimson_tree.Metrics
+module Newick = Crimson_formats.Newick
+module Distance = Crimson_recon.Distance
+module Nj = Crimson_recon.Nj
+module Upgma = Crimson_recon.Upgma
+module Parsimony = Crimson_recon.Parsimony
+module Reroot = Crimson_recon.Reroot
+module Consensus = Crimson_recon.Consensus
+module Models = Crimson_sim.Models
+module Seqevo = Crimson_sim.Seqevo
+module Prng = Crimson_util.Prng
+
+let check = Alcotest.check
+
+(* ----------------------------- Metrics ----------------------------- *)
+
+let test_rf_identical () =
+  let t = Newick.parse "((A,B),(C,D));" in
+  let t' = Newick.parse "((B,A),(D,C));" in
+  check Alcotest.int "rooted rf" 0 (Metrics.robinson_foulds t t');
+  check Alcotest.int "unrooted rf" 0 (Metrics.robinson_foulds_unrooted t t');
+  check (Alcotest.float 0.0) "normalized" 0.0 (Metrics.robinson_foulds_normalized t t')
+
+let test_rf_different () =
+  let t = Newick.parse "((A,B),(C,D));" in
+  let u = Newick.parse "((A,C),(B,D));" in
+  check Alcotest.bool "rooted rf positive" true (Metrics.robinson_foulds t u > 0);
+  check Alcotest.bool "unrooted rf positive" true
+    (Metrics.robinson_foulds_unrooted t u > 0);
+  let nrf = Metrics.robinson_foulds_normalized t u in
+  check Alcotest.bool "normalized in (0,1]" true (nrf > 0.0 && nrf <= 1.0)
+
+let test_rf_unrooted_ignores_rooting () =
+  (* The same unrooted tree rooted differently: unrooted RF must be 0. *)
+  let a = Newick.parse "(((A,B),C),(D,E));" in
+  let b = Reroot.at_outgroup a ~outgroup:"A" in
+  check Alcotest.int "unrooted rf" 0 (Metrics.robinson_foulds_unrooted a b)
+
+let test_rf_incomparable () =
+  let t = Newick.parse "((A,B),C);" in
+  let u = Newick.parse "((A,B),D);" in
+  match Metrics.robinson_foulds t u with
+  | exception Metrics.Incomparable _ -> ()
+  | _ -> Alcotest.fail "different leaf sets accepted"
+
+let test_clades () =
+  let t = Newick.parse "((A,B),(C,D));" in
+  let clades = List.sort compare (Metrics.clades t) in
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "clades"
+    [ [ "A"; "B" ]; [ "C"; "D" ] ]
+    clades
+
+let test_splits () =
+  let t = Newick.parse "((A,B),(C,D),E);" in
+  let splits = List.sort compare (Metrics.splits t) in
+  (* Splits are canonicalised away from the smallest leaf A: AB|CDE ->
+     CDE side contains no A?? No: side without A is {C,D,E}... the AB
+     split stores {C,D,E}? The split from clade {A,B} flips to {C,D,E};
+     clade {C,D} stays {C,D}. *)
+  check
+    (Alcotest.list (Alcotest.list Alcotest.string))
+    "splits"
+    [ [ "C"; "D" ]; [ "C"; "D"; "E" ] ]
+    splits
+
+let test_triplet_distance () =
+  let t = Newick.parse "((A,B),(C,D));" in
+  let rng = Prng.create 1 in
+  check (Alcotest.float 0.0) "identical" 0.0 (Metrics.triplet_distance ~rng t t);
+  let u = Newick.parse "((A,C),(B,D));" in
+  check Alcotest.bool "different" true (Metrics.triplet_distance ~rng t u > 0.0)
+
+let test_path_length_distance () =
+  let t = Newick.parse "((A:1,B:1):1,C:2);" in
+  check (Alcotest.float 1e-9) "self" 0.0 (Metrics.path_length_distance t t);
+  let u = Newick.parse "((A:2,B:2):1,C:2);" in
+  check Alcotest.bool "scaled differs" true (Metrics.path_length_distance t u > 0.0)
+
+(* ---------------------------- Distances ---------------------------- *)
+
+let test_p_distance () =
+  let dm = Distance.p_distance [ ("A", "AAAA"); ("B", "AATT"); ("C", "TTTT") ] in
+  check (Alcotest.float 1e-9) "A-B" 0.5 (Distance.get dm 0 1);
+  check (Alcotest.float 1e-9) "A-C" 1.0 (Distance.get dm 0 2);
+  check (Alcotest.float 1e-9) "diag" 0.0 (Distance.get dm 1 1)
+
+let test_distance_validation () =
+  (match Distance.p_distance [ ("A", "ACGT") ] with
+  | exception Distance.Invalid_input _ -> ()
+  | _ -> Alcotest.fail "single taxon accepted");
+  (match Distance.p_distance [ ("A", "ACGT"); ("B", "AC") ] with
+  | exception Distance.Invalid_input _ -> ()
+  | _ -> Alcotest.fail "length mismatch accepted");
+  (match Distance.p_distance [ ("A", "ACGT"); ("A", "ACGT") ] with
+  | exception Distance.Invalid_input _ -> ()
+  | _ -> Alcotest.fail "duplicate name accepted");
+  match Distance.p_distance [ ("A", "ACGX"); ("B", "ACGT") ] with
+  | exception Distance.Invalid_input _ -> ()
+  | _ -> Alcotest.fail "non-DNA accepted"
+
+let test_jc_correction () =
+  (* JC correction exceeds p and inverts the expected saturation. *)
+  let dm_p = Distance.p_distance [ ("A", String.make 100 'A'); ("B", String.concat "" [ String.make 80 'A'; String.make 20 'C' ]) ] in
+  let dm_jc = Distance.jc69 [ ("A", String.make 100 'A'); ("B", String.concat "" [ String.make 80 'A'; String.make 20 'C' ]) ] in
+  let p = Distance.get dm_p 0 1 in
+  let d = Distance.get dm_jc 0 1 in
+  check (Alcotest.float 1e-9) "p" 0.2 p;
+  check Alcotest.bool "corrected above p" true (d > p);
+  check (Alcotest.float 1e-6) "formula" (-0.75 *. log (1.0 -. (4.0 *. 0.2 /. 3.0))) d
+
+let test_jc_saturation () =
+  let dm = Distance.jc69 [ ("A", "AAAA"); ("B", "TTTT") ] in
+  check Alcotest.bool "finite ceiling" true (Distance.get dm 0 1 <= 5.0)
+
+let test_k2p () =
+  (* A<->G is a transition; A<->T a transversion. *)
+  let dm = Distance.k2p [ ("A", "AAAAAAAAAA"); ("B", "GGAAAAAAAT") ] in
+  let d = Distance.get dm 0 1 in
+  check Alcotest.bool "positive" true (d > 0.0);
+  (* K2P >= JC on transition-rich data. *)
+  let djc = Distance.get (Distance.jc69 [ ("A", "AAAAAAAAAA"); ("B", "GGAAAAAAAT") ]) 0 1 in
+  check Alcotest.bool "k2p >= jc here" true (d >= djc -. 1e-9)
+
+let test_of_tree_additive () =
+  let t = Newick.parse "((A:1,B:2):1,(C:1,D:1):3);" in
+  let dm = Distance.of_tree t in
+  let idx name =
+    let rec go i = if dm.Distance.names.(i) = name then i else go (i+1) in
+    go 0
+  in
+  check (Alcotest.float 1e-9) "A-B" 3.0 (Distance.get dm (idx "A") (idx "B"));
+  check (Alcotest.float 1e-9) "A-C" 6.0 (Distance.get dm (idx "A") (idx "C"));
+  check (Alcotest.float 1e-9) "fit" 0.0 (Distance.check_additive_fit dm t)
+
+(* ------------------------------- NJ --------------------------------- *)
+
+let test_nj_recovers_additive_topologies () =
+  (* The consistency property: on exact additive distances NJ returns the
+     true unrooted topology. *)
+  let rng = Prng.create 17 in
+  for _ = 1 to 10 do
+    let t = Models.yule ~rng ~leaves:(5 + Prng.int rng 40) () in
+    let dm = Distance.of_tree t in
+    let estimate = Nj.reconstruct dm in
+    check Alcotest.int "topology recovered" 0
+      (Metrics.robinson_foulds_unrooted t estimate)
+  done
+
+let test_nj_recovers_branch_lengths () =
+  let rng = Prng.create 19 in
+  let t = Models.yule ~rng ~leaves:12 () in
+  let dm = Distance.of_tree t in
+  let estimate = Nj.reconstruct dm in
+  (* Leaf-pair path lengths must match the input distances. *)
+  check Alcotest.bool "path lengths recovered" true
+    (Metrics.path_length_distance t estimate < 1e-6)
+
+let test_nj_two_and_three_taxa () =
+  let dm2 = Distance.p_distance [ ("A", "AAAA"); ("B", "AATT") ] in
+  let t2 = Nj.reconstruct dm2 in
+  check Alcotest.int "two leaves" 2 (Tree.leaf_count t2);
+  let dm3 = Distance.p_distance [ ("A", "AAAA"); ("B", "AATT"); ("C", "TTTT") ] in
+  let t3 = Nj.reconstruct dm3 in
+  check Alcotest.int "three leaves" 3 (Tree.leaf_count t3)
+
+(* ------------------------------ BIONJ ------------------------------- *)
+
+module Bionj = Crimson_recon.Bionj
+
+let test_bionj_recovers_additive_topologies () =
+  (* Like NJ, BIONJ is consistent on additive distances. *)
+  let rng = Prng.create 41 in
+  for _ = 1 to 8 do
+    let t = Models.yule ~rng ~leaves:(5 + Prng.int rng 30) () in
+    let dm = Distance.of_tree t in
+    check Alcotest.int "topology recovered" 0
+      (Metrics.robinson_foulds_unrooted t (Bionj.reconstruct dm))
+  done
+
+let test_bionj_on_noisy_data () =
+  (* On finite sequences BIONJ should be at least as accurate as NJ on
+     average; check it is competitive over several replicates. *)
+  let rng = Prng.create 43 in
+  let truth =
+    Crimson_tree.Ops.normalize_height ~target:0.9 (Models.yule ~rng ~leaves:20 ())
+  in
+  let nj_total = ref 0 and bionj_total = ref 0 in
+  for _ = 1 to 5 do
+    let seqs = Seqevo.evolve ~rng ~model:Seqevo.JC69 ~length:300 truth in
+    let dm = Distance.jc69 seqs in
+    nj_total := !nj_total + Metrics.robinson_foulds_unrooted truth (Nj.reconstruct dm);
+    bionj_total :=
+      !bionj_total + Metrics.robinson_foulds_unrooted truth (Bionj.reconstruct dm)
+  done;
+  check Alcotest.bool "bionj competitive with nj" true
+    (!bionj_total <= !nj_total + 4)
+
+let test_bionj_tiny () =
+  let dm = Distance.p_distance [ ("A", "AAAA"); ("B", "AATT"); ("C", "TTTT") ] in
+  check Alcotest.int "three taxa" 3 (Tree.leaf_count (Bionj.reconstruct dm))
+
+(* -------------------------- Branch score ---------------------------- *)
+
+let test_branch_score_zero_on_identical () =
+  let t = Newick.parse "((A:1,B:2):0.5,C:3);" in
+  check (Alcotest.float 1e-9) "self" 0.0 (Metrics.branch_score_distance t t)
+
+let test_branch_score_length_sensitivity () =
+  let t = Newick.parse "((A:1,B:2):0.5,C:3);" in
+  let u = Newick.parse "((A:1,B:2):0.5,C:4);" in
+  (* Only C's edge differs, by 1. *)
+  check (Alcotest.float 1e-9) "single edge delta" 1.0
+    (Metrics.branch_score_distance t u);
+  (* Same topology, scaled lengths: distance grows with the scale gap. *)
+  let v = Newick.parse "((A:2,B:4):1,C:6);" in
+  check Alcotest.bool "scale gap" true (Metrics.branch_score_distance t v > 1.0)
+
+let test_branch_score_topology_sensitivity () =
+  let t = Newick.parse "((A:1,B:1):1,(C:1,D:1):1);" in
+  let u = Newick.parse "((A:1,C:1):1,(B:1,D:1):1);" in
+  (* Four internal edges differ ({A,B},{C,D} vs {A,C},{B,D}), each of
+     length 1: sqrt 4 = 2. *)
+  check (Alcotest.float 1e-9) "disjoint clades" 2.0
+    (Metrics.branch_score_distance t u)
+
+(* ------------------------------ UPGMA ------------------------------- *)
+
+let test_upgma_recovers_ultrametric () =
+  (* UPGMA is consistent exactly on ultrametric (clock-like) data. *)
+  let rng = Prng.create 23 in
+  for _ = 1 to 8 do
+    let t = Models.coalescent ~rng ~leaves:(5 + Prng.int rng 30) () in
+    let dm = Distance.of_tree t in
+    let estimate = Upgma.reconstruct dm in
+    check Alcotest.int "topology recovered" 0
+      (Metrics.robinson_foulds_unrooted t estimate)
+  done
+
+let test_upgma_misleads_on_nonclock () =
+  (* The textbook failure case: two long branches (A, B) on opposite
+     sides attract each other under UPGMA, while NJ is consistent. *)
+  let t = Newick.parse "((A:10,C:1):1,(B:10,D:1):1);" in
+  let dm = Distance.of_tree t in
+  let estimate = Upgma.reconstruct dm in
+  check Alcotest.bool "upgma errs here" true
+    (Metrics.robinson_foulds_unrooted t estimate > 0);
+  (* …while NJ gets it right. *)
+  check Alcotest.int "nj correct" 0
+    (Metrics.robinson_foulds_unrooted t (Nj.reconstruct dm))
+
+let test_upgma_ultrametric_output () =
+  let dm =
+    Distance.p_distance
+      [ ("A", "AAAAAAAA"); ("B", "AAAATTTT"); ("C", "TTTTTTTT") ]
+  in
+  let t = Upgma.reconstruct dm in
+  let rd = Tree.root_distance t in
+  let leaf_depths = Array.map (fun l -> rd.(l)) (Tree.leaves t) in
+  Array.iter
+    (fun d ->
+      if Float.abs (d -. leaf_depths.(0)) > 1e-9 then Alcotest.fail "not ultrametric")
+    leaf_depths
+
+(* ---------------------------- Parsimony ----------------------------- *)
+
+let test_fitch_score_known () =
+  (* Classic example: ((A,B),(C,D)) with site patterns. *)
+  let t = Newick.parse "((A,B),(C,D));" in
+  (* Site 1: A,A,T,T -> 1 change; site 2: A,T,A,T -> 2 changes. *)
+  let seqs = [ ("A", "AA"); ("B", "AT"); ("C", "TA"); ("D", "TT") ] in
+  check Alcotest.int "fitch" 3 (Parsimony.fitch_score t seqs)
+
+let test_fitch_zero_on_constant () =
+  let t = Newick.parse "((A,B),(C,D));" in
+  let seqs = [ ("A", "AAAA"); ("B", "AAAA"); ("C", "AAAA"); ("D", "AAAA") ] in
+  check Alcotest.int "no changes" 0 (Parsimony.fitch_score t seqs)
+
+let test_fitch_errors () =
+  let t = Newick.parse "((A,B),(C,D));" in
+  match Parsimony.fitch_score t [ ("A", "AA"); ("B", "AT"); ("C", "TA") ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "missing sequence accepted"
+
+let test_parsimony_reconstruct_clean_signal () =
+  (* Strong signal: simulate long sequences at low divergence on a small
+     tree; parsimony should recover the topology. *)
+  let rng = Prng.create 29 in
+  let t = Models.yule ~rng ~leaves:8 () in
+  (* Rescale to short branches for low homoplasy. *)
+  let dm = Distance.of_tree t in
+  ignore dm;
+  let scale = 0.05 /. (Tree.height t |> float_of_int |> Float.max 1.0) in
+  let shrunk =
+    let b = Tree.Builder.create () in
+    let ids = Array.make (Tree.node_count t) Tree.nil in
+    Array.iter
+      (fun v ->
+        let name = Tree.name t v in
+        if v = Tree.root t then ids.(v) <- Tree.Builder.add_root ?name b
+        else
+          ids.(v) <-
+            Tree.Builder.add_child ?name
+              ~branch_length:(Tree.branch_length t v *. scale +. 0.02)
+              b ~parent:ids.(Tree.parent t v))
+      (Tree.preorder t);
+    Tree.Builder.finish b
+  in
+  let seqs = Seqevo.evolve ~rng ~model:Seqevo.JC69 ~length:2000 shrunk in
+  let estimate = Parsimony.reconstruct ~rng seqs in
+  check Alcotest.int "parsimony recovers" 0
+    (Metrics.robinson_foulds_unrooted shrunk estimate)
+
+let test_parsimony_score_not_worse_than_truth () =
+  let rng = Prng.create 31 in
+  let t = Models.yule ~rng ~leaves:10 () in
+  let seqs = Seqevo.evolve ~rng ~model:Seqevo.JC69 ~length:300 t in
+  let estimate = Parsimony.reconstruct ~rng seqs in
+  (* Heuristic search may land in a local optimum, but it must come very
+     close to (and usually beat) the true tree's score. *)
+  let truth_score = float_of_int (Parsimony.fitch_score t seqs) in
+  check Alcotest.bool "search score within 2% of truth" true
+    (float_of_int (Parsimony.fitch_score estimate seqs) <= truth_score *. 1.02)
+
+(* ------------------------------ Reroot ------------------------------ *)
+
+let test_midpoint_known () =
+  (* Path A --3-- r --1-- B: diameter 4, midpoint 2 from A, inside A's
+     edge. *)
+  let t = Newick.parse "(A:3,B:1);" in
+  let r = Reroot.midpoint t in
+  let a = Option.get (Tree.leaf_by_name r "A") in
+  let b = Option.get (Tree.leaf_by_name r "B") in
+  check (Alcotest.float 1e-9) "A side" 2.0 (Tree.branch_length r a);
+  check (Alcotest.float 1e-9) "B side" 2.0 (Tree.branch_length r b)
+
+let test_midpoint_preserves_topology () =
+  let rng = Prng.create 37 in
+  for _ = 1 to 5 do
+    let t = Models.yule ~rng ~leaves:15 () in
+    let r = Reroot.midpoint t in
+    check Alcotest.int "same unrooted tree" 0 (Metrics.robinson_foulds_unrooted t r);
+    check Alcotest.int "same leaves" (Tree.leaf_count t) (Tree.leaf_count r)
+  done
+
+let test_outgroup_rooting () =
+  let t = Newick.parse "((A:1,B:1):1,(C:1,D:1):1);" in
+  let r = Reroot.at_outgroup t ~outgroup:"C" in
+  (* C must now hang directly off the root. *)
+  let c = Option.get (Tree.leaf_by_name r "C") in
+  check Alcotest.int "C at root" (Tree.root r) (Tree.parent r c);
+  check Alcotest.int "unrooted unchanged" 0 (Metrics.robinson_foulds_unrooted t r);
+  match Reroot.at_outgroup t ~outgroup:"Z" with
+  | exception Not_found -> ()
+  | _ -> Alcotest.fail "unknown outgroup accepted"
+
+(* ----------------------------- Consensus ---------------------------- *)
+
+let test_majority_rule () =
+  let t1 = Newick.parse "((A,B),(C,D));" in
+  let t2 = Newick.parse "((A,B),(C,D));" in
+  let t3 = Newick.parse "((A,C),(B,D));" in
+  let c = Consensus.majority_rule [ t1; t2; t3 ] in
+  (* {A,B} and {C,D} appear in 2/3 > 1/2; {A,C}, {B,D} in 1/3. *)
+  check Alcotest.int "consensus = majority shape" 0 (Metrics.robinson_foulds t1 c)
+
+let test_majority_rule_no_majority () =
+  let t1 = Newick.parse "((A,B),(C,D));" in
+  let t2 = Newick.parse "((A,C),(B,D));" in
+  let c = Consensus.majority_rule [ t1; t2 ] in
+  (* No clade reaches >1/2: the consensus is the star tree. *)
+  check Alcotest.int "star" 0 (List.length (Metrics.clades c));
+  check Alcotest.int "all leaves kept" 4 (Tree.leaf_count c)
+
+let test_majority_threshold () =
+  let t1 = Newick.parse "((A,B),(C,D));" in
+  let t2 = Newick.parse "((A,B),(C,D));" in
+  let t3 = Newick.parse "((A,C),(B,D));" in
+  (* Strict consensus (threshold ~1.0): only unanimous clades. *)
+  let c = Consensus.majority_rule ~threshold:0.99 [ t1; t2; t3 ] in
+  check Alcotest.int "strict is star" 0 (List.length (Metrics.clades c));
+  match Consensus.majority_rule ~threshold:0.3 [ t1 ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "threshold < 0.5 accepted"
+
+let test_clade_support () =
+  let t1 = Newick.parse "((A,B),(C,D));" in
+  let t2 = Newick.parse "((A,B),(C,D));" in
+  let t3 = Newick.parse "((A,C),(B,D));" in
+  let support = Consensus.clade_support [ t1; t2; t3 ] in
+  let ab = List.assoc [ "A"; "B" ] support in
+  check (Alcotest.float 1e-9) "AB support" (2.0 /. 3.0) ab
+
+let test_consensus_errors () =
+  (match Consensus.majority_rule [] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty list accepted");
+  let t1 = Newick.parse "((A,B),C);" in
+  let t2 = Newick.parse "((A,B),D);" in
+  match Consensus.majority_rule [ t1; t2 ] with
+  | exception Consensus.Inconsistent_leaves _ -> ()
+  | _ -> Alcotest.fail "mismatched leaves accepted"
+
+let () =
+  Alcotest.run "crimson_recon"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "rf identical" `Quick test_rf_identical;
+          Alcotest.test_case "rf different" `Quick test_rf_different;
+          Alcotest.test_case "unrooted rf ignores rooting" `Quick
+            test_rf_unrooted_ignores_rooting;
+          Alcotest.test_case "incomparable" `Quick test_rf_incomparable;
+          Alcotest.test_case "clades" `Quick test_clades;
+          Alcotest.test_case "splits" `Quick test_splits;
+          Alcotest.test_case "triplet distance" `Quick test_triplet_distance;
+          Alcotest.test_case "path length distance" `Quick test_path_length_distance;
+        ] );
+      ( "distance",
+        [
+          Alcotest.test_case "p-distance" `Quick test_p_distance;
+          Alcotest.test_case "validation" `Quick test_distance_validation;
+          Alcotest.test_case "JC correction" `Quick test_jc_correction;
+          Alcotest.test_case "JC saturation" `Quick test_jc_saturation;
+          Alcotest.test_case "K2P" `Quick test_k2p;
+          Alcotest.test_case "of_tree additive" `Quick test_of_tree_additive;
+        ] );
+      ( "nj",
+        [
+          Alcotest.test_case "recovers additive topologies" `Quick
+            test_nj_recovers_additive_topologies;
+          Alcotest.test_case "recovers branch lengths" `Quick
+            test_nj_recovers_branch_lengths;
+          Alcotest.test_case "tiny inputs" `Quick test_nj_two_and_three_taxa;
+        ] );
+      ( "bionj",
+        [
+          Alcotest.test_case "recovers additive topologies" `Quick
+            test_bionj_recovers_additive_topologies;
+          Alcotest.test_case "competitive on noisy data" `Slow test_bionj_on_noisy_data;
+          Alcotest.test_case "tiny inputs" `Quick test_bionj_tiny;
+        ] );
+      ( "branch_score",
+        [
+          Alcotest.test_case "zero on identical" `Quick test_branch_score_zero_on_identical;
+          Alcotest.test_case "length sensitivity" `Quick
+            test_branch_score_length_sensitivity;
+          Alcotest.test_case "topology sensitivity" `Quick
+            test_branch_score_topology_sensitivity;
+        ] );
+      ( "upgma",
+        [
+          Alcotest.test_case "recovers ultrametric" `Quick
+            test_upgma_recovers_ultrametric;
+          Alcotest.test_case "fails off-clock (NJ succeeds)" `Quick
+            test_upgma_misleads_on_nonclock;
+          Alcotest.test_case "output is ultrametric" `Quick test_upgma_ultrametric_output;
+        ] );
+      ( "parsimony",
+        [
+          Alcotest.test_case "fitch known score" `Quick test_fitch_score_known;
+          Alcotest.test_case "fitch constant sites" `Quick test_fitch_zero_on_constant;
+          Alcotest.test_case "fitch errors" `Quick test_fitch_errors;
+          Alcotest.test_case "recovers clean signal" `Slow
+            test_parsimony_reconstruct_clean_signal;
+          Alcotest.test_case "search beats truth score" `Quick
+            test_parsimony_score_not_worse_than_truth;
+        ] );
+      ( "reroot",
+        [
+          Alcotest.test_case "midpoint known" `Quick test_midpoint_known;
+          Alcotest.test_case "midpoint preserves topology" `Quick
+            test_midpoint_preserves_topology;
+          Alcotest.test_case "outgroup" `Quick test_outgroup_rooting;
+        ] );
+      ( "consensus",
+        [
+          Alcotest.test_case "majority rule" `Quick test_majority_rule;
+          Alcotest.test_case "no majority = star" `Quick test_majority_rule_no_majority;
+          Alcotest.test_case "threshold" `Quick test_majority_threshold;
+          Alcotest.test_case "clade support" `Quick test_clade_support;
+          Alcotest.test_case "errors" `Quick test_consensus_errors;
+        ] );
+    ]

@@ -1,0 +1,333 @@
+(* Tests for crimson_sim: stochastic tree models, 4x4 matrix kernel and
+   sequence evolution. *)
+
+module Tree = Crimson_tree.Tree
+module Models = Crimson_sim.Models
+module Matrix4 = Crimson_sim.Matrix4
+module Seqevo = Crimson_sim.Seqevo
+module Prng = Crimson_util.Prng
+
+let check = Alcotest.check
+
+let unique_leaf_names t =
+  let names =
+    Array.to_list (Tree.leaves t) |> List.filter_map (fun l -> Tree.name t l)
+  in
+  List.length names = Tree.leaf_count t
+  && List.length (List.sort_uniq String.compare names) = List.length names
+
+(* ------------------------------ Models ----------------------------- *)
+
+let test_yule_basic () =
+  let rng = Prng.create 1 in
+  let t = Models.yule ~rng ~leaves:50 () in
+  check Alcotest.int "leaves" 50 (Tree.leaf_count t);
+  check Alcotest.bool "valid" true (Tree.validate t = Ok ());
+  check Alcotest.bool "names unique" true (unique_leaf_names t);
+  (* Pure-birth trees are binary. *)
+  for v = 0 to Tree.node_count t - 1 do
+    let d = Tree.out_degree t v in
+    if d <> 0 && d <> 2 then Alcotest.failf "node %d has degree %d" v d
+  done
+
+let test_yule_deterministic () =
+  let a = Models.yule ~rng:(Prng.create 7) ~leaves:30 () in
+  let b = Models.yule ~rng:(Prng.create 7) ~leaves:30 () in
+  check Alcotest.bool "same seed, same tree" true (Tree.equal_ordered a b)
+
+let test_yule_single_leaf () =
+  let t = Models.yule ~rng:(Prng.create 1) ~leaves:1 () in
+  check Alcotest.int "one leaf" 1 (Tree.leaf_count t)
+
+let test_yule_invalid () =
+  (match Models.yule ~rng:(Prng.create 1) ~leaves:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "leaves=0 accepted");
+  match Models.yule ~rng:(Prng.create 1) ~leaves:5 ~birth_rate:0.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "rate=0 accepted"
+
+let test_birth_death () =
+  let rng = Prng.create 3 in
+  let t = Models.birth_death ~rng ~leaves:40 ~birth_rate:1.0 ~death_rate:0.3 () in
+  check Alcotest.int "leaves" 40 (Tree.leaf_count t);
+  check Alcotest.bool "valid" true (Tree.validate t = Ok ());
+  check Alcotest.bool "names unique" true (unique_leaf_names t);
+  (* No extinct markers and no unary chains survive. *)
+  for v = 0 to Tree.node_count t - 1 do
+    if Tree.name t v = Some "@extinct" then Alcotest.fail "extinct leaf kept";
+    if Tree.out_degree t v = 1 then Alcotest.fail "unary node kept"
+  done
+
+let test_birth_death_invalid () =
+  match
+    Models.birth_death ~rng:(Prng.create 1) ~leaves:5 ~birth_rate:1.0 ~death_rate:1.5 ()
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "death >= birth accepted"
+
+let test_coalescent_ultrametric () =
+  let rng = Prng.create 5 in
+  let t = Models.coalescent ~rng ~leaves:30 () in
+  check Alcotest.int "leaves" 30 (Tree.leaf_count t);
+  check Alcotest.bool "valid" true (Tree.validate t = Ok ());
+  (* All leaves are sampled at time 0, so root distances are equal. *)
+  let rd = Tree.root_distance t in
+  let leaf_depths = Array.map (fun l -> rd.(l)) (Tree.leaves t) in
+  let d0 = leaf_depths.(0) in
+  Array.iter
+    (fun d ->
+      if Float.abs (d -. d0) > 1e-9 then Alcotest.failf "not ultrametric: %f vs %f" d d0)
+    leaf_depths
+
+let test_caterpillar_depth () =
+  let rng = Prng.create 9 in
+  let t = Models.caterpillar ~rng ~leaves:100 () in
+  check Alcotest.int "leaves" 100 (Tree.leaf_count t);
+  check Alcotest.int "height" 99 (Tree.height t);
+  check Alcotest.bool "valid" true (Tree.validate t = Ok ())
+
+let test_balanced () =
+  let rng = Prng.create 11 in
+  let t = Models.balanced ~rng ~height:5 () in
+  check Alcotest.int "leaves" 32 (Tree.leaf_count t);
+  check Alcotest.int "height" 5 (Tree.height t);
+  check Alcotest.int "nodes" 63 (Tree.node_count t)
+
+let test_random_attachment () =
+  let rng = Prng.create 13 in
+  let t = Models.random_attachment ~rng ~leaves:80 ~max_children:4 () in
+  check Alcotest.int "leaves" 80 (Tree.leaf_count t);
+  check Alcotest.bool "valid" true (Tree.validate t = Ok ());
+  check Alcotest.bool "names unique" true (unique_leaf_names t);
+  for v = 0 to Tree.node_count t - 1 do
+    if Tree.out_degree t v > 4 then Alcotest.fail "max_children violated"
+  done
+
+(* ----------------------------- Matrix4 ----------------------------- *)
+
+let mat_close a b tol =
+  let ok = ref true in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if Float.abs (a.(i).(j) -. b.(i).(j)) > tol then ok := false
+    done
+  done;
+  !ok
+
+let test_expm_zero () =
+  check Alcotest.bool "expm 0 = I" true
+    (mat_close (Matrix4.expm (Matrix4.zero ())) (Matrix4.identity ()) 1e-12)
+
+let test_expm_additivity () =
+  let q = Seqevo.rate_matrix Seqevo.JC69 in
+  let p1 = Matrix4.expm (Matrix4.scale 0.3 q) in
+  let p2 = Matrix4.expm (Matrix4.scale 0.7 q) in
+  let p3 = Matrix4.expm (Matrix4.scale 1.0 q) in
+  check Alcotest.bool "P(0.3)P(0.7) = P(1.0)" true (mat_close (Matrix4.mul p1 p2) p3 1e-10)
+
+let test_expm_large_time () =
+  (* Long branches saturate to the stationary distribution. *)
+  let q = Seqevo.rate_matrix Seqevo.JC69 in
+  let p = Matrix4.expm (Matrix4.scale 100.0 q) in
+  for i = 0 to 3 do
+    for j = 0 to 3 do
+      if Float.abs (p.(i).(j) -. 0.25) > 1e-6 then Alcotest.fail "not saturated"
+    done
+  done
+
+(* ------------------------------ Seqevo ----------------------------- *)
+
+let test_jc_closed_form () =
+  (* JC69 has the closed form p_same = 1/4 + 3/4 e^{-4t/3}. *)
+  List.iter
+    (fun t ->
+      let p = Seqevo.transition_matrix Seqevo.JC69 t in
+      let expected_same = 0.25 +. (0.75 *. exp (-4.0 *. t /. 3.0)) in
+      let expected_diff = 0.25 -. (0.25 *. exp (-4.0 *. t /. 3.0)) in
+      for i = 0 to 3 do
+        for j = 0 to 3 do
+          let e = if i = j then expected_same else expected_diff in
+          if Float.abs (p.(i).(j) -. e) > 1e-9 then
+            Alcotest.failf "JC P(%g)[%d][%d] = %g, want %g" t i j p.(i).(j) e
+        done
+      done)
+    [ 0.0; 0.01; 0.1; 0.5; 1.0; 3.0 ]
+
+let test_transition_matrices_stochastic () =
+  let models =
+    [
+      Seqevo.JC69;
+      Seqevo.K2P { kappa = 2.0 };
+      Seqevo.HKY85 { kappa = 2.5; pi = [| 0.3; 0.2; 0.2; 0.3 |] };
+      Seqevo.GTR
+        { rates = [| 1.0; 2.0; 0.5; 0.7; 2.5; 1.0 |]; pi = [| 0.1; 0.4; 0.3; 0.2 |] };
+    ]
+  in
+  List.iter
+    (fun m ->
+      List.iter
+        (fun t ->
+          let p = Seqevo.transition_matrix m t in
+          if not (Matrix4.row_stochastic ~tolerance:1e-8 p) then
+            Alcotest.fail "transition matrix not row-stochastic")
+        [ 0.0; 0.1; 1.0; 10.0 ])
+    models
+
+let test_stationary_preserved () =
+  (* pi P(t) = pi for a reversible model. *)
+  let pi = [| 0.3; 0.2; 0.2; 0.3 |] in
+  let m = Seqevo.HKY85 { kappa = 3.0; pi } in
+  let p = Seqevo.transition_matrix m 0.7 in
+  for j = 0 to 3 do
+    let v = ref 0.0 in
+    for i = 0 to 3 do
+      v := !v +. (pi.(i) *. p.(i).(j))
+    done;
+    if Float.abs (!v -. pi.(j)) > 1e-9 then Alcotest.fail "stationary not preserved"
+  done
+
+let test_rate_matrix_normalised () =
+  List.iter
+    (fun m ->
+      let q = Seqevo.rate_matrix m in
+      let pi = Seqevo.stationary m in
+      let mu = ref 0.0 in
+      for i = 0 to 3 do
+        mu := !mu -. (pi.(i) *. q.(i).(i))
+      done;
+      if Float.abs (!mu -. 1.0) > 1e-9 then Alcotest.failf "rate %f != 1" !mu)
+    [
+      Seqevo.JC69;
+      Seqevo.K2P { kappa = 5.0 };
+      Seqevo.HKY85 { kappa = 2.0; pi = [| 0.4; 0.1; 0.1; 0.4 |] };
+    ]
+
+let test_invalid_models () =
+  (match Seqevo.rate_matrix (Seqevo.K2P { kappa = -1.0 }) with
+  | exception Seqevo.Invalid_model _ -> ()
+  | _ -> Alcotest.fail "negative kappa accepted");
+  (match Seqevo.rate_matrix (Seqevo.HKY85 { kappa = 2.0; pi = [| 0.5; 0.5; 0.2; 0.2 |] }) with
+  | exception Seqevo.Invalid_model _ -> ()
+  | _ -> Alcotest.fail "bad frequencies accepted");
+  match Seqevo.rate_matrix (Seqevo.GTR { rates = [| 1.0 |]; pi = [| 0.25; 0.25; 0.25; 0.25 |] }) with
+  | exception Seqevo.Invalid_model _ -> ()
+  | _ -> Alcotest.fail "bad rates accepted"
+
+let test_evolve_basic () =
+  let fx = Helpers.figure1 () in
+  let rng = Prng.create 21 in
+  let seqs = Seqevo.evolve ~rng ~model:Seqevo.JC69 ~length:200 fx.tree in
+  check Alcotest.int "one sequence per leaf" 5 (List.length seqs);
+  List.iter
+    (fun (name, s) ->
+      check Alcotest.int ("length of " ^ name) 200 (String.length s);
+      String.iter
+        (fun c -> if not (String.contains "ACGT" c) then Alcotest.fail "bad base")
+        s)
+    seqs
+
+let test_evolve_deterministic () =
+  let fx = Helpers.figure1 () in
+  let a = Seqevo.evolve ~rng:(Prng.create 5) ~model:Seqevo.JC69 ~length:100 fx.tree in
+  let b = Seqevo.evolve ~rng:(Prng.create 5) ~model:Seqevo.JC69 ~length:100 fx.tree in
+  check Alcotest.bool "deterministic" true (a = b)
+
+let test_evolve_root_sequence () =
+  (* Zero-length branches copy the root sequence verbatim. *)
+  let b = Tree.Builder.create () in
+  let r = Tree.Builder.add_root b in
+  ignore (Tree.Builder.add_child ~name:"A" ~branch_length:0.0 b ~parent:r);
+  ignore (Tree.Builder.add_child ~name:"B" ~branch_length:0.0 b ~parent:r);
+  let t = Tree.Builder.finish b in
+  let rng = Prng.create 1 in
+  let seqs =
+    Seqevo.evolve ~rng ~model:Seqevo.JC69 ~root_sequence:"ACGTACGT" ~length:0 t
+  in
+  List.iter (fun (_, s) -> check Alcotest.string "copied" "ACGTACGT" s) seqs
+
+let test_evolve_divergence_grows () =
+  (* Longer branches yield more substitutions, up to saturation. *)
+  let make len =
+    let b = Tree.Builder.create () in
+    let r = Tree.Builder.add_root b in
+    ignore (Tree.Builder.add_child ~name:"X" ~branch_length:len b ~parent:r);
+    Tree.Builder.finish b
+  in
+  let diverged len =
+    let rng = Prng.create 77 in
+    let root = String.make 2000 'A' in
+    match Seqevo.evolve ~rng ~model:Seqevo.JC69 ~root_sequence:root ~length:0 (make len) with
+    | [ (_, s) ] ->
+        let d = ref 0 in
+        String.iter (fun c -> if c <> 'A' then incr d) s;
+        float_of_int !d /. 2000.0
+    | _ -> Alcotest.fail "expected one leaf"
+  in
+  let d01 = diverged 0.1 and d05 = diverged 0.5 and d20 = diverged 2.0 in
+  check Alcotest.bool "monotone-ish" true (d01 < d05 && d05 < d20);
+  (* Expected fraction differs: 3/4 (1 - e^{-4t/3}). *)
+  let expected t = 0.75 *. (1.0 -. exp (-4.0 *. t /. 3.0)) in
+  check Alcotest.bool "d(0.5) near theory" true (Float.abs (d05 -. expected 0.5) < 0.05)
+
+let test_gamma_rates () =
+  let rng = Prng.create 31 in
+  let rates = Seqevo.gamma_rates ~rng ~alpha:0.5 ~categories:4 5000 in
+  let mean = Array.fold_left ( +. ) 0.0 rates /. 5000.0 in
+  check Alcotest.bool "mean near 1" true (Float.abs (mean -. 1.0) < 0.05);
+  Array.iter (fun r -> if r <= 0.0 then Alcotest.fail "non-positive rate") rates;
+  (* Large alpha approaches uniform rates. *)
+  let tight = Seqevo.gamma_rates ~rng ~alpha:200.0 ~categories:4 100 in
+  Array.iter
+    (fun r -> if Float.abs (r -. 1.0) > 0.2 then Alcotest.failf "rate %f too spread" r)
+    tight
+
+let test_evolve_with_gamma () =
+  let fx = Helpers.figure1 () in
+  let rng = Prng.create 41 in
+  let seqs =
+    Seqevo.evolve ~rng ~model:(Seqevo.K2P { kappa = 2.0 })
+      ~site_rates:(Seqevo.Gamma { alpha = 0.5; categories = 4 })
+      ~length:300 fx.tree
+  in
+  check Alcotest.int "five leaves" 5 (List.length seqs)
+
+let () =
+  Alcotest.run "crimson_sim"
+    [
+      ( "models",
+        [
+          Alcotest.test_case "yule" `Quick test_yule_basic;
+          Alcotest.test_case "yule deterministic" `Quick test_yule_deterministic;
+          Alcotest.test_case "yule single leaf" `Quick test_yule_single_leaf;
+          Alcotest.test_case "yule invalid" `Quick test_yule_invalid;
+          Alcotest.test_case "birth-death" `Quick test_birth_death;
+          Alcotest.test_case "birth-death invalid" `Quick test_birth_death_invalid;
+          Alcotest.test_case "coalescent ultrametric" `Quick test_coalescent_ultrametric;
+          Alcotest.test_case "caterpillar depth" `Quick test_caterpillar_depth;
+          Alcotest.test_case "balanced" `Quick test_balanced;
+          Alcotest.test_case "random attachment" `Quick test_random_attachment;
+        ] );
+      ( "matrix4",
+        [
+          Alcotest.test_case "expm(0)" `Quick test_expm_zero;
+          Alcotest.test_case "expm additivity" `Quick test_expm_additivity;
+          Alcotest.test_case "saturation" `Quick test_expm_large_time;
+        ] );
+      ( "seqevo",
+        [
+          Alcotest.test_case "JC closed form" `Quick test_jc_closed_form;
+          Alcotest.test_case "row-stochastic P(t)" `Quick
+            test_transition_matrices_stochastic;
+          Alcotest.test_case "stationary preserved" `Quick test_stationary_preserved;
+          Alcotest.test_case "rate normalisation" `Quick test_rate_matrix_normalised;
+          Alcotest.test_case "invalid models" `Quick test_invalid_models;
+          Alcotest.test_case "evolve basic" `Quick test_evolve_basic;
+          Alcotest.test_case "evolve deterministic" `Quick test_evolve_deterministic;
+          Alcotest.test_case "root sequence copy" `Quick test_evolve_root_sequence;
+          Alcotest.test_case "divergence grows with time" `Quick
+            test_evolve_divergence_grows;
+          Alcotest.test_case "gamma rates" `Quick test_gamma_rates;
+          Alcotest.test_case "evolve with gamma" `Quick test_evolve_with_gamma;
+        ] );
+    ]

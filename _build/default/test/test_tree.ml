@@ -1,0 +1,403 @@
+(* Tests for crimson_tree: arena construction, traversals, equality and
+   the reference structural operations. *)
+
+module Tree = Crimson_tree.Tree
+module Ops = Crimson_tree.Ops
+module Prng = Crimson_util.Prng
+
+let check = Alcotest.check
+
+(* ----------------------------- Builder ----------------------------- *)
+
+let test_builder_basic () =
+  let fx = Helpers.figure1 () in
+  let t = fx.tree in
+  check Alcotest.int "node count" 8 (Tree.node_count t);
+  check Alcotest.int "leaf count" 5 (Tree.leaf_count t);
+  check Alcotest.int "root" fx.root (Tree.root t);
+  check Alcotest.int "parent of Lla" fx.x (Tree.parent t fx.lla);
+  check (Alcotest.list Alcotest.int) "root children" [ fx.bha; fx.u; fx.bsu ]
+    (Tree.children t fx.root);
+  check Alcotest.bool "Lla is leaf" true (Tree.is_leaf t fx.lla);
+  check Alcotest.bool "u not leaf" false (Tree.is_leaf t fx.u);
+  check (Alcotest.option Alcotest.string) "name" (Some "Syn") (Tree.name t fx.syn);
+  check (Alcotest.float 1e-9) "branch length" 2.5 (Tree.branch_length t fx.syn)
+
+let test_builder_errors () =
+  let b = Tree.Builder.create () in
+  Alcotest.check_raises "no parent yet" (Invalid_argument "Tree.Builder.add_child: parent not in tree")
+    (fun () -> ignore (Tree.Builder.add_child b ~parent:0));
+  let _root = Tree.Builder.add_root b in
+  Alcotest.check_raises "second root" (Invalid_argument "Tree.Builder.add_root: root already exists")
+    (fun () -> ignore (Tree.Builder.add_root b));
+  Alcotest.check_raises "negative length"
+    (Invalid_argument "Tree.Builder.add_child: branch length must be finite and >= 0")
+    (fun () -> ignore (Tree.Builder.add_child ~branch_length:(-1.0) b ~parent:0));
+  let empty = Tree.Builder.create () in
+  Alcotest.check_raises "finish without root" (Invalid_argument "Tree.Builder.finish: no root")
+    (fun () -> ignore (Tree.Builder.finish empty))
+
+let test_single_node () =
+  let b = Tree.Builder.create () in
+  let r = Tree.Builder.add_root ~name:"only" b in
+  let t = Tree.Builder.finish b in
+  check Alcotest.int "count" 1 (Tree.node_count t);
+  check Alcotest.bool "leaf" true (Tree.is_leaf t r);
+  check Alcotest.int "height" 0 (Tree.height t);
+  check (Alcotest.array Alcotest.int) "preorder" [| r |] (Tree.preorder t);
+  check (Alcotest.array Alcotest.int) "postorder" [| r |] (Tree.postorder t)
+
+(* ---------------------------- Traversals --------------------------- *)
+
+let test_preorder_figure1 () =
+  let fx = Helpers.figure1 () in
+  check (Alcotest.array Alcotest.int) "preorder"
+    [| fx.root; fx.bha; fx.u; fx.x; fx.lla; fx.spy; fx.syn; fx.bsu |]
+    (Tree.preorder fx.tree)
+
+let test_postorder_figure1 () =
+  let fx = Helpers.figure1 () in
+  check (Alcotest.array Alcotest.int) "postorder"
+    [| fx.bha; fx.lla; fx.spy; fx.x; fx.syn; fx.u; fx.bsu; fx.root |]
+    (Tree.postorder fx.tree)
+
+let test_depths_and_height () =
+  let fx = Helpers.figure1 () in
+  let d = Tree.depths fx.tree in
+  check Alcotest.int "root depth" 0 d.(fx.root);
+  check Alcotest.int "Lla depth" 3 d.(fx.lla);
+  check Alcotest.int "depth fn agrees" d.(fx.lla) (Tree.depth fx.tree fx.lla);
+  check Alcotest.int "height" 3 (Tree.height fx.tree)
+
+let test_root_distance () =
+  let fx = Helpers.figure1 () in
+  let rd = Tree.root_distance fx.tree in
+  check (Alcotest.float 1e-9) "Bha" 1.25 rd.(fx.bha);
+  check (Alcotest.float 1e-9) "x" 1.25 rd.(fx.x);
+  check (Alcotest.float 1e-9) "Lla" 2.25 rd.(fx.lla);
+  check (Alcotest.float 1e-9) "Syn" 3.0 rd.(fx.syn)
+
+let test_leaves () =
+  let fx = Helpers.figure1 () in
+  check (Alcotest.array Alcotest.int) "leaves preorder"
+    [| fx.bha; fx.lla; fx.spy; fx.syn; fx.bsu |]
+    (Tree.leaves fx.tree)
+
+let test_subtree_sizes () =
+  let fx = Helpers.figure1 () in
+  let s = Tree.subtree_sizes fx.tree in
+  check Alcotest.int "root" 8 s.(fx.root);
+  check Alcotest.int "u" 5 s.(fx.u);
+  check Alcotest.int "x" 3 s.(fx.x);
+  check Alcotest.int "leaf" 1 s.(fx.lla)
+
+let test_find_by_name () =
+  let fx = Helpers.figure1 () in
+  check (Alcotest.option Alcotest.int) "find" (Some fx.syn)
+    (Tree.find_by_name fx.tree "Syn");
+  check (Alcotest.option Alcotest.int) "find internal" (Some fx.u)
+    (Tree.find_by_name fx.tree "u");
+  check (Alcotest.option Alcotest.int) "leaf_by_name skips internals" None
+    (Tree.leaf_by_name fx.tree "u");
+  check (Alcotest.option Alcotest.int) "missing" None (Tree.find_by_name fx.tree "Zzz")
+
+let test_deep_traversal_no_stack_overflow () =
+  (* One hundred thousand levels: preorder, postorder, depths must not
+     recurse. *)
+  let t = Helpers.caterpillar 100_000 in
+  check Alcotest.int "height" 100_000 (Tree.height t);
+  check Alcotest.int "preorder covers" (Tree.node_count t)
+    (Array.length (Tree.preorder t));
+  check Alcotest.int "postorder covers" (Tree.node_count t)
+    (Array.length (Tree.postorder t))
+
+let test_validate_ok () =
+  let fx = Helpers.figure1 () in
+  match Tree.validate fx.tree with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid: %s" e
+
+(* ----------------------------- Equality ---------------------------- *)
+
+let test_equal_ordered () =
+  let a = (Helpers.figure1 ()).tree in
+  let b = (Helpers.figure1 ()).tree in
+  check Alcotest.bool "reflexive-ish" true (Tree.equal_ordered a b)
+
+let build_small names =
+  (* ((n1,n2),n3) with unit lengths, child order as given. *)
+  match names with
+  | [ n1; n2; n3 ] ->
+      let b = Tree.Builder.create () in
+      let r = Tree.Builder.add_root b in
+      let i = Tree.Builder.add_child b ~parent:r in
+      ignore (Tree.Builder.add_child ~name:n1 b ~parent:i);
+      ignore (Tree.Builder.add_child ~name:n2 b ~parent:i);
+      ignore (Tree.Builder.add_child ~name:n3 b ~parent:r);
+      Tree.Builder.finish b
+  | _ -> assert false
+
+let test_equal_unordered () =
+  let a = build_small [ "A"; "B"; "C" ] in
+  let b = build_small [ "B"; "A"; "C" ] in
+  let c = build_small [ "A"; "C"; "B" ] in
+  check Alcotest.bool "ordered differs" false (Tree.equal_ordered a b);
+  check Alcotest.bool "unordered same" true (Tree.equal_unordered a b);
+  check Alcotest.bool "different leaf placement" false (Tree.equal_unordered a c)
+
+let test_equal_unordered_weighted () =
+  let build len =
+    let b = Tree.Builder.create () in
+    let r = Tree.Builder.add_root b in
+    ignore (Tree.Builder.add_child ~name:"A" ~branch_length:len b ~parent:r);
+    ignore (Tree.Builder.add_child ~name:"B" ~branch_length:1.0 b ~parent:r);
+    Tree.Builder.finish b
+  in
+  let a = build 1.0 and b = build 2.0 in
+  check Alcotest.bool "weighted differs" false (Tree.equal_unordered a b);
+  check Alcotest.bool "unweighted same" true (Tree.equal_unordered ~weighted:false a b)
+
+(* ------------------------------- Ops ------------------------------- *)
+
+let test_copy_preserves () =
+  let fx = Helpers.figure1 () in
+  let t' = Ops.copy fx.tree in
+  check Alcotest.bool "equal" true (Tree.equal_ordered fx.tree t')
+
+let test_extract_subtree () =
+  let fx = Helpers.figure1 () in
+  let sub = Ops.extract_subtree fx.tree fx.u in
+  check Alcotest.int "nodes" 5 (Tree.node_count sub);
+  check (Alcotest.option Alcotest.string) "root name" (Some "u")
+    (Tree.name sub (Tree.root sub));
+  check Alcotest.int "leaves" 3 (Tree.leaf_count sub)
+
+let test_suppress_unary () =
+  (* root -> a(1.0) -> b(2.0) -> {C(1.0), D(1.0)}: a and b form a unary
+     chain that must merge into one edge of weight 3.0. *)
+  let b = Tree.Builder.create () in
+  let r = Tree.Builder.add_root ~name:"root" b in
+  let a = Tree.Builder.add_child ~name:"a" ~branch_length:1.0 b ~parent:r in
+  let bb = Tree.Builder.add_child ~name:"b" ~branch_length:2.0 b ~parent:a in
+  ignore (Tree.Builder.add_child ~name:"C" ~branch_length:1.0 b ~parent:bb);
+  ignore (Tree.Builder.add_child ~name:"D" ~branch_length:1.0 b ~parent:bb);
+  let t = Tree.Builder.finish b in
+  let s = Ops.suppress_unary t in
+  (* Root was unary too (single child a), so it collapses to b. *)
+  check Alcotest.int "nodes" 3 (Tree.node_count s);
+  check (Alcotest.option Alcotest.string) "new root" (Some "b")
+    (Tree.name s (Tree.root s));
+  check Alcotest.int "root degree" 2 (Tree.out_degree s (Tree.root s))
+
+let test_suppress_unary_keep_root () =
+  let b = Tree.Builder.create () in
+  let r = Tree.Builder.add_root ~name:"root" b in
+  let a = Tree.Builder.add_child ~name:"a" ~branch_length:1.0 b ~parent:r in
+  ignore (Tree.Builder.add_child ~name:"C" ~branch_length:1.0 b ~parent:a);
+  ignore (Tree.Builder.add_child ~name:"D" ~branch_length:4.0 b ~parent:a);
+  let t = Tree.Builder.finish b in
+  let s = Ops.suppress_unary ~keep_root:true t in
+  check Alcotest.int "nodes kept" 4 (Tree.node_count s);
+  check (Alcotest.option Alcotest.string) "root stays" (Some "root")
+    (Tree.name s (Tree.root s))
+
+let test_induced_subtree_figure2 () =
+  (* The paper's Figure 2: projecting {Bha, Lla, Syn} out of Figure 1.
+     x (parent of Lla) becomes unary and merges with Lla: 0.75 + 1.0. *)
+  let fx = Helpers.figure1 () in
+  let proj = Ops.induced_subtree fx.tree [ fx.bha; fx.lla; fx.syn ] in
+  check Alcotest.int "nodes" 5 (Tree.node_count proj);
+  let r = Tree.root proj in
+  check Alcotest.int "root degree" 2 (Tree.out_degree proj r);
+  let bha = Option.get (Tree.leaf_by_name proj "Bha") in
+  let lla = Option.get (Tree.leaf_by_name proj "Lla") in
+  let syn = Option.get (Tree.leaf_by_name proj "Syn") in
+  check (Alcotest.float 1e-9) "Bha keeps its edge" 1.25 (Tree.branch_length proj bha);
+  check (Alcotest.float 1e-9) "Lla edge merged" 1.75 (Tree.branch_length proj lla);
+  check (Alcotest.float 1e-9) "Syn edge" 2.5 (Tree.branch_length proj syn);
+  check Alcotest.int "Lla and Syn are siblings" (Tree.parent proj lla)
+    (Tree.parent proj syn)
+
+let test_induced_subtree_single_leaf () =
+  let fx = Helpers.figure1 () in
+  let proj = Ops.induced_subtree fx.tree [ fx.lla ] in
+  check Alcotest.int "single node" 1 (Tree.node_count proj);
+  check (Alcotest.option Alcotest.string) "is Lla" (Some "Lla")
+    (Tree.name proj (Tree.root proj))
+
+let test_induced_subtree_all_leaves () =
+  let fx = Helpers.figure1 () in
+  let all = Array.to_list (Tree.leaves fx.tree) in
+  let proj = Ops.induced_subtree fx.tree all in
+  (* Figure 1 has no unary nodes, so projecting all leaves is identity. *)
+  check Alcotest.bool "identity" true (Tree.equal_unordered fx.tree proj)
+
+let test_induced_subtree_errors () =
+  let fx = Helpers.figure1 () in
+  Alcotest.check_raises "empty" (Invalid_argument "Ops.induced_subtree: empty leaf set")
+    (fun () -> ignore (Ops.induced_subtree fx.tree []));
+  Alcotest.check_raises "not a leaf" (Invalid_argument "Ops.induced_subtree: not a leaf")
+    (fun () -> ignore (Ops.induced_subtree fx.tree [ fx.u ]))
+
+let test_prune_leaves () =
+  let fx = Helpers.figure1 () in
+  let drop n = Tree.name fx.tree n = Some "Lla" || Tree.name fx.tree n = Some "Spy" in
+  match Ops.prune_leaves fx.tree drop with
+  | None -> Alcotest.fail "tree should survive"
+  | Some t ->
+      (* x lost both children and must disappear; u keeps Syn. *)
+      check Alcotest.int "nodes" 5 (Tree.node_count t);
+      check (Alcotest.option Alcotest.int) "x gone" None (Tree.find_by_name t "x");
+      check Alcotest.bool "Syn kept" true (Tree.find_by_name t "Syn" <> None)
+
+let test_prune_everything () =
+  let fx = Helpers.figure1 () in
+  match Ops.prune_leaves fx.tree (fun _ -> true) with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expected None"
+
+let test_naive_lca () =
+  let fx = Helpers.figure1 () in
+  check Alcotest.int "LCA(Lla,Spy)=x" fx.x (Ops.naive_lca fx.tree fx.lla fx.spy);
+  check Alcotest.int "LCA(Lla,Syn)=u" fx.u (Ops.naive_lca fx.tree fx.lla fx.syn);
+  check Alcotest.int "LCA(Lla,Bsu)=root" fx.root (Ops.naive_lca fx.tree fx.lla fx.bsu);
+  check Alcotest.int "LCA with self" fx.lla (Ops.naive_lca fx.tree fx.lla fx.lla);
+  check Alcotest.int "LCA with ancestor" fx.u (Ops.naive_lca fx.tree fx.u fx.spy);
+  check Alcotest.int "LCA set" fx.u (Ops.naive_lca_set fx.tree [ fx.lla; fx.spy; fx.syn ])
+
+let test_rename_leaves () =
+  let fx = Helpers.figure1 () in
+  let t = Ops.rename_leaves fx.tree ~prefix:"T" in
+  let names =
+    Array.to_list (Tree.leaves t) |> List.map (fun l -> Option.get (Tree.name t l))
+  in
+  check (Alcotest.list Alcotest.string) "renamed" [ "T0"; "T1"; "T2"; "T3"; "T4" ] names
+
+(* --------------------------- Properties ---------------------------- *)
+
+let random_tree_gen =
+  QCheck.Gen.(
+    map
+      (fun (seed, n) ->
+        let rng = Prng.create seed in
+        Helpers.random_tree rng (n + 1))
+      (pair (int_bound 10_000) (int_bound 80)))
+
+let arb_tree =
+  QCheck.make random_tree_gen ~print:(fun t ->
+      Printf.sprintf "<tree %d nodes>" (Tree.node_count t))
+
+let prop_preorder_parent_before_child =
+  QCheck.Test.make ~name:"preorder lists parents before children" ~count:200 arb_tree
+  @@ fun t ->
+  let rank = Tree.preorder_rank t in
+  let ok = ref true in
+  for v = 0 to Tree.node_count t - 1 do
+    if v <> Tree.root t && rank.(Tree.parent t v) >= rank.(v) then ok := false
+  done;
+  !ok
+
+let prop_postorder_children_before_parent =
+  QCheck.Test.make ~name:"postorder lists children before parents" ~count:200 arb_tree
+  @@ fun t ->
+  let pos = Array.make (Tree.node_count t) 0 in
+  Array.iteri (fun i n -> pos.(n) <- i) (Tree.postorder t);
+  let ok = ref true in
+  for v = 0 to Tree.node_count t - 1 do
+    if v <> Tree.root t && pos.(Tree.parent t v) <= pos.(v) then ok := false
+  done;
+  !ok
+
+let prop_subtree_sizes_sum =
+  QCheck.Test.make ~name:"subtree sizes are consistent" ~count:200 arb_tree
+  @@ fun t ->
+  let sizes = Tree.subtree_sizes t in
+  sizes.(Tree.root t) = Tree.node_count t
+  &&
+  let ok = ref true in
+  for v = 0 to Tree.node_count t - 1 do
+    let kids = Tree.children t v in
+    let s = List.fold_left (fun acc c -> acc + sizes.(c)) 1 kids in
+    if s <> sizes.(v) then ok := false
+  done;
+  !ok
+
+let prop_copy_equal =
+  QCheck.Test.make ~name:"copy preserves ordered equality" ~count:100 arb_tree
+  @@ fun t -> Tree.equal_ordered t (Ops.copy t)
+
+let prop_validate_random =
+  QCheck.Test.make ~name:"random trees validate" ~count:100 arb_tree
+  @@ fun t -> Tree.validate t = Ok ()
+
+let prop_induced_idempotent =
+  QCheck.Test.make ~name:"projection is idempotent" ~count:100
+    (QCheck.pair arb_tree (QCheck.int_bound 9999))
+  @@ fun (t, seed) ->
+  let leaves = Tree.leaves t in
+  let rng = Prng.create seed in
+  let k = 1 + Prng.int rng (Array.length leaves) in
+  let pick = Prng.sample_without_replacement rng ~k ~n:(Array.length leaves) in
+  let subset = Array.to_list (Array.map (fun i -> leaves.(i)) pick) in
+  let p1 = Ops.induced_subtree t subset in
+  (* Re-project p1 over all of its own leaves: must be unchanged. *)
+  let p2 = Ops.induced_subtree p1 (Array.to_list (Tree.leaves p1)) in
+  Tree.equal_unordered p1 p2
+
+let () =
+  Alcotest.run "crimson_tree"
+    [
+      ( "builder",
+        [
+          Alcotest.test_case "figure1 structure" `Quick test_builder_basic;
+          Alcotest.test_case "errors" `Quick test_builder_errors;
+          Alcotest.test_case "single node" `Quick test_single_node;
+        ] );
+      ( "traversal",
+        [
+          Alcotest.test_case "preorder" `Quick test_preorder_figure1;
+          Alcotest.test_case "postorder" `Quick test_postorder_figure1;
+          Alcotest.test_case "depths and height" `Quick test_depths_and_height;
+          Alcotest.test_case "root distances (Figure 1)" `Quick test_root_distance;
+          Alcotest.test_case "leaves" `Quick test_leaves;
+          Alcotest.test_case "subtree sizes" `Quick test_subtree_sizes;
+          Alcotest.test_case "find by name" `Quick test_find_by_name;
+          Alcotest.test_case "deep tree traversals" `Slow
+            test_deep_traversal_no_stack_overflow;
+          Alcotest.test_case "validate" `Quick test_validate_ok;
+        ] );
+      ( "equality",
+        [
+          Alcotest.test_case "ordered" `Quick test_equal_ordered;
+          Alcotest.test_case "unordered" `Quick test_equal_unordered;
+          Alcotest.test_case "weighted flag" `Quick test_equal_unordered_weighted;
+        ] );
+      ( "ops",
+        [
+          Alcotest.test_case "copy" `Quick test_copy_preserves;
+          Alcotest.test_case "extract subtree" `Quick test_extract_subtree;
+          Alcotest.test_case "suppress unary merges weights" `Quick test_suppress_unary;
+          Alcotest.test_case "suppress unary keep_root" `Quick
+            test_suppress_unary_keep_root;
+          Alcotest.test_case "projection (paper Figure 2)" `Quick
+            test_induced_subtree_figure2;
+          Alcotest.test_case "projection of one leaf" `Quick
+            test_induced_subtree_single_leaf;
+          Alcotest.test_case "projection of all leaves" `Quick
+            test_induced_subtree_all_leaves;
+          Alcotest.test_case "projection errors" `Quick test_induced_subtree_errors;
+          Alcotest.test_case "prune leaves" `Quick test_prune_leaves;
+          Alcotest.test_case "prune everything" `Quick test_prune_everything;
+          Alcotest.test_case "naive LCA (paper §2.1)" `Quick test_naive_lca;
+          Alcotest.test_case "rename leaves" `Quick test_rename_leaves;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest prop_preorder_parent_before_child;
+          QCheck_alcotest.to_alcotest prop_postorder_children_before_parent;
+          QCheck_alcotest.to_alcotest prop_subtree_sizes_sum;
+          QCheck_alcotest.to_alcotest prop_copy_equal;
+          QCheck_alcotest.to_alcotest prop_validate_random;
+          QCheck_alcotest.to_alcotest prop_induced_idempotent;
+        ] );
+    ]

@@ -1,0 +1,226 @@
+(* Tests for the write-ahead log and crash recovery: committed batches
+   replay on open, torn batches are discarded, durable repositories
+   survive simulated crashes. *)
+
+module Page = Crimson_storage.Page
+module Pager = Crimson_storage.Pager
+module Wal = Crimson_storage.Wal
+module Heap = Crimson_storage.Heap
+module Repo = Crimson_core.Repo
+module Loader = Crimson_core.Loader
+module Stored_tree = Crimson_core.Stored_tree
+module Projection = Crimson_core.Projection
+
+let check = Alcotest.check
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "crimson" ".wal" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+      in
+      rm dir)
+    (fun () -> f dir)
+
+let page_of_char c =
+  let p = Page.fresh () in
+  Bytes.fill p 0 Page.size c;
+  p
+
+(* ------------------------------- Wal -------------------------------- *)
+
+let test_wal_roundtrip () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.pages" in
+      let wal = Wal.open_for path in
+      check Alcotest.bool "empty at start" true (Wal.read_committed wal = None);
+      let batch = [ (1, page_of_char 'a'); (5, page_of_char 'b') ] in
+      Wal.append_batch wal batch;
+      (match Wal.read_committed wal with
+      | Some got ->
+          check Alcotest.int "batch size" 2 (List.length got);
+          check Alcotest.bool "contents" true
+            (List.for_all2
+               (fun (i, p) (i', p') -> i = i' && Bytes.equal p p')
+               batch got)
+      | None -> Alcotest.fail "committed batch not read back");
+      Wal.clear wal;
+      check Alcotest.bool "cleared" true (Wal.read_committed wal = None);
+      Wal.close wal)
+
+let test_wal_overwrites_previous_batch () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.pages" in
+      let wal = Wal.open_for path in
+      Wal.append_batch wal [ (1, page_of_char 'x'); (2, page_of_char 'y') ];
+      Wal.append_batch wal [ (3, page_of_char 'z') ];
+      (match Wal.read_committed wal with
+      | Some [ (3, _) ] -> ()
+      | _ -> Alcotest.fail "latest batch should win");
+      Wal.close wal)
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Unix.ftruncate fd len;
+  Unix.close fd
+
+let test_wal_torn_write_discarded () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.pages" in
+      let wal = Wal.open_for path in
+      Wal.append_batch wal [ (1, page_of_char 'q'); (2, page_of_char 'r') ];
+      Wal.close wal;
+      (* Chop off the tail: the commit checksum (and part of a record)
+         vanish, as in a crash mid-write. *)
+      let wal_file = path ^ ".wal" in
+      let size = (Unix.stat wal_file).Unix.st_size in
+      truncate_file wal_file (size - 100);
+      let wal = Wal.open_for path in
+      check Alcotest.bool "torn batch discarded" true (Wal.read_committed wal = None);
+      Wal.close wal)
+
+let test_wal_corrupt_checksum_discarded () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.pages" in
+      let wal = Wal.open_for path in
+      Wal.append_batch wal [ (1, page_of_char 's') ];
+      Wal.close wal;
+      (* Flip a byte inside the page image. *)
+      let wal_file = path ^ ".wal" in
+      let fd = Unix.openfile wal_file [ Unix.O_RDWR ] 0o644 in
+      ignore (Unix.lseek fd 100 Unix.SEEK_SET);
+      ignore (Unix.write fd (Bytes.of_string "\xff") 0 1);
+      Unix.close fd;
+      let wal = Wal.open_for path in
+      check Alcotest.bool "corrupt batch discarded" true (Wal.read_committed wal = None);
+      Wal.close wal)
+
+(* -------------------------- Pager recovery -------------------------- *)
+
+let test_pager_replays_committed_wal () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.pages" in
+      (* Build a consistent base file with 3 pages. *)
+      let p = Pager.create_file path in
+      for _ = 1 to 3 do
+        ignore (Pager.allocate p)
+      done;
+      Pager.with_page_mut p 1 (fun b -> Bytes.set b 0 'O');
+      Pager.close p;
+      (* Simulate: a crash left a committed WAL that was never applied. *)
+      let wal = Wal.open_for path in
+      Wal.append_batch wal [ (1, page_of_char 'N') ];
+      Wal.close wal;
+      (* Reopen (not durable — recovery must still run). *)
+      let p2 = Pager.create_file path in
+      check Alcotest.char "replayed" 'N' (Pager.with_page p2 1 (fun b -> Bytes.get b 0));
+      Pager.close p2;
+      check Alcotest.int "wal cleared" 0 (Unix.stat (path ^ ".wal")).Unix.st_size)
+
+let test_pager_ignores_torn_wal () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.pages" in
+      let p = Pager.create_file path in
+      for _ = 1 to 2 do
+        ignore (Pager.allocate p)
+      done;
+      Pager.with_page_mut p 1 (fun b -> Bytes.set b 0 'O');
+      Pager.close p;
+      let wal = Wal.open_for path in
+      Wal.append_batch wal [ (1, page_of_char 'X') ];
+      Wal.close wal;
+      let wal_file = path ^ ".wal" in
+      truncate_file wal_file ((Unix.stat wal_file).Unix.st_size - 7);
+      let p2 = Pager.create_file path in
+      check Alcotest.char "pre-crash state kept" 'O'
+        (Pager.with_page p2 1 (fun b -> Bytes.get b 0));
+      Pager.close p2)
+
+let test_durable_pager_full_cycle () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.pages" in
+      let p = Pager.create_file ~durable:true ~pool_size:8 path in
+      for i = 0 to 29 do
+        let id = Pager.allocate p in
+        Pager.with_page_mut p id (fun b -> Bytes.set b 0 (Char.chr (65 + (i mod 26))))
+      done;
+      Pager.flush p;
+      Pager.close p;
+      let p2 = Pager.create_file ~durable:true ~pool_size:8 path in
+      for i = 0 to 29 do
+        check Alcotest.char
+          (Printf.sprintf "page %d" i)
+          (Char.chr (65 + (i mod 26)))
+          (Pager.with_page p2 i (fun b -> Bytes.get b 0))
+      done;
+      Pager.close p2)
+
+(* ------------------------ Durable repositories ---------------------- *)
+
+let test_durable_repo_survives_wal_replay () =
+  with_temp_dir (fun dir ->
+      let fx = Helpers.figure1 () in
+      (let repo = Repo.open_dir ~durable:true dir in
+       ignore (Loader.load_tree ~f:2 repo ~name:"figure1" fx.tree);
+       Repo.close repo);
+      (* Simulate the crash: take the current heap file state as "old",
+         then append a committed-but-unapplied WAL batch produced by a
+         later update, and check recovery integrates it. Here we simply
+         reopen and query: the load's own WAL cycle must have left
+         everything consistent. *)
+      let repo = Repo.open_dir ~durable:true dir in
+      let stored = Stored_tree.open_name repo "figure1" in
+      let proj = Projection.project_names stored [ "Bha"; "Lla"; "Syn" ] in
+      check Alcotest.int "projection after durable reopen" 5
+        (Crimson_tree.Tree.node_count proj);
+      Repo.close repo)
+
+let test_heap_on_durable_pager () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "h.pages" in
+      let p = Pager.create_file ~durable:true ~pool_size:8 path in
+      let h = Heap.create p in
+      let rids = Array.init 500 (fun i -> Heap.insert h (Printf.sprintf "r%04d" i)) in
+      Heap.flush h;
+      Pager.close p;
+      let p2 = Pager.create_file ~durable:true ~pool_size:8 path in
+      let h2 = Heap.create p2 in
+      Array.iteri
+        (fun i rid ->
+          check (Alcotest.option Alcotest.string) "durable record"
+            (Some (Printf.sprintf "r%04d" i))
+            (Heap.get h2 rid))
+        rids;
+      Pager.close p2)
+
+let () =
+  Alcotest.run "crimson_wal"
+    [
+      ( "wal",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
+          Alcotest.test_case "latest batch wins" `Quick test_wal_overwrites_previous_batch;
+          Alcotest.test_case "torn write discarded" `Quick test_wal_torn_write_discarded;
+          Alcotest.test_case "corrupt checksum discarded" `Quick
+            test_wal_corrupt_checksum_discarded;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "replays committed wal" `Quick
+            test_pager_replays_committed_wal;
+          Alcotest.test_case "ignores torn wal" `Quick test_pager_ignores_torn_wal;
+          Alcotest.test_case "durable full cycle" `Quick test_durable_pager_full_cycle;
+        ] );
+      ( "durable_repo",
+        [
+          Alcotest.test_case "load and reopen" `Quick test_durable_repo_survives_wal_replay;
+          Alcotest.test_case "heap on durable pager" `Quick test_heap_on_durable_pager;
+        ] );
+    ]
