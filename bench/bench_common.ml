@@ -6,6 +6,8 @@ module Ops = Crimson_tree.Ops
 module Models = Crimson_sim.Models
 module Prng = Crimson_util.Prng
 module T = Crimson_util.Table_printer
+module Metrics = Crimson_obs.Metrics
+module Json = Crimson_obs.Json
 
 let section id title =
   Printf.printf "\n==================================================================\n";
@@ -13,6 +15,27 @@ let section id title =
   Printf.printf "==================================================================\n%!"
 
 let note fmt = Printf.ksprintf (fun s -> Printf.printf "%s\n%!" s) fmt
+
+(* ------------------------ Metric snapshots ------------------------- *)
+(* Each experiment runs against a zeroed registry; when it finishes the
+   harness emits one machine-readable line
+
+     BENCH {"experiment": "E9", …, "metrics": {…}}
+
+   so the result JSONs carry the buffer-pool hit/miss, WAL fsync and
+   latency-histogram trajectories alongside the printed tables. *)
+
+let reset_metrics () = Metrics.reset_all ()
+
+let metrics_snapshot () = Metrics.to_json ()
+
+let emit_bench ~experiment ?(fields = []) () =
+  let line =
+    Json.Obj
+      ((("experiment", Json.Str experiment) :: fields)
+      @ [ ("metrics", metrics_snapshot ()) ])
+  in
+  Printf.printf "BENCH %s\n%!" (Json.to_string line)
 
 (* Milliseconds of one call. *)
 let time_once f =

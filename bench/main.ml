@@ -39,5 +39,16 @@ let () =
     exit 1
   end;
   let t0 = Unix.gettimeofday () in
-  List.iter (fun (_, _, run) -> run ()) selected;
+  List.iter
+    (fun (id, _, run) ->
+      (* Per-experiment metric snapshot: zero the registry, run, emit a
+         BENCH JSON line carrying the accumulated telemetry. *)
+      Bench_common.reset_metrics ();
+      let e0 = Unix.gettimeofday () in
+      run ();
+      Bench_common.emit_bench ~experiment:id
+        ~fields:
+          [ ("seconds", Bench_common.Json.Num (Unix.gettimeofday () -. e0)) ]
+        ())
+    selected;
   Printf.printf "\ntotal experiment time: %.1f s\n" (Unix.gettimeofday () -. t0)

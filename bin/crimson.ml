@@ -26,13 +26,29 @@ open Cmdliner
 
 (* ----------------------------- Helpers ----------------------------- *)
 
-let setup_logs style_renderer level =
+let print_registry () =
+  let text = Crimson_obs.Metrics.to_text () in
+  if text <> "" then print_string text
+
+let setup_logs style_renderer level metrics =
   Fmt_tty.setup_std_outputs ?style_renderer ();
   Logs.set_level level;
-  Logs.set_reporter (Logs_fmt.reporter ())
+  Logs.set_reporter (Logs_fmt.reporter ());
+  if metrics then
+    at_exit (fun () ->
+        print_string "\n-- telemetry registry --\n";
+        print_registry ())
 
+let metrics_flag =
+  Arg.(value & flag
+       & info [ "metrics" ]
+           ~doc:"Print the telemetry registry (counters, gauges, latency histograms) \
+                 after the command finishes.")
+
+(* Threaded through every subcommand, so --metrics and the log options
+   are global flags. *)
 let logging =
-  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level ())
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level () $ metrics_flag)
 
 let repo_arg =
   let doc = "Repository directory (created if absent)." in
@@ -198,13 +214,15 @@ let lca_cmd =
             match resolve_names stored names with
             | Error n -> fail "unknown species %S" n
             | Ok ids ->
-                let l = Stored_tree.lca_set stored ids in
+                let l, elapsed_ms, pages =
+                  Repo.measure repo (fun () -> Stored_tree.lca_set stored ids)
+                in
                 Printf.printf "LCA(%s) = %s (depth %d, distance from root %g)\n"
                   (String.concat ", " names) (node_label stored l)
                   (Stored_tree.depth stored l)
                   (Stored_tree.root_distance stored l);
                 ignore
-                  (Repo.record_query repo
+                  (Repo.record_query repo ~elapsed_ms ~pages
                      ~text:(Printf.sprintf "lca %s" (String.concat "," names))
                      ~result:(node_label stored l));
                 `Ok ()))
@@ -222,8 +240,10 @@ let clade_cmd =
             match resolve_names stored names with
             | Error n -> fail "unknown species %S" n
             | Ok ids ->
-                let root = Clade.root_of stored ids in
-                let size = Clade.size stored ids in
+                let (root, size), elapsed_ms, pages =
+                  Repo.measure repo (fun () ->
+                      (Clade.root_of stored ids, Clade.size stored ids))
+                in
                 Printf.printf "minimal spanning clade rooted at %s: %d species\n"
                   (node_label stored root) size;
                 if size <= 50 then begin
@@ -232,7 +252,7 @@ let clade_cmd =
                     (String.concat ", " (List.map (node_label stored) members))
                 end;
                 ignore
-                  (Repo.record_query repo
+                  (Repo.record_query repo ~elapsed_ms ~pages
                      ~text:(Printf.sprintf "clade %s" (String.concat "," names))
                      ~result:(Printf.sprintf "%d species" size));
                 `Ok ()))
@@ -308,10 +328,12 @@ let project_cmd =
             match selection with
             | Error msg -> fail "%s" msg
             | Ok (ids, how) ->
-                let projection = Projection.project stored ids in
+                let projection, elapsed_ms, pages =
+                  Repo.measure repo (fun () -> Projection.project stored ids)
+                in
                 emit_tree fmt out projection;
                 ignore
-                  (Repo.record_query repo
+                  (Repo.record_query repo ~elapsed_ms ~pages
                      ~text:(Printf.sprintf "project tree=%s %s" tree how)
                      ~result:(Printf.sprintf "%d nodes" (Tree.node_count projection)));
                 `Ok ()))
@@ -333,12 +355,14 @@ let match_cmd =
     guarded (fun () ->
         with_tree dir tree (fun repo stored ->
             let pattern = Newick.parse_file pattern_file in
-            let r = Pattern.match_pattern stored pattern in
+            let r, elapsed_ms, pages =
+              Repo.measure repo (fun () -> Pattern.match_pattern stored pattern)
+            in
             Printf.printf "matched: %b (weights too: %b)\n" r.matched r.weighted_match;
             Printf.printf "clade RF distance vs projection: %d (normalized %.3f)\n"
               r.rf_distance r.rf_normalized;
             ignore
-              (Repo.record_query repo
+              (Repo.record_query repo ~elapsed_ms ~pages
                  ~text:(Printf.sprintf "match tree=%s pattern=%s" tree pattern_file)
                  ~result:(string_of_bool r.matched));
             `Ok ()))
@@ -486,16 +510,45 @@ let append_species_cmd =
 (* ------------------------------- stats ----------------------------- *)
 
 let stats_cmd =
+  let tree_opt =
+    Arg.(value & opt (some string) None & info [ "t"; "tree" ] ~docv:"NAME"
+         ~doc:"Only this tree (default: every tree in the repository).")
+  in
   let run () dir tree =
     guarded (fun () ->
-        with_tree dir tree (fun repo stored ->
-            print_string (Crimson_core.Tree_stats.to_string
-                            (Crimson_core.Tree_stats.compute repo stored));
-            `Ok ()))
+        with_repo dir (fun repo ->
+            let show stored =
+              print_string (Crimson_core.Tree_stats.to_string
+                              (Crimson_core.Tree_stats.compute repo stored))
+            in
+            let selected =
+              match tree with
+              | Some name -> (
+                  match Stored_tree.open_name repo name with
+                  | stored -> Ok [ stored ]
+                  | exception Stored_tree.Unknown_tree _ ->
+                      Error (Printf.sprintf "no tree named %S in %s" name dir))
+              | None ->
+                  Ok (List.map (fun (id, _) -> Stored_tree.open_id repo id)
+                        (Stored_tree.list_all repo))
+            in
+            match selected with
+            | Error msg -> fail "%s" msg
+            | Ok trees ->
+                List.iter show trees;
+                (* The session's telemetry: opening the repository and
+                   computing the statistics above already exercised the
+                   pager and the core query layer, so the registry is
+                   never empty here. *)
+                print_string "\n-- telemetry registry --\n";
+                print_registry ();
+                `Ok ()))
   in
   Cmd.v
-    (Cmd.info "stats" ~doc:"Structural statistics of a stored tree")
-    Term.(ret (const run $ logging $ repo_arg $ tree_arg))
+    (Cmd.info "stats"
+       ~doc:"Structural statistics of stored trees plus the telemetry registry \
+             (pager/WAL/B+tree counters, query latency histograms) for this session")
+    Term.(ret (const run $ logging $ repo_arg $ tree_opt))
 
 (* ------------------------------- query ----------------------------- *)
 
@@ -542,11 +595,12 @@ let history_cmd =
             if entries = [] then print_endline "(no queries recorded)"
             else
               List.iter
-                (fun (id, time, text, result) ->
+                (fun (id, time, text, result, elapsed_ms, pages) ->
                   let tm = Unix.localtime time in
-                  Printf.printf "#%-4d %04d-%02d-%02d %02d:%02d  %-40s -> %s\n" id
-                    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
-                    tm.Unix.tm_hour tm.Unix.tm_min text result)
+                  Printf.printf
+                    "#%-4d %04d-%02d-%02d %02d:%02d  %7.2fms %5d pages  %-40s -> %s\n"
+                    id (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+                    tm.Unix.tm_hour tm.Unix.tm_min elapsed_ms pages text result)
                 entries;
             `Ok ()))
   in

@@ -112,7 +112,9 @@ let () =
   section "Query history";
   ignore (Repo.record_query repo ~text:"quickstart session" ~result:"ok");
   List.iter
-    (fun (id, _, text, result) -> Printf.printf "  #%d %s -> %s\n" id text result)
+    (fun (id, _, text, result, elapsed_ms, pages) ->
+      Printf.printf "  #%d %s -> %s (%.2fms, %d pages)\n" id text result elapsed_ms
+        pages)
     (Repo.history repo);
 
   Repo.close repo;

@@ -124,6 +124,8 @@ let run repo stored config =
   let rng = Prng.create config.seed in
   let outcomes = ref [] in
   for replicate = 1 to config.replicates do
+    let replicate_start = Unix.gettimeofday () in
+    let pages_start = Repo.pages_touched repo in
     let leaf_ids = sample_leaves stored config rng in
     let truth =
       try Projection.project stored leaf_ids
@@ -185,7 +187,9 @@ let run repo stored config =
                else None)
              !outcomes)
       in
-      ignore (Repo.record_query repo ~text ~result)
+      let elapsed_ms = 1000.0 *. (Unix.gettimeofday () -. replicate_start) in
+      let pages = Repo.pages_touched repo - pages_start in
+      ignore (Repo.record_query repo ~elapsed_ms ~pages ~text ~result)
     end
   done;
   List.rev !outcomes

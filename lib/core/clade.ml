@@ -55,3 +55,27 @@ let nodes ?(limit = 10_000) tree inputs =
   in
   visit lca;
   List.rev !acc
+
+(* ---------------------------- Telemetry ---------------------------- *)
+(* Shadow the public entry points with "core.clade." spans: every call
+   lands in the registry's latency histograms and, at debug level, the
+   trace log. Internal recursion above stays unwrapped. *)
+
+let root_of tree inputs =
+  Crimson_obs.Span.with_ ~name:"core.clade.root_of" (fun () -> root_of tree inputs)
+
+let size tree inputs =
+  Crimson_obs.Span.with_ ~name:"core.clade.size" (fun () -> size tree inputs)
+
+let leaf_ids ?limit tree inputs =
+  Crimson_obs.Span.with_ ~name:"core.clade.leaf_ids" (fun () ->
+      leaf_ids ?limit tree inputs)
+
+let member tree ~clade_of node =
+  Crimson_obs.Span.with_ ~name:"core.clade.member" (fun () -> member tree ~clade_of node)
+
+let nodes ?limit tree inputs =
+  Crimson_obs.Span.with_ ~name:"core.clade.nodes" (fun () -> nodes ?limit tree inputs)
+
+let subtree ?limit tree inputs =
+  Crimson_obs.Span.with_ ~name:"core.clade.subtree" (fun () -> subtree ?limit tree inputs)

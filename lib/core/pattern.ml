@@ -58,4 +58,9 @@ let match_pattern stored pattern =
   let rf_normalized = Metrics.robinson_foulds_normalized pattern projection in
   { matched; weighted_match; rf_distance; rf_normalized; projection }
 
+(* ---------------------------- Telemetry ---------------------------- *)
+
+let match_pattern stored pattern =
+  Crimson_obs.Span.with_ ~name:"core.pattern.match" (fun () -> match_pattern stored pattern)
+
 let matches stored pattern = (match_pattern stored pattern).matched

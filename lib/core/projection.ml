@@ -60,6 +60,15 @@ let project tree leaf_ids =
     nodes;
   Tree.Builder.finish b
 
+(* ---------------------------- Telemetry ---------------------------- *)
+
+let projection_nodes tree leaf_ids =
+  Crimson_obs.Span.with_ ~name:"core.projection.nodes" (fun () ->
+      projection_nodes tree leaf_ids)
+
+let project tree leaf_ids =
+  Crimson_obs.Span.with_ ~name:"core.projection.project" (fun () -> project tree leaf_ids)
+
 let project_names tree names =
   match Stored_tree.leaf_ids_by_names tree names with
   | Ok ids -> project tree ids

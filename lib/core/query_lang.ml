@@ -220,11 +220,12 @@ let execute ~rng repo stored { fn; args } =
 let run ?rng ?(record = true) repo stored text =
   let rng = match rng with Some r -> r | None -> Prng.create 0 in
   match
-    let call = parse_query text in
-    execute ~rng repo stored call
+    Repo.measure repo (fun () ->
+        let call = parse_query text in
+        execute ~rng repo stored call)
   with
-  | result ->
-      if record then ignore (Repo.record_query repo ~text ~result);
+  | result, elapsed_ms, pages ->
+      if record then ignore (Repo.record_query repo ~elapsed_ms ~pages ~text ~result);
       Ok { text; result }
   | exception Bad_query msg -> Error msg
   | exception Sampling.Invalid_sample msg -> Error msg

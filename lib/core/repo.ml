@@ -14,6 +14,30 @@ type t = {
   mutable next_query_id : int option; (* lazily initialised from storage *)
 }
 
+(* Open the Query Repository, migrating repositories written before the
+   telemetry columns existed: their rows re-insert under the new schema
+   with elapsed_ms = 0 and pages = 0 (cost unknown, not free — but zero
+   is the honest sentinel the decoder can promise). *)
+let open_queries db =
+  let open_with schema =
+    Database.table db ~name:"queries" ~schema ~indexes:Schema.Queries.indexes
+  in
+  match open_with Schema.Queries.schema with
+  | tbl -> tbl
+  | exception Database.Schema_mismatch _ ->
+      let legacy = open_with Schema.Queries.legacy_schema in
+      let rows = ref [] in
+      Table.scan legacy (fun _ row -> rows := row :: !rows);
+      Database.drop_table db "queries";
+      let tbl = open_with Schema.Queries.schema in
+      List.iter
+        (fun row ->
+          ignore
+            (Table.insert tbl
+               (Array.append row [| Record.VFloat 0.0; Record.VInt 0 |])))
+        (List.rev !rows);
+      tbl
+
 let open_tables db =
   let trees =
     Database.table db ~name:"trees" ~schema:Schema.Trees.schema
@@ -39,10 +63,7 @@ let open_tables db =
     Database.table db ~name:"species" ~schema:Schema.Species.schema
       ~indexes:Schema.Species.indexes
   in
-  let queries =
-    Database.table db ~name:"queries" ~schema:Schema.Queries.schema
-      ~indexes:Schema.Queries.indexes
-  in
+  let queries = open_queries db in
   {
     db;
     trees;
@@ -82,7 +103,23 @@ let next_query_id t =
           max_id := max !max_id (Record.get_int row Schema.Queries.c_id));
       !max_id + 1
 
-let record_query t ~text ~result =
+(* Pages touched so far across every buffer pool of this repository:
+   hits + misses = logical page accesses. Deltas of this are the
+   pages-touched cost recorded per query. *)
+let pages_touched t =
+  List.fold_left
+    (fun acc (_, (s : Crimson_storage.Pager.stats)) -> acc + s.hits + s.misses)
+    0
+    (Database.pager_stats t.db)
+
+let measure t f =
+  let pages0 = pages_touched t in
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  let elapsed_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
+  (result, elapsed_ms, pages_touched t - pages0)
+
+let record_query ?(elapsed_ms = 0.0) ?(pages = 0) t ~text ~result =
   let id = next_query_id t in
   t.next_query_id <- Some (id + 1);
   ignore
@@ -92,27 +129,30 @@ let record_query t ~text ~result =
          Record.VFloat (Unix.gettimeofday ());
          Record.VText text;
          Record.VText result;
+         Record.VFloat elapsed_ms;
+         Record.VInt pages;
        |]);
   id
+
+let decode_entry row =
+  ( Record.get_float row Schema.Queries.c_time,
+    Record.get_text row Schema.Queries.c_text,
+    Record.get_text row Schema.Queries.c_result,
+    Record.get_float row Schema.Queries.c_elapsed_ms,
+    Record.get_int row Schema.Queries.c_pages )
 
 let history t =
   let acc = ref [] in
   Table.scan t.queries (fun _ row ->
+      let time, text, result, elapsed_ms, pages = decode_entry row in
       acc :=
-        ( Record.get_int row Schema.Queries.c_id,
-          Record.get_float row Schema.Queries.c_time,
-          Record.get_text row Schema.Queries.c_text,
-          Record.get_text row Schema.Queries.c_result )
+        (Record.get_int row Schema.Queries.c_id, time, text, result, elapsed_ms, pages)
         :: !acc);
-  List.sort (fun (a, _, _, _) (b, _, _, _) -> Int.compare a b) !acc
+  List.sort (fun (a, _, _, _, _, _) (b, _, _, _, _, _) -> Int.compare a b) !acc
 
 let history_entry t id =
   match
     Table.lookup_unique t.queries ~index:"by_id" ~key:(Schema.Queries.key_id id)
   with
-  | Some (_, row) ->
-      Some
-        ( Record.get_float row Schema.Queries.c_time,
-          Record.get_text row Schema.Queries.c_text,
-          Record.get_text row Schema.Queries.c_result )
+  | Some (_, row) -> Some (decode_entry row)
   | None -> None

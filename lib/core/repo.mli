@@ -27,13 +27,30 @@ val queries : t -> Table.t
 val flush : t -> unit
 val close : t -> unit
 
-(** {1 Query Repository} *)
+(** {1 Query Repository}
 
-val record_query : t -> text:string -> result:string -> int
+    Since the telemetry pass, every history row also carries the query's
+    measured cost: elapsed wall milliseconds and pages touched (buffer
+    pool hits + misses across the repository's files). Repositories
+    written by older versions migrate transparently on open; their rows
+    read back with both costs at 0. *)
+
+val record_query :
+  ?elapsed_ms:float -> ?pages:int -> t -> text:string -> result:string -> int
 (** Append to the history; returns the query id. Timestamps come from the
-    system clock. *)
+    system clock; both costs default to 0 (unmeasured). *)
 
-val history : t -> (int * float * string * string) list
-(** All recorded queries, oldest first: (id, unix time, text, result). *)
+val measure : t -> (unit -> 'a) -> 'a * float * int
+(** [measure t f] runs [f] and returns [(result, elapsed_ms,
+    pages_touched)] — the arguments {!record_query} wants. *)
 
-val history_entry : t -> int -> (float * string * string) option
+val pages_touched : t -> int
+(** Running total of page accesses (pool hits + misses) over every file
+    of this repository. *)
+
+val history : t -> (int * float * string * string * float * int) list
+(** All recorded queries, oldest first:
+    (id, unix time, text, result, elapsed ms, pages touched). *)
+
+val history_entry :
+  t -> int -> (float * string * string * float * int) option

@@ -82,3 +82,15 @@ let with_time tree ~rng ~k ~time =
       end)
     intervals;
   List.rev !samples
+
+(* ---------------------------- Telemetry ---------------------------- *)
+
+let uniform tree ~rng ~k =
+  Crimson_obs.Span.with_ ~name:"core.sampling.uniform" (fun () -> uniform tree ~rng ~k)
+
+let frontier_at tree ~time =
+  Crimson_obs.Span.with_ ~name:"core.sampling.frontier" (fun () -> frontier_at tree ~time)
+
+let with_time tree ~rng ~k ~time =
+  Crimson_obs.Span.with_ ~name:"core.sampling.with_time" (fun () ->
+      with_time tree ~rng ~k ~time)

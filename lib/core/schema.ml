@@ -195,12 +195,21 @@ module Queries = struct
       ("time", Record.Float);
       ("text", Record.Text);
       ("result", Record.Text);
+      ("elapsed_ms", Record.Float);
+      ("pages", Record.Int);
     |]
+
+  (* Pre-telemetry layout (id, time, text, result): repositories written
+     before elapsed_ms/pages existed are migrated on open, old rows
+     reading as zero-cost (see Repo.open_dir). *)
+  let legacy_schema : Record.schema = Array.sub schema 0 4
 
   let c_id = 0
   let c_time = 1
   let c_text = 2
   let c_result = 3
+  let c_elapsed_ms = 4
+  let c_pages = 5
   let key_id id = Key.int id
   let indexes = [ ix "by_id" (fun row -> key_id (Record.get_int row c_id)) true ]
 end

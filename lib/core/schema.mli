@@ -102,10 +102,17 @@ end
 (** [queries] columns — the Query Repository. *)
 module Queries : sig
   val schema : Record.schema
+
+  val legacy_schema : Record.schema
+  (** The pre-telemetry 4-column layout, kept for the on-open migration
+      of old repositories. *)
+
   val c_id : int
   val c_time : int
   val c_text : int
   val c_result : int
+  val c_elapsed_ms : int
+  val c_pages : int
   val indexes : Table.index_spec list
   val key_id : int -> string
 end

@@ -171,10 +171,13 @@ end
 
 module Engine = Layered.Engine (Store)
 
+(* Hot path: pre-created histogram, no span stack (Span.record). *)
+let h_lca = Crimson_obs.Metrics.histogram "core.lca"
+
 let lca t a b =
   ignore (node_row t a);
   ignore (node_row t b);
-  Engine.lca t a b
+  Crimson_obs.Span.record h_lca (fun () -> Engine.lca t a b)
 
 let lca_set t = function
   | [] -> invalid_arg "Stored_tree.lca_set: empty set"

@@ -120,3 +120,8 @@ let pp ppf t =
     t.depth_histogram
 
 let to_string t = Format.asprintf "%a" pp t
+
+(* ---------------------------- Telemetry ---------------------------- *)
+
+let compute repo stored =
+  Crimson_obs.Span.with_ ~name:"core.tree_stats" (fun () -> compute repo stored)

@@ -1,0 +1,32 @@
+(** Minimal JSON values for the telemetry exporters.
+
+    Crimson deliberately carries no external JSON dependency; metric
+    snapshots and bench results need only this small subset: rendering
+    is exact for the values the registry produces, and [parse] accepts
+    everything [to_string] emits (used by the round-trip tests and by
+    scripts that slurp BENCH lines). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of { pos : int; message : string }
+
+val to_string : t -> string
+(** Compact single-line rendering. Numbers that are exact integers print
+    without a fractional part; NaN and infinities render as [null]
+    (JSON has no spelling for them). *)
+
+val parse : string -> t
+(** Strict parser for the subset above. Raises {!Parse_error} with the
+    byte offset of the offending character. *)
+
+val member : string -> t -> t option
+(** Object field lookup; [None] on missing keys or non-objects. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object fields compare order-insensitively. *)

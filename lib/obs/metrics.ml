@@ -1,0 +1,272 @@
+module Table_printer = Crimson_util.Table_printer
+
+module Counter = struct
+  type t = {
+    name : string;
+    mutable value : int;
+  }
+
+  let make name = { name; value = 0 }
+  let incr t = t.value <- t.value + 1
+  let add t n = t.value <- t.value + n
+  let value t = t.value
+  let reset t = t.value <- 0
+  let name t = t.name
+end
+
+module Gauge = struct
+  type t = {
+    name : string;
+    mutable value : float;
+  }
+
+  let make name = { name; value = 0.0 }
+  let set t v = t.value <- v
+  let add t v = t.value <- t.value +. v
+  let value t = t.value
+  let name t = t.name
+end
+
+module Histogram = struct
+  (* Log-scale buckets: bucket [i] counts samples in
+     (base * growth^(i-1), base * growth^i]; bucket 0 additionally takes
+     everything <= base (including 0). With base = 1e-6 and
+     growth = 2^(1/4) the 192 buckets span 1 ns to ~80 minutes in
+     milliseconds, with <= 19% relative bucket width. *)
+  let base = 1e-6
+  let growth = Float.pow 2.0 0.25
+  let log_growth = Float.log growth
+  let n_buckets = 192
+
+  type t = {
+    name : string;
+    buckets : int array;
+    mutable count : int;
+    mutable sum : float;
+    mutable min : float;
+    mutable max : float;
+  }
+
+  let make name =
+    {
+      name;
+      buckets = Array.make n_buckets 0;
+      count = 0;
+      sum = 0.0;
+      min = Float.infinity;
+      max = Float.neg_infinity;
+    }
+
+  let bucket_of v =
+    if v <= base then 0
+    else
+      let i = int_of_float (Float.ceil (Float.log (v /. base) /. log_growth)) in
+      if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+  let observe t v =
+    let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
+    t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+    t.count <- t.count + 1;
+    t.sum <- t.sum +. v;
+    if v < t.min then t.min <- v;
+    if v > t.max then t.max <- v
+
+  let count t = t.count
+  let sum t = t.sum
+  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let min t = if t.count = 0 then 0.0 else t.min
+  let max t = if t.count = 0 then 0.0 else t.max
+  let bucket_hi i = base *. Float.pow growth (float_of_int i)
+  let bucket_lo i = if i = 0 then 0.0 else base *. Float.pow growth (float_of_int (i - 1))
+
+  let percentile t p =
+    if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p outside [0,100]";
+    if t.count = 0 then 0.0
+    else begin
+      let target = p /. 100.0 *. float_of_int t.count in
+      let rec walk i cum =
+        if i >= n_buckets then max t
+        else
+          let c = t.buckets.(i) in
+          let cum' = cum +. float_of_int c in
+          if c > 0 && cum' >= target then begin
+            let frac =
+              if c = 0 then 1.0
+              else Float.max 0.0 (Float.min 1.0 ((target -. cum) /. float_of_int c))
+            in
+            bucket_lo i +. (frac *. (bucket_hi i -. bucket_lo i))
+          end
+          else walk (i + 1) cum'
+      in
+      let est = walk 0 0.0 in
+      Float.max (min t) (Float.min (max t) est)
+    end
+
+  let name t = t.name
+
+  let reset t =
+    Array.fill t.buckets 0 n_buckets 0;
+    t.count <- 0;
+    t.sum <- 0.0;
+    t.min <- Float.infinity;
+    t.max <- Float.neg_infinity
+end
+
+(* ------------------------------ Registry ----------------------------- *)
+
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let kind = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let register name wrap make project =
+  match Hashtbl.find_opt registry name with
+  | None ->
+      let m = make name in
+      Hashtbl.replace registry name (wrap m);
+      m
+  | Some existing -> (
+      match project existing with
+      | Some m -> m
+      | None ->
+          invalid_arg
+            (Printf.sprintf "Metrics: %s is already registered as a %s" name
+               (kind existing)))
+
+let counter name =
+  register name
+    (fun c -> Counter c)
+    Counter.make
+    (function Counter c -> Some c | Gauge _ | Histogram _ -> None)
+
+let gauge name =
+  register name
+    (fun g -> Gauge g)
+    Gauge.make
+    (function Gauge g -> Some g | Counter _ | Histogram _ -> None)
+
+let histogram name =
+  register name
+    (fun h -> Histogram h)
+    Histogram.make
+    (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
+
+let find name = Hashtbl.find_opt registry name
+
+let snapshot () =
+  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counter_value name =
+  match find name with
+  | Some (Counter c) -> Counter.value c
+  | Some (Gauge _ | Histogram _) | None -> 0
+
+let reset_all () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> Counter.reset c
+      | Gauge g -> Gauge.set g 0.0
+      | Histogram h -> Histogram.reset h)
+    registry
+
+(* ----------------------------- Exporters ----------------------------- *)
+
+let fnum x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.3f" x
+
+let to_text () =
+  let metrics = snapshot () in
+  let scalars, histograms =
+    List.partition (fun (_, m) -> match m with Histogram _ -> false | _ -> true) metrics
+  in
+  let buf = Buffer.create 1024 in
+  if scalars <> [] then begin
+    let t =
+      Table_printer.create
+        ~columns:[ ("metric", Table_printer.Left); ("value", Table_printer.Right) ]
+    in
+    List.iter
+      (fun (name, m) ->
+        match m with
+        | Counter c -> Table_printer.add_row t [ name; string_of_int (Counter.value c) ]
+        | Gauge g -> Table_printer.add_row t [ name; fnum (Gauge.value g) ]
+        | Histogram _ -> ())
+      scalars;
+    Buffer.add_string buf (Table_printer.render t)
+  end;
+  if histograms <> [] then begin
+    if scalars <> [] then Buffer.add_char buf '\n';
+    let t =
+      Table_printer.create
+        ~columns:
+          [
+            ("histogram (ms)", Table_printer.Left);
+            ("count", Table_printer.Right);
+            ("mean", Table_printer.Right);
+            ("p50", Table_printer.Right);
+            ("p90", Table_printer.Right);
+            ("p99", Table_printer.Right);
+            ("max", Table_printer.Right);
+          ]
+    in
+    List.iter
+      (fun (name, m) ->
+        match m with
+        | Histogram h ->
+            Table_printer.add_row t
+              [
+                name;
+                string_of_int (Histogram.count h);
+                Printf.sprintf "%.3f" (Histogram.mean h);
+                Printf.sprintf "%.3f" (Histogram.percentile h 50.0);
+                Printf.sprintf "%.3f" (Histogram.percentile h 90.0);
+                Printf.sprintf "%.3f" (Histogram.percentile h 99.0);
+                Printf.sprintf "%.3f" (Histogram.max h);
+              ]
+        | Counter _ | Gauge _ -> ())
+      histograms;
+    Buffer.add_string buf (Table_printer.render t)
+  end;
+  Buffer.contents buf
+
+let to_json () =
+  let metrics = snapshot () in
+  let counters = ref [] and gauges = ref [] and histograms = ref [] in
+  List.iter
+    (fun (name, m) ->
+      match m with
+      | Counter c ->
+          counters := (name, Json.Num (float_of_int (Counter.value c))) :: !counters
+      | Gauge g -> gauges := (name, Json.Num (Gauge.value g)) :: !gauges
+      | Histogram h ->
+          histograms :=
+            ( name,
+              Json.Obj
+                [
+                  ("count", Json.Num (float_of_int (Histogram.count h)));
+                  ("sum", Json.Num (Histogram.sum h));
+                  ("min", Json.Num (Histogram.min h));
+                  ("max", Json.Num (Histogram.max h));
+                  ("mean", Json.Num (Histogram.mean h));
+                  ("p50", Json.Num (Histogram.percentile h 50.0));
+                  ("p90", Json.Num (Histogram.percentile h 90.0));
+                  ("p99", Json.Num (Histogram.percentile h 99.0));
+                ] )
+            :: !histograms)
+    metrics;
+  Json.Obj
+    [
+      ("counters", Json.Obj (List.rev !counters));
+      ("gauges", Json.Obj (List.rev !gauges));
+      ("histograms", Json.Obj (List.rev !histograms));
+    ]

@@ -1,0 +1,112 @@
+(** Process-global metrics registry.
+
+    Crimson instruments its storage engine and query layer with named
+    counters, gauges and latency histograms so that pager hit rates, WAL
+    fsyncs and per-query latencies are visible from the CLI ([crimson
+    stats], [--metrics]), from the bench harness (BENCH JSON lines) and
+    from tests — without threading a context object through every hot
+    path.
+
+    Design constraints, in order:
+
+    - the fast path must stay cheap: incrementing a counter is one
+      mutable [int] store, observing a histogram is a handful of float
+      compares into a preallocated [int array] — no allocation either
+      way;
+    - metric instances are created once (at module initialisation or
+      handle construction) and cached; name lookup happens only at
+      creation and export time;
+    - names are dot-separated, lowest layer first: [storage.pager.read],
+      [storage.wal.fsync_ms], [core.lca], [core.projection.project].
+      Histogram names carry a [_ms] suffix or live under [core.*] where
+      the unit is milliseconds by convention.
+
+    Counters created with {!Counter.make} are {e local} (unregistered):
+    the pager keeps one per pool so its [stats] accessor can stay a
+    per-instance view while the same increments also feed the global
+    registry counters. *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** A local counter, not in the registry (per-instance views). *)
+
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val reset : t -> unit
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val set : t -> float -> unit
+  val add : t -> float -> unit
+  val value : t -> float
+  val name : t -> string
+end
+
+module Histogram : sig
+  type t
+
+  val observe : t -> float -> unit
+  (** Record one sample (>= 0; negatives clamp to 0). Unit is up to the
+      caller — by convention milliseconds. *)
+
+  val count : t -> int
+  val sum : t -> float
+  val mean : t -> float
+  (** 0 when empty. *)
+
+  val min : t -> float
+  val max : t -> float
+  (** 0 when empty. *)
+
+  val percentile : t -> float -> float
+  (** [percentile h p] with [p] in \[0,100\]: estimated from the
+      log-scale buckets by linear interpolation, clamped to the exact
+      observed min/max. Bucket width bounds the relative error at ~19%.
+      0 when empty; raises [Invalid_argument] on [p] out of range. *)
+
+  val name : t -> string
+end
+
+(** {1 Registry} *)
+
+val counter : string -> Counter.t
+(** Get-or-create the registered counter of that name. Raises
+    [Invalid_argument] when the name is already a gauge or histogram. *)
+
+val gauge : string -> Gauge.t
+val histogram : string -> Histogram.t
+
+type metric =
+  | Counter of Counter.t
+  | Gauge of Gauge.t
+  | Histogram of Histogram.t
+
+val find : string -> metric option
+
+val snapshot : unit -> (string * metric) list
+(** Every registered metric, sorted by name. The metric values are live
+    handles — read them immediately or they keep moving. *)
+
+val counter_value : string -> int
+(** Convenience: registered counter's value, 0 when absent. *)
+
+val reset_all : unit -> unit
+(** Zero every registered metric (registration survives). Tests and the
+    bench harness call this between experiments. *)
+
+(** {1 Exporters} *)
+
+val to_text : unit -> string
+(** Human view: one {!Crimson_util.Table_printer} table — counters and
+    gauges first, then histograms with count/mean/p50/p90/p99/max. *)
+
+val to_json : unit -> Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {"count": n, "sum": s, "min": m, "max": m, "p50": …, "p90": …,
+    "p99": …}}}] — stable shape for BENCH lines and scripts. *)

@@ -1,0 +1,41 @@
+let src = Logs.Src.create "crimson.obs" ~doc:"Crimson telemetry spans"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+(* Innermost span first. Crimson is single-threaded per process; a
+   domain-local would be needed before queries run on multiple domains. *)
+let stack : string list ref = ref []
+
+let depth () = List.length !stack
+let current () = match !stack with [] -> None | name :: _ -> Some name
+
+let now_ms () = 1000.0 *. Unix.gettimeofday ()
+
+let timed ~name f =
+  let t0 = now_ms () in
+  stack := name :: !stack;
+  let finish () =
+    (match !stack with _ :: tl -> stack := tl | [] -> ());
+    let elapsed = now_ms () -. t0 in
+    Metrics.Histogram.observe (Metrics.histogram name) elapsed;
+    Log.debug (fun m ->
+        m "span %s %.3fms depth=%d" name elapsed (List.length !stack + 1));
+    elapsed
+  in
+  match f () with
+  | v -> (v, finish ())
+  | exception e ->
+      ignore (finish ());
+      raise e
+
+let with_ ~name f = fst (timed ~name f)
+
+let record hist f =
+  let t0 = now_ms () in
+  match f () with
+  | v ->
+      Metrics.Histogram.observe hist (now_ms () -. t0);
+      v
+  | exception e ->
+      Metrics.Histogram.observe hist (now_ms () -. t0);
+      raise e

@@ -1,0 +1,32 @@
+(** Nested spans: time a scope, feed the latency histogram of the same
+    name, optionally trace via [Logs].
+
+    [Span.with_ ~name f] runs [f ()], records the elapsed wall time in
+    milliseconds into [Metrics.histogram name], and emits one debug line
+    on the [crimson.obs] log source ([span core.lca 0.041ms depth=1]).
+    Spans nest: the depth is tracked in a process-global stack so trace
+    lines show the call structure, and {!current} exposes the innermost
+    open span for ad-hoc attribution. The elapsed time is recorded even
+    when [f] raises.
+
+    For hot call sites that cannot afford the per-call name lookup and
+    trace branch, pre-create the histogram and use {!record}. *)
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+
+val timed : name:string -> (unit -> 'a) -> 'a * float
+(** Like {!with_} but also returns the elapsed milliseconds. *)
+
+val record : Metrics.Histogram.t -> (unit -> 'a) -> 'a
+(** Fast path: time [f] into a pre-created histogram. No stack
+    maintenance, no trace line. *)
+
+val current : unit -> string option
+(** Name of the innermost open span, if any. *)
+
+val depth : unit -> int
+(** Number of open spans. *)
+
+val src : Logs.src
+(** The [crimson.obs] log source — set its level to [Debug] to stream
+    span trace lines. *)

@@ -3,6 +3,16 @@ module Codec = Crimson_util.Codec
 let magic = "CRIMBTRE"
 let max_key = 512
 
+(* Registry telemetry: logical node traffic and operation mix, across
+   every tree in the process (see Crimson_obs.Metrics). *)
+let m_node_reads = Crimson_obs.Metrics.counter "storage.btree.node_read"
+let m_node_decodes = Crimson_obs.Metrics.counter "storage.btree.node_decode"
+let m_node_writes = Crimson_obs.Metrics.counter "storage.btree.node_write"
+let m_finds = Crimson_obs.Metrics.counter "storage.btree.find"
+let m_inserts = Crimson_obs.Metrics.counter "storage.btree.insert"
+let m_deletes = Crimson_obs.Metrics.counter "storage.btree.delete"
+let m_splits = Crimson_obs.Metrics.counter "storage.btree.split"
+
 type t = {
   pager : Pager.t;
   mutable root : int;
@@ -79,9 +89,11 @@ let decode_node page =
   | k -> raise (Pager.Corrupt (Printf.sprintf "btree: unknown node kind %d" k))
 
 let read_node t page_id =
+  Crimson_obs.Metrics.Counter.incr m_node_reads;
   match Hashtbl.find_opt t.node_cache page_id with
   | Some node -> node
   | None ->
+      Crimson_obs.Metrics.Counter.incr m_node_decodes;
       let node = Pager.with_page t.pager page_id decode_node in
       if Hashtbl.length t.node_cache >= t.cache_limit then
         Hashtbl.reset t.node_cache;
@@ -89,6 +101,7 @@ let read_node t page_id =
       node
 
 let write_encoded t page_id s node =
+  Crimson_obs.Metrics.Counter.incr m_node_writes;
   Pager.with_page_mut t.pager page_id (fun page ->
       Bytes.blit_string s 0 page 0 (String.length s);
       (* Zero the remainder so stale bytes never confuse a decode. *)
@@ -175,6 +188,7 @@ let search entries key =
   match !found with Some i -> Found i | None -> Insert !lo
 
 let find t ~key =
+  Crimson_obs.Metrics.Counter.incr m_finds;
   let rec go page_id =
     match read_node t page_id with
     | Leaf { entries; _ } -> (
@@ -218,6 +232,7 @@ let rec insert_rec t page_id key value =
       let node = Leaf { next = leaf.next; entries = leaf.entries } in
       if try_write t page_id node then None
       else begin
+        Crimson_obs.Metrics.Counter.incr m_splits;
         let n = Array.length leaf.entries in
         let mid = n / 2 in
         let right_id = Pager.allocate t.pager in
@@ -238,6 +253,7 @@ let rec insert_rec t page_id key value =
           let whole = Internal { first = node.first; entries = node.entries } in
           if try_write t page_id whole then None
           else begin
+            Crimson_obs.Metrics.Counter.incr m_splits;
             let n = Array.length node.entries in
             let mid = n / 2 in
             let promoted, right_first = node.entries.(mid) in
@@ -252,6 +268,7 @@ let rec insert_rec t page_id key value =
 let insert t ~key value =
   check_key key "insert";
   if value < 0 then invalid_arg "Btree.insert: negative value";
+  Crimson_obs.Metrics.Counter.incr m_inserts;
   match insert_rec t t.root key value with
   | None -> ()
   | Some (sep, right) ->
@@ -264,6 +281,7 @@ let insert t ~key value =
 
 let delete t ~key =
   check_key key "delete";
+  Crimson_obs.Metrics.Counter.incr m_deletes;
   let rec go page_id =
     match read_node t page_id with
     | Leaf leaf -> (

@@ -1,5 +1,21 @@
 exception Corrupt of string
 
+module Counter = Crimson_obs.Metrics.Counter
+
+(* Process-global telemetry: every pool in the process feeds these, the
+   per-pager counters below keep the per-instance [stats] view. *)
+let m_reads = Crimson_obs.Metrics.counter "storage.pager.read"
+let m_writes = Crimson_obs.Metrics.counter "storage.pager.write"
+let m_hits = Crimson_obs.Metrics.counter "storage.pager.hit"
+let m_misses = Crimson_obs.Metrics.counter "storage.pager.miss"
+let m_evictions = Crimson_obs.Metrics.counter "storage.pager.eviction"
+let m_fsyncs = Crimson_obs.Metrics.counter "storage.pager.fsync"
+let h_fsync = Crimson_obs.Metrics.histogram "storage.pager.fsync_ms"
+
+let timed_fsync fd =
+  Counter.incr m_fsyncs;
+  Crimson_obs.Span.record h_fsync (fun () -> Unix.fsync fd)
+
 type backend =
   | File of {
       fd : Unix.file_descr;
@@ -27,11 +43,13 @@ type t = {
   mutable free_frames : int list;
   mutable n_pages : int;
   mutable closed : bool;
-  mutable reads : int;
-  mutable writes : int;
-  mutable hits : int;
-  mutable misses : int;
-  mutable evictions : int;
+  (* Per-instance counters backing the [stats] view; the increments are
+     mirrored into the registry-wide [m_*] counters above. *)
+  reads : Counter.t;
+  writes : Counter.t;
+  hits : Counter.t;
+  misses : Counter.t;
+  evictions : Counter.t;
 }
 
 let make_frames pool_size =
@@ -49,11 +67,11 @@ let create ~pool_size backend ~n_pages =
     free_frames = List.init pool_size Fun.id;
     n_pages;
     closed = false;
-    reads = 0;
-    writes = 0;
-    hits = 0;
-    misses = 0;
-    evictions = 0;
+    reads = Counter.make "reads";
+    writes = Counter.make "writes";
+    hits = Counter.make "hits";
+    misses = Counter.make "misses";
+    evictions = Counter.make "evictions";
   }
 
 (* Apply a committed WAL batch to the main file (crash recovery). *)
@@ -72,7 +90,7 @@ let recover fd path =
             in
             drain 0)
           batch;
-        Unix.fsync fd
+        timed_fsync fd
     | None -> () (* torn before commit: pre-checkpoint state is intact *));
     Wal.clear wal;
     Wal.close wal
@@ -122,7 +140,8 @@ let lru_touch t i =
 (* ----------------------------- Backend ----------------------------- *)
 
 let backend_read t page_id buf =
-  t.reads <- t.reads + 1;
+  Counter.incr t.reads;
+  Counter.incr m_reads;
   match t.backend with
   | File { fd; _ } ->
       let off = page_id * Page.size in
@@ -138,7 +157,8 @@ let backend_read t page_id buf =
   | Mem { pages } -> Bytes.blit (Crimson_util.Vec.get pages page_id) 0 buf 0 Page.size
 
 let backend_write t page_id buf =
-  t.writes <- t.writes + 1;
+  Counter.incr t.writes;
+  Counter.incr m_writes;
   match t.backend with
   | File { fd; _ } ->
       let off = page_id * Page.size in
@@ -161,7 +181,7 @@ let write_back_batch t batch =
   List.iter (fun (page_id, buf) -> backend_write t page_id buf) batch;
   match t.backend with
   | File { fd; wal = Some wal } ->
-      Unix.fsync fd;
+      timed_fsync fd;
       Wal.clear wal
   | File { wal = None; _ } | Mem _ -> ()
 
@@ -183,17 +203,20 @@ let evict_one t =
   Hashtbl.remove t.frame_of_page f.page_id;
   lru_unlink t i;
   f.page_id <- -1;
-  t.evictions <- t.evictions + 1;
+  Counter.incr t.evictions;
+  Counter.incr m_evictions;
   i
 
 let frame_for t page_id ~load =
   match Hashtbl.find_opt t.frame_of_page page_id with
   | Some i ->
-      t.hits <- t.hits + 1;
+      Counter.incr t.hits;
+      Counter.incr m_hits;
       lru_touch t i;
       i
   | None ->
-      t.misses <- t.misses + 1;
+      Counter.incr t.misses;
+      Counter.incr m_misses;
       let i =
         match t.free_frames with
         | i :: rest ->
@@ -222,7 +245,8 @@ let allocate t =
   t.frames.(i).dirty <- true;
   (* A fresh page counts as a cold fetch in miss accounting; undo that to
      keep hit-rate statistics about reads only. *)
-  t.misses <- t.misses - 1;
+  Counter.add t.misses (-1);
+  Counter.add m_misses (-1);
   page_id
 
 let with_frame t page_id ~dirty f =
@@ -274,18 +298,20 @@ type stats = {
 
 let stats (t : t) =
   {
-    reads = t.reads;
-    writes = t.writes;
-    hits = t.hits;
-    misses = t.misses;
-    evictions = t.evictions;
+    reads = Counter.value t.reads;
+    writes = Counter.value t.writes;
+    hits = Counter.value t.hits;
+    misses = Counter.value t.misses;
+    evictions = Counter.value t.evictions;
     pool_size = Array.length t.frames;
     resident = Hashtbl.length t.frame_of_page;
   }
 
+(* Per-instance only: the process-global registry counters keep running —
+   they are reset via [Crimson_obs.Metrics.reset_all]. *)
 let reset_stats (t : t) =
-  t.reads <- 0;
-  t.writes <- 0;
-  t.hits <- 0;
-  t.misses <- 0;
-  t.evictions <- 0
+  Counter.reset t.reads;
+  Counter.reset t.writes;
+  Counter.reset t.hits;
+  Counter.reset t.misses;
+  Counter.reset t.evictions

@@ -48,6 +48,11 @@ val close : t -> unit
 (** Flush and release the backing file. Using a closed pager raises
     [Invalid_argument]. *)
 
+(** Per-pool counters. Each increment is mirrored into the process-global
+    metrics registry under [storage.pager.*] ({!Crimson_obs.Metrics}), so
+    this record is a per-instance view of the same accounting; fsync
+    counts and durations are registry-only ([storage.pager.fsync],
+    [storage.pager.fsync_ms]). *)
 type stats = {
   reads : int;  (** Page fetches from the backend (pool misses). *)
   writes : int;  (** Page write-backs to the backend. *)

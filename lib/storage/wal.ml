@@ -1,5 +1,15 @@
 let magic = "CRIMWAL1"
 
+(* Registry telemetry: WAL traffic and the cost of its durability. *)
+let m_appends = Crimson_obs.Metrics.counter "storage.wal.append"
+let m_pages = Crimson_obs.Metrics.counter "storage.wal.pages"
+let m_fsyncs = Crimson_obs.Metrics.counter "storage.wal.fsync"
+let h_fsync = Crimson_obs.Metrics.histogram "storage.wal.fsync_ms"
+
+let timed_fsync fd =
+  Crimson_obs.Metrics.Counter.incr m_fsyncs;
+  Crimson_obs.Span.record h_fsync (fun () -> Unix.fsync fd)
+
 type t = {
   fd : Unix.file_descr;
   mutable closed : bool;
@@ -34,6 +44,8 @@ let checksum page_id image =
    produce both the right length and the right value. *)
 let append_batch t batch =
   check_open t;
+  Crimson_obs.Metrics.Counter.incr m_appends;
+  Crimson_obs.Metrics.Counter.add m_pages (List.length batch);
   ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
   Unix.ftruncate t.fd 0;
   let total = 8 + 4 + (List.length batch * (4 + Page.size)) + 4 in
@@ -53,7 +65,7 @@ let append_batch t batch =
     batch;
   Crimson_util.Codec.set_u32 buf !pos !sum;
   write_all t.fd buf;
-  Unix.fsync t.fd
+  timed_fsync t.fd
 
 let read_committed t =
   check_open t;
@@ -95,7 +107,7 @@ let clear t =
   check_open t;
   ignore (Unix.lseek t.fd 0 Unix.SEEK_SET);
   Unix.ftruncate t.fd 0;
-  Unix.fsync t.fd
+  timed_fsync t.fd
 
 let close t =
   if not t.closed then begin

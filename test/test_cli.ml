@@ -162,6 +162,54 @@ let test_append_species_cli () =
       let out = expect_success [ "query"; "-r"; repo; "-t"; "t"; "seq(T0)" ] in
       check Alcotest.bool "sequence retrievable" true (contains "ACGTACGT" out))
 
+(* Pull a counter value out of the registry table: rows render as
+   `| storage.pager.read | 20 |`. *)
+let metric_value out name =
+  let lines = String.split_on_char '\n' out in
+  let row =
+    List.find_opt
+      (fun line -> contains ("| " ^ name ^ " ") line)
+      lines
+  in
+  match row with
+  | None -> Alcotest.failf "metric %s not found in output:\n%s" name out
+  | Some line -> (
+      match String.split_on_char '|' line with
+      | _ :: _ :: value :: _ -> int_of_string (String.trim value)
+      | _ -> Alcotest.failf "unparseable metric row: %s" line)
+
+let test_stats_and_metrics () =
+  with_workspace (fun dir ->
+      let repo = Filename.concat dir "repo" in
+      let nexus = Filename.concat dir "t.nex" in
+      ignore
+        (expect_success
+           [ "simulate"; "--model"; "yule"; "--leaves"; "8"; "--seed"; "2"; "-o"; nexus ]);
+      ignore (expect_success [ "load"; "-r"; repo; nexus; "-n"; "t" ]);
+      (* `crimson stats` dumps the telemetry registry: the load→stats
+         sequence must have moved the pager read/miss counters, and at
+         least one core.* histogram must carry percentile columns. *)
+      let out = expect_success [ "stats"; "-r"; repo ] in
+      check Alcotest.bool "registry banner" true (contains "-- telemetry registry --" out);
+      check Alcotest.bool "percentile columns" true (contains "p99" out);
+      check Alcotest.bool "core histogram present" true (contains "core.tree_stats" out);
+      check Alcotest.bool "pager reads moved" true (metric_value out "storage.pager.read" > 0);
+      check Alcotest.bool "pager misses moved" true (metric_value out "storage.pager.miss" > 0);
+      (* A query under --metrics re-reads cached pages, so both hit and
+         miss counters must be nonzero in its registry dump. *)
+      let out =
+        expect_success [ "lca"; "-r"; repo; "-t"; "t"; "T0"; "T7"; "--metrics" ]
+      in
+      check Alcotest.bool "metrics flag prints registry" true
+        (contains "-- telemetry registry --" out);
+      check Alcotest.bool "query hits pool" true (metric_value out "storage.pager.hit" > 0);
+      check Alcotest.bool "query misses pool" true (metric_value out "storage.pager.miss" > 0);
+      check Alcotest.bool "lca span recorded" true (contains "core.lca" out);
+      (* Without --metrics the registry stays quiet. *)
+      let out = expect_success [ "lca"; "-r"; repo; "-t"; "t"; "T0"; "T7" ] in
+      check Alcotest.bool "no registry by default" true
+        (not (contains "telemetry registry" out)))
+
 let () =
   if not (Sys.file_exists crimson_binary) then begin
     print_endline "crimson binary not found; skipping CLI tests";
@@ -174,5 +222,6 @@ let () =
           Alcotest.test_case "full workflow" `Slow test_full_workflow;
           Alcotest.test_case "error reporting" `Quick test_error_reporting;
           Alcotest.test_case "append species" `Quick test_append_species_cli;
+          Alcotest.test_case "stats and metrics" `Quick test_stats_and_metrics;
         ] );
     ]

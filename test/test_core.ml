@@ -483,21 +483,72 @@ END;
 
 let test_query_history () =
   let repo = Repo.open_mem () in
-  let id1 = Repo.record_query repo ~text:"sample k=4 t=1" ~result:"Bha,Lla,Syn,Bsu" in
+  let id1 =
+    Repo.record_query repo ~elapsed_ms:1.25 ~pages:7 ~text:"sample k=4 t=1"
+      ~result:"Bha,Lla,Syn,Bsu"
+  in
   let id2 = Repo.record_query repo ~text:"project {Bha,Lla,Syn}" ~result:"ok" in
   check Alcotest.bool "ids increase" true (id2 > id1);
   (match Repo.history repo with
-  | [ (i1, _, t1, _); (i2, _, t2, _) ] ->
+  | [ (i1, _, t1, _, ms1, pg1); (i2, _, t2, _, ms2, pg2) ] ->
       check Alcotest.int "first id" id1 i1;
       check Alcotest.string "first text" "sample k=4 t=1" t1;
+      check (Alcotest.float 1e-9) "first elapsed" 1.25 ms1;
+      check Alcotest.int "first pages" 7 pg1;
       check Alcotest.int "second id" id2 i2;
-      check Alcotest.string "second text" "project {Bha,Lla,Syn}" t2
+      check Alcotest.string "second text" "project {Bha,Lla,Syn}" t2;
+      check (Alcotest.float 1e-9) "unmeasured elapsed defaults to 0" 0.0 ms2;
+      check Alcotest.int "unmeasured pages default to 0" 0 pg2
   | _ -> Alcotest.fail "expected two entries");
   match Repo.history_entry repo id1 with
-  | Some (_, text, result) ->
+  | Some (_, text, result, elapsed_ms, pages) ->
       check Alcotest.string "text" "sample k=4 t=1" text;
-      check Alcotest.string "result" "Bha,Lla,Syn,Bsu" result
+      check Alcotest.string "result" "Bha,Lla,Syn,Bsu" result;
+      check (Alcotest.float 1e-9) "entry elapsed" 1.25 elapsed_ms;
+      check Alcotest.int "entry pages" 7 pages
   | None -> Alcotest.fail "entry missing"
+
+(* A repository written before the telemetry columns existed must open
+   cleanly, its old rows reading as zero-cost, and keep accepting new
+   measured rows. *)
+let test_query_history_legacy_migration () =
+  with_temp_dir (fun dir ->
+      (let db = Crimson_storage.Database.open_dir dir in
+       let legacy =
+         Crimson_storage.Database.table db ~name:"queries"
+           ~schema:Crimson_core.Schema.Queries.legacy_schema
+           ~indexes:Crimson_core.Schema.Queries.indexes
+       in
+       ignore
+         (Crimson_storage.Table.insert legacy
+            [|
+              Crimson_storage.Record.VInt 0;
+              Crimson_storage.Record.VFloat 123.5;
+              Crimson_storage.Record.VText "lca Bha,Lla";
+              Crimson_storage.Record.VText "x";
+            |]);
+       Crimson_storage.Database.close db);
+      let repo = Repo.open_dir dir in
+      (match Repo.history repo with
+      | [ (0, time, text, result, elapsed_ms, pages) ] ->
+          check (Alcotest.float 1e-9) "timestamp preserved" 123.5 time;
+          check Alcotest.string "text preserved" "lca Bha,Lla" text;
+          check Alcotest.string "result preserved" "x" result;
+          check (Alcotest.float 1e-9) "old rows read zero elapsed" 0.0 elapsed_ms;
+          check Alcotest.int "old rows read zero pages" 0 pages
+      | _ -> Alcotest.fail "expected the migrated legacy row");
+      let id = Repo.record_query repo ~elapsed_ms:2.0 ~pages:3 ~text:"new" ~result:"y" in
+      check Alcotest.int "ids continue after migration" 1 id;
+      Repo.close repo;
+      (* Reopen: the migrated table now carries the new schema. *)
+      let repo = Repo.open_dir dir in
+      (match Repo.history_entry repo id with
+      | Some (_, text, _, elapsed_ms, pages) ->
+          check Alcotest.string "new row text" "new" text;
+          check (Alcotest.float 1e-9) "new row elapsed" 2.0 elapsed_ms;
+          check Alcotest.int "new row pages" 3 pages
+      | None -> Alcotest.fail "new row missing after reopen");
+      Repo.close repo)
 
 (* --------------------------- Persistence --------------------------- *)
 
@@ -603,7 +654,12 @@ let () =
           Alcotest.test_case "append" `Quick test_append_species;
           Alcotest.test_case "nexus load" `Quick test_load_nexus;
         ] );
-      ("history", [ Alcotest.test_case "record and recall" `Quick test_query_history ]);
+      ( "history",
+        [
+          Alcotest.test_case "record and recall" `Quick test_query_history;
+          Alcotest.test_case "legacy schema migration" `Quick
+            test_query_history_legacy_migration;
+        ] );
       ( "persistence",
         [
           Alcotest.test_case "reopen" `Quick test_persistence_across_reopen;

@@ -120,7 +120,7 @@ let test_query_records_history () =
   let history = Repo.history repo in
   check Alcotest.int "only recorded queries" 1 (List.length history);
   match history with
-  | [ (_, _, text, result) ] ->
+  | [ (_, _, text, result, _, _) ] ->
       check Alcotest.string "text" "lca(Lla, Spy)" text;
       check Alcotest.bool "result" true (contains "x" result)
   | _ -> Alcotest.fail "unexpected history"

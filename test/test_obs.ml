@@ -1,0 +1,243 @@
+(* Unit tests for the telemetry library: counter/gauge/histogram
+   semantics, percentile summaries on known distributions, span nesting
+   and the text/JSON exporters (including a JSON round-trip). *)
+
+module Metrics = Crimson_obs.Metrics
+module Span = Crimson_obs.Span
+module Json = Crimson_obs.Json
+
+let check = Alcotest.check
+
+(* ------------------------------ Counters --------------------------- *)
+
+let test_counter_semantics () =
+  let c = Metrics.counter "test.counter.basic" in
+  check Alcotest.int "starts at 0" 0 (Metrics.Counter.value c);
+  Metrics.Counter.incr c;
+  Metrics.Counter.incr c;
+  Metrics.Counter.add c 40;
+  check Alcotest.int "incr + add" 42 (Metrics.Counter.value c);
+  Metrics.Counter.add c (-2);
+  check Alcotest.int "negative add" 40 (Metrics.Counter.value c);
+  (* Get-or-create returns the same instance. *)
+  let c' = Metrics.counter "test.counter.basic" in
+  Metrics.Counter.incr c';
+  check Alcotest.int "same instance" 41 (Metrics.Counter.value c);
+  check Alcotest.int "counter_value helper" 41 (Metrics.counter_value "test.counter.basic");
+  check Alcotest.int "missing counter reads 0" 0 (Metrics.counter_value "test.counter.none");
+  (* Local counters stay out of the registry. *)
+  let local = Metrics.Counter.make "test.counter.local" in
+  Metrics.Counter.incr local;
+  check Alcotest.bool "local not registered" true
+    (Metrics.find "test.counter.local" = None)
+
+let test_kind_collision () =
+  ignore (Metrics.counter "test.collision");
+  match Metrics.histogram "test.collision" with
+  | _ -> Alcotest.fail "expected Invalid_argument on kind collision"
+  | exception Invalid_argument _ -> ()
+
+let test_gauge_semantics () =
+  let g = Metrics.gauge "test.gauge.basic" in
+  check (Alcotest.float 0.0) "starts at 0" 0.0 (Metrics.Gauge.value g);
+  Metrics.Gauge.set g 2.5;
+  Metrics.Gauge.add g 0.5;
+  check (Alcotest.float 1e-9) "set + add" 3.0 (Metrics.Gauge.value g)
+
+(* ----------------------------- Histograms -------------------------- *)
+
+let test_histogram_basic () =
+  let h = Metrics.histogram "test.hist.basic" in
+  check Alcotest.int "empty count" 0 (Metrics.Histogram.count h);
+  check (Alcotest.float 0.0) "empty mean" 0.0 (Metrics.Histogram.mean h);
+  check (Alcotest.float 0.0) "empty p50" 0.0 (Metrics.Histogram.percentile h 50.0);
+  List.iter (Metrics.Histogram.observe h) [ 1.0; 2.0; 3.0; 4.0 ];
+  check Alcotest.int "count" 4 (Metrics.Histogram.count h);
+  check (Alcotest.float 1e-9) "sum" 10.0 (Metrics.Histogram.sum h);
+  check (Alcotest.float 1e-9) "mean" 2.5 (Metrics.Histogram.mean h);
+  check (Alcotest.float 1e-9) "min exact" 1.0 (Metrics.Histogram.min h);
+  check (Alcotest.float 1e-9) "max exact" 4.0 (Metrics.Histogram.max h);
+  (* Negative and NaN samples clamp to 0 rather than corrupting state. *)
+  Metrics.Histogram.observe h (-5.0);
+  Metrics.Histogram.observe h Float.nan;
+  check Alcotest.int "clamped count" 6 (Metrics.Histogram.count h);
+  check (Alcotest.float 1e-9) "clamped min" 0.0 (Metrics.Histogram.min h);
+  match Metrics.Histogram.percentile h 101.0 with
+  | _ -> Alcotest.fail "expected Invalid_argument for p > 100"
+  | exception Invalid_argument _ -> ()
+
+(* Log-scale buckets bound the relative error; check the summary
+   percentiles of known distributions within that bound. *)
+let test_histogram_percentiles () =
+  let h = Metrics.histogram "test.hist.uniform" in
+  for i = 1 to 1000 do
+    Metrics.Histogram.observe h (float_of_int i)
+  done;
+  let within p expected tolerance =
+    let v = Metrics.Histogram.percentile h p in
+    if Float.abs (v -. expected) > tolerance *. expected then
+      Alcotest.failf "p%.0f = %.1f, expected %.1f ± %.0f%%" p v expected
+        (100.0 *. tolerance)
+  in
+  within 50.0 500.0 0.25;
+  within 90.0 900.0 0.25;
+  within 99.0 990.0 0.25;
+  check (Alcotest.float 1e-9) "p0 is the min" 1.0 (Metrics.Histogram.percentile h 0.0);
+  check (Alcotest.float 1e-9) "p100 is the max" 1000.0
+    (Metrics.Histogram.percentile h 100.0);
+  (* A constant distribution: every percentile is (close to) the value,
+     and clamping to observed min/max makes it exact. *)
+  let k = Metrics.histogram "test.hist.constant" in
+  for _ = 1 to 100 do
+    Metrics.Histogram.observe k 7.0
+  done;
+  check (Alcotest.float 1e-9) "constant p50" 7.0 (Metrics.Histogram.percentile k 50.0);
+  check (Alcotest.float 1e-9) "constant p99" 7.0 (Metrics.Histogram.percentile k 99.0)
+
+(* ------------------------------- Spans ----------------------------- *)
+
+let test_span_nesting () =
+  check Alcotest.int "no open spans" 0 (Span.depth ());
+  let result =
+    Span.with_ ~name:"test.span.outer" (fun () ->
+        check Alcotest.int "outer open" 1 (Span.depth ());
+        check (Alcotest.option Alcotest.string) "outer current"
+          (Some "test.span.outer") (Span.current ());
+        let inner =
+          Span.with_ ~name:"test.span.inner" (fun () ->
+              check Alcotest.int "inner open" 2 (Span.depth ());
+              check (Alcotest.option Alcotest.string) "inner current"
+                (Some "test.span.inner") (Span.current ());
+              17)
+        in
+        check Alcotest.int "inner closed" 1 (Span.depth ());
+        inner + 1)
+  in
+  check Alcotest.int "value threads through" 18 result;
+  check Alcotest.int "all closed" 0 (Span.depth ());
+  (match Metrics.find "test.span.outer" with
+  | Some (Metrics.Histogram h) -> check Alcotest.int "outer recorded" 1 (Metrics.Histogram.count h)
+  | _ -> Alcotest.fail "outer span histogram missing");
+  match Metrics.find "test.span.inner" with
+  | Some (Metrics.Histogram h) -> check Alcotest.int "inner recorded" 1 (Metrics.Histogram.count h)
+  | _ -> Alcotest.fail "inner span histogram missing"
+
+let test_span_records_on_raise () =
+  (match Span.with_ ~name:"test.span.raising" (fun () -> failwith "boom") with
+  | () -> Alcotest.fail "expected the exception to propagate"
+  | exception Failure _ -> ());
+  check Alcotest.int "stack unwound" 0 (Span.depth ());
+  match Metrics.find "test.span.raising" with
+  | Some (Metrics.Histogram h) ->
+      check Alcotest.int "elapsed recorded despite raise" 1 (Metrics.Histogram.count h)
+  | _ -> Alcotest.fail "raising span histogram missing"
+
+let test_span_timed_and_record () =
+  let (v, ms) = Span.timed ~name:"test.span.timed" (fun () -> 5) in
+  check Alcotest.int "timed value" 5 v;
+  check Alcotest.bool "elapsed non-negative" true (ms >= 0.0);
+  let h = Metrics.histogram "test.span.fast" in
+  let v = Span.record h (fun () -> 9) in
+  check Alcotest.int "record value" 9 v;
+  check Alcotest.int "record observed" 1 (Metrics.Histogram.count h)
+
+(* ------------------------------ Exporters -------------------------- *)
+
+let test_text_exporter () =
+  ignore (Metrics.counter "test.export.counter");
+  Metrics.Counter.add (Metrics.counter "test.export.counter") 3;
+  Metrics.Histogram.observe (Metrics.histogram "test.export.hist") 1.5;
+  let text = Metrics.to_text () in
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  check Alcotest.bool "counter row present" true (contains "test.export.counter" text);
+  check Alcotest.bool "histogram row present" true (contains "test.export.hist" text);
+  check Alcotest.bool "percentile columns present" true (contains "p99" text)
+
+let test_json_round_trip () =
+  Metrics.Counter.add (Metrics.counter "test.json.counter") 11;
+  Metrics.Gauge.set (Metrics.gauge "test.json.gauge") 2.25;
+  let h = Metrics.histogram "test.json.hist" in
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 1.0; 8.0 ];
+  let json = Metrics.to_json () in
+  let round_tripped = Json.parse (Json.to_string json) in
+  check Alcotest.bool "snapshot survives render/parse" true (Json.equal json round_tripped);
+  (* And the decoded values are the ones we put in. *)
+  (match Json.member "counters" round_tripped with
+  | Some counters -> (
+      match Json.member "test.json.counter" counters with
+      | Some (Json.Num v) -> check (Alcotest.float 1e-9) "counter value" 11.0 v
+      | _ -> Alcotest.fail "counter missing from JSON")
+  | None -> Alcotest.fail "counters object missing");
+  match Json.member "histograms" round_tripped with
+  | Some hists -> (
+      match Json.member "test.json.hist" hists with
+      | Some hist -> (
+          match Json.member "count" hist with
+          | Some (Json.Num n) -> check (Alcotest.float 0.0) "histogram count" 3.0 n
+          | _ -> Alcotest.fail "count missing")
+      | None -> Alcotest.fail "histogram missing from JSON")
+  | None -> Alcotest.fail "histograms object missing"
+
+let test_json_parser_details () =
+  let cases =
+    [
+      ({|{"a":1,"b":[true,false,null],"c":"x\ny"}|} : string);
+      {|[1.5,-2,3e2,""]|};
+      {|"plain"|};
+      {|{}|};
+      {|[]|};
+    ]
+  in
+  List.iter
+    (fun s ->
+      let v = Json.parse s in
+      let v' = Json.parse (Json.to_string v) in
+      check Alcotest.bool (Printf.sprintf "round-trip %s" s) true (Json.equal v v'))
+    cases;
+  (match Json.parse "{\"a\":1} trailing" with
+  | _ -> Alcotest.fail "expected trailing-garbage failure"
+  | exception Json.Parse_error _ -> ());
+  match Json.parse "{broken" with
+  | _ -> Alcotest.fail "expected parse failure"
+  | exception Json.Parse_error _ -> ()
+
+let test_reset_all () =
+  let c = Metrics.counter "test.reset.counter" in
+  Metrics.Counter.add c 5;
+  let h = Metrics.histogram "test.reset.hist" in
+  Metrics.Histogram.observe h 3.0;
+  Metrics.reset_all ();
+  check Alcotest.int "counter zeroed" 0 (Metrics.Counter.value c);
+  check Alcotest.int "histogram emptied" 0 (Metrics.Histogram.count h);
+  check Alcotest.bool "registration survives" true
+    (Metrics.find "test.reset.counter" <> None)
+
+let () =
+  Alcotest.run "crimson_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter semantics" `Quick test_counter_semantics;
+          Alcotest.test_case "kind collision" `Quick test_kind_collision;
+          Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
+          Alcotest.test_case "histogram basics" `Quick test_histogram_basic;
+          Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
+        ] );
+      ( "spans",
+        [
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "records on raise" `Quick test_span_records_on_raise;
+          Alcotest.test_case "timed and record" `Quick test_span_timed_and_record;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "text exporter" `Quick test_text_exporter;
+          Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
+          Alcotest.test_case "json parser details" `Quick test_json_parser_details;
+          Alcotest.test_case "reset all" `Quick test_reset_all;
+        ] );
+    ]

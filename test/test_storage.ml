@@ -87,6 +87,39 @@ let test_pager_hits_vs_misses () =
   check Alcotest.int "all hits" 100 s.hits;
   check Alcotest.int "no misses" 0 s.misses
 
+(* The per-pager stats are mirrored into the process-global telemetry
+   registry: deltas on the registry counters must track the deltas seen
+   through [Pager.stats], and [reset_stats] must only touch the local
+   view. *)
+let test_pager_registry_counters () =
+  let module Metrics = Crimson_obs.Metrics in
+  let hits0 = Metrics.counter_value "storage.pager.hit" in
+  let p = Pager.create_mem ~pool_size:8 () in
+  let id = Pager.allocate p in
+  Pager.reset_stats p;
+  let hits1 = Metrics.counter_value "storage.pager.hit" in
+  let reads1 = Metrics.counter_value "storage.pager.read" in
+  let misses1 = Metrics.counter_value "storage.pager.miss" in
+  for _ = 1 to 50 do
+    ignore (Pager.with_page p id (fun page -> Bytes.get page 0))
+  done;
+  let s = Pager.stats p in
+  check Alcotest.int "local hits" 50 s.hits;
+  check Alcotest.int "registry hits track local" (hits1 + s.hits)
+    (Metrics.counter_value "storage.pager.hit");
+  check Alcotest.int "registry reads track local" (reads1 + s.reads)
+    (Metrics.counter_value "storage.pager.read");
+  check Alcotest.int "registry misses track local" (misses1 + s.misses)
+    (Metrics.counter_value "storage.pager.miss");
+  (* Resetting the local view leaves the process-wide registry alone. *)
+  Pager.reset_stats p;
+  check Alcotest.int "local reset" 0 (Pager.stats p).hits;
+  check Alcotest.int "registry survives local reset" (hits1 + 50)
+    (Metrics.counter_value "storage.pager.hit");
+  check Alcotest.bool "registry hits only grow" true
+    (Metrics.counter_value "storage.pager.hit" >= hits0);
+  Pager.close p
+
 let test_pager_out_of_range () =
   let p = Pager.create_mem () in
   Alcotest.check_raises "oob" (Invalid_argument "Pager: page 0 out of range [0,0)")
@@ -717,6 +750,7 @@ let () =
           Alcotest.test_case "file persistence" `Quick test_pager_file_persistence;
           Alcotest.test_case "eviction write-back" `Quick test_pager_eviction_writes_back;
           Alcotest.test_case "hit accounting" `Quick test_pager_hits_vs_misses;
+          Alcotest.test_case "registry counters" `Quick test_pager_registry_counters;
           Alcotest.test_case "out of range" `Quick test_pager_out_of_range;
           Alcotest.test_case "closed pager" `Quick test_pager_closed;
           Alcotest.test_case "corrupt file" `Quick test_pager_corrupt_file;
