@@ -1,0 +1,28 @@
+# Tier-1 entry point: `make check` is the gate every PR must keep
+# green. Formatting runs only where ocamlformat is installed, so the
+# target works in minimal containers too.
+
+.PHONY: all check build test fmt bench clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune fmt --auto-promote; \
+	else \
+		echo "ocamlformat not installed; skipping dune fmt"; \
+	fi
+
+check: build test fmt
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

@@ -17,6 +17,7 @@ let experiments =
     ("E7", "benchmark manager: algorithm accuracy", Exp_benchmark_manager.run);
     ("E8", "indexed vs path-based structure queries", Exp_vs_path.run);
     ("E9", "buffer pool size vs query latency", Exp_buffer_pool.run);
+    ("E10", "node view cache: capacity sweep", Exp_node_cache.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -3,6 +3,7 @@ module Metrics = Crimson_tree.Metrics
 module Prng = Crimson_util.Prng
 module Repo = Crimson_core.Repo
 module Stored_tree = Crimson_core.Stored_tree
+module Node_view = Crimson_core.Node_view
 module Loader = Crimson_core.Loader
 module Sampling = Crimson_core.Sampling
 module Projection = Crimson_core.Projection
@@ -192,6 +193,14 @@ let run repo stored config =
       ignore (Repo.record_query repo ~elapsed_ms ~pages ~text ~result)
     end
   done;
+  let cs = Stored_tree.cache_stats stored in
+  let looked_up = cs.Node_view.hits + cs.Node_view.misses in
+  if looked_up > 0 then
+    Log.info (fun m ->
+        m "node cache: %d hits / %d misses (%.1f%% hit rate), %d evictions"
+          cs.Node_view.hits cs.Node_view.misses
+          (100.0 *. float_of_int cs.Node_view.hits /. float_of_int looked_up)
+          cs.Node_view.evictions);
   List.rev !outcomes
 
 type summary = {

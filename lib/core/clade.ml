@@ -8,8 +8,9 @@ let size tree inputs =
 let leaf_ids ?(limit = 10_000) tree inputs =
   let lca = root_of tree inputs in
   let lo, hi = Stored_tree.leaf_interval tree lca in
-  let count = min limit (hi - lo) in
-  List.init count (fun i -> Stored_tree.leaf_by_ordinal tree (lo + i))
+  (* Leaf ordinals are contiguous under a clade root: stream them off
+     one cursor instead of an index descent per ordinal. *)
+  Stored_tree.leaves_between tree ~lo ~hi ~limit
 
 let member tree ~clade_of node =
   let lca = root_of tree clade_of in
@@ -28,13 +29,11 @@ let subtree ?(limit = 100_000) tree inputs =
     incr count;
     if !count > limit then
       invalid_arg (Printf.sprintf "Clade.subtree: clade exceeds %d nodes" limit);
-    let name = Stored_tree.node_name tree v in
+    let view = Stored_tree.view tree v in
+    let name = match view.Node_view.name with "" -> None | s -> Some s in
     let id =
       if parent = T.nil then T.Builder.add_root ?name b
-      else
-        T.Builder.add_child ?name
-          ~branch_length:(Stored_tree.branch_length tree v)
-          b ~parent
+      else T.Builder.add_child ?name ~branch_length:view.Node_view.blen b ~parent
     in
     List.iter
       (fun c -> Crimson_util.Vec.push stack (c, id))

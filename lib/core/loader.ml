@@ -21,10 +21,11 @@ type report = {
 }
 
 let next_tree_id repo =
-  let max_id = ref (-1) in
-  Table.scan (Repo.trees repo) (fun _ row ->
-      max_id := max !max_id (Record.get_int row Schema.Trees.c_id));
-  !max_id + 1
+  (* Same rightmost-key probe as Repo.next_query_id: the max live id is
+     under the last by_id key, no table scan needed. *)
+  match Table.last_entry (Repo.trees repo) ~index:"by_id" with
+  | Some (_, row) -> Record.get_int row Schema.Trees.c_id + 1
+  | None -> 0
 
 let name_taken repo name =
   Table.lookup_unique (Repo.trees repo) ~index:"by_name" ~key:(Schema.Trees.key_name name)
@@ -253,14 +254,16 @@ let fetch_tree stored =
      order is edge order, so inserting 0..n-1 reproduces ids exactly. *)
   let ids = Array.make n Tree.nil in
   for v = 0 to n - 1 do
-    let name = Stored_tree.node_name stored v in
-    let p = Stored_tree.parent stored v in
+    (* One decoded view per node; the ascending scan rides the cache's
+       cursor prefetch, so this is a streaming read of the nodes table. *)
+    let view = Stored_tree.view stored v in
+    let name = match view.Node_view.name with "" -> None | s -> Some s in
+    let p = view.Node_view.parent in
     if p = Tree.nil then ids.(v) <- Tree.Builder.add_root ?name b
     else
       ids.(v) <-
-        Tree.Builder.add_child ?name
-          ~branch_length:(Stored_tree.branch_length stored v)
-          b ~parent:ids.(p)
+        Tree.Builder.add_child ?name ~branch_length:view.Node_view.blen b
+          ~parent:ids.(p)
   done;
   let t = Tree.Builder.finish b in
   assert (Array.for_all2 ( = ) ids (Array.init n Fun.id));

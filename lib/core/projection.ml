@@ -41,7 +41,8 @@ let project tree leaf_ids =
         | s -> s
       in
       stack := unwind !stack;
-      let name = Stored_tree.node_name tree v in
+      let view = Stored_tree.view tree v in
+      let name = match view.Node_view.name with "" -> None | s -> Some s in
       let node_in_proj =
         match !stack with
         | [] -> Tree.Builder.add_root ?name b
@@ -50,8 +51,8 @@ let project tree leaf_ids =
                exactly the sum of the branch lengths along the contracted
                path (paper Figure 2). *)
             let branch_length =
-              Stored_tree.root_distance tree v
-              -. Stored_tree.root_distance tree parent_orig
+              view.Node_view.root_dist
+              -. (Stored_tree.view tree parent_orig).Node_view.root_dist
             in
             Tree.Builder.add_child ?name ~branch_length:(Float.max 0.0 branch_length) b
               ~parent:parent_proj

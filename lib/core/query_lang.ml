@@ -110,9 +110,9 @@ let parse_query s =
 (* ---------------------------- Execution ---------------------------- *)
 
 let node_label stored n =
-  match Stored_tree.node_name stored n with
-  | Some s -> s
-  | None -> Printf.sprintf "#%d" n
+  match (Stored_tree.view stored n).Node_view.name with
+  | "" -> Printf.sprintf "#%d" n
+  | s -> s
 
 let resolve stored = function
   | Number v -> bad "expected a species name, found the number %g" v
@@ -146,7 +146,7 @@ let execute ~rng repo stored { fn; args } =
       let l = Stored_tree.lca_set stored nodes in
       Printf.sprintf "%s (depth %d, distance from root %g)" (node_label stored l)
         (Stored_tree.depth stored l)
-        (Stored_tree.root_distance stored l)
+        (Stored_tree.view stored l).Node_view.root_dist
   | "lca", _ -> bad "lca needs at least two species"
   | "clade", (_ :: _ as species) ->
       let nodes = List.map (resolve stored) species in

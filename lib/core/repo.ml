@@ -97,11 +97,13 @@ let close t = Database.close t.db
 let next_query_id t =
   match t.next_query_id with
   | Some id -> id
-  | None ->
-      let max_id = ref (-1) in
-      Table.scan t.queries (fun _ row ->
-          max_id := max !max_id (Record.get_int row Schema.Queries.c_id));
-      !max_id + 1
+  | None -> (
+      (* Cold start: ids are dense and ascending, so the successor of the
+         rightmost by_id key is the next id — one index descent instead
+         of a full history scan. *)
+      match Table.last_entry t.queries ~index:"by_id" with
+      | Some (_, row) -> Record.get_int row Schema.Queries.c_id + 1
+      | None -> 0)
 
 (* Pages touched so far across every buffer pool of this repository:
    hits + misses = logical page accesses. Deltas of this are the

@@ -18,7 +18,8 @@ let frontier_at tree ~time =
      the shallow "cap" of the tree above the frontier is read. *)
   let acc = ref [] in
   let rec visit node =
-    if Stored_tree.root_distance tree node > time then acc := node :: !acc
+    if (Stored_tree.view tree node).Node_view.root_dist > time then
+      acc := node :: !acc
     else List.iter visit (Stored_tree.children tree node)
   in
   visit (Stored_tree.root tree);

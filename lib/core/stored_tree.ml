@@ -3,7 +3,7 @@ module Record = Crimson_storage.Record
 module Layered = Crimson_label.Layered
 
 exception Unknown_tree of string
-exception Unknown_node of int
+exception Unknown_node = Node_view.Unknown_node
 
 type t = {
   repo : Repo.t;
@@ -13,32 +13,35 @@ type t = {
   layer_count : int;
   node_count : int;
   leaf_count : int;
+  cache : Node_view.cache;
 }
 
-let of_meta_row repo row =
+let of_meta_row ?cache_capacity ?prefetch repo row =
+  let id = Record.get_int row Schema.Trees.c_id in
   {
     repo;
-    id = Record.get_int row Schema.Trees.c_id;
+    id;
     name = Record.get_text row Schema.Trees.c_name;
     f = Record.get_int row Schema.Trees.c_f;
     layer_count = Record.get_int row Schema.Trees.c_layers;
     node_count = Record.get_int row Schema.Trees.c_nodes;
     leaf_count = Record.get_int row Schema.Trees.c_leaves;
+    cache = Node_view.create_cache ?capacity:cache_capacity ?prefetch repo ~tree:id;
   }
 
-let open_id repo id =
+let open_id ?cache_capacity ?prefetch repo id =
   match
     Table.lookup_unique (Repo.trees repo) ~index:"by_id" ~key:(Schema.Trees.key_id id)
   with
-  | Some (_, row) -> of_meta_row repo row
+  | Some (_, row) -> of_meta_row ?cache_capacity ?prefetch repo row
   | None -> raise (Unknown_tree (Printf.sprintf "#%d" id))
 
-let open_name repo name =
+let open_name ?cache_capacity ?prefetch repo name =
   match
     Table.lookup_unique (Repo.trees repo) ~index:"by_name"
       ~key:(Schema.Trees.key_name name)
   with
-  | Some (_, row) -> of_meta_row repo row
+  | Some (_, row) -> of_meta_row ?cache_capacity ?prefetch repo row
   | None -> raise (Unknown_tree name)
 
 let list_all repo =
@@ -58,45 +61,25 @@ let node_count t = t.node_count
 let leaf_count t = t.leaf_count
 let root _ = 0
 
-(* --------------------------- Row fetching --------------------------- *)
+(* --------------------------- Node access ---------------------------- *)
+(* Every per-node read goes through the decoded-view cache: one miss
+   fetches (and prefetches around) the row, every further field read of
+   that node is an in-memory record access. *)
 
-let node_row t node =
-  match
-    Table.lookup_unique (Repo.nodes t.repo) ~index:"by_node"
-      ~key:(Schema.Nodes.key_node ~tree:t.id node)
-  with
-  | Some (_, row) -> row
-  | None -> raise (Unknown_node node)
-
-let layer_row t ~layer node =
-  match
-    Table.lookup_unique (Repo.layers t.repo) ~index:"by_node"
-      ~key:(Schema.Layers.key_node ~tree:t.id ~layer node)
-  with
-  | Some (_, row) -> row
-  | None -> raise (Unknown_node node)
-
-let subtree_root t ~layer sub =
-  match
-    Table.lookup_unique (Repo.subtrees t.repo) ~index:"by_sub"
-      ~key:(Schema.Subtrees.key_sub ~tree:t.id ~layer sub)
-  with
-  | Some (_, row) -> Record.get_int row Schema.Subtrees.c_root
-  | None -> raise (Unknown_node sub)
-
-let parent t node = Record.get_int (node_row t node) Schema.Nodes.c_parent
-let edge_index t node = Record.get_int (node_row t node) Schema.Nodes.c_edge_index
+let view t node = Node_view.node t.cache node
+let cache_stats t = Node_view.stats t.cache
+let invalidate_cache t = Node_view.invalidate t.cache
+let parent t node = (view t node).Node_view.parent
+let edge_index t node = (view t node).Node_view.edge_index
 
 let node_name t node =
-  match Record.get_text (node_row t node) Schema.Nodes.c_name with
-  | "" -> None
-  | s -> Some s
+  match (view t node).Node_view.name with "" -> None | s -> Some s
 
-let branch_length t node = Record.get_float (node_row t node) Schema.Nodes.c_blen
-let root_distance t node = Record.get_float (node_row t node) Schema.Nodes.c_root_dist
+let branch_length t node = (view t node).Node_view.blen
+let root_distance t node = (view t node).Node_view.root_dist
 
 let children t node =
-  ignore (node_row t node);
+  ignore (view t node);
   let acc = ref [] in
   Table.iter_index (Repo.nodes t.repo) ~index:"by_parent"
     ~prefix:(Schema.Nodes.key_children ~tree:t.id ~parent:node) (fun _ row ->
@@ -105,14 +88,17 @@ let children t node =
   List.rev !acc
 
 let leaf_interval t node =
-  let row = node_row t node in
-  (Record.get_int row Schema.Nodes.c_leaf_lo, Record.get_int row Schema.Nodes.c_leaf_hi)
+  let v = view t node in
+  (v.Node_view.leaf_lo, v.Node_view.leaf_hi)
 
 let is_leaf t node =
   (* A leaf spans exactly one ordinal; an internal unary chain above a
-     single leaf spans one too, so confirm the absence of children. *)
-  let lo, hi = leaf_interval t node in
-  hi = lo + 1 && children t node = []
+     single leaf spans one too, so rule out a first child. Dense
+     preorder ids put a first child — when one exists — at [node + 1],
+     which the prefetch window usually has resident already. *)
+  let v = view t node in
+  v.Node_view.leaf_hi = v.Node_view.leaf_lo + 1
+  && (node + 1 >= t.node_count || (view t (node + 1)).Node_view.parent <> node)
 
 let leaf_by_ordinal t ord =
   match
@@ -121,6 +107,20 @@ let leaf_by_ordinal t ord =
   with
   | Some (_, row) -> Record.get_int row Schema.Leaves.c_node
   | None -> raise (Unknown_node ord)
+
+let leaves_between t ~lo ~hi ~limit =
+  (* One cursor descent over the leaves table instead of a point lookup
+     per ordinal. Ordinal order is preorder order. *)
+  let stop = min hi (lo + max 0 limit) in
+  let acc = ref [] in
+  if stop > lo then
+    Table.scan_range (Repo.leaves t.repo) ~index:"by_ord"
+      ~lo:(Schema.Leaves.key_ord ~tree:t.id lo)
+      ~hi:(Schema.Leaves.key_ord ~tree:t.id stop)
+      (fun _ row ->
+        acc := Record.get_int row Schema.Leaves.c_node :: !acc;
+        true);
+  List.rev !acc
 
 let node_by_name t name =
   if name = "" then None
@@ -151,22 +151,22 @@ module Store = struct
   let layer_count t = t.layer_count
 
   let parent t ~layer n =
-    if layer = 0 then Record.get_int (node_row t n) Schema.Nodes.c_parent
-    else Record.get_int (layer_row t ~layer n) Schema.Layers.c_parent
+    if layer = 0 then (view t n).Node_view.parent
+    else (Node_view.layer_view t.cache ~layer n).Node_view.l_parent
 
   let edge_index t ~layer n =
-    if layer = 0 then Record.get_int (node_row t n) Schema.Nodes.c_edge_index
-    else Record.get_int (layer_row t ~layer n) Schema.Layers.c_edge_index
+    if layer = 0 then (view t n).Node_view.edge_index
+    else (Node_view.layer_view t.cache ~layer n).Node_view.l_edge_index
 
   let sub t ~layer n =
-    if layer = 0 then Record.get_int (node_row t n) Schema.Nodes.c_sub
-    else Record.get_int (layer_row t ~layer n) Schema.Layers.c_sub
+    if layer = 0 then (view t n).Node_view.sub
+    else (Node_view.layer_view t.cache ~layer n).Node_view.l_sub
 
   let local_depth t ~layer n =
-    if layer = 0 then Record.get_int (node_row t n) Schema.Nodes.c_local_depth
-    else Record.get_int (layer_row t ~layer n) Schema.Layers.c_local_depth
+    if layer = 0 then (view t n).Node_view.local_depth
+    else (Node_view.layer_view t.cache ~layer n).Node_view.l_local_depth
 
-  let sub_root t ~layer s = subtree_root t ~layer s
+  let sub_root t ~layer s = Node_view.sub_root t.cache ~layer s
 end
 
 module Engine = Layered.Engine (Store)
@@ -175,8 +175,8 @@ module Engine = Layered.Engine (Store)
 let h_lca = Crimson_obs.Metrics.histogram "core.lca"
 
 let lca t a b =
-  ignore (node_row t a);
-  ignore (node_row t b);
+  ignore (view t a);
+  ignore (view t b);
   Crimson_obs.Span.record h_lca (fun () -> Engine.lca t a b)
 
 let lca_set t = function

@@ -1,10 +1,11 @@
 (** Handle to a tree persisted in the Tree Repository.
 
     Node ids are the dense preorder ids assigned at load time. Every
-    accessor fetches rows through the storage engine's buffer pool — no
-    in-memory mirror of the tree is kept, per the paper's design point
-    that simulation trees exceed main memory while individual queries
-    touch few pages.
+    accessor resolves through the handle's {!Node_view} cache: a node's
+    row is fetched (and its neighbourhood prefetched) once, then further
+    field reads are in-memory record accesses — no full mirror of the
+    tree is kept, per the paper's design point that simulation trees
+    exceed main memory while individual queries touch few pages.
 
     Structure queries (LCA, ancestor tests, preorder comparison) run the
     {!Crimson_label.Layered.Engine} algorithms over the stored layered
@@ -15,10 +16,13 @@ type t
 exception Unknown_tree of string
 exception Unknown_node of int
 
-val open_id : Repo.t -> int -> t
-(** Raises {!Unknown_tree}. *)
+val open_id : ?cache_capacity:int -> ?prefetch:int -> Repo.t -> int -> t
+(** Raises {!Unknown_tree}. [cache_capacity] bounds the handle's
+    resident node views, [prefetch] the rows pulled per cache miss
+    (defaults: {!Node_view.default_capacity},
+    {!Node_view.default_prefetch}). *)
 
-val open_name : Repo.t -> string -> t
+val open_name : ?cache_capacity:int -> ?prefetch:int -> Repo.t -> string -> t
 (** Raises {!Unknown_tree}. *)
 
 val list_all : Repo.t -> (int * string) list
@@ -36,7 +40,18 @@ val leaf_count : t -> int
 val root : t -> int
 (** Always node 0 (preorder ids). *)
 
-(** {1 Node accessors (disk-backed)} *)
+(** {1 Node accessors (disk-backed, view-cached)} *)
+
+val view : t -> int -> Node_view.t
+(** The node's decoded view — the one fetch the other accessors are
+    sugar over. Use it directly when reading several fields of the same
+    node. Raises {!Unknown_node}. *)
+
+val cache_stats : t -> Node_view.stats
+(** This handle's view-cache counters. *)
+
+val invalidate_cache : t -> unit
+(** Drop the handle's cached views (see {!Node_view.invalidate}). *)
 
 val parent : t -> int -> int
 (** [-1] for the root. Raises {!Unknown_node}. *)
@@ -55,6 +70,11 @@ val leaf_interval : t -> int -> int * int
 val leaf_by_ordinal : t -> int -> int
 (** Node id of the leaf with the given preorder ordinal. Raises
     {!Unknown_node} when out of range. *)
+
+val leaves_between : t -> lo:int -> hi:int -> limit:int -> int list
+(** Leaf node ids with ordinals in [\[lo, min hi (lo + limit))], in
+    preorder, streamed off one index cursor instead of per-ordinal
+    lookups. *)
 
 val node_by_name : t -> string -> int option
 (** First node carrying the name (index lookup, not a scan). *)

@@ -1,5 +1,5 @@
 module Table = Crimson_storage.Table
-module Record = Crimson_storage.Record
+module Key = Crimson_storage.Key
 
 type t = {
   nodes : int;
@@ -24,17 +24,23 @@ let compute repo stored =
   let blen = Array.make n 0.0 in
   let max_root_distance = ref 0.0 in
   let children_count = Array.make n 0 in
-  Table.scan (Repo.nodes repo) (fun _ row ->
-      if Record.get_int row Schema.Nodes.c_tree = tree_id then begin
-        let v = Record.get_int row Schema.Nodes.c_node in
-        parent.(v) <- Record.get_int row Schema.Nodes.c_parent;
-        blen.(v) <- Record.get_float row Schema.Nodes.c_blen;
-        let lo = Record.get_int row Schema.Nodes.c_leaf_lo in
-        let hi = Record.get_int row Schema.Nodes.c_leaf_hi in
-        is_leaf.(v) <- hi = lo + 1;
-        max_root_distance :=
-          Float.max !max_root_distance (Record.get_float row Schema.Nodes.c_root_dist)
-      end);
+  (* Cursor over the by_node prefix: reads exactly this tree's rows in
+     id order, instead of scanning every tree's heap pages. *)
+  let cursor =
+    Table.cursor (Repo.nodes repo) ~index:"by_node" ~prefix:(Key.int tree_id)
+  in
+  let rec drain () =
+    match Table.Cursor.next cursor with
+    | None -> ()
+    | Some (_, row) ->
+        let nv = Node_view.of_row row in
+        parent.(nv.Node_view.node) <- nv.Node_view.parent;
+        blen.(nv.Node_view.node) <- nv.Node_view.blen;
+        is_leaf.(nv.Node_view.node) <- nv.Node_view.leaf_hi = nv.Node_view.leaf_lo + 1;
+        max_root_distance := Float.max !max_root_distance nv.Node_view.root_dist;
+        drain ()
+  in
+  drain ();
   (* hi = lo+1 also holds for unary chains above a single leaf; correct
      using child counts below. *)
   for v = 0 to n - 1 do

@@ -36,6 +36,32 @@ val iter_prefix : t -> prefix:string -> (string -> int -> bool) -> unit
 
 val iter_all : t -> (string -> int -> bool) -> unit
 
+(** {1 Cursors}
+
+    A cursor pays the root-to-leaf descent once and then streams entries
+    off the chained leaves — the primitive behind batched node-view
+    prefetch and range scans. Cursors snapshot one leaf at a time;
+    mutating the tree while a cursor is live gives the same read-mostly
+    semantics as {!iter_from}. *)
+
+module Cursor : sig
+  type t
+
+  val next : t -> (string * int) option
+  (** The next entry in ascending key order, [None] when exhausted. *)
+end
+
+val cursor : t -> key:string -> Cursor.t
+(** Cursor positioned at the first entry with key >= [key]. *)
+
+val scan_range : t -> lo:string -> hi:string -> (string -> int -> bool) -> unit
+(** In-order visit of entries with [lo] <= key < [hi]; stop on [false]. *)
+
+val max_binding : t -> (string * int) option
+(** The largest entry, by a single rightmost descent ([None] when
+    empty). Falls back to a leaf-chain walk in the rare case deletions
+    emptied the rightmost leaf. *)
+
 val entry_count : t -> int
 (** Number of entries, by leaf walk. *)
 

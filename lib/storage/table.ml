@@ -91,6 +91,57 @@ let iter_index t ~index ~prefix f =
       | Some row -> f rid row
       | None -> true)
 
+(* ----------------------------- Cursors ----------------------------- *)
+
+let is_prefix p s =
+  String.length p <= String.length s && String.sub s 0 (String.length p) = p
+
+module Cursor = struct
+  type table = t
+
+  type t = {
+    table : table;
+    btc : Btree.Cursor.t;
+    prefix : string;
+    mutable exhausted : bool;
+  }
+
+  let rec next c =
+    if c.exhausted then None
+    else
+      match Btree.Cursor.next c.btc with
+      | None ->
+          c.exhausted <- true;
+          None
+      | Some (key, rid) ->
+          if not (is_prefix c.prefix key) then begin
+            c.exhausted <- true;
+            None
+          end
+          else (
+            match get c.table rid with
+            | Some row -> Some (rid, row)
+            | None -> next c (* dangling index entry: skip, as iter_index does *))
+end
+
+let cursor ?start t ~index ~prefix =
+  let _, btree = find_index t ~index in
+  let key = match start with Some k -> k | None -> prefix in
+  { Cursor.table = t; btc = Btree.cursor btree ~key; prefix; exhausted = false }
+
+let scan_range t ~index ~lo ~hi f =
+  let _, btree = find_index t ~index in
+  Btree.scan_range btree ~lo ~hi (fun _key rid ->
+      match get t rid with
+      | Some row -> f rid row
+      | None -> true)
+
+let last_entry t ~index =
+  let _, btree = find_index t ~index in
+  match Btree.max_binding btree with
+  | None -> None
+  | Some (_, rid) -> ( match get t rid with Some row -> Some (rid, row) | None -> None)
+
 let row_count t = Heap.record_count t.heap
 let index_names t = List.map (fun (spec, _) -> spec.index_name) t.indexes
 

@@ -54,6 +54,38 @@ val iter_index :
 (** All rows whose index key starts with [prefix], in key order; stop on
     [false]. Works on unique and non-unique indexes. *)
 
+(** {1 Cursors}
+
+    Streaming row access over one index: the B+tree descent is paid once
+    at {!cursor} time, after which {!Cursor.next} walks the leaf chain —
+    the primitive the node-view cache prefetches through. *)
+
+module Cursor : sig
+  type t
+
+  val next : t -> (Heap.rid * Record.value array) option
+  (** Next live row in index-key order; [None] once the prefix is left
+      or the index is exhausted. Dangling index entries are skipped. *)
+end
+
+val cursor : ?start:string -> t -> index:string -> prefix:string -> Cursor.t
+(** Rows whose index key starts with [prefix], streamed in key order.
+    [start] (an encoded key >= [prefix]) positions the cursor mid-range;
+    it defaults to the start of the prefix. *)
+
+val scan_range :
+  t ->
+  index:string ->
+  lo:string ->
+  hi:string ->
+  (Heap.rid -> Record.value array -> bool) ->
+  unit
+(** Rows with [lo] <= index key < [hi], in key order; stop on [false]. *)
+
+val last_entry : t -> index:string -> (Heap.rid * Record.value array) option
+(** The row under the largest key of [index], via a single rightmost
+    descent — the cold-start id probe. [None] on an empty index. *)
+
 val row_count : t -> int
 val index_names : t -> string list
 val rebuild_index : t -> index:string -> unit

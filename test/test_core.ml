@@ -210,6 +210,144 @@ let test_stored_queries_match_memory () =
     done
   done
 
+(* ---------------------------- Node cache --------------------------- *)
+
+module Node_view = Crimson_core.Node_view
+
+(* Ground truth: decode straight off the nodes table, no cache. *)
+let direct_view repo stored node =
+  match
+    Crimson_storage.Table.lookup_unique (Repo.nodes repo) ~index:"by_node"
+      ~key:(Crimson_core.Schema.Nodes.key_node ~tree:(Stored_tree.id stored) node)
+  with
+  | Some (_, row) -> Node_view.of_row row
+  | None -> Alcotest.failf "node %d missing from the nodes table" node
+
+let check_views_agree repo stored =
+  for v = 0 to Stored_tree.node_count stored - 1 do
+    if Stored_tree.view stored v <> direct_view repo stored v then
+      Alcotest.failf "cached view differs from the table at node %d" v
+  done
+
+let test_node_cache_matches_table () =
+  let repo = Repo.open_mem () in
+  let rng = Prng.create 23 in
+  let t = Helpers.random_tree rng 300 in
+  let report = Loader.load_tree ~f:4 repo ~name:"cached" t in
+  let stored = report.tree in
+  (* Sequential sweep, then random access: both must agree with direct
+     table reads under the default capacity (everything stays resident). *)
+  check_views_agree repo stored;
+  for _ = 1 to 500 do
+    let v = Prng.int rng (Stored_tree.node_count stored) in
+    if Stored_tree.view stored v <> direct_view repo stored v then
+      Alcotest.failf "random access mismatch at node %d" v
+  done;
+  let cs = Stored_tree.cache_stats stored in
+  check Alcotest.int "no evictions at default capacity" 0 cs.Node_view.evictions;
+  check Alcotest.bool "hits dominate on re-reads" true
+    (cs.Node_view.hits > cs.Node_view.misses)
+
+let test_node_cache_tiny_capacity () =
+  (* A capacity-4 cache evicts on nearly every access; correctness must
+     not depend on residency. *)
+  let repo = Repo.open_mem () in
+  let rng = Prng.create 31 in
+  let t = Helpers.random_tree rng 200 in
+  let report = Loader.load_tree ~f:4 repo ~name:"thrash" t in
+  let tiny =
+    Stored_tree.open_id ~cache_capacity:4 ~prefetch:2 repo
+      (Stored_tree.id report.tree)
+  in
+  check_views_agree repo tiny;
+  for _ = 1 to 500 do
+    let v = Prng.int rng (Stored_tree.node_count tiny) in
+    if Stored_tree.view tiny v <> direct_view repo tiny v then
+      Alcotest.failf "tiny-cache mismatch at node %d" v
+  done;
+  let cs = Stored_tree.cache_stats tiny in
+  check Alcotest.bool "evictions occurred" true (cs.Node_view.evictions > 0);
+  check Alcotest.bool "bounded residency" true (cs.Node_view.resident <= 4);
+  (* Same answers as a default-capacity handle on structure queries. *)
+  let big = Stored_tree.open_id repo (Stored_tree.id report.tree) in
+  for _ = 1 to 100 do
+    let a = Prng.int rng (Stored_tree.node_count tiny) in
+    let b = Prng.int rng (Stored_tree.node_count tiny) in
+    check Alcotest.int "lca agrees" (Stored_tree.lca big a b)
+      (Stored_tree.lca tiny a b);
+    check Alcotest.int "depth agrees" (Stored_tree.depth big a)
+      (Stored_tree.depth tiny a)
+  done;
+  Stored_tree.invalidate_cache tiny;
+  check Alcotest.int "invalidate empties the cache" 0
+    (Stored_tree.cache_stats tiny).Node_view.resident
+
+let test_node_cache_after_reopen () =
+  (* Views served through the cache must match the table after a close
+     and reopen from disk, including on a tree with layers > 1. *)
+  with_temp_dir (fun dir ->
+      let rng = Prng.create 41 in
+      let depth = 60 in
+      let t = Helpers.caterpillar depth in
+      (let repo = Repo.open_dir dir in
+       ignore (Loader.load_tree ~f:3 repo ~name:"layered" t);
+       Repo.close repo);
+      let repo = Repo.open_dir dir in
+      let stored = Stored_tree.open_name repo "layered" in
+      check Alcotest.bool "multi-layer fixture" true
+        (Stored_tree.layer_count stored > 1);
+      check_views_agree repo stored;
+      (* Cross-check layered LCA and depth against the in-memory tree. *)
+      let rank = Tree.preorder_rank t in
+      for _ = 1 to 200 do
+        let a = Prng.int rng (Tree.node_count t) in
+        let b = Prng.int rng (Tree.node_count t) in
+        check Alcotest.int "lca after reopen" rank.(Ops.naive_lca t a b)
+          (Stored_tree.lca stored rank.(a) rank.(b));
+        check Alcotest.int "depth after reopen" (Tree.depths t).(a)
+          (Stored_tree.depth stored rank.(a))
+      done;
+      Repo.close repo)
+
+let test_is_leaf_unary_chain () =
+  (* A unary node above a single leaf shares the leaf's one-element
+     ordinal interval; leafness must still come out false. *)
+  let b = Tree.Builder.create () in
+  let root = Tree.Builder.add_root ~name:"root" b in
+  let mid = Tree.Builder.add_child ~branch_length:1.0 b ~parent:root in
+  let unary = Tree.Builder.add_child ~branch_length:1.0 b ~parent:mid in
+  let _leaf = Tree.Builder.add_child ~name:"only" ~branch_length:1.0 b ~parent:unary in
+  let _other = Tree.Builder.add_child ~name:"sib" ~branch_length:2.0 b ~parent:root in
+  let t = Tree.Builder.finish b in
+  let repo = Repo.open_mem () in
+  let report = Loader.load_tree ~f:2 repo ~name:"unary" t in
+  let stored = report.tree in
+  let rank = Tree.preorder_rank t in
+  check Alcotest.bool "root is internal" false (Stored_tree.is_leaf stored rank.(root));
+  check Alcotest.bool "unary node is internal" false
+    (Stored_tree.is_leaf stored rank.(unary));
+  check Alcotest.bool "chain top is internal" false
+    (Stored_tree.is_leaf stored rank.(mid));
+  check Alcotest.bool "leaf below the chain" true
+    (Stored_tree.is_leaf stored rank.(_leaf));
+  (* Last node in preorder exercises the node_count boundary branch. *)
+  check Alcotest.bool "last node is a leaf" true
+    (Stored_tree.is_leaf stored (Stored_tree.node_count stored - 1))
+
+let test_next_query_id_cold_start () =
+  (* Fresh repositories start at id 0; reopened ones continue after the
+     largest recorded id without scanning history. *)
+  with_temp_dir (fun dir ->
+      (let repo = Repo.open_dir dir in
+       check Alcotest.int "first id" 0 (Repo.record_query repo ~text:"a" ~result:"r");
+       check Alcotest.int "second id" 1 (Repo.record_query repo ~text:"b" ~result:"r");
+       check Alcotest.int "third id" 2 (Repo.record_query repo ~text:"c" ~result:"r");
+       Repo.close repo);
+      let repo = Repo.open_dir dir in
+      check Alcotest.int "id continues across reopen" 3
+        (Repo.record_query repo ~text:"d" ~result:"r");
+      Repo.close repo)
+
 (* ----------------------------- Sampling ---------------------------- *)
 
 let test_frontier_paper_example () =
@@ -614,6 +752,18 @@ let () =
           Alcotest.test_case "LCA (paper walkthrough)" `Quick test_stored_lca_paper;
           Alcotest.test_case "disk queries = memory queries" `Slow
             test_stored_queries_match_memory;
+        ] );
+      ( "node_cache",
+        [
+          Alcotest.test_case "matches direct table reads" `Quick
+            test_node_cache_matches_table;
+          Alcotest.test_case "tiny capacity still correct" `Quick
+            test_node_cache_tiny_capacity;
+          Alcotest.test_case "reopen and layers" `Quick test_node_cache_after_reopen;
+          Alcotest.test_case "is_leaf on a unary chain" `Quick
+            test_is_leaf_unary_chain;
+          Alcotest.test_case "query id cold start" `Quick
+            test_next_query_id_cold_start;
         ] );
       ( "sampling",
         [

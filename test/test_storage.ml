@@ -437,6 +437,104 @@ let btree_model =
   ignore (Btree.validate bt = Ok ());
   got = expected && Btree.validate bt = Ok ()
 
+let test_btree_cursor_ordering () =
+  let bt = Btree.create (Pager.create_mem ()) in
+  let n = 2500 in
+  let rng = Prng.create 77 in
+  let ids = Array.init n (fun i -> i) in
+  Prng.shuffle rng ids;
+  Array.iter (fun i -> Btree.insert bt ~key:(Printf.sprintf "c%06d" i) i) ids;
+  (* From the very beginning: every entry, ascending. *)
+  let cur = Btree.cursor bt ~key:"" in
+  let count = ref 0 in
+  let prev = ref "" in
+  let rec drain () =
+    match Btree.Cursor.next cur with
+    | None -> ()
+    | Some (k, _) ->
+        if String.compare !prev k >= 0 then Alcotest.failf "order violation at %s" k;
+        prev := k;
+        incr count;
+        drain ()
+  in
+  drain ();
+  check Alcotest.int "streamed all" n !count;
+  check Alcotest.bool "multi-leaf tree" true (Btree.height bt >= 2);
+  (* Mid-range start: positioned at the first key >= the seek key, even
+     when the seek key itself is absent. *)
+  let cur = Btree.cursor bt ~key:"c001233x" in
+  (match Btree.Cursor.next cur with
+  | Some (k, v) ->
+      check Alcotest.string "seek lands after" "c001234" k;
+      check Alcotest.int "value" 1234 v
+  | None -> Alcotest.fail "cursor empty mid-range");
+  (* Beyond the last key: immediately exhausted, and stays so. *)
+  let cur = Btree.cursor bt ~key:"d" in
+  check Alcotest.bool "past end" true (Btree.Cursor.next cur = None);
+  check Alcotest.bool "still exhausted" true (Btree.Cursor.next cur = None)
+
+let test_btree_cursor_skips_emptied_leaves () =
+  let bt = Btree.create (Pager.create_mem ()) in
+  for i = 0 to 1999 do
+    Btree.insert bt ~key:(Printf.sprintf "e%06d" i) i
+  done;
+  (* Empty out a middle run long enough to cover whole leaves — deletes
+     never rebalance, so the chain retains empty leaves to skip. *)
+  for i = 500 to 1499 do
+    ignore (Btree.delete bt ~key:(Printf.sprintf "e%06d" i))
+  done;
+  let cur = Btree.cursor bt ~key:"e000499" in
+  (match Btree.Cursor.next cur with
+  | Some (k, _) -> check Alcotest.string "last before gap" "e000499" k
+  | None -> Alcotest.fail "cursor empty");
+  (match Btree.Cursor.next cur with
+  | Some (k, _) -> check Alcotest.string "first after gap" "e001500" k
+  | None -> Alcotest.fail "gap not crossed")
+
+let test_btree_scan_range () =
+  let bt = Btree.create (Pager.create_mem ()) in
+  for i = 0 to 99 do
+    Btree.insert bt ~key:(Printf.sprintf "%04d" i) i
+  done;
+  let seen = ref [] in
+  Btree.scan_range bt ~lo:"0010" ~hi:"0013" (fun k _ ->
+      seen := k :: !seen;
+      true);
+  check
+    (Alcotest.list Alcotest.string)
+    "half-open range"
+    [ "0010"; "0011"; "0012" ]
+    (List.rev !seen);
+  let seen = ref 0 in
+  Btree.scan_range bt ~lo:"0050" ~hi:"0050" (fun _ _ ->
+      incr seen;
+      true);
+  check Alcotest.int "empty range" 0 !seen
+
+let test_btree_max_binding () =
+  let bt = Btree.create (Pager.create_mem ()) in
+  check Alcotest.bool "empty" true (Btree.max_binding bt = None);
+  for i = 0 to 1999 do
+    Btree.insert bt ~key:(Printf.sprintf "m%06d" i) i
+  done;
+  (match Btree.max_binding bt with
+  | Some (k, v) ->
+      check Alcotest.string "max key" "m001999" k;
+      check Alcotest.int "max value" 1999 v
+  | None -> Alcotest.fail "lost the max");
+  (* Delete the top half in descending order: the rightmost leaf ends up
+     empty, forcing the leaf-chain fallback. *)
+  for i = 1999 downto 1000 do
+    ignore (Btree.delete bt ~key:(Printf.sprintf "m%06d" i))
+  done;
+  (match Btree.max_binding bt with
+  | Some (k, _) -> check Alcotest.string "max after deletes" "m000999" k
+  | None -> Alcotest.fail "max lost after deletes");
+  Btree.insert bt ~key:"zzz" 7;
+  match Btree.max_binding bt with
+  | Some (k, _) -> check Alcotest.string "max after reinsert" "zzz" k
+  | None -> Alcotest.fail "max lost after reinsert"
+
 (* ------------------------------- Key -------------------------------- *)
 
 let test_key_int_order () =
@@ -630,6 +728,101 @@ let test_table_scan () =
   Table.scan t (fun _ _ -> incr n);
   check Alcotest.int "scanned" 10 !n
 
+let test_table_cursor_duplicates () =
+  let db = Database.open_mem () in
+  let t = make_table db in
+  (* Several rows under the same non-unique key, plus neighbours. *)
+  ignore (Table.insert t [| Record.VText "A"; Record.VInt 1; Record.VFloat 1.0 |]);
+  ignore (Table.insert t [| Record.VText "B"; Record.VInt 1; Record.VFloat 1.0 |]);
+  ignore (Table.insert t [| Record.VText "C"; Record.VInt 1; Record.VFloat 1.0 |]);
+  ignore (Table.insert t [| Record.VText "D"; Record.VInt 1; Record.VFloat 0.5 |]);
+  ignore (Table.insert t [| Record.VText "E"; Record.VInt 1; Record.VFloat 2.0 |]);
+  (* The cursor must agree with iter_index on a duplicate-key prefix:
+     every duplicate, in stable (insertion-rid) order, nothing else. *)
+  let via_iter = ref [] in
+  Table.iter_index t ~index:"by_dist" ~prefix:(Key.float 1.0) (fun _ row ->
+      via_iter := Record.get_text row 0 :: !via_iter;
+      true);
+  let cur = Table.cursor t ~index:"by_dist" ~prefix:(Key.float 1.0) in
+  let via_cursor = ref [] in
+  let rec drain () =
+    match Table.Cursor.next cur with
+    | None -> ()
+    | Some (_, row) ->
+        via_cursor := Record.get_text row 0 :: !via_cursor;
+        drain ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.string) "duplicates in rid order" [ "A"; "B"; "C" ]
+    (List.rev !via_cursor);
+  check (Alcotest.list Alcotest.string) "matches iter_index" (List.rev !via_iter)
+    (List.rev !via_cursor);
+  (* A unique-index cursor with an empty prefix streams the whole table
+     in key order. *)
+  let cur = Table.cursor t ~index:"by_name" ~prefix:"" in
+  let names = ref [] in
+  let rec drain () =
+    match Table.Cursor.next cur with
+    | None -> ()
+    | Some (_, row) ->
+        names := Record.get_text row 0 :: !names;
+        drain ()
+  in
+  drain ();
+  check (Alcotest.list Alcotest.string) "full order" [ "A"; "B"; "C"; "D"; "E" ]
+    (List.rev !names)
+
+let test_table_cursor_start_and_deletes () =
+  let db = Database.open_mem () in
+  let t = make_table db in
+  for i = 0 to 9 do
+    ignore
+      (Table.insert t
+         [| Record.VText (Printf.sprintf "S%d" i); Record.VInt i; Record.VFloat 0.0 |])
+  done;
+  (* Mid-range start key inside the prefix. Text encodings are
+     terminated, so the byte prefix covering every S* key is the raw
+     "S", not [Key.text "S"]. *)
+  let cur = Table.cursor t ~index:"by_name" ~prefix:"S" ~start:(Key.text "S7") in
+  (match Table.Cursor.next cur with
+  | Some (_, row) -> check Alcotest.string "start honoured" "S7" (Record.get_text row 0)
+  | None -> Alcotest.fail "cursor empty at start key");
+  (* Rows deleted after index entries were yielded are skipped, not
+     surfaced as ghosts. *)
+  (match Table.lookup_unique t ~index:"by_name" ~key:(Key.text "S8") with
+  | Some (rid, _) -> ignore (Table.delete t rid)
+  | None -> Alcotest.fail "S8 missing");
+  (match Table.Cursor.next cur with
+  | Some (_, row) -> check Alcotest.string "delete skipped" "S9" (Record.get_text row 0)
+  | None -> Alcotest.fail "cursor ended early")
+
+let test_table_scan_range_and_last_entry () =
+  let db = Database.open_mem () in
+  let t = make_table db in
+  check Alcotest.bool "empty last_entry" true
+    (Table.last_entry t ~index:"by_name" = None);
+  for i = 0 to 9 do
+    ignore
+      (Table.insert t
+         [| Record.VText (Printf.sprintf "S%d" i); Record.VInt i; Record.VFloat 0.0 |])
+  done;
+  let seen = ref [] in
+  Table.scan_range t ~index:"by_name" ~lo:(Key.text "S3") ~hi:(Key.text "S6")
+    (fun _ row ->
+      seen := Record.get_text row 0 :: !seen;
+      true);
+  check (Alcotest.list Alcotest.string) "range rows" [ "S3"; "S4"; "S5" ]
+    (List.rev !seen);
+  (match Table.last_entry t ~index:"by_name" with
+  | Some (_, row) -> check Alcotest.string "last" "S9" (Record.get_text row 0)
+  | None -> Alcotest.fail "last_entry lost");
+  (match Table.lookup_unique t ~index:"by_name" ~key:(Key.text "S9") with
+  | Some (rid, _) -> ignore (Table.delete t rid)
+  | None -> Alcotest.fail "S9 missing");
+  match Table.last_entry t ~index:"by_name" with
+  | Some (_, row) -> check Alcotest.string "last after delete" "S8" (Record.get_text row 0)
+  | None -> Alcotest.fail "last_entry lost after delete"
+
 (* ----------------------------- Database ---------------------------- *)
 
 let test_database_persistence_and_reopen () =
@@ -785,6 +978,11 @@ let () =
           Alcotest.test_case "delete" `Quick test_btree_delete;
           Alcotest.test_case "persistence" `Quick test_btree_persistence;
           Alcotest.test_case "key validation" `Quick test_btree_key_validation;
+          Alcotest.test_case "cursor ordering" `Quick test_btree_cursor_ordering;
+          Alcotest.test_case "cursor skips emptied leaves" `Quick
+            test_btree_cursor_skips_emptied_leaves;
+          Alcotest.test_case "scan_range" `Quick test_btree_scan_range;
+          Alcotest.test_case "max_binding" `Quick test_btree_max_binding;
           QCheck_alcotest.to_alcotest btree_model;
         ] );
       ( "key",
@@ -816,6 +1014,11 @@ let () =
             test_table_delete_maintains_indexes;
           Alcotest.test_case "update" `Quick test_table_update;
           Alcotest.test_case "scan" `Quick test_table_scan;
+          Alcotest.test_case "cursor duplicates" `Quick test_table_cursor_duplicates;
+          Alcotest.test_case "cursor start and deletes" `Quick
+            test_table_cursor_start_and_deletes;
+          Alcotest.test_case "scan_range and last_entry" `Quick
+            test_table_scan_range_and_last_entry;
         ] );
       ( "database",
         [
