@@ -2,7 +2,7 @@
 # green. Formatting runs only where ocamlformat is installed, so the
 # target works in minimal containers too.
 
-.PHONY: all check build test fmt bench clean
+.PHONY: all check build test fmt bench clean server-smoke serve-demo
 
 all: build
 
@@ -19,7 +19,23 @@ fmt:
 		echo "ocamlformat not installed; skipping dune fmt"; \
 	fi
 
-check: build test fmt
+check: build test fmt server-smoke
+
+# The end-to-end server test forks a real `crimson_server` on a Unix
+# socket and drives it with concurrent clients; running it on its own
+# (it is also part of `dune runtest`) gives CI an unambiguous signal
+# when only the service layer breaks.
+server-smoke:
+	dune exec test/test_server.exe -- test e2e
+
+# Simulate a small repository and serve it on the default address.
+# Ctrl-C drains and exits; talk to it with
+#   dune exec bin/crimson.exe -- connect 'HELLO' 'USE demo' 'QUERY info()'
+serve-demo:
+	rm -rf _demo_repo _demo_repo.nex
+	dune exec bin/crimson.exe -- simulate --model yule --leaves 500 --seed 7 -o _demo_repo.nex
+	dune exec bin/crimson.exe -- load -r _demo_repo -n demo -f 8 _demo_repo.nex
+	dune exec bin/crimson.exe -- serve -r _demo_repo --listen 127.0.0.1:7151
 
 bench:
 	dune exec bench/main.exe

@@ -18,6 +18,7 @@ let experiments =
     ("E8", "indexed vs path-based structure queries", Exp_vs_path.run);
     ("E9", "buffer pool size vs query latency", Exp_buffer_pool.run);
     ("E10", "node view cache: capacity sweep", Exp_node_cache.run);
+    ("E11", "query service: concurrent clients over a served repository", Exp_server.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

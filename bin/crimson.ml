@@ -21,6 +21,10 @@ module Models = Crimson_sim.Models
 module Seqevo = Crimson_sim.Seqevo
 module B = Crimson_benchmark.Benchmark_manager
 module Prng = Crimson_util.Prng
+module Wire = Crimson_server.Wire
+module Server = Crimson_server.Server
+module Engine = Crimson_server.Engine
+module Client = Crimson_server.Client
 
 open Cmdliner
 
@@ -86,6 +90,9 @@ let guarded f =
   | B.Benchmark_error msg -> fail "benchmark failed: %s" msg
   | Newick.Parse_error { pos; message } -> fail "Newick error at offset %d: %s" pos message
   | Nexus.Parse_error { line; message } -> fail "NEXUS error at line %d: %s" line message
+  | Repo.Open_error msg -> fail "%s" msg
+  | Server.Bind_error msg -> fail "%s" msg
+  | Client.Connection_error msg -> fail "%s" msg
   | Sys_error msg -> fail "%s" msg
 
 let resolve_names stored names =
@@ -514,7 +521,14 @@ let stats_cmd =
     Arg.(value & opt (some string) None & info [ "t"; "tree" ] ~docv:"NAME"
          ~doc:"Only this tree (default: every tree in the repository).")
   in
-  let run () dir tree =
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ]
+             ~doc:"Machine-readable output: one JSON object with the stored trees \
+                   and the full telemetry registry, for scripts and metric \
+                   scrapers.")
+  in
+  let run () dir tree json =
     guarded (fun () ->
         with_repo dir (fun repo ->
             let show stored =
@@ -534,6 +548,30 @@ let stats_cmd =
             in
             match selected with
             | Error msg -> fail "%s" msg
+            | Ok trees when json ->
+                (* The machine face of this command: the same registry
+                   the server's STATS request exposes, plus per-tree
+                   shape summaries. *)
+                let module Json = Crimson_obs.Json in
+                let tree_json stored =
+                  Json.Obj
+                    [
+                      ("id", Json.Num (float_of_int (Stored_tree.id stored)));
+                      ("name", Json.Str (Stored_tree.name stored));
+                      ("nodes", Json.Num (float_of_int (Stored_tree.node_count stored)));
+                      ("leaves", Json.Num (float_of_int (Stored_tree.leaf_count stored)));
+                      ("f", Json.Num (float_of_int (Stored_tree.f stored)));
+                      ("layers", Json.Num (float_of_int (Stored_tree.layer_count stored)));
+                    ]
+                in
+                print_endline
+                  (Json.to_string
+                     (Json.Obj
+                        [
+                          ("trees", Json.List (List.map tree_json trees));
+                          ("metrics", Crimson_obs.Metrics.to_json ());
+                        ]));
+                `Ok ()
             | Ok trees ->
                 List.iter show trees;
                 (* The session's telemetry: opening the repository and
@@ -547,8 +585,9 @@ let stats_cmd =
   Cmd.v
     (Cmd.info "stats"
        ~doc:"Structural statistics of stored trees plus the telemetry registry \
-             (pager/WAL/B+tree counters, query latency histograms) for this session")
-    Term.(ret (const run $ logging $ repo_arg $ tree_opt))
+             (pager/WAL/B+tree counters, query latency histograms) for this session; \
+             --json for a machine-readable registry dump")
+    Term.(ret (const run $ logging $ repo_arg $ tree_opt $ json_flag))
 
 (* ------------------------------- query ----------------------------- *)
 
@@ -621,6 +660,135 @@ let show_cmd =
     (Cmd.info "show" ~doc:"Display or export a stored tree")
     Term.(ret (const run $ logging $ repo_arg $ tree_arg $ output_format $ output_file))
 
+(* ------------------------------- serve ----------------------------- *)
+
+let listen_doc = "HOST:PORT, :PORT, PORT, or unix:PATH."
+let default_listen = "127.0.0.1:7151"
+
+let serve_cmd =
+  let db =
+    Arg.(required & opt (some string) None
+         & info [ "db"; "r"; "repo" ] ~docv:"DIR"
+             ~doc:"Repository directory to serve (must already exist unless \
+                   $(b,--create) is given).")
+  in
+  let listen =
+    Arg.(value & opt string default_listen
+         & info [ "listen" ] ~docv:"ADDR" ~doc:("Listen address: " ^ listen_doc))
+  in
+  let max_sessions =
+    Arg.(value & opt int Engine.default_config.Engine.max_sessions
+         & info [ "max-sessions" ] ~docv:"N"
+             ~doc:"Admission control: concurrent sessions beyond N are rejected \
+                   with a protocol error.")
+  in
+  let timeout =
+    Arg.(value & opt float Engine.default_config.Engine.request_timeout
+         & info [ "timeout" ] ~docv:"SECONDS"
+             ~doc:"Per-request wall-clock timeout; 0 disables.")
+  in
+  let max_line =
+    Arg.(value & opt int Engine.default_config.Engine.max_line
+         & info [ "max-line" ] ~docv:"BYTES" ~doc:"Input request-line length cap.")
+  in
+  let create =
+    Arg.(value & flag
+         & info [ "create" ]
+             ~doc:"Create the repository directory when absent instead of failing.")
+  in
+  let run () db listen max_sessions timeout max_line create =
+    guarded (fun () ->
+        match Wire.parse_addr listen with
+        | Error msg -> fail "bad --listen address: %s" msg
+        | Ok addr ->
+            let repo = Repo.open_dir ~create db in
+            Fun.protect
+              ~finally:(fun () -> Repo.close repo)
+              (fun () ->
+                let config =
+                  { Engine.max_sessions; request_timeout = timeout; max_line }
+                in
+                Server.run ~config
+                  ~on_ready:(fun sockaddr ->
+                    let bound =
+                      match sockaddr with
+                      | Unix.ADDR_INET (inet, port) ->
+                          Printf.sprintf "%s:%d" (Unix.string_of_inet_addr inet) port
+                      | Unix.ADDR_UNIX path -> "unix:" ^ path
+                    in
+                    Printf.printf "crimson: serving %s on %s\n%!" db bound)
+                  repo addr;
+                `Ok ()))
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Run the Crimson query service: one resident repository served to many \
+          concurrent sessions over a line-oriented protocol with JSON replies. \
+          Drive it with $(b,crimson connect), netcat, or any socket client.";
+      `P "Requests: HELLO, USE <tree>, SEED <n>, QUERY <text>, STATS, QUIT. \
+          SIGINT/SIGTERM drain in-flight replies and exit cleanly.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Serve a repository over TCP or a Unix socket" ~man)
+    Term.(ret
+            (const run $ logging $ db $ listen $ max_sessions $ timeout $ max_line
+           $ create))
+
+(* ------------------------------ connect ---------------------------- *)
+
+let connect_cmd =
+  let to_addr =
+    Arg.(value & opt string default_listen
+         & info [ "to"; "listen" ] ~docv:"ADDR" ~doc:("Server address: " ^ listen_doc))
+  in
+  let commands =
+    Arg.(value & pos_all string []
+         & info [] ~docv:"COMMAND"
+             ~doc:"Protocol lines to send in order (e.g. 'USE gold' \
+                   'QUERY lca(T0,T7)'). With none, lines are read from standard \
+                   input until EOF.")
+  in
+  let run () to_addr commands =
+    guarded (fun () ->
+        match Wire.parse_addr to_addr with
+        | Error msg -> fail "bad --to address: %s" msg
+        | Ok addr ->
+            let client = Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Client.close client)
+              (fun () ->
+                let alive = ref true in
+                let send line =
+                  if !alive && String.trim line <> "" then
+                    match Client.request_line client line with
+                    | Some reply -> print_endline reply
+                    | None ->
+                        alive := false;
+                        prerr_endline "crimson: server closed the connection"
+                in
+                (match commands with
+                | [] -> (
+                    try
+                      while true do
+                        send (input_line stdin)
+                      done
+                    with End_of_file -> ())
+                | lines -> List.iter send lines);
+                `Ok ()))
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "A scriptable client for $(b,crimson serve): sends each protocol line \
+          and prints the server's one-line JSON reply.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "connect" ~doc:"Send protocol commands to a running crimson server" ~man)
+    Term.(ret (const run $ logging $ to_addr $ commands))
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -631,7 +799,7 @@ let () =
       [
         load_cmd; append_species_cmd; list_cmd; delete_cmd; show_cmd; stats_cmd;
         lca_cmd; clade_cmd; project_cmd; match_cmd; query_cmd; simulate_cmd;
-        benchmark_cmd; history_cmd;
+        benchmark_cmd; history_cmd; serve_cmd; connect_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -231,9 +231,18 @@ let run ?rng ?(record = true) repo stored text =
   | exception Sampling.Invalid_sample msg -> Error msg
   | exception Projection.Projection_error msg -> Error msg
   | exception Pattern.Pattern_error msg -> Error msg
+  | exception Loader.Load_error msg -> Error msg
   | exception Newick.Parse_error { pos; message } ->
       Error (Printf.sprintf "Newick error at offset %d: %s" pos message)
   | exception Stored_tree.Unknown_node n -> Error (Printf.sprintf "unknown node %d" n)
+  (* The query service feeds this function untrusted network input, so
+     no failure on arbitrary bytes may escape as an exception. The named
+     cases above keep their friendly messages; anything else degrades to
+     a generic error. Out_of_memory stays fatal: swallowing it would turn
+     exhaustion into a silent wrong answer. *)
+  | exception Stack_overflow -> Error "query too deeply nested"
+  | exception Out_of_memory -> raise Out_of_memory
+  | exception e -> Error (Printf.sprintf "internal error: %s" (Printexc.to_string e))
 
 let help =
   {|Queries are function calls over species names:

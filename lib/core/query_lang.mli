@@ -38,8 +38,10 @@ val run :
   (outcome, string) result
 (** Parse and execute one query. [rng] (default seed 0) feeds the
     sampling functions; [record] (default true) appends to the history.
-    Returns [Error message] on parse or execution failure — never
-    raises. *)
+    Returns [Error message] on parse or execution failure — never raises
+    on any input bytes (the query service feeds it untrusted network
+    input), with the sole exception of [Out_of_memory], which stays
+    fatal. *)
 
 val help : string
 (** The cheat sheet above, for the CLI. *)

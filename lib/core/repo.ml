@@ -76,8 +76,32 @@ let open_tables db =
     next_query_id = None;
   }
 
-let open_dir ?pool_size ?durable dir =
-  open_tables (Database.open_dir ?pool_size ?durable dir)
+exception Open_error of string
+
+let open_error fmt = Printf.ksprintf (fun s -> raise (Open_error s)) fmt
+
+(* The server opens repositories it must not create, and has to report a
+   clean startup failure instead of a raw [Sys_error]/[Unix_error]: every
+   failure mode of opening funnels into the one typed exception. *)
+let open_dir ?pool_size ?durable ?(create = true) dir =
+  if not create then begin
+    if not (Sys.file_exists dir) then open_error "%s: no such directory" dir;
+    if not (Sys.is_directory dir) then open_error "%s: not a directory" dir;
+    if not (Sys.file_exists (Filename.concat dir "catalog.crim")) then
+      open_error "%s: not a crimson repository (no catalog.crim)" dir
+  end;
+  match open_tables (Database.open_dir ?pool_size ?durable dir) with
+  | repo -> repo
+  | exception Sys_error msg -> open_error "cannot open repository %s: %s" dir msg
+  | exception Unix.Unix_error (e, _, arg) ->
+      open_error "cannot open repository %s: %s (%s)" dir (Unix.error_message e) arg
+  | exception Invalid_argument msg ->
+      open_error "cannot open repository %s: %s" dir msg
+  | exception Crimson_util.Codec.Corrupt msg ->
+      open_error "cannot open repository %s: corrupt catalog: %s" dir msg
+  | exception Database.Schema_mismatch msg ->
+      open_error "cannot open repository %s: schema mismatch: %s" dir msg
+
 let open_mem ?pool_size () = open_tables (Database.open_mem ?pool_size ())
 
 let database t = t.db

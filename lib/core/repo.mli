@@ -7,10 +7,21 @@ module Table = Crimson_storage.Table
 
 type t
 
-val open_dir : ?pool_size:int -> ?durable:bool -> string -> t
+exception Open_error of string
+(** Raised by {!open_dir} for every way opening can fail — missing or
+    non-directory path, a directory that is not a repository (with
+    [~create:false]), permissions, a corrupt catalog, a schema mismatch.
+    The message names the directory and the cause; no raw [Sys_error] or
+    [Unix_error] escapes, so servers and the CLI can report startup
+    failures cleanly. *)
+
+val open_dir : ?pool_size:int -> ?durable:bool -> ?create:bool -> string -> t
 (** Open or create the repositories under a directory. [pool_size] is the
     per-file buffer pool size in pages; [durable] enables write-ahead
-    logging for crash-atomic checkpoints. *)
+    logging for crash-atomic checkpoints. [create] (default [true])
+    creates the directory when absent; with [~create:false] the
+    directory must already exist and hold a repository catalog, else
+    {!Open_error} is raised. *)
 
 val open_mem : ?pool_size:int -> unit -> t
 (** Volatile repositories (tests, benchmarks). *)

@@ -1,0 +1,248 @@
+module Repo = Crimson_core.Repo
+module Stored_tree = Crimson_core.Stored_tree
+module Query_lang = Crimson_core.Query_lang
+module Json = Crimson_obs.Json
+module Metrics = Crimson_obs.Metrics
+module Span = Crimson_obs.Span
+module Prng = Crimson_util.Prng
+
+let src = Logs.Src.create "crimson.server" ~doc:"Crimson query service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  max_sessions : int;
+  request_timeout : float;
+  max_line : int;
+}
+
+let default_config = { max_sessions = 64; request_timeout = 5.0; max_line = 65536 }
+
+type session = {
+  id : int;
+  mutable tree : Stored_tree.t option;
+  mutable rng : Prng.t;
+  mutable requests : int;
+  mutable closed : bool;
+}
+
+type t = {
+  cfg : config;
+  repo : Repo.t;
+  trees : (int, Stored_tree.t) Hashtbl.t;  (* shared warm handles, by tree id *)
+  mutable next_session : int;
+  mutable active : int;
+  (* Pre-created metric handles: the per-request path does no name
+     lookups. *)
+  m_requests : Metrics.Counter.t;
+  m_errors : Metrics.Counter.t;
+  m_timeouts : Metrics.Counter.t;
+  m_accepted : Metrics.Counter.t;
+  m_rejected : Metrics.Counter.t;
+  m_closed : Metrics.Counter.t;
+  m_active : Metrics.Gauge.t;
+}
+
+let create ?(config = default_config) repo =
+  (* Register the request-latency histogram up front so a STATS before
+     the first QUERY already shows it (Span.timed feeds it by name). *)
+  ignore (Metrics.histogram "server.request_ms");
+  {
+    cfg = config;
+    repo;
+    trees = Hashtbl.create 8;
+    next_session = 1;
+    active = 0;
+    m_requests = Metrics.counter "server.requests";
+    m_errors = Metrics.counter "server.errors";
+    m_timeouts = Metrics.counter "server.timeouts";
+    m_accepted = Metrics.counter "server.sessions.accepted";
+    m_rejected = Metrics.counter "server.sessions.rejected";
+    m_closed = Metrics.counter "server.sessions.closed";
+    m_active = Metrics.gauge "server.sessions.active";
+  }
+
+let config t = t.cfg
+let repo t = t.repo
+let active_sessions t = t.active
+let session_id s = s.id
+let session_requests s = s.requests
+
+type reply = {
+  body : string;
+  close : bool;
+}
+
+let keep body = { body; close = false }
+
+(* ----------------------------- Sessions ---------------------------- *)
+
+let open_session t =
+  if t.active >= t.cfg.max_sessions then begin
+    Metrics.Counter.incr t.m_rejected;
+    Log.info (fun m -> m "session rejected: %d active (limit %d)" t.active t.cfg.max_sessions);
+    Error
+      {
+        body =
+          Wire.error
+            (Printf.sprintf "session limit reached (%d active, max %d)" t.active
+               t.cfg.max_sessions);
+        close = true;
+      }
+  end
+  else begin
+    let id = t.next_session in
+    t.next_session <- id + 1;
+    t.active <- t.active + 1;
+    Metrics.Counter.incr t.m_accepted;
+    Metrics.Gauge.set t.m_active (float_of_int t.active);
+    Log.debug (fun m -> m "session=%d opened (%d active)" id t.active);
+    Ok { id; tree = None; rng = Prng.create 0; requests = 0; closed = false }
+  end
+
+let close_session t s =
+  if not s.closed then begin
+    s.closed <- true;
+    t.active <- t.active - 1;
+    Metrics.Counter.incr t.m_closed;
+    Metrics.Gauge.set t.m_active (float_of_int t.active);
+    Log.debug (fun m -> m "session=%d closed after %d requests" s.id s.requests)
+  end
+
+(* --------------------------- Request timeout ------------------------ *)
+
+exception Timeout
+
+(* Single-threaded wall-clock bound: an ITIMER_REAL alarm whose handler
+   raises from the signal's safepoint. [Query_lang.run]'s catch-all may
+   swallow the in-flight exception, so the handler also sets a flag that
+   is checked on normal return — either way the caller sees [`Timeout].
+   Storage writes (query recording) happen outside the timed window, so
+   the alarm can never interrupt a table insert. *)
+let with_timeout seconds f =
+  if seconds <= 0.0 then Ok (f ())
+  else begin
+    let fired = ref false in
+    let old =
+      Sys.signal Sys.sigalrm
+        (Sys.Signal_handle
+           (fun _ ->
+             fired := true;
+             raise Timeout))
+    in
+    let disarm () =
+      ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = 0.0; it_interval = 0.0 });
+      Sys.set_signal Sys.sigalrm old
+    in
+    ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = seconds; it_interval = 0.0 });
+    match f () with
+    | v ->
+        disarm ();
+        if !fired then Error `Timeout else Ok v
+    | exception Timeout ->
+        disarm ();
+        Error `Timeout
+    | exception e ->
+        disarm ();
+        if !fired then Error `Timeout else raise e
+  end
+
+(* ----------------------------- Handlers ---------------------------- *)
+
+let num n = Json.Num (float_of_int n)
+
+let error t msg =
+  Metrics.Counter.incr t.m_errors;
+  keep (Wire.error msg)
+
+let protocol_error t s msg =
+  Metrics.Counter.incr t.m_errors;
+  Log.info (fun m -> m "session=%d protocol error: %s" s.id msg);
+  { body = Wire.error msg; close = true }
+
+let hello t s =
+  let trees = List.map (fun (_, name) -> Json.Str name) (Stored_tree.list_all t.repo) in
+  keep
+    (Wire.ok
+       [
+         ("server", Json.Str "crimson");
+         ("version", Json.Str "1.0.0");
+         ("session", num s.id);
+         ("max_line", num t.cfg.max_line);
+         ("trees", Json.List trees);
+       ])
+
+let use t s name =
+  match Stored_tree.open_name t.repo name with
+  | exception Stored_tree.Unknown_tree _ ->
+      error t (Printf.sprintf "no tree named %S (HELLO lists the stored trees)" name)
+  | fresh ->
+      (* Share one warm handle per tree across sessions so decoded-node
+         views survive connection churn. *)
+      let stored =
+        let id = Stored_tree.id fresh in
+        match Hashtbl.find_opt t.trees id with
+        | Some shared -> shared
+        | None ->
+            Hashtbl.add t.trees id fresh;
+            fresh
+      in
+      s.tree <- Some stored;
+      keep
+        (Wire.ok
+           [
+             ("tree", Json.Str (Stored_tree.name stored));
+             ("nodes", num (Stored_tree.node_count stored));
+             ("leaves", num (Stored_tree.leaf_count stored));
+           ])
+
+let query t s text =
+  match s.tree with
+  | None -> error t "no tree selected (USE <tree> first)"
+  | Some stored -> (
+      match
+        Repo.measure t.repo (fun () ->
+            with_timeout t.cfg.request_timeout (fun () ->
+                Query_lang.run ~rng:s.rng ~record:false t.repo stored text))
+      with
+      | Ok (Ok outcome), elapsed_ms, pages ->
+          ignore
+            (Repo.record_query t.repo ~elapsed_ms ~pages ~text
+               ~result:outcome.Query_lang.result);
+          keep
+            (Wire.ok
+               [
+                 ("result", Json.Str outcome.Query_lang.result);
+                 ("elapsed_ms", Json.Num elapsed_ms);
+                 ("pages", num pages);
+               ])
+      | Ok (Error msg), _, _ -> error t msg
+      | Error `Timeout, _, _ ->
+          Metrics.Counter.incr t.m_timeouts;
+          error t
+            (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout))
+
+let stats _t = keep (Wire.ok [ ("metrics", Metrics.to_json ()) ])
+
+let handle_line t s line =
+  s.requests <- s.requests + 1;
+  Metrics.Counter.incr t.m_requests;
+  (* The per-request span: timed into server.request_ms, traced with the
+     session id on the crimson.server source. *)
+  let reply, elapsed_ms =
+    Span.timed ~name:"server.request_ms" (fun () ->
+        match Wire.parse_command line with
+        | Error msg -> error t msg
+        | Ok Wire.Hello -> hello t s
+        | Ok (Wire.Use name) -> use t s name
+        | Ok (Wire.Seed n) ->
+            s.rng <- Prng.create n;
+            keep (Wire.ok [ ("seed", num n) ])
+        | Ok (Wire.Query text) -> query t s text
+        | Ok Wire.Stats -> stats t
+        | Ok Wire.Quit -> { body = Wire.ok [ ("bye", Json.Bool true) ]; close = true })
+  in
+  Log.debug (fun m ->
+      m "session=%d req=%d %.3fms %s" s.id s.requests elapsed_ms
+        (if String.length line > 80 then String.sub line 0 80 ^ "…" else line));
+  reply

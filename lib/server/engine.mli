@@ -1,0 +1,68 @@
+(** The protocol engine: session state and request handling over one
+    open repository, independent of any socket.
+
+    The engine is the server's brain; the event loop in {!Server} only
+    shuttles bytes. Keeping it socket-free lets protocol unit tests
+    drive sessions directly — open, handle lines, inspect replies —
+    without binding a port.
+
+    One engine holds one {!Crimson_core.Repo.t} plus a cache of open
+    {!Crimson_core.Stored_tree.t} handles shared by every session, so a
+    tree's decoded-node views stay warm across connections. Each session
+    carries its own current tree, RNG and request counter.
+
+    Telemetry: every handled line counts into [server.requests] and
+    times into the [server.request_ms] histogram; failures into
+    [server.errors], timeouts into [server.timeouts]; session churn into
+    [server.sessions.accepted]/[rejected]/[closed] and the
+    [server.sessions.active] gauge. Each request also emits a debug
+    span line on the [crimson.server] log source tagged with the
+    session id. Successful queries are recorded in the Query
+    Repository. *)
+
+type config = {
+  max_sessions : int;  (** Admission control: further sessions are rejected. *)
+  request_timeout : float;  (** Per-request wall-clock seconds; 0 disables. *)
+  max_line : int;  (** Input line-length cap in bytes (enforced by the caller's
+                       {!Wire.Line_buffer}; reported in HELLO). *)
+}
+
+val default_config : config
+(** 64 sessions, 5 s timeout, 64 KiB lines. *)
+
+type t
+
+val create : ?config:config -> Crimson_core.Repo.t -> t
+val config : t -> config
+val repo : t -> Crimson_core.Repo.t
+
+type reply = {
+  body : string;  (** One rendered reply line, LF-terminated. *)
+  close : bool;  (** Close the session after sending [body]. *)
+}
+
+type session
+
+val open_session : t -> (session, reply) result
+(** [Error reply] when the session limit is reached — the reply is the
+    rejection line to send before closing the connection. *)
+
+val close_session : t -> session -> unit
+(** Idempotent. *)
+
+val session_id : session -> int
+val session_requests : session -> int
+val active_sessions : t -> int
+
+val handle_line : t -> session -> string -> reply
+(** Handle one request line (terminator already stripped). Never raises:
+    malformed input, unknown trees, failing queries and timeouts all
+    come back as [{"ok":false,...}] replies with [close = false]; only
+    QUIT closes. *)
+
+val protocol_error : t -> session -> string -> reply
+(** A framing-level violation detected by the transport (line overflow):
+    counts an error and returns a closing rejection reply. *)
+
+val src : Logs.src
+(** The [crimson.server] log source. *)

@@ -1,0 +1,30 @@
+(** The Crimson query service: a single-process, single-threaded
+    [Unix.select] event loop serving the {!Wire} protocol over TCP or a
+    Unix-domain socket.
+
+    One process holds one open repository (and its warm stored-tree
+    views, shared across sessions by the {!Engine}); requests execute
+    synchronously on the event loop — matching the system's
+    single-threaded span and storage assumptions — so concurrency is
+    between sessions' I/O, never inside the storage engine.
+
+    Robustness: admission control (over-limit connects receive a
+    rejection line and are closed, never left hanging), a per-request
+    wall-clock timeout, an input line cap, and malformed input answered
+    with protocol errors. SIGINT/SIGTERM trigger a graceful drain: stop
+    accepting, flush every pending reply, close sessions, remove the
+    Unix socket file, return. *)
+
+val run :
+  ?config:Engine.config ->
+  ?on_ready:(Unix.sockaddr -> unit) ->
+  Crimson_core.Repo.t ->
+  Wire.addr ->
+  unit
+(** Bind, listen and serve until SIGINT/SIGTERM. [on_ready] is called
+    once with the bound address (reports the kernel-chosen port when
+    listening on port 0). Raises {!Bind_error} when the address cannot
+    be bound; never raises out of the serving loop itself. The caller
+    still owns (and closes) the repository. *)
+
+exception Bind_error of string

@@ -1,0 +1,75 @@
+(** The Crimson wire protocol: addresses, framing, requests, replies.
+
+    The query service speaks a line-oriented protocol: each request is
+    one LF-terminated line (a trailing CR is stripped, so both netcat
+    and CRLF clients work), and each reply is exactly one line of JSON
+    rendered by {!Crimson_obs.Json} — [{"ok":true, ...}] on success,
+    [{"ok":false,"error":"..."}] on failure. Request grammar:
+
+    {v
+    HELLO                 server banner, session id, stored tree names
+    USE <tree>            select the session's tree
+    SEED <n>              reseed the session RNG (sampling determinism)
+    QUERY <text>          run a Query_lang expression on the session tree
+    STATS                 telemetry registry snapshot as JSON
+    QUIT                  close the session
+    v}
+
+    Verbs are case-insensitive; everything after the first space is the
+    payload, verbatim. This module is pure (no sockets): the server and
+    the client share it, and tests drive it directly. *)
+
+(** {1 Addresses} *)
+
+type addr =
+  | Tcp of string * int  (** host, port *)
+  | Unix_path of string  (** filesystem socket path *)
+
+val parse_addr : string -> (addr, string) result
+(** Accepts [unix:PATH], [HOST:PORT], [:PORT] (localhost) and bare
+    [PORT]. *)
+
+val addr_to_string : addr -> string
+(** Inverse of {!parse_addr}, for banners and error messages. *)
+
+(** {1 Requests} *)
+
+type command =
+  | Hello
+  | Use of string
+  | Seed of int
+  | Query of string
+  | Stats
+  | Quit
+
+val parse_command : string -> (command, string) result
+(** Parse one request line (already stripped of its terminator). Never
+    raises; the error is a human-readable protocol diagnostic. *)
+
+(** {1 Framing} *)
+
+module Line_buffer : sig
+  type t
+
+  val create : max_line:int -> t
+  (** [max_line] caps one request line in bytes — the server's defence
+      against unbounded buffering by a client that never sends LF. *)
+
+  val feed : t -> string -> (string list, string) result
+  (** Append received bytes; returns the newly completed lines, oldest
+      first, with LF consumed and one trailing CR stripped. [Error msg]
+      once any line (complete or still accumulating) exceeds [max_line];
+      the buffer is then poisoned and every later [feed] fails too — the
+      session must be closed. *)
+
+  val pending : t -> int
+  (** Bytes buffered towards the next (incomplete) line. *)
+end
+
+(** {1 Replies} *)
+
+val ok : (string * Crimson_obs.Json.t) list -> string
+(** One reply line: [{"ok":true, <fields>}] plus the LF terminator. *)
+
+val error : string -> string
+(** One reply line: [{"ok":false,"error":<msg>}] plus the terminator. *)

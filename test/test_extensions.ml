@@ -125,6 +125,56 @@ let test_query_records_history () =
       check Alcotest.bool "result" true (contains "x" result)
   | _ -> Alcotest.fail "unexpected history"
 
+let test_query_never_raises () =
+  (* Arbitrary bytes — adversarial cases plus deterministic random fuzz —
+     must come back as Ok/Error, never as an exception. *)
+  let repo, stored = load_figure1 () in
+  let feed q =
+    match Query_lang.run ~record:false repo stored q with
+    | Ok _ | Error _ -> ()
+    | exception e ->
+        Alcotest.failf "query %S raised %s" q (Printexc.to_string e)
+  in
+  let nasty =
+    [
+      "";
+      " ";
+      "(((((";
+      "lca(((((";
+      "lca" ^ String.concat "" (List.init 200 (fun _ -> "(a,"));
+      "sample(nan)";
+      "sample(-1)";
+      "sample(99999999999999999999999999)";
+      "depth(#99999999999999999999)";
+      "depth(#-1)";
+      "depth('unterminated";
+      "depth('')";
+      "match('";
+      "match('(((((')";
+      "\x00\x01\x02\xff";
+      "lca(\x00, \xff)";
+      String.make 10000 'x';
+      "seq()";
+      "frontier(inf)";
+      "frontier(-3.0)";
+      "project()";
+      "children(,)";
+      ",,,";
+      "lca(Lla, Spy));;";
+    ]
+  in
+  List.iter feed nasty;
+  let rng = Prng.create 99 in
+  for _ = 1 to 500 do
+    let len = Prng.int rng 40 in
+    feed (String.init len (fun _ -> Char.chr (Prng.int rng 256)))
+  done;
+  (* Fuzz around valid syntax too: random bytes inside a call shape. *)
+  for _ = 1 to 200 do
+    let chunk n = String.init n (fun _ -> Char.chr (32 + Prng.int rng 96)) in
+    feed (Printf.sprintf "lca(%s, %s)" (chunk (Prng.int rng 8)) (chunk (Prng.int rng 8)))
+  done
+
 let test_query_deterministic_sampling () =
   let repo, stored = load_figure1 () in
   let a = Query_lang.run ~rng:(Prng.create 5) ~record:false repo stored "sample(3)" in
@@ -370,6 +420,8 @@ let () =
           Alcotest.test_case "quotes and node ids" `Quick test_query_quoted_and_node_ids;
           Alcotest.test_case "info and seq" `Quick test_query_info_and_seq;
           Alcotest.test_case "errors" `Quick test_query_errors;
+          Alcotest.test_case "never raises on arbitrary bytes" `Quick
+            test_query_never_raises;
           Alcotest.test_case "history recording" `Quick test_query_records_history;
           Alcotest.test_case "deterministic sampling" `Quick
             test_query_deterministic_sampling;

@@ -1,0 +1,469 @@
+(* Tests for the Crimson query service: wire framing and command
+   parsing, the protocol engine's session state and admission control,
+   repository-open failure modes, and an end-to-end smoke test that
+   forks a real server on a Unix socket, drives it from concurrent
+   client processes, and checks answers against direct library calls. *)
+
+module Tree = Crimson_tree.Tree
+module Repo = Crimson_core.Repo
+module Stored_tree = Crimson_core.Stored_tree
+module Loader = Crimson_core.Loader
+module Query_lang = Crimson_core.Query_lang
+module Models = Crimson_sim.Models
+module Prng = Crimson_util.Prng
+module Json = Crimson_obs.Json
+module Metrics = Crimson_obs.Metrics
+module Wire = Crimson_server.Wire
+module Engine = Crimson_server.Engine
+module Server = Crimson_server.Server
+module Client = Crimson_server.Client
+
+let check = Alcotest.check
+
+let contains needle hay =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+(* ------------------------------ Wire -------------------------------- *)
+
+let test_parse_addr () =
+  let ok s = match Wire.parse_addr s with Ok a -> a | Error e -> Alcotest.fail e in
+  (match ok "unix:/tmp/x.sock" with
+  | Wire.Unix_path p -> check Alcotest.string "unix path" "/tmp/x.sock" p
+  | _ -> Alcotest.fail "expected unix path");
+  (match ok "localhost:7000" with
+  | Wire.Tcp (h, p) ->
+      check Alcotest.string "host" "localhost" h;
+      check Alcotest.int "port" 7000 p
+  | _ -> Alcotest.fail "expected tcp");
+  (match ok ":7001" with
+  | Wire.Tcp (h, p) ->
+      check Alcotest.string "default host" "127.0.0.1" h;
+      check Alcotest.int "port" 7001 p
+  | _ -> Alcotest.fail "expected tcp");
+  (match ok "7002" with
+  | Wire.Tcp (_, p) -> check Alcotest.int "bare port" 7002 p
+  | _ -> Alcotest.fail "expected tcp");
+  List.iter
+    (fun bad ->
+      match Wire.parse_addr bad with
+      | Ok _ -> Alcotest.failf "address %S should not parse" bad
+      | Error _ -> ())
+    [ ""; "unix:"; "host:99999"; "host:port"; "not an address" ];
+  (* round trip *)
+  check Alcotest.string "to_string" "unix:/a" (Wire.addr_to_string (ok "unix:/a"));
+  check Alcotest.string "to_string tcp" "h:1" (Wire.addr_to_string (ok "h:1"))
+
+let test_parse_command () =
+  let ok line = match Wire.parse_command line with Ok c -> c | Error e -> Alcotest.fail e in
+  check Alcotest.bool "hello" true (ok "HELLO" = Wire.Hello);
+  check Alcotest.bool "hello lowercase" true (ok "hello" = Wire.Hello);
+  check Alcotest.bool "use" true (ok "USE gold" = Wire.Use "gold");
+  check Alcotest.bool "use spaces" true (ok "  use   my tree  " = Wire.Use "my tree");
+  check Alcotest.bool "seed" true (ok "SEED 42" = Wire.Seed 42);
+  check Alcotest.bool "query" true (ok "QUERY lca(A, B)" = Wire.Query "lca(A, B)");
+  check Alcotest.bool "stats" true (ok "STATS" = Wire.Stats);
+  check Alcotest.bool "quit" true (ok "quit" = Wire.Quit);
+  List.iter
+    (fun bad ->
+      match Wire.parse_command bad with
+      | Ok _ -> Alcotest.failf "command %S should not parse" bad
+      | Error _ -> ())
+    [ ""; "   "; "USE"; "SEED"; "SEED x"; "QUERY"; "HELLO there"; "FROBNICATE 1" ]
+
+let test_line_buffer () =
+  let lb = Wire.Line_buffer.create ~max_line:32 in
+  let feed s = match Wire.Line_buffer.feed lb s with
+    | Ok lines -> lines
+    | Error e -> Alcotest.failf "unexpected framing error: %s" e
+  in
+  check (Alcotest.list Alcotest.string) "partial" [] (feed "HEL");
+  check (Alcotest.list Alcotest.string) "completes" [ "HELLO" ] (feed "LO\n");
+  check (Alcotest.list Alcotest.string) "two at once + CR" [ "A"; "B" ] (feed "A\r\nB\nrest");
+  check Alcotest.int "pending" 4 (Wire.Line_buffer.pending lb);
+  check (Alcotest.list Alcotest.string) "rest completes" [ "rest" ] (feed "\n");
+  (* Overflow: a line longer than max_line poisons the buffer. *)
+  (match Wire.Line_buffer.feed lb (String.make 40 'x') with
+  | Error e -> check Alcotest.bool "overflow names the cap" true (contains "32" e)
+  | Ok _ -> Alcotest.fail "expected overflow");
+  (match Wire.Line_buffer.feed lb "short\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "poisoned buffer must stay in error")
+
+(* ------------------------------ Engine ------------------------------ *)
+
+let load_test_repo () =
+  let repo = Repo.open_mem () in
+  let tree = Models.yule ~rng:(Prng.create 7) ~leaves:40 () in
+  let stored = (Loader.load_tree ~f:4 repo ~name:"gold" tree).Loader.tree in
+  (repo, stored)
+
+let body (r : Engine.reply) = r.Engine.body
+
+let reply_json r = Json.parse (String.trim (body r))
+
+let field name r =
+  match Json.member name (reply_json r) with
+  | Some v -> v
+  | None -> Alcotest.failf "reply lacks %S: %s" name (body r)
+
+let is_ok r = match Json.member "ok" (reply_json r) with
+  | Some (Json.Bool b) -> b
+  | _ -> false
+
+let expect_ok r =
+  if not (is_ok r) then Alcotest.failf "expected ok reply, got %s" (body r);
+  r
+
+let expect_err r =
+  if is_ok r then Alcotest.failf "expected error reply, got %s" (body r);
+  (match field "error" r with Json.Str _ -> () | _ -> Alcotest.fail "error not a string");
+  r
+
+let test_engine_sessions () =
+  let repo, stored = load_test_repo () in
+  let config = { Engine.default_config with Engine.max_sessions = 2 } in
+  let t = Engine.create ~config repo in
+  let s1 = match Engine.open_session t with Ok s -> s | Error _ -> Alcotest.fail "s1" in
+  let s2 = match Engine.open_session t with Ok s -> s | Error _ -> Alcotest.fail "s2" in
+  check Alcotest.int "two active" 2 (Engine.active_sessions t);
+  (* Admission control: the third session is rejected with a closing
+     protocol error, and the engine stays at two. *)
+  (match Engine.open_session t with
+  | Ok _ -> Alcotest.fail "third session should be rejected"
+  | Error r ->
+      check Alcotest.bool "rejection closes" true r.Engine.close;
+      ignore (expect_err r);
+      check Alcotest.bool "rejection names the limit" true (contains "limit" (body r)));
+  (* HELLO reports the session id and stored trees. *)
+  let r = expect_ok (Engine.handle_line t s1 "HELLO") in
+  check Alcotest.bool "hello lists gold" true (contains "gold" (body r));
+  (match field "session" r with
+  | Json.Num v -> check Alcotest.int "session id" (Engine.session_id s1) (int_of_float v)
+  | _ -> Alcotest.fail "session id not a number");
+  (* QUERY before USE is a protocol error that keeps the session. *)
+  let r = expect_err (Engine.handle_line t s1 "QUERY info()") in
+  check Alcotest.bool "names USE" true (contains "USE" (body r));
+  check Alcotest.bool "keeps session" false r.Engine.close;
+  (* USE unknown tree errors; USE gold works and reports shape. *)
+  ignore (expect_err (Engine.handle_line t s1 "USE nope"));
+  let r = expect_ok (Engine.handle_line t s1 "USE gold") in
+  (match field "leaves" r with
+  | Json.Num v ->
+      check Alcotest.int "leaf count" (Stored_tree.leaf_count stored) (int_of_float v)
+  | _ -> Alcotest.fail "leaves not a number");
+  (* Queries match direct library calls, including seeded sampling. *)
+  ignore (expect_ok (Engine.handle_line t s1 "SEED 5"));
+  let direct q =
+    match Query_lang.run ~rng:(Prng.create 5) ~record:false repo stored q with
+    | Ok o -> o.Query_lang.result
+    | Error e -> Alcotest.failf "direct query failed: %s" e
+  in
+  let served q =
+    match field "result" (expect_ok (Engine.handle_line t s1 ("QUERY " ^ q))) with
+    | Json.Str s -> s
+    | _ -> Alcotest.fail "result not a string"
+  in
+  check Alcotest.string "sample(3) deterministic" (direct "sample(3)") (served "sample(3)");
+  check Alcotest.string "lca" (direct "lca(T0, T7)") (served "lca(T0, T7)");
+  (* Sessions are independent: s2 still has no tree. *)
+  ignore (expect_err (Engine.handle_line t s2 "QUERY info()"));
+  (* Malformed input is an error reply, never a crash, session kept. *)
+  let r = expect_err (Engine.handle_line t s1 "QUERY lca(((((") in
+  check Alcotest.bool "malformed keeps session" false r.Engine.close;
+  ignore (expect_err (Engine.handle_line t s1 "BOGUS"));
+  ignore (expect_err (Engine.handle_line t s1 ""));
+  (* STATS carries the registry, including server counters. *)
+  let r = expect_ok (Engine.handle_line t s2 "STATS") in
+  check Alcotest.bool "stats has registry" true (contains "server.requests" (body r));
+  (* QUIT closes; close_session is idempotent and decrements. *)
+  let r = expect_ok (Engine.handle_line t s1 "QUIT") in
+  check Alcotest.bool "quit closes" true r.Engine.close;
+  Engine.close_session t s1;
+  Engine.close_session t s1;
+  check Alcotest.int "one active" 1 (Engine.active_sessions t);
+  (* A slot freed by QUIT admits a new session. *)
+  (match Engine.open_session t with
+  | Ok s3 -> Engine.close_session t s3
+  | Error _ -> Alcotest.fail "freed slot should admit");
+  Engine.close_session t s2;
+  check Alcotest.int "none active" 0 (Engine.active_sessions t)
+
+let test_engine_metrics () =
+  Metrics.reset_all ();
+  let repo, _stored = load_test_repo () in
+  let t = Engine.create repo in
+  let s = match Engine.open_session t with Ok s -> s | Error _ -> Alcotest.fail "open" in
+  ignore (Engine.handle_line t s "HELLO");
+  ignore (Engine.handle_line t s "USE gold");
+  ignore (Engine.handle_line t s "QUERY lca(T0, T1)");
+  ignore (Engine.handle_line t s "NOT A COMMAND");
+  Engine.close_session t s;
+  check Alcotest.int "requests counted" 4 (Metrics.counter_value "server.requests");
+  check Alcotest.int "errors counted" 1 (Metrics.counter_value "server.errors");
+  check Alcotest.int "accepted" 1 (Metrics.counter_value "server.sessions.accepted");
+  check Alcotest.int "closed" 1 (Metrics.counter_value "server.sessions.closed");
+  (match Metrics.find "server.request_ms" with
+  | Some (Metrics.Histogram h) ->
+      check Alcotest.int "latencies observed" 4 (Metrics.Histogram.count h)
+  | _ -> Alcotest.fail "server.request_ms not registered");
+  (* The engine records served queries in the Query Repository. *)
+  check Alcotest.bool "query recorded" true
+    (List.exists (fun (_, _, text, _, _, _) -> text = "lca(T0, T1)") (Repo.history repo))
+
+let test_request_timeout () =
+  (* A pathological query (deeply nested pattern parse is fast; use a
+     huge sample instead? sampling validates k) — the reliable slow path
+     is a clade over many species on a large tree. Rather than depend on
+     machine speed, drive with_timeout indirectly: a 50 ms limit against
+     a query that spins via repeated projection. Simpler and robust: a
+     tiny limit and a query that always takes longer than it. *)
+  let repo = Repo.open_mem () in
+  let tree = Models.caterpillar ~rng:(Prng.create 3) ~leaves:4000 () in
+  ignore (Loader.load_tree ~f:8 repo ~name:"deep" tree);
+  let config = { Engine.default_config with Engine.request_timeout = 0.001 } in
+  let t = Engine.create ~config repo in
+  let s = match Engine.open_session t with Ok s -> s | Error _ -> Alcotest.fail "open" in
+  ignore (expect_ok (Engine.handle_line t s "USE deep"));
+  let r = Engine.handle_line t s "QUERY project(T0, T1000, T2000, T3000, T3999)" in
+  if is_ok r then
+    (* Machine fast enough to beat 1 ms: not a failure of the timeout
+       machinery, but the timeout path went unexercised. *)
+    check Alcotest.bool "timeout untriggered but no crash" true true
+  else begin
+    check Alcotest.bool "timeout reported" true (contains "timed out" (body r));
+    check Alcotest.bool "session survives timeout" false r.Engine.close;
+    check Alcotest.bool "timeout counted" true
+      (Metrics.counter_value "server.timeouts" > 0)
+  end;
+  (* The session keeps answering after a timeout. *)
+  ignore (expect_ok (Engine.handle_line t s "QUERY depth(T3)"));
+  Engine.close_session t s
+
+(* --------------------------- Repo.open_dir -------------------------- *)
+
+let with_tmp_dir f =
+  let dir = Filename.temp_file "crimson_srv" ".d" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let rec rm path =
+    if Sys.is_directory path then begin
+      Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+    end
+    else Sys.remove path
+  in
+  Fun.protect ~finally:(fun () -> if Sys.file_exists dir then rm dir) (fun () -> f dir)
+
+let test_open_dir_errors () =
+  with_tmp_dir (fun dir ->
+      let missing = Filename.concat dir "absent" in
+      (match Repo.open_dir ~create:false missing with
+      | exception Repo.Open_error msg ->
+          check Alcotest.bool "names missing dir" true (contains "no such directory" msg)
+      | _ -> Alcotest.fail "missing dir should not open");
+      (* An existing directory without a catalog is not a repository. *)
+      let empty = Filename.concat dir "empty" in
+      Unix.mkdir empty 0o755;
+      (match Repo.open_dir ~create:false empty with
+      | exception Repo.Open_error msg ->
+          check Alcotest.bool "names the catalog" true (contains "catalog" msg)
+      | _ -> Alcotest.fail "non-repository should not open");
+      (* A file path is not a directory, with create either way. *)
+      let file = Filename.concat dir "plain" in
+      let oc = open_out file in
+      output_string oc "x";
+      close_out oc;
+      (match Repo.open_dir ~create:false file with
+      | exception Repo.Open_error _ -> ()
+      | _ -> Alcotest.fail "file path should not open");
+      (match Repo.open_dir file with
+      | exception Repo.Open_error _ -> ()
+      | _ -> Alcotest.fail "file path should not open with create");
+      (* create:false on a real repository works. *)
+      let repo_dir = Filename.concat dir "repo" in
+      let repo = Repo.open_dir repo_dir in
+      Repo.close repo;
+      let repo = Repo.open_dir ~create:false repo_dir in
+      Repo.close repo)
+
+(* --------------------------- End-to-end ----------------------------- *)
+
+(* The smoke test the acceptance criteria name: a forked server on an
+   ephemeral Unix socket, >= 3 concurrent scripted client processes
+   whose answers must match direct library calls, admission-control
+   rejection, and a clean SIGTERM drain (exit 0). *)
+
+let smoke_queries =
+  [
+    "info()";
+    "lca(T0, T7)";
+    "clade(T1, T2, T3)";
+    "distance(T0, T9)";
+    "sample(5)";
+    "depth(T4)";
+    "parent(T5)";
+  ]
+
+let test_e2e_smoke () =
+  with_tmp_dir (fun dir ->
+      let repo_dir = Filename.concat dir "repo" in
+      let sock = Filename.concat dir "s.sock" in
+      (* Build the repository and pre-compute expected answers with
+         direct library calls, before the server owns the directory. *)
+      let expected =
+        let repo = Repo.open_dir repo_dir in
+        let tree = Models.yule ~rng:(Prng.create 11) ~leaves:30 () in
+        let stored = (Loader.load_tree ~f:4 repo ~name:"gold" tree).Loader.tree in
+        let rng = Prng.create 5 in
+        let answers =
+          List.map
+            (fun q ->
+              match Query_lang.run ~rng ~record:false repo stored q with
+              | Ok o -> (q, o.Query_lang.result)
+              | Error e -> Alcotest.failf "direct %S failed: %s" q e)
+            smoke_queries
+        in
+        Repo.close repo;
+        answers
+      in
+      (* Fork the server. *)
+      flush stdout;
+      flush stderr;
+      let server_pid =
+        match Unix.fork () with
+        | 0 ->
+            let repo = Repo.open_dir ~create:false repo_dir in
+            let config =
+              {
+                Engine.max_sessions = 3;
+                request_timeout = 10.0;
+                max_line = 4096;
+              }
+            in
+            Fun.protect
+              ~finally:(fun () -> Repo.close repo)
+              (fun () -> Server.run ~config repo (Wire.Unix_path sock));
+            Unix._exit 0
+        | pid -> pid
+      in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while (not (Sys.file_exists sock)) && Unix.gettimeofday () < deadline do
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      check Alcotest.bool "socket appears" true (Sys.file_exists sock);
+      Fun.protect
+        ~finally:(fun () ->
+          (* Belt and braces: never leave a server behind on failure. *)
+          (try Unix.kill server_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] server_pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Three concurrent scripted clients; each checks every answer
+             against the pre-computed direct results (same SEED). *)
+          flush stdout;
+          flush stderr;
+          let clients =
+            List.init 3 (fun _ ->
+                match Unix.fork () with
+                | 0 ->
+                    let status =
+                      try
+                        let c = Client.connect (Wire.Unix_path sock) in
+                        if not (Client.ok (Client.request c "HELLO")) then Unix._exit 3;
+                        if not (Client.ok (Client.request c "USE gold")) then Unix._exit 4;
+                        if not (Client.ok (Client.request c "SEED 5")) then Unix._exit 5;
+                        let bad = ref 0 in
+                        List.iter
+                          (fun (q, want) ->
+                            let reply = Client.request c ("QUERY " ^ q) in
+                            match Client.str_field "result" reply with
+                            | Some got when got = want -> ()
+                            | _ -> incr bad)
+                          expected;
+                        (* Malformed input must answer, not disconnect. *)
+                        let r = Client.request c "QUERY lca(((((" in
+                        if Client.ok r then incr bad;
+                        let r = Client.request c "NONSENSE" in
+                        if Client.ok r then incr bad;
+                        ignore (Client.request c "QUIT");
+                        Client.close c;
+                        if !bad = 0 then 0 else 1
+                      with _ -> 2
+                    in
+                    Unix._exit status
+                | pid -> pid)
+          in
+          List.iter
+            (fun pid ->
+              match Unix.waitpid [] pid with
+              | _, Unix.WEXITED 0 -> ()
+              | _, Unix.WEXITED n -> Alcotest.failf "client exited %d" n
+              | _, _ -> Alcotest.fail "client killed")
+            clients;
+          (* Admission control: fill all 3 slots, the 4th connection is
+             rejected with a protocol error (not a hang). *)
+          let held = List.init 3 (fun _ -> Client.connect (Wire.Unix_path sock)) in
+          List.iter (fun c -> ignore (Client.request c "HELLO")) held;
+          let over = Client.connect (Wire.Unix_path sock) in
+          (match Client.read_line over with
+          | Some line ->
+              let j = Json.parse line in
+              check Alcotest.bool "rejection is an error" false (Client.ok j);
+              check Alcotest.bool "rejection names the limit" true
+                (contains "limit" line)
+          | None -> Alcotest.fail "over-limit connect saw EOF before the rejection");
+          check Alcotest.bool "rejected connection closed" true
+            (Client.read_line over = None);
+          Client.close over;
+          (* A freed slot admits again. *)
+          (match held with
+          | first :: _ ->
+              ignore (Client.request first "QUIT");
+              Client.close first
+          | [] -> assert false);
+          let again = Client.connect (Wire.Unix_path sock) in
+          check Alcotest.bool "freed slot admits" true
+            (Client.ok (Client.request again "HELLO"));
+          (* One in-flight session with pending state: server queries are
+             recorded; now drain. SIGTERM must flush and exit 0. *)
+          ignore (Client.request again "USE gold");
+          ignore (Client.request again "QUERY lca(T0, T1)");
+          Unix.kill server_pid Sys.sigterm;
+          (match Unix.waitpid [] server_pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, Unix.WEXITED n -> Alcotest.failf "server exited %d on SIGTERM" n
+          | _, Unix.WSIGNALED n -> Alcotest.failf "server killed by signal %d" n
+          | _, _ -> Alcotest.fail "server stopped");
+          check Alcotest.bool "socket removed on shutdown" false (Sys.file_exists sock);
+          Client.close again;
+          List.iter (fun c -> Client.close c) (List.tl held);
+          (* The server's Query Repository writes reached disk. *)
+          let repo = Repo.open_dir ~create:false repo_dir in
+          let served =
+            List.filter (fun (_, _, text, _, _, _) -> text = "lca(T0, T7)")
+              (Repo.history repo)
+          in
+          check Alcotest.bool "server recorded queries" true (List.length served >= 3);
+          Repo.close repo))
+
+let () =
+  Alcotest.run "crimson_server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "parse_addr" `Quick test_parse_addr;
+          Alcotest.test_case "parse_command" `Quick test_parse_command;
+          Alcotest.test_case "line buffer framing" `Quick test_line_buffer;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "sessions and admission" `Quick test_engine_sessions;
+          Alcotest.test_case "metrics and recording" `Quick test_engine_metrics;
+          Alcotest.test_case "request timeout" `Quick test_request_timeout;
+        ] );
+      ( "repo",
+        [ Alcotest.test_case "open_dir typed errors" `Quick test_open_dir_errors ] );
+      ( "e2e",
+        [ Alcotest.test_case "concurrent smoke" `Slow test_e2e_smoke ] );
+    ]
