@@ -2,7 +2,7 @@
 # green. Formatting runs only where ocamlformat is installed, so the
 # target works in minimal containers too.
 
-.PHONY: all check build test fmt bench clean server-smoke serve-demo
+.PHONY: all check build test fmt bench bench-snapshot clean server-smoke trace-smoke serve-demo
 
 all: build
 
@@ -19,7 +19,7 @@ fmt:
 		echo "ocamlformat not installed; skipping dune fmt"; \
 	fi
 
-check: build test fmt server-smoke
+check: build test fmt server-smoke trace-smoke
 
 # The end-to-end server test forks a real `crimson_server` on a Unix
 # socket and drives it with concurrent clients; running it on its own
@@ -27,6 +27,12 @@ check: build test fmt server-smoke
 # when only the service layer breaks.
 server-smoke:
 	dune exec test/test_server.exe -- test e2e
+
+# The trace pipeline end to end: serve a repository with slowlog_ms=0
+# and a JSONL trace sink, run scripted queries, and assert the SLOWLOG
+# and METRICS replies parse and the sink file rotates.
+trace-smoke:
+	dune exec test/test_trace.exe -- test e2e
 
 # Simulate a small repository and serve it on the default address.
 # Ctrl-C drains and exits; talk to it with
@@ -39,6 +45,12 @@ serve-demo:
 
 bench:
 	dune exec bench/main.exe
+
+# Persist each experiment's BENCH payload as BENCH_<exp>.json at the
+# repository root (CI uploads them as artifacts). BENCH selects a
+# subset, e.g. `make bench-snapshot BENCH="E1 E6"`.
+bench-snapshot:
+	CRIMSON_BENCH_SNAPSHOT=$(CURDIR) dune exec bench/main.exe -- $(BENCH)
 
 clean:
 	dune clean

@@ -35,7 +35,20 @@ let emit_bench ~experiment ?(fields = []) () =
       ((("experiment", Json.Str experiment) :: fields)
       @ [ ("metrics", metrics_snapshot ()) ])
   in
-  Printf.printf "BENCH %s\n%!" (Json.to_string line)
+  Printf.printf "BENCH %s\n%!" (Json.to_string line);
+  (* `make bench-snapshot` persists each experiment's BENCH payload as
+     BENCH_<exp>.json in $CRIMSON_BENCH_SNAPSHOT, so CI can upload the
+     trajectory as an artifact instead of grepping stdout. *)
+  match Sys.getenv_opt "CRIMSON_BENCH_SNAPSHOT" with
+  | None -> ()
+  | Some dir ->
+      let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" experiment) in
+      let oc = open_out path in
+      Fun.protect
+        ~finally:(fun () -> close_out_noerr oc)
+        (fun () ->
+          output_string oc (Json.to_string line);
+          output_char oc '\n')
 
 (* Milliseconds of one call. *)
 let time_once f =

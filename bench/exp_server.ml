@@ -44,6 +44,9 @@ let fork_server ~repo_dir ~sock =
   flush stderr;
   match Unix.fork () with
   | 0 ->
+      (* The child must never inherit the parent's open span stack or
+         trace sink fd. *)
+      Crimson_obs.Trace.child_reset ();
       let repo = Repo.open_dir ~create:false repo_dir in
       let config =
         { Engine.default_config with Engine.max_sessions = 64; request_timeout = 10.0 }
@@ -63,6 +66,7 @@ let fork_client ~sock ~seed =
   flush stderr;
   match Unix.fork () with
   | 0 ->
+      Crimson_obs.Trace.child_reset ();
       let status =
         try
           let c = Client.connect (Wire.Unix_path sock) in

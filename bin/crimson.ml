@@ -34,14 +34,23 @@ let print_registry () =
   let text = Crimson_obs.Metrics.to_text () in
   if text <> "" then print_string text
 
-let setup_logs style_renderer level metrics =
+(* Returns the --trace-out path so `serve` can fold it into its engine
+   config (with its own rotation cap) instead of defining a second flag
+   of the same name. *)
+let setup_logs style_renderer level metrics trace_out =
   Fmt_tty.setup_std_outputs ?style_renderer ();
   Logs.set_level level;
   Logs.set_reporter (Logs_fmt.reporter ());
+  (match trace_out with
+  | Some path ->
+      Crimson_obs.Trace.set_sink (Some path);
+      at_exit Crimson_obs.Trace.flush
+  | None -> ());
   if metrics then
     at_exit (fun () ->
         print_string "\n-- telemetry registry --\n";
-        print_registry ())
+        print_registry ());
+  trace_out
 
 let metrics_flag =
   Arg.(value & flag
@@ -49,10 +58,18 @@ let metrics_flag =
            ~doc:"Print the telemetry registry (counters, gauges, latency histograms) \
                  after the command finishes.")
 
-(* Threaded through every subcommand, so --metrics and the log options
-   are global flags. *)
+let trace_out_flag =
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE"
+           ~doc:"Append every completed trace record (one request's span tree) as one \
+                 JSON line to $(docv). Crash-safe append; rotates $(docv) to \
+                 $(docv).1 at 64 MiB.")
+
+(* Threaded through every subcommand, so --metrics, --trace-out and the
+   log options are global flags. *)
 let logging =
-  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level () $ metrics_flag)
+  Term.(const setup_logs $ Fmt_cli.style_renderer () $ Logs_cli.level () $ metrics_flag
+        $ trace_out_flag)
 
 let repo_arg =
   let doc = "Repository directory (created if absent)." in
@@ -124,7 +141,7 @@ let load_cmd =
     Arg.(value & flag & info [ "structure-only" ]
          ~doc:"Ignore species data in the input (load the tree structure only).")
   in
-  let run () dir file name f structure_only =
+  let run _ dir file name f structure_only =
     guarded (fun () ->
         with_repo dir (fun repo ->
             let is_nexus =
@@ -178,7 +195,7 @@ let load_cmd =
 (* ------------------------------- list ------------------------------ *)
 
 let list_cmd =
-  let run () dir =
+  let run _ dir =
     guarded (fun () ->
         with_repo dir (fun repo ->
             let trees = Stored_tree.list_all repo in
@@ -199,7 +216,7 @@ let list_cmd =
 (* ------------------------------ delete ----------------------------- *)
 
 let delete_cmd =
-  let run () dir name =
+  let run _ dir name =
     guarded (fun () ->
         with_tree dir name (fun repo stored ->
             Loader.delete_tree repo stored;
@@ -215,7 +232,7 @@ let species_pos =
   Arg.(non_empty & pos_all string [] & info [] ~docv:"SPECIES" ~doc:"Species names.")
 
 let lca_cmd =
-  let run () dir tree names =
+  let run _ dir tree names =
     guarded (fun () ->
         with_tree dir tree (fun repo stored ->
             match resolve_names stored names with
@@ -241,7 +258,7 @@ let lca_cmd =
 (* ------------------------------ clade ------------------------------ *)
 
 let clade_cmd =
-  let run () dir tree names =
+  let run _ dir tree names =
     guarded (fun () ->
         with_tree dir tree (fun repo stored ->
             match resolve_names stored names with
@@ -310,7 +327,7 @@ let project_cmd =
     Arg.(value & opt (some float) None & info [ "time" ] ~docv:"T"
          ~doc:"With --sample: sample with respect to evolutionary time T (paper §2.2).")
   in
-  let run () dir tree names sample_k time seed fmt out =
+  let run _ dir tree names sample_k time seed fmt out =
     guarded (fun () ->
         with_tree dir tree (fun repo stored ->
             let selection =
@@ -358,7 +375,7 @@ let match_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"PATTERN"
          ~doc:"Newick file holding the pattern tree.")
   in
-  let run () dir tree pattern_file =
+  let run _ dir tree pattern_file =
     guarded (fun () ->
         with_tree dir tree (fun repo stored ->
             let pattern = Newick.parse_file pattern_file in
@@ -406,7 +423,7 @@ let simulate_cmd =
     Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE"
          ~doc:"Output NEXUS file.")
   in
-  let run () model leaves height seq_len seed out =
+  let run _ model leaves height seq_len seed out =
     guarded (fun () ->
         let rng = Prng.create seed in
         let tree =
@@ -465,7 +482,7 @@ let benchmark_cmd =
          & info [ "algorithms" ] ~docv:"A,B"
              ~doc:"Algorithms: nj, nj-k2p, nj-p, upgma, parsimony.")
   in
-  let run () dir tree k len reps time algos seed =
+  let run _ dir tree k len reps time algos seed =
     guarded (fun () ->
         with_tree dir tree (fun repo stored ->
             let config =
@@ -497,7 +514,7 @@ let append_species_cmd =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FASTA"
          ~doc:"FASTA file whose sequence names match leaves of the tree.")
   in
-  let run () dir tree fasta_file =
+  let run _ dir tree fasta_file =
     guarded (fun () ->
         with_tree dir tree (fun repo stored ->
             match Crimson_formats.Fasta.parse_file fasta_file with
@@ -528,7 +545,14 @@ let stats_cmd =
                    and the full telemetry registry, for scripts and metric \
                    scrapers.")
   in
-  let run () dir tree json =
+  let prometheus_flag =
+    Arg.(value & flag
+         & info [ "prometheus" ]
+             ~doc:"Print the telemetry registry in Prometheus text exposition \
+                   format (the same rendering the server's METRICS request \
+                   returns) instead of the human tables.")
+  in
+  let run _ dir tree json prometheus =
     guarded (fun () ->
         with_repo dir (fun repo ->
             let show stored =
@@ -548,6 +572,15 @@ let stats_cmd =
             in
             match selected with
             | Error msg -> fail "%s" msg
+            | Ok trees when prometheus ->
+                (* Touch each tree so its stats exercise the registry,
+                   then emit the scrape text. *)
+                List.iter
+                  (fun stored ->
+                    ignore (Crimson_core.Tree_stats.compute repo stored))
+                  trees;
+                print_string (Crimson_obs.Metrics.to_prometheus ());
+                `Ok ()
             | Ok trees when json ->
                 (* The machine face of this command: the same registry
                    the server's STATS request exposes, plus per-tree
@@ -586,8 +619,9 @@ let stats_cmd =
     (Cmd.info "stats"
        ~doc:"Structural statistics of stored trees plus the telemetry registry \
              (pager/WAL/B+tree counters, query latency histograms) for this session; \
-             --json for a machine-readable registry dump")
-    Term.(ret (const run $ logging $ repo_arg $ tree_opt $ json_flag))
+             --json for a machine-readable registry dump, --prometheus for scrape \
+             text")
+    Term.(ret (const run $ logging $ repo_arg $ tree_opt $ json_flag $ prometheus_flag))
 
 (* ------------------------------- query ----------------------------- *)
 
@@ -596,14 +630,20 @@ let query_cmd =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY"
          ~doc:"Queries like 'lca(A,B)' — see the command help for the language.")
   in
-  let run () dir tree seed queries =
+  let run _ dir tree seed queries =
     guarded (fun () ->
         with_tree dir tree (fun repo stored ->
             let rng = Prng.create seed in
             let errors = ref 0 in
             List.iter
               (fun q ->
-                match Crimson_core.Query_lang.run ~rng repo stored q with
+                match
+                  (* One trace per query, so --trace-out captures CLI
+                     runs the same way the server captures requests. *)
+                  Crimson_obs.Trace.with_ ~name:"cli.query"
+                    ~meta:[ ("line", Crimson_obs.Json.Str q) ]
+                    (fun () -> Crimson_core.Query_lang.run ~rng repo stored q)
+                with
                 | Ok { result; _ } -> Printf.printf "%s\n  = %s\n" q result
                 | Error msg ->
                     incr errors;
@@ -627,7 +667,7 @@ let query_cmd =
 (* ------------------------------ history ---------------------------- *)
 
 let history_cmd =
-  let run () dir =
+  let run _ dir =
     guarded (fun () ->
         with_repo dir (fun repo ->
             let entries = Repo.history repo in
@@ -650,7 +690,7 @@ let history_cmd =
 (* ------------------------------- show ------------------------------ *)
 
 let show_cmd =
-  let run () dir tree fmt out =
+  let run _ dir tree fmt out =
     guarded (fun () ->
         with_tree dir tree (fun _repo stored ->
             emit_tree fmt out (Loader.fetch_tree stored);
@@ -696,7 +736,27 @@ let serve_cmd =
          & info [ "create" ]
              ~doc:"Create the repository directory when absent instead of failing.")
   in
-  let run () db listen max_sessions timeout max_line create =
+  let slowlog_ms =
+    Arg.(value & opt (some float) None
+         & info [ "slowlog-ms" ] ~docv:"MS"
+             ~doc:"Keep the full span tree of every request whose root span takes \
+                   at least $(docv) milliseconds (0 logs every request). Inspect \
+                   with $(b,crimson slowlog) or the SLOWLOG wire command. \
+                   Disabled by default.")
+  in
+  let trace_max_bytes =
+    Arg.(value & opt int Engine.default_config.Engine.trace_max_bytes
+         & info [ "trace-max-bytes" ] ~docv:"BYTES"
+             ~doc:"Rotation cap for the $(b,--trace-out) file.")
+  in
+  let flush_interval =
+    Arg.(value & opt float Engine.default_config.Engine.flush_interval
+         & info [ "flush-interval" ] ~docv:"SECONDS"
+             ~doc:"How often the serving loop fsyncs the trace sink; 0 disables \
+                   periodic flushing.")
+  in
+  let run trace_out db listen max_sessions timeout max_line create slowlog_ms
+      trace_max_bytes flush_interval =
     guarded (fun () ->
         match Wire.parse_addr listen with
         | Error msg -> fail "bad --listen address: %s" msg
@@ -706,7 +766,15 @@ let serve_cmd =
               ~finally:(fun () -> Repo.close repo)
               (fun () ->
                 let config =
-                  { Engine.max_sessions; request_timeout = timeout; max_line }
+                  {
+                    Engine.max_sessions;
+                    request_timeout = timeout;
+                    max_line;
+                    slowlog_ms;
+                    trace_out;
+                    trace_max_bytes;
+                    flush_interval;
+                  }
                 in
                 Server.run ~config
                   ~on_ready:(fun sockaddr ->
@@ -726,15 +794,15 @@ let serve_cmd =
       `P "Run the Crimson query service: one resident repository served to many \
           concurrent sessions over a line-oriented protocol with JSON replies. \
           Drive it with $(b,crimson connect), netcat, or any socket client.";
-      `P "Requests: HELLO, USE <tree>, SEED <n>, QUERY <text>, STATS, QUIT. \
-          SIGINT/SIGTERM drain in-flight replies and exit cleanly.";
+      `P "Requests: HELLO, USE <tree>, SEED <n>, QUERY <text>, STATS, SLOWLOG [n], \
+          METRICS, QUIT. SIGINT/SIGTERM drain in-flight replies and exit cleanly.";
     ]
   in
   Cmd.v
     (Cmd.info "serve" ~doc:"Serve a repository over TCP or a Unix socket" ~man)
     Term.(ret
             (const run $ logging $ db $ listen $ max_sessions $ timeout $ max_line
-           $ create))
+           $ create $ slowlog_ms $ trace_max_bytes $ flush_interval))
 
 (* ------------------------------ connect ---------------------------- *)
 
@@ -750,7 +818,7 @@ let connect_cmd =
                    'QUERY lca(T0,T7)'). With none, lines are read from standard \
                    input until EOF.")
   in
-  let run () to_addr commands =
+  let run _ to_addr commands =
     guarded (fun () ->
         match Wire.parse_addr to_addr with
         | Error msg -> fail "bad --to address: %s" msg
@@ -789,6 +857,111 @@ let connect_cmd =
     (Cmd.info "connect" ~doc:"Send protocol commands to a running crimson server" ~man)
     Term.(ret (const run $ logging $ to_addr $ commands))
 
+(* ------------------------------ slowlog ---------------------------- *)
+
+let print_trace_record r =
+  let module Json = Crimson_obs.Json in
+  let module Trace = Crimson_obs.Trace in
+  let tm = Unix.localtime r.Trace.started_at in
+  let meta =
+    r.Trace.meta
+    |> List.map (fun (k, v) ->
+           let v = match v with Json.Str s -> s | other -> Json.to_string other in
+           Printf.sprintf "%s=%s" k v)
+    |> String.concat " "
+  in
+  Printf.printf "trace #%d  %04d-%02d-%02d %02d:%02d:%02d  %.3fms  %s\n" r.Trace.id
+    (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour
+    tm.Unix.tm_min tm.Unix.tm_sec (Trace.root_elapsed_ms r) meta;
+  let rec pp indent (s : Trace.span) =
+    let attrs =
+      match s.Trace.attrs with
+      | [] -> ""
+      | attrs ->
+          "  {"
+          ^ String.concat ", "
+              (List.map (fun (k, v) -> k ^ "=" ^ Json.to_string v) attrs)
+          ^ "}"
+    in
+    Printf.printf "%s%s  %.3fms (at +%.3fms)%s\n" indent s.Trace.name
+      s.Trace.elapsed_ms s.Trace.start_ms attrs;
+    List.iter (pp (indent ^ "  ")) s.Trace.children
+  in
+  pp "  " r.Trace.root
+
+let slowlog_cmd =
+  let to_addr =
+    Arg.(value & opt string default_listen
+         & info [ "to"; "listen" ] ~docv:"ADDR" ~doc:("Server address: " ^ listen_doc))
+  in
+  let count =
+    Arg.(value & opt (some int) None
+         & info [ "n"; "count" ] ~docv:"N"
+             ~doc:"At most N entries, newest first (default: the whole slowlog ring).")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"Print raw trace records, one JSON line per entry.")
+  in
+  let run _ to_addr count json =
+    guarded (fun () ->
+        match Wire.parse_addr to_addr with
+        | Error msg -> fail "bad --to address: %s" msg
+        | Ok addr ->
+            let client = Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Client.close client)
+              (fun () ->
+                let module Json = Crimson_obs.Json in
+                let module Trace = Crimson_obs.Trace in
+                let cmd =
+                  match count with
+                  | None -> "SLOWLOG"
+                  | Some n -> Printf.sprintf "SLOWLOG %d" n
+                in
+                let reply = Client.request client cmd in
+                if not (Client.ok reply) then
+                  fail "server error: %s"
+                    (Option.value ~default:"(no error message)"
+                       (Client.str_field "error" reply))
+                else
+                  match Json.member "entries" reply with
+                  | Some (Json.List entries) when json ->
+                      List.iter (fun e -> print_endline (Json.to_string e)) entries;
+                      `Ok ()
+                  | Some (Json.List entries) ->
+                      (match Json.member "threshold_ms" reply with
+                      | Some (Json.Num t) ->
+                          Printf.printf "slowlog threshold: %gms\n" t
+                      | _ ->
+                          print_endline
+                            "slowlog threshold: (disabled — serve with --slowlog-ms)");
+                      if entries = [] then print_endline "(no slow queries recorded)"
+                      else
+                        List.iter
+                          (fun e ->
+                            match Trace.record_of_json e with
+                            | Ok r -> print_trace_record r
+                            | Error msg ->
+                                Printf.printf "(unparseable entry: %s)\n" msg)
+                          entries;
+                      `Ok ()
+                  | _ -> fail "malformed SLOWLOG reply"))
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Fetch the slow-query log from a running $(b,crimson serve) (started with \
+          $(b,--slowlog-ms)) and print each entry's full span tree: per-span \
+          timings plus structured attributes (pages touched, cache hits, result \
+          sizes).";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "slowlog" ~doc:"Show a running server's slow-query log (span trees)"
+       ~man)
+    Term.(ret (const run $ logging $ to_addr $ count $ json_flag))
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -799,7 +972,7 @@ let () =
       [
         load_cmd; append_species_cmd; list_cmd; delete_cmd; show_cmd; stats_cmd;
         lca_cmd; clade_cmd; project_cmd; match_cmd; query_cmd; simulate_cmd;
-        benchmark_cmd; history_cmd; serve_cmd; connect_cmd;
+        benchmark_cmd; history_cmd; serve_cmd; connect_cmd; slowlog_cmd;
       ]
   in
   exit (Cmd.eval group)

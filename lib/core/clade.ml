@@ -60,15 +60,27 @@ let nodes ?(limit = 10_000) tree inputs =
    lands in the registry's latency histograms and, at debug level, the
    trace log. Internal recursion above stays unwrapped. *)
 
+let fattr key v = Crimson_obs.Span.attr key (Crimson_obs.Json.Num (float_of_int v))
+
 let root_of tree inputs =
-  Crimson_obs.Span.with_ ~name:"core.clade.root_of" (fun () -> root_of tree inputs)
+  Crimson_obs.Span.with_ ~name:"core.clade.root_of" (fun () ->
+      fattr "tree" (Stored_tree.id tree);
+      fattr "inputs" (List.length inputs);
+      root_of tree inputs)
 
 let size tree inputs =
-  Crimson_obs.Span.with_ ~name:"core.clade.size" (fun () -> size tree inputs)
+  Crimson_obs.Span.with_ ~name:"core.clade.size" (fun () ->
+      fattr "tree" (Stored_tree.id tree);
+      fattr "inputs" (List.length inputs);
+      size tree inputs)
 
 let leaf_ids ?limit tree inputs =
   Crimson_obs.Span.with_ ~name:"core.clade.leaf_ids" (fun () ->
-      leaf_ids ?limit tree inputs)
+      fattr "tree" (Stored_tree.id tree);
+      fattr "inputs" (List.length inputs);
+      let ids = leaf_ids ?limit tree inputs in
+      fattr "leaves" (List.length ids);
+      ids)
 
 let member tree ~clade_of node =
   Crimson_obs.Span.with_ ~name:"core.clade.member" (fun () -> member tree ~clade_of node)

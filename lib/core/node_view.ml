@@ -22,6 +22,8 @@ module Table = Crimson_storage.Table
 module Record = Crimson_storage.Record
 module Key = Crimson_storage.Key
 module Metrics = Crimson_obs.Metrics
+module Span = Crimson_obs.Span
+module Json = Crimson_obs.Json
 
 exception Unknown_node of int
 
@@ -73,6 +75,11 @@ let m_hits = Metrics.counter "core.node_cache.hit"
 let m_misses = Metrics.counter "core.node_cache.miss"
 let m_evictions = Metrics.counter "core.node_cache.eviction"
 let h_prefetch = Metrics.histogram "core.node_cache.prefetch_batch"
+
+(* Cache-miss fetches are the storage-level work a trace wants to see:
+   each one is a span when a trace is collecting, a plain histogram
+   sample otherwise. *)
+let h_fetch = Metrics.histogram "core.node_cache.fetch_ms"
 
 (* Bounded polymorphic LRU: hash table plus an intrusive doubly-linked
    recency list (head = most recent, tail = next victim). *)
@@ -207,21 +214,31 @@ let batch_window c n ~last =
 let prefetch_nodes c n =
   let first, count = batch_window c n ~last:c.last_node_miss in
   c.last_node_miss <- n;
-  let cur =
-    Table.cursor (Repo.nodes c.repo) ~index:"by_node" ~prefix:(Key.int c.tree)
-      ~start:(Schema.Nodes.key_node ~tree:c.tree first)
-  in
   let fetched = ref 0 in
-  (try
-     while !fetched < count do
-       match Table.Cursor.next cur with
-       | None -> raise Exit
-       | Some (_, row) ->
-           let v = of_row row in
-           Lru.add c.views v.node v;
-           incr fetched
-     done
-   with Exit -> ());
+  Span.record_traced h_fetch
+    ~attrs:(fun () ->
+      [
+        ("table", Json.Str "nodes");
+        ("tree", Json.Num (float_of_int c.tree));
+        ("node", Json.Num (float_of_int n));
+      ])
+    (fun () ->
+      let cur =
+        Table.cursor (Repo.nodes c.repo) ~index:"by_node"
+          ~prefix:(Key.int c.tree)
+          ~start:(Schema.Nodes.key_node ~tree:c.tree first)
+      in
+      (try
+         while !fetched < count do
+           match Table.Cursor.next cur with
+           | None -> raise Exit
+           | Some (_, row) ->
+               let v = of_row row in
+               Lru.add c.views v.node v;
+               incr fetched
+         done
+       with Exit -> ());
+      Span.attr "batch" (Json.Num (float_of_int !fetched)));
   Metrics.Histogram.observe h_prefetch (float_of_int !fetched)
 
 let find c n =
@@ -257,23 +274,33 @@ let prefetch_layer c ~layer n =
     if layer <> last_layer then (n, 1) else batch_window c n ~last:last_n
   in
   c.last_layer_miss <- (layer, n);
-  let cur =
-    Table.cursor (Repo.layers c.repo) ~index:"by_node"
-      ~prefix:(Key.cat [ Key.int c.tree; Key.int layer ])
-      ~start:(Schema.Layers.key_node ~tree:c.tree ~layer first)
-  in
   let fetched = ref 0 in
-  (try
-     while !fetched < count do
-       match Table.Cursor.next cur with
-       | None -> raise Exit
-       | Some (_, row) ->
-           Lru.add c.layer_views
-             (layer, Record.get_int row Schema.Layers.c_node)
-             (layer_of_row row);
-           incr fetched
-     done
-   with Exit -> ());
+  Span.record_traced h_fetch
+    ~attrs:(fun () ->
+      [
+        ("table", Json.Str "layers");
+        ("tree", Json.Num (float_of_int c.tree));
+        ("layer", Json.Num (float_of_int layer));
+        ("node", Json.Num (float_of_int n));
+      ])
+    (fun () ->
+      let cur =
+        Table.cursor (Repo.layers c.repo) ~index:"by_node"
+          ~prefix:(Key.cat [ Key.int c.tree; Key.int layer ])
+          ~start:(Schema.Layers.key_node ~tree:c.tree ~layer first)
+      in
+      (try
+         while !fetched < count do
+           match Table.Cursor.next cur with
+           | None -> raise Exit
+           | Some (_, row) ->
+               Lru.add c.layer_views
+                 (layer, Record.get_int row Schema.Layers.c_node)
+                 (layer_of_row row);
+               incr fetched
+         done
+       with Exit -> ());
+      Span.attr "batch" (Json.Num (float_of_int !fetched)));
   Metrics.Histogram.observe h_prefetch (float_of_int !fetched)
 
 let layer_view c ~layer n =

@@ -61,6 +61,13 @@ let match_pattern stored pattern =
 (* ---------------------------- Telemetry ---------------------------- *)
 
 let match_pattern stored pattern =
-  Crimson_obs.Span.with_ ~name:"core.pattern.match" (fun () -> match_pattern stored pattern)
+  Crimson_obs.Span.with_ ~name:"core.pattern.match" (fun () ->
+      Crimson_obs.Span.attr "tree"
+        (Crimson_obs.Json.Num (float_of_int (Stored_tree.id stored)));
+      let result = match_pattern stored pattern in
+      Crimson_obs.Span.attr "matched" (Crimson_obs.Json.Bool result.matched);
+      Crimson_obs.Span.attr "rf"
+        (Crimson_obs.Json.Num (float_of_int result.rf_distance));
+      result)
 
 let matches stored pattern = (match_pattern stored pattern).matched

@@ -221,8 +221,15 @@ let run ?rng ?(record = true) repo stored text =
   let rng = match rng with Some r -> r | None -> Prng.create 0 in
   match
     Repo.measure repo (fun () ->
-        let call = parse_query text in
-        execute ~rng repo stored call)
+        Crimson_obs.Span.with_ ~name:"core.query" (fun () ->
+            let call = parse_query text in
+            Crimson_obs.Span.attr "fn" (Crimson_obs.Json.Str call.fn);
+            Crimson_obs.Span.attr "args"
+              (Crimson_obs.Json.Num (float_of_int (List.length call.args)));
+            let result = execute ~rng repo stored call in
+            Crimson_obs.Span.attr "result_chars"
+              (Crimson_obs.Json.Num (float_of_int (String.length result)));
+            result))
   with
   | result, elapsed_ms, pages ->
       if record then ignore (Repo.record_query repo ~elapsed_ms ~pages ~text ~result);

@@ -86,12 +86,30 @@ let with_time tree ~rng ~k ~time =
 
 (* ---------------------------- Telemetry ---------------------------- *)
 
+module Span = Crimson_obs.Span
+module Json = Crimson_obs.Json
+
+let fattr key v = Span.attr key (Json.Num (float_of_int v))
+
 let uniform tree ~rng ~k =
-  Crimson_obs.Span.with_ ~name:"core.sampling.uniform" (fun () -> uniform tree ~rng ~k)
+  Span.with_ ~name:"core.sampling.uniform" (fun () ->
+      fattr "tree" (Stored_tree.id tree);
+      fattr "k" k;
+      let sampled = uniform tree ~rng ~k in
+      fattr "sampled" (List.length sampled);
+      sampled)
 
 let frontier_at tree ~time =
-  Crimson_obs.Span.with_ ~name:"core.sampling.frontier" (fun () -> frontier_at tree ~time)
+  Span.with_ ~name:"core.sampling.frontier" (fun () ->
+      fattr "tree" (Stored_tree.id tree);
+      Span.attr "time" (Json.Num time);
+      let frontier = frontier_at tree ~time in
+      fattr "frontier" (List.length frontier);
+      frontier)
 
 let with_time tree ~rng ~k ~time =
-  Crimson_obs.Span.with_ ~name:"core.sampling.with_time" (fun () ->
+  Span.with_ ~name:"core.sampling.with_time" (fun () ->
+      fattr "tree" (Stored_tree.id tree);
+      fattr "k" k;
+      Span.attr "time" (Json.Num time);
       with_time tree ~rng ~k ~time)

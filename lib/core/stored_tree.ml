@@ -171,13 +171,22 @@ end
 
 module Engine = Layered.Engine (Store)
 
-(* Hot path: pre-created histogram, no span stack (Span.record). *)
+(* Hot path: pre-created histogram, no span stack unless a trace is
+   collecting (Span.record_traced). *)
 let h_lca = Crimson_obs.Metrics.histogram "core.lca"
 
 let lca t a b =
   ignore (view t a);
   ignore (view t b);
-  Crimson_obs.Span.record h_lca (fun () -> Engine.lca t a b)
+  Crimson_obs.Span.record_traced h_lca
+    ~attrs:(fun () ->
+      Crimson_obs.Json.
+        [
+          ("tree", Num (float_of_int t.id));
+          ("a", Num (float_of_int a));
+          ("b", Num (float_of_int b));
+        ])
+    (fun () -> Engine.lca t a b)
 
 let lca_set t = function
   | [] -> invalid_arg "Stored_tree.lca_set: empty set"

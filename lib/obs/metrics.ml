@@ -239,6 +239,54 @@ let to_text () =
   end;
   Buffer.contents buf
 
+(* Prometheus text exposition format (version 0.0.4). Names get a
+   [crimson_] prefix and dots/dashes fold to underscores; histograms are
+   exported as summaries (pre-computed quantiles) because the log-scale
+   bucket bounds would make poor native Prometheus buckets. Units stay
+   milliseconds, matching the rest of the registry. *)
+let prometheus_name name =
+  let buf = Buffer.create (String.length name + 8) in
+  Buffer.add_string buf "crimson_";
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> Buffer.add_char buf c
+      | _ -> Buffer.add_char buf '_')
+    name;
+  Buffer.contents buf
+
+let prometheus_float v =
+  if Float.is_nan v then "NaN"
+  else if v = Float.infinity then "+Inf"
+  else if v = Float.neg_infinity then "-Inf"
+  else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%.9g" v
+
+let to_prometheus () =
+  let buf = Buffer.create 4096 in
+  let meta name kind = Printf.bprintf buf "# TYPE %s %s\n" name kind in
+  List.iter
+    (fun (name, m) ->
+      let pname = prometheus_name name in
+      match m with
+      | Counter c ->
+          meta pname "counter";
+          Printf.bprintf buf "%s %d\n" pname (Counter.value c)
+      | Gauge g ->
+          meta pname "gauge";
+          Printf.bprintf buf "%s %s\n" pname (prometheus_float (Gauge.value g))
+      | Histogram h ->
+          meta pname "summary";
+          List.iter
+            (fun (q, p) ->
+              Printf.bprintf buf "%s{quantile=\"%s\"} %s\n" pname q
+                (prometheus_float (Histogram.percentile h p)))
+            [ ("0.5", 50.0); ("0.9", 90.0); ("0.99", 99.0) ];
+          Printf.bprintf buf "%s_sum %s\n" pname (prometheus_float (Histogram.sum h));
+          Printf.bprintf buf "%s_count %d\n" pname (Histogram.count h))
+    (snapshot ());
+  Buffer.contents buf
+
 let to_json () =
   let metrics = snapshot () in
   let counters = ref [] and gauges = ref [] and histograms = ref [] in

@@ -106,6 +106,14 @@ val to_text : unit -> string
 (** Human view: one {!Crimson_util.Table_printer} table — counters and
     gauges first, then histograms with count/mean/p50/p90/p99/max. *)
 
+val to_prometheus : unit -> string
+(** Prometheus text exposition format (0.0.4): every metric renamed to
+    [crimson_<name>] with non-alphanumeric characters folded to [_].
+    Counters and gauges export directly; histograms export as summaries
+    with [quantile="0.5"|"0.9"|"0.99"] sample lines plus [_sum] and
+    [_count]. Values keep the registry's native unit (milliseconds for
+    latency histograms) — no seconds conversion. *)
+
 val to_json : unit -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {name:
     {"count": n, "sum": s, "min": m, "max": m, "p50": …, "p90": …,

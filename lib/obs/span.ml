@@ -2,22 +2,69 @@ let src = Logs.Src.create "crimson.obs" ~doc:"Crimson telemetry spans"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-(* Innermost span first. Crimson is single-threaded per process; a
-   domain-local would be needed before queries run on multiple domains. *)
-let stack : string list ref = ref []
+(* Innermost frame first. Crimson is single-threaded per process; a
+   domain-local would be needed before queries run on multiple domains.
+   Forked children must call [Trace.child_reset] (which calls {!reset})
+   so they never inherit the parent's open stack. *)
+type frame = {
+  name : string;
+  t0 : float;
+  mutable attrs : (string * Json.t) list; (* newest first *)
+}
+
+let stack : frame list ref = ref []
 
 let depth () = List.length !stack
-let current () = match !stack with [] -> None | name :: _ -> Some name
+let current () = match !stack with [] -> None | f :: _ -> Some f.name
+let reset () = stack := []
 
 let now_ms () = 1000.0 *. Unix.gettimeofday ()
 
+(* ------------------------------ Events ------------------------------ *)
+(* The trace pipeline observes enter/exit through this sink. It is
+   installed only while a trace is actively collecting, so the
+   no-tracing fast path costs one ref read per span. *)
+
+type sink = {
+  on_enter : name:string -> depth:int -> t0_ms:float -> unit;
+  on_exit :
+    name:string ->
+    depth:int ->
+    elapsed_ms:float ->
+    attrs:(string * Json.t) list ->
+    unit;
+}
+
+let sink : sink option ref = ref None
+
+let set_sink s = sink := s
+let tracing () = !sink <> None
+
+let attr key value =
+  match !sink with
+  | None -> ()
+  | Some _ -> (
+      match !stack with
+      | [] -> ()
+      | frame :: _ -> frame.attrs <- (key, value) :: frame.attrs)
+
+(* ------------------------------- Spans ------------------------------- *)
+
 let timed ~name f =
   let t0 = now_ms () in
-  stack := name :: !stack;
+  let frame = { name; t0; attrs = [] } in
+  let depth0 = List.length !stack in
+  stack := frame :: !stack;
+  (match !sink with Some s -> s.on_enter ~name ~depth:depth0 ~t0_ms:t0 | None -> ());
   let finish () =
     (match !stack with _ :: tl -> stack := tl | [] -> ());
     let elapsed = now_ms () -. t0 in
     Metrics.Histogram.observe (Metrics.histogram name) elapsed;
+    (match !sink with
+    | Some s ->
+        s.on_exit ~name ~depth:depth0 ~elapsed_ms:elapsed
+          ~attrs:(List.rev frame.attrs)
+    | None -> ());
     Log.debug (fun m ->
         m "span %s %.3fms depth=%d" name elapsed (List.length !stack + 1));
     elapsed
@@ -39,3 +86,13 @@ let record hist f =
   | exception e ->
       Metrics.Histogram.observe hist (now_ms () -. t0);
       raise e
+
+let record_traced hist ?attrs f =
+  match !sink with
+  | None -> record hist f
+  | Some _ ->
+      with_ ~name:(Metrics.Histogram.name hist) (fun () ->
+          (match attrs with
+          | Some thunk -> List.iter (fun (k, v) -> attr k v) (thunk ())
+          | None -> ());
+          f ())

@@ -1,0 +1,378 @@
+(* The trace pipeline: assemble Span enter/exit events into span trees,
+   one tree per top-level request, and fan completed trace records out
+   to (a) a bounded in-memory ring buffer, (b) the slow-query log when
+   the root span exceeds a threshold, and (c) an optional JSONL sink
+   with crash-safe appends and size-capped rotation.
+
+   Collection is scoped: [timed ~name ~meta f] installs the Span sink,
+   opens the root span, and finalises the record when that root exits —
+   including on exceptions, because [Span.timed] runs its finish path
+   while unwinding. A nested [timed] joins the enclosing trace as an
+   ordinary span instead of starting a second one. Everything here is
+   single-threaded, like the span stack it observes. *)
+
+type span = {
+  name : string;
+  depth : int;
+  start_ms : float; (* offset from the trace's start *)
+  elapsed_ms : float;
+  attrs : (string * Json.t) list;
+  children : span list;
+}
+
+type record = {
+  id : int;
+  started_at : float; (* Unix time, seconds *)
+  meta : (string * Json.t) list;
+  root : span;
+}
+
+let root_elapsed_ms r = r.root.elapsed_ms
+
+(* ---------------------------- Telemetry ----------------------------- *)
+
+let m_records = Metrics.counter "obs.trace.records"
+let m_slow = Metrics.counter "obs.trace.slow"
+let m_dropped = Metrics.counter "obs.trace.dropped_events"
+let m_sink_writes = Metrics.counter "obs.trace.sink.writes"
+let m_sink_rotations = Metrics.counter "obs.trace.sink.rotations"
+let m_sink_errors = Metrics.counter "obs.trace.sink.errors"
+
+(* --------------------------- Ring buffers --------------------------- *)
+
+module Ring = struct
+  type 'a t = { mutable slots : 'a option array; mutable next : int }
+
+  let create n = { slots = Array.make (max 1 n) None; next = 0 }
+
+  let push r x =
+    r.slots.(r.next) <- Some x;
+    r.next <- (r.next + 1) mod Array.length r.slots
+
+  (* Newest first. *)
+  let recent ?n r =
+    let cap = Array.length r.slots in
+    let limit = match n with Some k -> max 0 (min k cap) | None -> cap in
+    let out = ref [] in
+    (try
+       for i = 0 to limit - 1 do
+         let idx = (((r.next - 1 - i) mod cap) + cap) mod cap in
+         match r.slots.(idx) with
+         | None -> raise Exit
+         | Some x -> out := x :: !out
+       done
+     with Exit -> ());
+    List.rev !out
+
+  let clear r = { slots = Array.make (Array.length r.slots) None; next = 0 }
+end
+
+let default_buffer_capacity = 128
+let default_slowlog_capacity = 64
+let default_max_events = 4096
+
+let buffer = ref (Ring.create default_buffer_capacity)
+let slow_buffer = ref (Ring.create default_slowlog_capacity)
+let slow_threshold : float option ref = ref None
+let max_events = ref default_max_events
+
+let set_buffer_capacity n = buffer := Ring.create (max 1 n)
+let set_slowlog_capacity n = slow_buffer := Ring.create (max 1 n)
+let set_slowlog_ms t = slow_threshold := t
+let slowlog_threshold () = !slow_threshold
+let set_max_events n = max_events := max 1 n
+let recent ?n () = Ring.recent ?n !buffer
+let slowlog ?n () = Ring.recent ?n !slow_buffer
+let slowlog_reset () = slow_buffer := Ring.clear !slow_buffer
+
+(* ------------------------------- JSON -------------------------------- *)
+
+let rec span_to_json s =
+  Json.Obj
+    [
+      ("name", Json.Str s.name);
+      ("depth", Json.Num (float_of_int s.depth));
+      ("start_ms", Json.Num s.start_ms);
+      ("elapsed_ms", Json.Num s.elapsed_ms);
+      ("attrs", Json.Obj s.attrs);
+      ("children", Json.List (List.map span_to_json s.children));
+    ]
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("trace", Json.Num (float_of_int r.id));
+      ("started_at", Json.Num r.started_at);
+      ("meta", Json.Obj r.meta);
+      ("root", span_to_json r.root);
+    ]
+
+let field_err what = Error (Printf.sprintf "trace record lacks %s" what)
+
+let num_field name j =
+  match Json.member name j with
+  | Some (Json.Num v) -> Ok v
+  | _ -> field_err (Printf.sprintf "numeric %S" name)
+
+let obj_field name j =
+  match Json.member name j with
+  | Some (Json.Obj fields) -> Ok fields
+  | _ -> field_err (Printf.sprintf "object %S" name)
+
+let rec span_of_json j =
+  match (Json.member "name" j, num_field "depth" j) with
+  | Some (Json.Str name), Ok depth -> (
+      match (num_field "start_ms" j, num_field "elapsed_ms" j) with
+      | Ok start_ms, Ok elapsed_ms -> (
+          let attrs =
+            match Json.member "attrs" j with Some (Json.Obj a) -> a | _ -> []
+          in
+          match Json.member "children" j with
+          | Some (Json.List kids) ->
+              let rec decode acc = function
+                | [] -> Ok (List.rev acc)
+                | k :: rest -> (
+                    match span_of_json k with
+                    | Ok s -> decode (s :: acc) rest
+                    | Error _ as e -> e)
+              in
+              (match decode [] kids with
+              | Ok children ->
+                  Ok
+                    {
+                      name;
+                      depth = int_of_float depth;
+                      start_ms;
+                      elapsed_ms;
+                      attrs;
+                      children;
+                    }
+              | Error _ as e -> e)
+          | _ -> field_err "span children")
+      | (Error _ as e), _ | _, (Error _ as e) -> e)
+  | _, _ -> field_err "span name/depth"
+
+let record_of_json j =
+  match (num_field "trace" j, num_field "started_at" j) with
+  | Ok id, Ok started_at -> (
+      let meta = match obj_field "meta" j with Ok m -> m | Error _ -> [] in
+      match Json.member "root" j with
+      | Some root_j -> (
+          match span_of_json root_j with
+          | Ok root -> Ok { id = int_of_float id; started_at; meta; root }
+          | Error _ as e -> e)
+      | None -> field_err "root span")
+  | (Error _ as e), _ | _, (Error _ as e) -> e
+
+(* ---------------------------- JSONL sink ----------------------------- *)
+
+type sink_state = {
+  path : string;
+  max_bytes : int;
+  mutable fd : Unix.file_descr;
+  mutable size : int;
+}
+
+let sink_state : sink_state option ref = ref None
+let default_sink_max_bytes = 64 * 1024 * 1024
+
+let close_sink () =
+  match !sink_state with
+  | None -> ()
+  | Some s ->
+      (try Unix.close s.fd with Unix.Unix_error _ -> ());
+      sink_state := None
+
+let open_sink_fd path =
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
+  let size = (Unix.fstat fd).Unix.st_size in
+  (fd, size)
+
+let set_sink ?(max_bytes = default_sink_max_bytes) path =
+  close_sink ();
+  match path with
+  | None -> ()
+  | Some path -> (
+      match open_sink_fd path with
+      | fd, size -> sink_state := Some { path; max_bytes = max 1 max_bytes; fd; size }
+      | exception Unix.Unix_error _ -> Metrics.Counter.incr m_sink_errors)
+
+let sink_path () = match !sink_state with Some s -> Some s.path | None -> None
+
+(* Rotation keeps exactly one previous generation: [path] renames to
+   [path.1] (clobbering any older one) and a fresh [path] starts. *)
+let rotate s =
+  (try Unix.close s.fd with Unix.Unix_error _ -> ());
+  (try Sys.rename s.path (s.path ^ ".1") with Sys_error _ -> ());
+  let fd, size = open_sink_fd s.path in
+  s.fd <- fd;
+  s.size <- size;
+  Metrics.Counter.incr m_sink_rotations
+
+(* One O_APPEND write per record: a crash between records loses nothing,
+   a crash mid-write loses at most the final (partial) line, which any
+   JSONL reader already has to tolerate. *)
+let sink_write line =
+  match !sink_state with
+  | None -> ()
+  | Some s -> (
+      try
+        if s.size > 0 && s.size + String.length line > s.max_bytes then rotate s;
+        let n = String.length line in
+        let written = ref 0 in
+        while !written < n do
+          written := !written + Unix.write_substring s.fd line !written (n - !written)
+        done;
+        s.size <- s.size + n;
+        Metrics.Counter.incr m_sink_writes
+      with Unix.Unix_error _ | Sys_error _ ->
+        Metrics.Counter.incr m_sink_errors;
+        close_sink ())
+
+let flush () =
+  match !sink_state with
+  | None -> ()
+  | Some s -> ( try Unix.fsync s.fd with Unix.Unix_error _ -> ())
+
+(* ---------------------------- Collection ----------------------------- *)
+
+type partial = {
+  p_name : string;
+  p_depth : int;
+  p_start_ms : float;
+  mutable p_children : span list; (* reversed *)
+}
+
+type state = {
+  trace_id : int;
+  started_at : float;
+  meta : (string * Json.t) list;
+  mutable t0_ms : float;
+  mutable open_spans : partial list;
+  mutable events : int;
+  mutable skipping : int;
+  mutable dropped : int;
+}
+
+let current : state option ref = ref None
+let next_id = ref 1
+
+let collecting () = !current <> None
+let current_id () = match !current with Some st -> Some st.trace_id | None -> None
+
+let finalize st root =
+  Span.set_sink None;
+  current := None;
+  let meta =
+    if st.dropped > 0 then
+      st.meta @ [ ("dropped_events", Json.Num (float_of_int st.dropped)) ]
+    else st.meta
+  in
+  let record = { id = st.trace_id; started_at = st.started_at; meta; root } in
+  Metrics.Counter.incr m_records;
+  Ring.push !buffer record;
+  (match !slow_threshold with
+  | Some t when root.elapsed_ms >= t ->
+      Metrics.Counter.incr m_slow;
+      Ring.push !slow_buffer record
+  | Some _ | None -> ());
+  if !sink_state <> None then
+    sink_write (Json.to_string (record_to_json record) ^ "\n")
+
+let on_enter st ~name ~depth ~t0_ms =
+  if st.skipping > 0 then st.skipping <- st.skipping + 1
+  else if st.events >= !max_events then begin
+    st.skipping <- 1;
+    st.dropped <- st.dropped + 1;
+    Metrics.Counter.incr m_dropped
+  end
+  else begin
+    if st.events = 0 then st.t0_ms <- t0_ms;
+    st.events <- st.events + 1;
+    st.open_spans <-
+      { p_name = name; p_depth = depth; p_start_ms = t0_ms -. st.t0_ms; p_children = [] }
+      :: st.open_spans
+  end
+
+let on_exit st ~name:_ ~depth:_ ~elapsed_ms ~attrs =
+  if st.skipping > 0 then st.skipping <- st.skipping - 1
+  else
+    match st.open_spans with
+    | [] -> () (* an exit from below the trace root; ignore *)
+    | p :: rest -> (
+        let span =
+          {
+            name = p.p_name;
+            depth = p.p_depth;
+            start_ms = p.p_start_ms;
+            elapsed_ms;
+            attrs;
+            children = List.rev p.p_children;
+          }
+        in
+        st.open_spans <- rest;
+        match rest with
+        | parent :: _ -> parent.p_children <- span :: parent.p_children
+        | [] -> finalize st span)
+
+let make_sink st =
+  {
+    Span.on_enter = (fun ~name ~depth ~t0_ms -> on_enter st ~name ~depth ~t0_ms);
+    Span.on_exit =
+      (fun ~name ~depth ~elapsed_ms ~attrs -> on_exit st ~name ~depth ~elapsed_ms ~attrs);
+  }
+
+let timed ~name ?(meta = []) f =
+  match !current with
+  | Some _ -> Span.timed ~name f (* join the enclosing trace *)
+  | None ->
+      let st =
+        {
+          trace_id = !next_id;
+          started_at = Unix.gettimeofday ();
+          meta;
+          t0_ms = 0.0;
+          open_spans = [];
+          events = 0;
+          skipping = 0;
+          dropped = 0;
+        }
+      in
+      incr next_id;
+      current := Some st;
+      Span.set_sink (Some (make_sink st));
+      let cleanup () =
+        (* The root exit normally finalised already; this is the
+           belt-and-braces path for a sink torn down mid-trace. *)
+        match !current with
+        | Some st' when st' == st ->
+            Span.set_sink None;
+            current := None
+        | Some _ | None -> ()
+      in
+      (match Span.timed ~name f with
+      | result ->
+          cleanup ();
+          result
+      | exception e ->
+          cleanup ();
+          raise e)
+
+let with_ ~name ?meta f = fst (timed ~name ?meta f)
+
+(* ------------------------------- Reset ------------------------------- *)
+
+let reset () =
+  Span.set_sink None;
+  current := None;
+  Span.reset ()
+
+let child_reset () =
+  reset ();
+  (* The sink fd is shared with the parent after fork; writing from both
+     would interleave rotations and double-count sizes. The child drops
+     it (close only decrements the kernel refcount — the parent's sink
+     is untouched) and starts with tracing outputs disabled. *)
+  close_sink ();
+  buffer := Ring.clear !buffer;
+  slow_buffer := Ring.clear !slow_buffer

@@ -4,6 +4,7 @@ module Query_lang = Crimson_core.Query_lang
 module Json = Crimson_obs.Json
 module Metrics = Crimson_obs.Metrics
 module Span = Crimson_obs.Span
+module Trace = Crimson_obs.Trace
 module Prng = Crimson_util.Prng
 
 let src = Logs.Src.create "crimson.server" ~doc:"Crimson query service"
@@ -14,9 +15,22 @@ type config = {
   max_sessions : int;
   request_timeout : float;
   max_line : int;
+  slowlog_ms : float option;
+  trace_out : string option;
+  trace_max_bytes : int;
+  flush_interval : float;
 }
 
-let default_config = { max_sessions = 64; request_timeout = 5.0; max_line = 65536 }
+let default_config =
+  {
+    max_sessions = 64;
+    request_timeout = 5.0;
+    max_line = 65536;
+    slowlog_ms = None;
+    trace_out = None;
+    trace_max_bytes = 64 * 1024 * 1024;
+    flush_interval = 5.0;
+  }
 
 type session = {
   id : int;
@@ -47,6 +61,12 @@ let create ?(config = default_config) repo =
   (* Register the request-latency histogram up front so a STATS before
      the first QUERY already shows it (Span.timed feeds it by name). *)
   ignore (Metrics.histogram "server.request_ms");
+  Trace.set_slowlog_ms config.slowlog_ms;
+  (* [None] leaves any sink installed by the caller (global --trace-out)
+     alone; only an explicit path (re)targets the JSONL sink. *)
+  (match config.trace_out with
+  | Some path -> Trace.set_sink ~max_bytes:config.trace_max_bytes (Some path)
+  | None -> ());
   {
     cfg = config;
     repo;
@@ -200,37 +220,86 @@ let query t s text =
   match s.tree with
   | None -> error t "no tree selected (USE <tree> first)"
   | Some stored -> (
+      (* Cache stats before/after give the trace the per-request hit and
+         miss deltas; only sampled while a trace is collecting. *)
+      let cache0 = if Span.tracing () then Some (Stored_tree.cache_stats stored) else None in
       match
         Repo.measure t.repo (fun () ->
             with_timeout t.cfg.request_timeout (fun () ->
                 Query_lang.run ~rng:s.rng ~record:false t.repo stored text))
       with
-      | Ok (Ok outcome), elapsed_ms, pages ->
-          ignore
-            (Repo.record_query t.repo ~elapsed_ms ~pages ~text
-               ~result:outcome.Query_lang.result);
-          keep
-            (Wire.ok
-               [
-                 ("result", Json.Str outcome.Query_lang.result);
-                 ("elapsed_ms", Json.Num elapsed_ms);
-                 ("pages", num pages);
-               ])
-      | Ok (Error msg), _, _ -> error t msg
-      | Error `Timeout, _, _ ->
-          Metrics.Counter.incr t.m_timeouts;
-          error t
-            (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout))
+      | result, elapsed_ms, pages -> (
+          (match cache0 with
+          | Some c0 ->
+              let c1 = Stored_tree.cache_stats stored in
+              Span.attr "tree" (num (Stored_tree.id stored));
+              Span.attr "pages" (num pages);
+              Span.attr "cache_hits" (num (c1.Crimson_core.Node_view.hits - c0.Crimson_core.Node_view.hits));
+              Span.attr "cache_misses"
+                (num (c1.Crimson_core.Node_view.misses - c0.Crimson_core.Node_view.misses))
+          | None -> ());
+          match result with
+          | Ok (Ok outcome) ->
+              if cache0 <> None then
+                Span.attr "result_chars"
+                  (num (String.length outcome.Query_lang.result));
+              ignore
+                (Repo.record_query t.repo ~elapsed_ms ~pages ~text
+                   ~result:outcome.Query_lang.result);
+              keep
+                (Wire.ok
+                   [
+                     ("result", Json.Str outcome.Query_lang.result);
+                     ("elapsed_ms", Json.Num elapsed_ms);
+                     ("pages", num pages);
+                   ])
+          | Ok (Error msg) -> error t msg
+          | Error `Timeout ->
+              Metrics.Counter.incr t.m_timeouts;
+              error t
+                (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout)))
 
 let stats _t = keep (Wire.ok [ ("metrics", Metrics.to_json ()) ])
+
+let slowlog _t n =
+  let entries = Trace.slowlog ?n () in
+  keep
+    (Wire.ok
+       [
+         ( "threshold_ms",
+           match Trace.slowlog_threshold () with
+           | Some th -> Json.Num th
+           | None -> Json.Null );
+         ("entries", Json.List (List.map Trace.record_to_json entries));
+       ])
+
+let metrics_reply _t =
+  keep
+    (Wire.ok
+       [
+         ("format", Json.Str "prometheus");
+         ("text", Json.Str (Metrics.to_prometheus ()));
+       ])
+
+let truncate_line line =
+  if String.length line > 512 then String.sub line 0 512 ^ "…" else line
 
 let handle_line t s line =
   s.requests <- s.requests + 1;
   Metrics.Counter.incr t.m_requests;
-  (* The per-request span: timed into server.request_ms, traced with the
-     session id on the crimson.server source. *)
+  (* The per-request trace: one span tree rooted at server.request_ms
+     (which the Span layer also feeds as a histogram, so STATS scrapes
+     keep working), tagged with the session/request ids and the request
+     line — that text is what the slowlog shows next to the tree. *)
   let reply, elapsed_ms =
-    Span.timed ~name:"server.request_ms" (fun () ->
+    Trace.timed ~name:"server.request_ms"
+      ~meta:
+        [
+          ("session", num s.id);
+          ("request", num s.requests);
+          ("line", Json.Str (truncate_line line));
+        ]
+      (fun () ->
         match Wire.parse_command line with
         | Error msg -> error t msg
         | Ok Wire.Hello -> hello t s
@@ -240,9 +309,20 @@ let handle_line t s line =
             keep (Wire.ok [ ("seed", num n) ])
         | Ok (Wire.Query text) -> query t s text
         | Ok Wire.Stats -> stats t
+        | Ok (Wire.Slowlog n) -> slowlog t n
+        | Ok Wire.Metrics -> metrics_reply t
         | Ok Wire.Quit -> { body = Wire.ok [ ("bye", Json.Bool true) ]; close = true })
   in
   Log.debug (fun m ->
       m "session=%d req=%d %.3fms %s" s.id s.requests elapsed_ms
         (if String.length line > 80 then String.sub line 0 80 ^ "…" else line));
   reply
+
+(* Periodic maintenance, driven by the server loop between selects:
+   durability for the trace sink plus a debug heartbeat. *)
+let tick t =
+  Trace.flush ();
+  Log.debug (fun m ->
+      m "tick: %d active sessions, %d traces, %d slow" t.active
+        (Metrics.counter_value "obs.trace.records")
+        (Metrics.counter_value "obs.trace.slow"))

@@ -18,17 +18,34 @@
     [server.sessions.active] gauge. Each request also emits a debug
     span line on the [crimson.server] log source tagged with the
     session id. Successful queries are recorded in the Query
-    Repository. *)
+    Repository.
+
+    Tracing: every request runs under [Trace.timed], so its full span
+    tree (query execution, node-cache fetches, fsyncs — with pages,
+    cache-hit deltas and result sizes as attributes) lands in the trace
+    ring, the slow-query log when it crosses [slowlog_ms], and the
+    [trace_out] JSONL sink. SLOWLOG and METRICS requests expose the
+    slowlog and the Prometheus rendering of the registry. *)
 
 type config = {
   max_sessions : int;  (** Admission control: further sessions are rejected. *)
   request_timeout : float;  (** Per-request wall-clock seconds; 0 disables. *)
   max_line : int;  (** Input line-length cap in bytes (enforced by the caller's
                        {!Wire.Line_buffer}; reported in HELLO). *)
+  slowlog_ms : float option;
+      (** Slow-query threshold passed to [Trace.set_slowlog_ms];
+          [Some 0.0] logs every request, [None] disables the slowlog. *)
+  trace_out : string option;
+      (** JSONL trace sink path; [None] leaves any sink installed by the
+          caller untouched. *)
+  trace_max_bytes : int;  (** Sink rotation cap (only with [trace_out]). *)
+  flush_interval : float;
+      (** Seconds between {!tick} calls by the server loop. *)
 }
 
 val default_config : config
-(** 64 sessions, 5 s timeout, 64 KiB lines. *)
+(** 64 sessions, 5 s timeout, 64 KiB lines, no slowlog, no trace sink
+    (64 MiB rotation cap when one is set), 5 s flush interval. *)
 
 type t
 
@@ -59,6 +76,11 @@ val handle_line : t -> session -> string -> reply
     malformed input, unknown trees, failing queries and timeouts all
     come back as [{"ok":false,...}] replies with [close = false]; only
     QUIT closes. *)
+
+val tick : t -> unit
+(** Periodic maintenance: [fsync] the trace sink and log a heartbeat.
+    The server loop calls it every [flush_interval] seconds and once at
+    shutdown. *)
 
 val protocol_error : t -> session -> string -> reply
 (** A framing-level violation detected by the transport (line overflow):

@@ -159,7 +159,17 @@ let run ?config ?(on_ready = fun _ -> ()) repo addr =
   in
   on_ready (Unix.getsockname listen_fd);
   Log.info (fun m -> m "listening on %s" (Wire.addr_to_string addr));
+  let flush_interval = (Engine.config engine).Engine.flush_interval in
+  let last_tick = ref (Unix.gettimeofday ()) in
   while not !stop do
+    (* Periodic maintenance between selects: fsync the trace sink so a
+       crash loses at most one flush interval of records. *)
+    (if flush_interval > 0.0 then
+       let now = Unix.gettimeofday () in
+       if now -. !last_tick >= flush_interval then begin
+         last_tick := now;
+         Engine.tick engine
+       end);
     let readable =
       listen_fd :: List.filter_map (fun c -> if c.closing then None else Some c.fd) !conns
     in
@@ -197,6 +207,7 @@ let run ?config ?(on_ready = fun _ -> ()) repo addr =
   in
   drain ();
   List.iter drop !conns;
+  Engine.tick engine;
   (match addr with
   | Wire.Unix_path path -> ( try Sys.remove path with Sys_error _ -> ())
   | Wire.Tcp _ -> ());

@@ -13,7 +13,11 @@
     wall-clock timeout, an input line cap, and malformed input answered
     with protocol errors. SIGINT/SIGTERM trigger a graceful drain: stop
     accepting, flush every pending reply, close sessions, remove the
-    Unix socket file, return. *)
+    Unix socket file, return.
+
+    Every [Engine.flush_interval] seconds the loop calls {!Engine.tick}
+    between selects (and once more at shutdown), fsyncing the JSONL
+    trace sink so a crash loses at most one interval of records. *)
 
 val run :
   ?config:Engine.config ->

@@ -52,6 +52,8 @@ type command =
   | Seed of int
   | Query of string
   | Stats
+  | Slowlog of int option
+  | Metrics
   | Quit
 
 let split_verb line =
@@ -79,12 +81,21 @@ let parse_command line =
     | "QUERY", text -> Ok (Query text)
     | "STATS", "" -> Ok Stats
     | "STATS", _ -> Error "STATS takes no argument"
+    | "SLOWLOG", "" -> Ok (Slowlog None)
+    | "SLOWLOG", p -> (
+        match int_of_string_opt p with
+        | Some n when n >= 0 -> Ok (Slowlog (Some n))
+        | Some _ | None -> Error "SLOWLOG takes an optional non-negative count")
+    | "METRICS", "" -> Ok Metrics
+    | "METRICS", _ -> Error "METRICS takes no argument"
     | "QUIT", "" -> Ok Quit
     | "QUIT", _ -> Error "QUIT takes no argument"
     | verb, _ ->
         Error
           (Printf.sprintf
-             "unknown command %S (expected HELLO, USE, SEED, QUERY, STATS or QUIT)" verb)
+             "unknown command %S (expected HELLO, USE, SEED, QUERY, STATS, SLOWLOG, \
+              METRICS or QUIT)"
+             verb)
 
 (* ------------------------------ Framing ---------------------------- *)
 

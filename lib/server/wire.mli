@@ -12,6 +12,8 @@
     SEED <n>              reseed the session RNG (sampling determinism)
     QUERY <text>          run a Query_lang expression on the session tree
     STATS                 telemetry registry snapshot as JSON
+    SLOWLOG [n]           most recent slow-query trace records (all by default)
+    METRICS               Prometheus text exposition, in the "text" field
     QUIT                  close the session
     v}
 
@@ -40,6 +42,8 @@ type command =
   | Seed of int
   | Query of string
   | Stats
+  | Slowlog of int option  (** [SLOWLOG \[n\]]: at most [n] entries *)
+  | Metrics
   | Quit
 
 val parse_command : string -> (command, string) result

@@ -14,7 +14,7 @@ let h_fsync = Crimson_obs.Metrics.histogram "storage.pager.fsync_ms"
 
 let timed_fsync fd =
   Counter.incr m_fsyncs;
-  Crimson_obs.Span.record h_fsync (fun () -> Unix.fsync fd)
+  Crimson_obs.Span.record_traced h_fsync (fun () -> Unix.fsync fd)
 
 type backend =
   | File of {

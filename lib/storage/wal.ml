@@ -8,7 +8,7 @@ let h_fsync = Crimson_obs.Metrics.histogram "storage.wal.fsync_ms"
 
 let timed_fsync fd =
   Crimson_obs.Metrics.Counter.incr m_fsyncs;
-  Crimson_obs.Span.record h_fsync (fun () -> Unix.fsync fd)
+  Crimson_obs.Span.record_traced h_fsync (fun () -> Unix.fsync fd)
 
 type t = {
   fd : Unix.file_descr;

@@ -66,6 +66,30 @@ let test_histogram_basic () =
   | _ -> Alcotest.fail "expected Invalid_argument for p > 100"
   | exception Invalid_argument _ -> ()
 
+(* An empty histogram has no meaningful statistics; every summary
+   accessor is documented to return 0.0 rather than raise or produce
+   NaN, so exporters can run against a freshly-reset registry. *)
+let test_histogram_empty () =
+  let h = Metrics.histogram "test.hist.empty" in
+  check Alcotest.int "count" 0 (Metrics.Histogram.count h);
+  check (Alcotest.float 0.0) "sum" 0.0 (Metrics.Histogram.sum h);
+  check (Alcotest.float 0.0) "mean" 0.0 (Metrics.Histogram.mean h);
+  check (Alcotest.float 0.0) "min" 0.0 (Metrics.Histogram.min h);
+  check (Alcotest.float 0.0) "max" 0.0 (Metrics.Histogram.max h);
+  List.iter
+    (fun p ->
+      check (Alcotest.float 0.0)
+        (Printf.sprintf "p%g" p)
+        0.0
+        (Metrics.Histogram.percentile h p))
+    [ 0.0; 50.0; 99.0; 100.0 ];
+  (* Reset brings a used histogram back to the same empty behaviour. *)
+  Metrics.Histogram.observe h 9.0;
+  Metrics.reset_all ();
+  check (Alcotest.float 0.0) "mean after reset" 0.0 (Metrics.Histogram.mean h);
+  check (Alcotest.float 0.0) "p99 after reset" 0.0
+    (Metrics.Histogram.percentile h 99.0)
+
 (* Log-scale buckets bound the relative error; check the summary
    percentiles of known distributions within that bound. *)
 let test_histogram_percentiles () =
@@ -205,6 +229,92 @@ let test_json_parser_details () =
   | _ -> Alcotest.fail "expected parse failure"
   | exception Json.Parse_error _ -> ()
 
+(* Trace records travel as one JSON line each; the parser must survive
+   the values traces actually carry — escaped query text, deeply nested
+   child arrays, and large/precise floats — without loss. *)
+let test_json_trace_payloads () =
+  let round_trip label v =
+    let v' = Json.parse (Json.to_string v) in
+    check Alcotest.bool label true (Json.equal v v')
+  in
+  (* Escapes: quotes, backslashes, newlines, tabs and control bytes in
+     span attributes (e.g. the raw request line). *)
+  round_trip "escaped strings"
+    (Json.Obj
+       [
+         ("line", Json.Str "QUERY lca(\"A\", \"B\")\\n\ttrailing");
+         ("ctrl", Json.Str "\x01\x1f bell\x07");
+         ("unicode-ish", Json.Str "caf\xc3\xa9");
+       ]);
+  (match Json.parse {|"aA\t\"b\\"|} with
+  | Json.Str s -> check Alcotest.string "escape decoding" "aA\t\"b\\" s
+  | _ -> Alcotest.fail "expected a string");
+  (* Nested arrays: a span tree several levels deep. *)
+  let rec deep n =
+    if n = 0 then Json.List [ Json.Num 0.0 ]
+    else Json.List [ Json.Num (float_of_int n); deep (n - 1) ]
+  in
+  round_trip "nested arrays" (deep 24);
+  (* Large and precise floats: timestamps in ms since epoch and
+     sub-microsecond elapsed times. *)
+  round_trip "large floats"
+    (Json.Obj
+       [
+         ("started_at", Json.Num 1770000000.123456);
+         ("elapsed_ms", Json.Num 0.000244140625);
+         ("big", Json.Num 9.007199254740991e15);
+         ("tiny", Json.Num 5e-324);
+         ("negative", Json.Num (-1234567.875));
+       ]);
+  match Json.parse "1770000000.123456" with
+  | Json.Num v ->
+      check (Alcotest.float 1e-6) "float precision survives" 1770000000.123456 v
+  | _ -> Alcotest.fail "expected a number"
+
+(* The Prometheus exporter: every metric appears under a crimson_
+   prefix with a TYPE line, and every sample line is "name value" or
+   "name{quantile=...} value" with a parseable float — the contract the
+   smoke test's line-oriented parser enforces end to end. *)
+let test_prometheus_exporter () =
+  Metrics.Counter.add (Metrics.counter "test.prom.counter") 7;
+  Metrics.Gauge.set (Metrics.gauge "test.prom-gauge") 2.5;
+  let h = Metrics.histogram "test.prom.hist" in
+  List.iter (Metrics.Histogram.observe h) [ 1.0; 2.0; 4.0 ];
+  let text = Metrics.to_prometheus () in
+  let lines = String.split_on_char '\n' text |> List.filter (fun l -> l <> "") in
+  check Alcotest.bool "non-empty" true (lines <> []);
+  let sample_lines = List.filter (fun l -> not (String.length l > 0 && l.[0] = '#')) lines in
+  List.iter
+    (fun line ->
+      match String.rindex_opt line ' ' with
+      | None -> Alcotest.failf "sample line without value: %s" line
+      | Some i -> (
+          let name = String.sub line 0 i in
+          let value = String.sub line (i + 1) (String.length line - i - 1) in
+          check Alcotest.bool
+            (Printf.sprintf "crimson_ prefix: %s" line)
+            true
+            (String.length name > 8 && String.sub name 0 8 = "crimson_");
+          match float_of_string_opt value with
+          | Some _ -> ()
+          | None -> Alcotest.failf "unparseable value in %s" line))
+    sample_lines;
+  let has l = List.mem l lines in
+  check Alcotest.bool "counter TYPE" true (has "# TYPE crimson_test_prom_counter counter");
+  check Alcotest.bool "counter sample" true (has "crimson_test_prom_counter 7");
+  (* Dots and dashes both fold to underscores. *)
+  check Alcotest.bool "gauge name mangled" true (has "crimson_test_prom_gauge 2.5");
+  check Alcotest.bool "summary TYPE" true (has "# TYPE crimson_test_prom_hist summary");
+  check Alcotest.bool "summary count" true (has "crimson_test_prom_hist_count 3");
+  check Alcotest.bool "summary sum" true (has "crimson_test_prom_hist_sum 7");
+  let contains needle hay =
+    let nl = String.length needle and hl = String.length hay in
+    let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  check Alcotest.bool "quantile label present" true
+    (List.exists (contains {|crimson_test_prom_hist{quantile="0.99"}|}) lines)
+
 let test_reset_all () =
   let c = Metrics.counter "test.reset.counter" in
   Metrics.Counter.add c 5;
@@ -225,6 +335,7 @@ let () =
           Alcotest.test_case "kind collision" `Quick test_kind_collision;
           Alcotest.test_case "gauge semantics" `Quick test_gauge_semantics;
           Alcotest.test_case "histogram basics" `Quick test_histogram_basic;
+          Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
           Alcotest.test_case "histogram percentiles" `Quick test_histogram_percentiles;
         ] );
       ( "spans",
@@ -238,6 +349,8 @@ let () =
           Alcotest.test_case "text exporter" `Quick test_text_exporter;
           Alcotest.test_case "json round-trip" `Quick test_json_round_trip;
           Alcotest.test_case "json parser details" `Quick test_json_parser_details;
+          Alcotest.test_case "json trace payloads" `Quick test_json_trace_payloads;
+          Alcotest.test_case "prometheus exporter" `Quick test_prometheus_exporter;
           Alcotest.test_case "reset all" `Quick test_reset_all;
         ] );
     ]

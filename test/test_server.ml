@@ -64,13 +64,19 @@ let test_parse_command () =
   check Alcotest.bool "seed" true (ok "SEED 42" = Wire.Seed 42);
   check Alcotest.bool "query" true (ok "QUERY lca(A, B)" = Wire.Query "lca(A, B)");
   check Alcotest.bool "stats" true (ok "STATS" = Wire.Stats);
+  check Alcotest.bool "slowlog" true (ok "SLOWLOG" = Wire.Slowlog None);
+  check Alcotest.bool "slowlog n" true (ok "slowlog 10" = Wire.Slowlog (Some 10));
+  check Alcotest.bool "metrics" true (ok "METRICS" = Wire.Metrics);
   check Alcotest.bool "quit" true (ok "quit" = Wire.Quit);
   List.iter
     (fun bad ->
       match Wire.parse_command bad with
       | Ok _ -> Alcotest.failf "command %S should not parse" bad
       | Error _ -> ())
-    [ ""; "   "; "USE"; "SEED"; "SEED x"; "QUERY"; "HELLO there"; "FROBNICATE 1" ]
+    [
+      ""; "   "; "USE"; "SEED"; "SEED x"; "QUERY"; "HELLO there"; "FROBNICATE 1";
+      "SLOWLOG x"; "SLOWLOG -1"; "METRICS now";
+    ]
 
 let test_line_buffer () =
   let lb = Wire.Line_buffer.create ~max_line:32 in
@@ -334,9 +340,11 @@ let test_e2e_smoke () =
       let server_pid =
         match Unix.fork () with
         | 0 ->
+            Crimson_obs.Trace.child_reset ();
             let repo = Repo.open_dir ~create:false repo_dir in
             let config =
               {
+                Engine.default_config with
                 Engine.max_sessions = 3;
                 request_timeout = 10.0;
                 max_line = 4096;
@@ -367,6 +375,7 @@ let test_e2e_smoke () =
             List.init 3 (fun _ ->
                 match Unix.fork () with
                 | 0 ->
+                    Crimson_obs.Trace.child_reset ();
                     let status =
                       try
                         let c = Client.connect (Wire.Unix_path sock) in
