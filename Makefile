@@ -2,7 +2,7 @@
 # green. Formatting runs only where ocamlformat is installed, so the
 # target works in minimal containers too.
 
-.PHONY: all check build test fmt bench bench-snapshot clean server-smoke trace-smoke serve-demo
+.PHONY: all check build test fmt bench bench-snapshot clean server-smoke trace-smoke crash-smoke crash-matrix serve-demo
 
 all: build
 
@@ -19,7 +19,7 @@ fmt:
 		echo "ocamlformat not installed; skipping dune fmt"; \
 	fi
 
-check: build test fmt server-smoke trace-smoke
+check: build test fmt server-smoke trace-smoke crash-smoke
 
 # The end-to-end server test forks a real `crimson_server` on a Unix
 # socket and drives it with concurrent clients; running it on its own
@@ -27,6 +27,18 @@ check: build test fmt server-smoke trace-smoke
 # when only the service layer breaks.
 server-smoke:
 	dune exec test/test_server.exe -- test e2e
+
+# Crash safety end to end: fork a loader into a durable repository,
+# SIGKILL it mid-load, reopen and verify every surviving tree is whole.
+# The in-process fault matrix also runs under `dune runtest`; this
+# target isolates the real-process check.
+crash-smoke:
+	dune exec test/test_crash.exe -- test e2e
+
+# The full fault-injection matrix on its own, writing one line per
+# fault point to crash_matrix.log (CI uploads it as an artifact).
+crash-matrix:
+	CRIMSON_CRASH_LOG=$(CURDIR)/crash_matrix.log dune exec test/test_crash.exe -- test matrix
 
 # The trace pipeline end to end: serve a repository with slowlog_ms=0
 # and a JSONL trace sink, run scripted queries, and assert the SLOWLOG

@@ -1,0 +1,73 @@
+(* E12 — Crash recovery: replay time vs committed WAL size.
+
+   A crash between the database-level WAL's commit record and the page
+   write-back leaves recovery with a committed batch to replay on the
+   next open. This experiment leaves batches of increasing size behind
+   (exactly the on-disk state such a crash produces) and measures the
+   reopen cost against a clean open, alongside the storage.recovery.*
+   counters the replay feeds. *)
+
+open Bench_common
+module Repo = Crimson_core.Repo
+module Loader = Crimson_core.Loader
+module Wal = Crimson_storage.Wal
+module Page = Crimson_storage.Page
+module Counter = Crimson_obs.Metrics.Counter
+
+let m_rec_pages = Crimson_obs.Metrics.counter "storage.recovery.pages"
+
+let run () =
+  section "E12" "WAL recovery: replay time vs committed batch size";
+  let table =
+    T.create
+      ~columns:
+        [
+          ("wal pages", T.Right);
+          ("clean open", T.Right);
+          ("recovering open", T.Right);
+          ("replayed", T.Right);
+          ("per page", T.Right);
+        ]
+  in
+  List.iter
+    (fun n_pages ->
+      with_scratch_dir (fun dir ->
+          (* A small durable repository to recover into. *)
+          let repo = Repo.open_dir ~durable:true dir in
+          ignore (Loader.load_tree ~f:4 repo ~name:"gold" (yule 2_000));
+          Repo.close repo;
+          (* Clean-open baseline. *)
+          let _, clean_ms =
+            time_once (fun () -> Repo.close (Repo.open_dir ~durable:true dir))
+          in
+          (* Reproduce the post-crash state: a committed batch the page
+             files never saw. The pages target a scratch file so the
+             repository stays semantically intact after replay. *)
+          let wal = Wal.open_path (Filename.concat dir "crimson.wal") in
+          let image = Bytes.make Page.size '\xAB' in
+          Wal.append_entries wal
+            (List.init n_pages (fun i ->
+                 { Wal.file = "replay.scratch"; page_id = i; image }));
+          Wal.close wal;
+          let pages_before = Counter.value m_rec_pages in
+          let repo, recover_ms =
+            time_once (fun () -> Repo.open_dir ~durable:true dir)
+          in
+          Repo.close repo;
+          let replayed = Counter.value m_rec_pages - pages_before in
+          T.add_row table
+            [
+              string_of_int n_pages;
+              Printf.sprintf "%.2f ms" clean_ms;
+              Printf.sprintf "%.2f ms" recover_ms;
+              string_of_int replayed;
+              Printf.sprintf "%.1f us"
+                (1000.0 *. (recover_ms -. clean_ms) /. float_of_int n_pages);
+            ]))
+    [ 64; 256; 1024; 4096 ];
+  T.print table;
+  note
+    "Recovery cost is linear in the committed batch size at roughly the\n\
+     sequential write cost of the pages plus one fsync per touched file —\n\
+     the checkpoint batching bounds it by the buffer pool's dirty set, so\n\
+     reopening after a crash stays within ordinary open latency."

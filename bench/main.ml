@@ -19,6 +19,7 @@ let experiments =
     ("E9", "buffer pool size vs query latency", Exp_buffer_pool.run);
     ("E10", "node view cache: capacity sweep", Exp_node_cache.run);
     ("E11", "query service: concurrent clients over a served repository", Exp_server.run);
+    ("E12", "WAL recovery: replay time vs committed batch size", Exp_recovery.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -674,12 +674,12 @@ let history_cmd =
             if entries = [] then print_endline "(no queries recorded)"
             else
               List.iter
-                (fun (id, time, text, result, elapsed_ms, pages) ->
-                  let tm = Unix.localtime time in
+                (fun (q : Repo.query_record) ->
+                  let tm = Unix.localtime q.time in
                   Printf.printf
                     "#%-4d %04d-%02d-%02d %02d:%02d  %7.2fms %5d pages  %-40s -> %s\n"
-                    id (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
-                    tm.Unix.tm_hour tm.Unix.tm_min elapsed_ms pages text result)
+                    q.id (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+                    tm.Unix.tm_hour tm.Unix.tm_min q.elapsed_ms q.pages q.text q.result)
                 entries;
             `Ok ()))
   in

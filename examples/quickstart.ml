@@ -112,9 +112,9 @@ let () =
   section "Query history";
   ignore (Repo.record_query repo ~text:"quickstart session" ~result:"ok");
   List.iter
-    (fun (id, _, text, result, elapsed_ms, pages) ->
-      Printf.printf "  #%d %s -> %s (%.2fms, %d pages)\n" id text result elapsed_ms
-        pages)
+    (fun (q : Repo.query_record) ->
+      Printf.printf "  #%d %s -> %s (%.2fms, %d pages)\n" q.id q.text q.result
+        q.elapsed_ms q.pages)
     (Repo.history repo);
 
   Repo.close repo;

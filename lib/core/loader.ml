@@ -28,7 +28,7 @@ let next_tree_id repo =
   | None -> 0
 
 let name_taken repo name =
-  Table.lookup_unique (Repo.trees repo) ~index:"by_name" ~key:(Schema.Trees.key_name name)
+  Table.find (Repo.trees repo) ~index:"by_name" ~key:(Schema.Trees.key_name name)
   <> None
 
 (* Split a sequence into page-sized chunks. *)
@@ -279,7 +279,7 @@ let delete_tree repo stored =
   in
   (* Metadata first so the tree disappears atomically from listings. *)
   (match
-     Table.lookup_unique (Repo.trees repo) ~index:"by_id" ~key:(Schema.Trees.key_id tree_id)
+     Table.find (Repo.trees repo) ~index:"by_id" ~key:(Schema.Trees.key_id tree_id)
    with
   | Some (rid, _) -> ignore (Table.delete (Repo.trees repo) rid)
   | None -> ());

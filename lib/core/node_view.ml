@@ -257,7 +257,7 @@ let find c n =
             (* Sparse ids (not produced by the loader) or a window that
                fell short: one point lookup settles existence. *)
             match
-              Table.lookup_unique (Repo.nodes c.repo) ~index:"by_node"
+              Table.find (Repo.nodes c.repo) ~index:"by_node"
                 ~key:(Schema.Nodes.key_node ~tree:c.tree n)
             with
             | Some (_, row) ->
@@ -315,7 +315,7 @@ let layer_view c ~layer n =
       | Some v -> v
       | None -> (
           match
-            Table.lookup_unique (Repo.layers c.repo) ~index:"by_node"
+            Table.find (Repo.layers c.repo) ~index:"by_node"
               ~key:(Schema.Layers.key_node ~tree:c.tree ~layer n)
           with
           | Some (_, row) ->
@@ -332,7 +332,7 @@ let sub_root c ~layer s =
   | None -> (
       miss c;
       match
-        Table.lookup_unique (Repo.subtrees c.repo) ~index:"by_sub"
+        Table.find (Repo.subtrees c.repo) ~index:"by_sub"
           ~key:(Schema.Subtrees.key_sub ~tree:c.tree ~layer s)
       with
       | Some (_, row) ->

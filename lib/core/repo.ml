@@ -83,24 +83,41 @@ let open_error fmt = Printf.ksprintf (fun s -> raise (Open_error s)) fmt
 (* The server opens repositories it must not create, and has to report a
    clean startup failure instead of a raw [Sys_error]/[Unix_error]: every
    failure mode of opening funnels into the one typed exception. *)
-let open_dir ?pool_size ?durable ?(create = true) dir =
+let open_dir ?pool_size ?durable ?io ?(create = true) dir =
   if not create then begin
     if not (Sys.file_exists dir) then open_error "%s: no such directory" dir;
     if not (Sys.is_directory dir) then open_error "%s: not a directory" dir;
     if not (Sys.file_exists (Filename.concat dir "catalog.crim")) then
       open_error "%s: not a crimson repository (no catalog.crim)" dir
   end;
-  match open_tables (Database.open_dir ?pool_size ?durable dir) with
-  | repo -> repo
-  | exception Sys_error msg -> open_error "cannot open repository %s: %s" dir msg
-  | exception Unix.Unix_error (e, _, arg) ->
+  let opened =
+    match Database.open_dir ?pool_size ?durable ?io dir with
+    | db -> (
+        (* Opening half the tables and then failing must not leak the
+           descriptors of the ones that did open — the crash matrix
+           reopens hundreds of repositories in one process. *)
+        match open_tables db with
+        | repo -> Ok repo
+        | exception e ->
+            Database.abandon db;
+            Error e)
+    | exception e -> Error e
+  in
+  match opened with
+  | Ok repo -> repo
+  | Error (Sys_error msg) -> open_error "cannot open repository %s: %s" dir msg
+  | Error (Unix.Unix_error (e, _, arg)) ->
       open_error "cannot open repository %s: %s (%s)" dir (Unix.error_message e) arg
-  | exception Invalid_argument msg ->
+  | Error (Invalid_argument msg) ->
       open_error "cannot open repository %s: %s" dir msg
-  | exception Crimson_util.Codec.Corrupt msg ->
+  | Error (Crimson_util.Codec.Corrupt msg) ->
       open_error "cannot open repository %s: corrupt catalog: %s" dir msg
-  | exception Database.Schema_mismatch msg ->
+  | Error (Database.Schema_mismatch msg) ->
       open_error "cannot open repository %s: schema mismatch: %s" dir msg
+  | Error (Crimson_storage.Error.Error e) ->
+      open_error "cannot open repository %s: %s" dir
+        (Crimson_storage.Error.to_string e)
+  | Error e -> raise e
 
 let open_mem ?pool_size () = open_tables (Database.open_mem ?pool_size ())
 
@@ -115,6 +132,7 @@ let queries t = t.queries
 
 let flush t = Database.flush t.db
 let close t = Database.close t.db
+let abandon t = Database.abandon t.db
 
 (* --------------------------- Query history ------------------------- *)
 
@@ -160,25 +178,33 @@ let record_query ?(elapsed_ms = 0.0) ?(pages = 0) t ~text ~result =
        |]);
   id
 
-let decode_entry row =
-  ( Record.get_float row Schema.Queries.c_time,
-    Record.get_text row Schema.Queries.c_text,
-    Record.get_text row Schema.Queries.c_result,
-    Record.get_float row Schema.Queries.c_elapsed_ms,
-    Record.get_int row Schema.Queries.c_pages )
+type query_record = {
+  id : int;
+  time : float;
+  text : string;
+  result : string;
+  elapsed_ms : float;
+  pages : int;
+}
+
+let decode_record row =
+  {
+    id = Record.get_int row Schema.Queries.c_id;
+    time = Record.get_float row Schema.Queries.c_time;
+    text = Record.get_text row Schema.Queries.c_text;
+    result = Record.get_text row Schema.Queries.c_result;
+    elapsed_ms = Record.get_float row Schema.Queries.c_elapsed_ms;
+    pages = Record.get_int row Schema.Queries.c_pages;
+  }
 
 let history t =
   let acc = ref [] in
-  Table.scan t.queries (fun _ row ->
-      let time, text, result, elapsed_ms, pages = decode_entry row in
-      acc :=
-        (Record.get_int row Schema.Queries.c_id, time, text, result, elapsed_ms, pages)
-        :: !acc);
-  List.sort (fun (a, _, _, _, _, _) (b, _, _, _, _, _) -> Int.compare a b) !acc
+  Table.scan t.queries (fun _ row -> acc := decode_record row :: !acc);
+  List.sort (fun a b -> Int.compare a.id b.id) !acc
 
 let history_entry t id =
   match
-    Table.lookup_unique t.queries ~index:"by_id" ~key:(Schema.Queries.key_id id)
+    Table.find t.queries ~index:"by_id" ~key:(Schema.Queries.key_id id)
   with
-  | Some (_, row) -> Some (decode_entry row)
+  | Some (_, row) -> Some (decode_record row)
   | None -> None

@@ -15,10 +15,18 @@ exception Open_error of string
     [Unix_error] escapes, so servers and the CLI can report startup
     failures cleanly. *)
 
-val open_dir : ?pool_size:int -> ?durable:bool -> ?create:bool -> string -> t
+val open_dir :
+  ?pool_size:int ->
+  ?durable:bool ->
+  ?io:Crimson_storage.Io.t ->
+  ?create:bool ->
+  string ->
+  t
 (** Open or create the repositories under a directory. [pool_size] is the
     per-file buffer pool size in pages; [durable] enables write-ahead
-    logging for crash-atomic checkpoints. [create] (default [true])
+    logging for crash-atomic checkpoints; [io] selects the storage
+    backend (default {!Crimson_storage.Io.real} — fault-injecting
+    backends drive the crash-safety harness). [create] (default [true])
     creates the directory when absent; with [~create:false] the
     directory must already exist and hold a repository catalog, else
     {!Open_error} is raised. *)
@@ -37,6 +45,12 @@ val queries : t -> Table.t
 
 val flush : t -> unit
 val close : t -> unit
+
+val abandon : t -> unit
+(** Release the repository without flushing: file descriptors close,
+    dirty pages are dropped. The crash harness uses this after a
+    simulated power loss, when the frozen backend would refuse the
+    writes {!close} issues; a later {!open_dir} recovers from the WAL. *)
 
 (** {1 Query Repository}
 
@@ -59,9 +73,19 @@ val pages_touched : t -> int
 (** Running total of page accesses (pool hits + misses) over every file
     of this repository. *)
 
-val history : t -> (int * float * string * string * float * int) list
-(** All recorded queries, oldest first:
-    (id, unix time, text, result, elapsed ms, pages touched). *)
+type query_record = {
+  id : int;  (** Dense ascending query id. *)
+  time : float;  (** Unix timestamp at record time. *)
+  text : string;  (** The query as issued. *)
+  result : string;  (** Rendered result summary. *)
+  elapsed_ms : float;  (** Measured wall time, 0 when unmeasured. *)
+  pages : int;  (** Buffer-pool pages touched, 0 when unmeasured. *)
+}
+(** One Query Repository row. Replaces the positional 6-tuple the
+    history accessors used to return — callers name the fields they
+    want instead of pattern-matching all six in order. *)
 
-val history_entry :
-  t -> int -> (float * string * string * float * int) option
+val history : t -> query_record list
+(** All recorded queries, oldest first. *)
+
+val history_entry : t -> int -> query_record option

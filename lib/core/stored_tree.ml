@@ -31,14 +31,14 @@ let of_meta_row ?cache_capacity ?prefetch repo row =
 
 let open_id ?cache_capacity ?prefetch repo id =
   match
-    Table.lookup_unique (Repo.trees repo) ~index:"by_id" ~key:(Schema.Trees.key_id id)
+    Table.find (Repo.trees repo) ~index:"by_id" ~key:(Schema.Trees.key_id id)
   with
   | Some (_, row) -> of_meta_row ?cache_capacity ?prefetch repo row
   | None -> raise (Unknown_tree (Printf.sprintf "#%d" id))
 
 let open_name ?cache_capacity ?prefetch repo name =
   match
-    Table.lookup_unique (Repo.trees repo) ~index:"by_name"
+    Table.find (Repo.trees repo) ~index:"by_name"
       ~key:(Schema.Trees.key_name name)
   with
   | Some (_, row) -> of_meta_row ?cache_capacity ?prefetch repo row
@@ -102,7 +102,7 @@ let is_leaf t node =
 
 let leaf_by_ordinal t ord =
   match
-    Table.lookup_unique (Repo.leaves t.repo) ~index:"by_ord"
+    Table.find (Repo.leaves t.repo) ~index:"by_ord"
       ~key:(Schema.Leaves.key_ord ~tree:t.id ord)
   with
   | Some (_, row) -> Record.get_int row Schema.Leaves.c_node

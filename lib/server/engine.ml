@@ -150,9 +150,21 @@ let with_timeout seconds f =
              fired := true;
              raise Timeout))
     in
+    (* The alarm can be delivered while disarm itself runs (between [f]
+       returning and the itimer reaching zero); the handler's raise would
+       then escape past the match below. Absorb it — [fired] is set, so
+       the caller still observes [`Timeout]. *)
     let disarm () =
-      ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = 0.0; it_interval = 0.0 });
-      Sys.set_signal Sys.sigalrm old
+      try
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL
+             { Unix.it_value = 0.0; it_interval = 0.0 });
+        Sys.set_signal Sys.sigalrm old
+      with Timeout ->
+        ignore
+          (Unix.setitimer Unix.ITIMER_REAL
+             { Unix.it_value = 0.0; it_interval = 0.0 });
+        Sys.set_signal Sys.sigalrm old
     in
     ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = seconds; it_interval = 0.0 });
     match f () with

@@ -61,7 +61,12 @@ let encode_node node =
         entries);
   Codec.Writer.contents w
 
-let decode_node page =
+let corrupt pager detail =
+  Error.fail
+    (Error.Corrupt_page
+       { file = Option.value (Pager.file_path pager) ~default:"<mem>"; detail })
+
+let decode_node ~pager page =
   (* Zero-copy view: the page buffer is only read while pinned and the
      reader never outlives this call, so the unsafe cast is sound. *)
   let r = Codec.Reader.create (Bytes.unsafe_to_string page) in
@@ -87,7 +92,7 @@ let decode_node page =
         entries.(i) <- (k, c)
       done;
       Internal { first; entries }
-  | k -> raise (Pager.Corrupt (Printf.sprintf "btree: unknown node kind %d" k))
+  | k -> corrupt pager (Printf.sprintf "btree: unknown node kind %d" k)
 
 let read_node t page_id =
   Crimson_obs.Metrics.Counter.incr m_node_reads;
@@ -95,7 +100,7 @@ let read_node t page_id =
   | Some node -> node
   | None ->
       Crimson_obs.Metrics.Counter.incr m_node_decodes;
-      let node = Pager.with_page t.pager page_id decode_node in
+      let node = Pager.with_page t.pager page_id (decode_node ~pager:t.pager) in
       if Hashtbl.length t.node_cache >= t.cache_limit then
         Hashtbl.reset t.node_cache;
       Hashtbl.replace t.node_cache page_id node;
@@ -145,7 +150,12 @@ let create pager =
     let root =
       Pager.with_page pager 0 (fun page ->
           if Bytes.sub_string page 0 (String.length magic) <> magic then
-            raise (Pager.Corrupt "btree: bad magic");
+            Error.fail
+              (Error.Corrupt_page
+                 {
+                   file = Option.value (Pager.file_path pager) ~default:"<mem>";
+                   detail = "btree: bad magic";
+                 });
           Codec.get_u32 page 8)
     in
     { pager; root; node_cache = Hashtbl.create 64; cache_limit = 64 }
@@ -200,6 +210,9 @@ let find t ~key =
         go (child_of first entries (child_slot entries key))
   in
   go t.root
+
+let find_exn t ~key =
+  match find t ~key with Some v -> v | None -> raise Not_found
 
 (* ----------------------------- Insert ------------------------------ *)
 
@@ -324,7 +337,7 @@ let iter_from t ~key f =
             incr i
           done;
           if !continue then walk next ~start:false
-      | Internal _ -> raise (Pager.Corrupt "btree: leaf chain hit an internal node")
+      | Internal _ -> corrupt t.pager "btree: leaf chain hit an internal node"
   in
   walk (descend t.root) ~start:true
 
@@ -359,7 +372,7 @@ module Cursor = struct
           c.pos <- 0;
           c.next_page <- np;
           next c
-      | Internal _ -> raise (Pager.Corrupt "btree: leaf chain hit an internal node")
+      | Internal _ -> corrupt c.btree.pager "btree: leaf chain hit an internal node"
 end
 
 let cursor t ~key =
@@ -406,7 +419,7 @@ let iter_all t f =
             incr i
           done;
           if !continue then walk next
-      | Internal _ -> raise (Pager.Corrupt "btree: leaf chain hit an internal node")
+      | Internal _ -> corrupt t.pager "btree: leaf chain hit an internal node"
   in
   walk (leftmost_leaf t)
 

@@ -16,13 +16,17 @@ type t
 
 val create : Pager.t -> t
 (** Wrap a pager as a B+tree, formatting it when empty. Raises
-    {!Pager.Corrupt} when the file is not a B+tree. *)
+    {!Error.Error} ([Corrupt_page]) when the file is not a B+tree. *)
 
 val insert : t -> key:string -> int -> unit
 (** Insert or overwrite. Raises [Invalid_argument] when the key is empty
     or longer than {!max_key}. *)
 
 val find : t -> key:string -> int option
+(** The value under [key], [None] when absent. *)
+
+val find_exn : t -> key:string -> int
+(** Like {!find}; raises [Not_found] when the key is absent. *)
 
 val delete : t -> key:string -> bool
 (** [true] when the key was present. *)

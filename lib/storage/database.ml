@@ -4,6 +4,11 @@ exception Schema_mismatch of string
 
 let mismatch fmt = Printf.ksprintf (fun s -> raise (Schema_mismatch s)) fmt
 
+(* Same registry instances the pager feeds — directory-level recovery
+   reports through the one storage.recovery.* namespace. *)
+let m_rec_discarded = Crimson_obs.Metrics.counter "storage.recovery.discarded"
+let h_recovery = Crimson_obs.Metrics.histogram "storage.recovery.ms"
+
 type catalog_entry = {
   table_name : string;
   schema : Record.schema;
@@ -12,16 +17,23 @@ type catalog_entry = {
 
 type t = {
   dir : string option; (* None = in-memory *)
+  io : Io.t;
   pool_size : int;
   durable : bool;
   mutable catalog : catalog_entry list;
-  open_tables : (string, Table.t * Pager.t list) Hashtbl.t;
+  (* Table handle plus (relative file name, pager) for each of its
+     files — the names tag WAL records at checkpoint time. *)
+  open_tables : (string, Table.t * (string * Pager.t) list) Hashtbl.t;
+  (* The database-level WAL, opened lazily on the first durable
+     checkpoint (and eagerly by recovery). *)
+  mutable db_wal : Wal.t option;
   mutable closed : bool;
 }
 
 (* --------------------------- Catalog file -------------------------- *)
 
 let catalog_path dir = Filename.concat dir "catalog.crim"
+let db_wal_name = "crimson.wal"
 
 let encode_catalog entries =
   let w = Codec.Writer.create () in
@@ -61,51 +73,88 @@ let decode_catalog payload =
   done;
   List.rev !entries
 
-let load_catalog dir =
-  let path = catalog_path dir in
-  if not (Sys.file_exists path) then []
-  else begin
-    let ic = open_in_bin path in
-    Fun.protect
-      ~finally:(fun () -> close_in_noerr ic)
-      (fun () ->
-        let n = in_channel_length ic in
-        decode_catalog (really_input_string ic n))
-  end
+let load_catalog io dir =
+  match Io.read_file io (catalog_path dir) with
+  | None -> []
+  | Some payload -> decode_catalog payload
 
 let save_catalog t =
   match t.dir with
   | None -> ()
-  | Some dir ->
-      let tmp = catalog_path dir ^ ".tmp" in
-      let oc = open_out_bin tmp in
-      Fun.protect
-        ~finally:(fun () -> close_out_noerr oc)
-        (fun () -> output_string oc (encode_catalog t.catalog));
-      Sys.rename tmp (catalog_path dir)
+  | Some dir -> Io.write_file_atomic t.io (catalog_path dir) (encode_catalog t.catalog)
+
+(* ------------------------- Directory recovery ----------------------- *)
+
+(* Replay or discard the database-level WAL before any pager opens. The
+   commit record decides: a committed batch is applied to every tagged
+   file (idempotent — a crash mid-replay reruns it on the next open); a
+   torn batch means the crash happened before the checkpoint committed,
+   so the files already hold the previous consistent state. A torn
+   record *inside* a committed batch cannot happen (the commit checksum
+   covers every record), so Wal.read never returns such a state; the
+   typed [Torn_wal_record] error is reserved for callers that bypass
+   classification. *)
+let recover_dir io dir =
+  let wal_file = Filename.concat dir db_wal_name in
+  if Io.file_exists io wal_file then begin
+    let wal = Wal.open_path ~io wal_file in
+    Fun.protect
+      ~finally:(fun () -> Wal.close wal)
+      (fun () ->
+        Crimson_obs.Span.record_traced h_recovery (fun () ->
+            (match Wal.read wal with
+            | Wal.Committed entries ->
+                let by_file = Hashtbl.create 8 in
+                let order = ref [] in
+                List.iter
+                  (fun (e : Wal.entry) ->
+                    (match Hashtbl.find_opt by_file e.file with
+                    | Some batch -> batch := (e.page_id, e.image) :: !batch
+                    | None ->
+                        Hashtbl.add by_file e.file (ref [ (e.page_id, e.image) ]);
+                        order := e.file :: !order);
+                    ())
+                  entries;
+                List.iter
+                  (fun file ->
+                    let batch = List.rev !(Hashtbl.find by_file file) in
+                    let f = Io.open_file io (Filename.concat dir file) in
+                    Fun.protect
+                      ~finally:(fun () -> Io.close f)
+                      (fun () -> Pager.replay_batch f batch))
+                  (List.rev !order)
+            | Wal.Torn _ -> Crimson_obs.Metrics.Counter.incr m_rec_discarded
+            | Wal.Empty -> ());
+            Wal.clear wal))
+  end
 
 (* ----------------------------- Open/close -------------------------- *)
 
-let open_dir ?(pool_size = 256) ?(durable = false) dir =
+let open_dir ?(pool_size = 256) ?(durable = false) ?(io = Io.real) dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
   else if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Database.open_dir: %s is not a directory" dir);
+  recover_dir io dir;
   {
     dir = Some dir;
+    io;
     pool_size;
     durable;
-    catalog = load_catalog dir;
+    catalog = load_catalog io dir;
     open_tables = Hashtbl.create 8;
+    db_wal = None;
     closed = false;
   }
 
 let open_mem ?(pool_size = 256) () =
   {
     dir = None;
+    io = Io.real;
     pool_size;
     durable = false;
     catalog = [];
     open_tables = Hashtbl.create 8;
+    db_wal = None;
     closed = false;
   }
 
@@ -116,11 +165,57 @@ let check_open t = if t.closed then invalid_arg "Database: already closed"
 let heap_file_name name = name ^ ".heap"
 let index_file_name name index = Printf.sprintf "%s.%s.idx" name index
 
+(* --------------------------- Checkpointing -------------------------- *)
+
+let all_pagers t =
+  Hashtbl.fold (fun _ (_, pagers) acc -> pagers @ acc) t.open_tables []
+
+let get_db_wal t dir =
+  match t.db_wal with
+  | Some wal -> wal
+  | None ->
+      let wal = Wal.open_path ~io:t.io (Filename.concat dir db_wal_name) in
+      t.db_wal <- Some wal;
+      wal
+
+(* One atomic checkpoint covering every file of the database: collect
+   the dirty pages of every pager into a single WAL batch tagged with
+   file names, fsync it (the commit point), apply each pager's pages to
+   its own file, then clear the WAL. A crash anywhere leaves either the
+   previous checkpoint (WAL torn or cleared) or this one (WAL
+   committed, replayed by [recover_dir] on the next open) — never a mix
+   of files from different checkpoints. *)
+let checkpoint t =
+  check_open t;
+  match t.dir with
+  | None -> ()
+  | Some dir ->
+      let pagers = all_pagers t in
+      let entries =
+        List.concat_map
+          (fun (file, pager) ->
+            List.map
+              (fun (page_id, image) -> { Wal.file; page_id; image })
+              (Pager.dirty_batch pager))
+          pagers
+      in
+      if entries <> [] then begin
+        let wal = get_db_wal t dir in
+        Wal.append_entries wal entries;
+        List.iter (fun (_, pager) -> Pager.apply_checkpoint pager) pagers;
+        Wal.clear wal
+      end
+
 let make_pager t file =
   match t.dir with
   | Some dir ->
-      Pager.create_file ~pool_size:t.pool_size ~durable:t.durable
-        (Filename.concat dir file)
+      (* Durability is provided at the database level (one WAL for the
+         whole directory), so the per-file WAL stays off; committed
+         per-file WALs left by older versions still replay inside
+         [Pager.create_file]. *)
+      let pager = Pager.create_file ~pool_size:t.pool_size ~io:t.io (Filename.concat dir file) in
+      if t.durable then Pager.set_dirty_pressure pager (fun () -> checkpoint t);
+      pager
   | None -> Pager.create_mem ~pool_size:t.pool_size ()
 
 let same_schema (a : Record.schema) (b : Record.schema) =
@@ -159,14 +254,30 @@ let table t ~name ~schema ~indexes =
                 && not (Sys.file_exists (Filename.concat dir (index_file_name name s.index_name))))
               indexes
       in
-      let heap_pager = make_pager t (heap_file_name name) in
-      let heap = Heap.create heap_pager in
-      let index_pairs =
-        List.map
-          (fun (s : Table.index_spec) ->
-            let pager = make_pager t (index_file_name name s.index_name) in
-            ((s, Btree.create pager), pager))
-          indexes
+      (* Track pagers opened so far: failing on the third index file must
+         not leak the descriptors of the heap and earlier indexes. *)
+      let opened = ref [] in
+      let open_pager file =
+        let pager = make_pager t file in
+        opened := pager :: !opened;
+        pager
+      in
+      let heap_pager, heap, index_pairs =
+        try
+          let heap_pager = open_pager (heap_file_name name) in
+          let heap = Heap.create heap_pager in
+          let index_pairs =
+            List.map
+              (fun (s : Table.index_spec) ->
+                let file = index_file_name name s.index_name in
+                let pager = open_pager file in
+                ((s, Btree.create pager), (file, pager)))
+              indexes
+          in
+          (heap_pager, heap, index_pairs)
+        with e ->
+          List.iter Pager.abandon !opened;
+          raise e
       in
       let tbl =
         Table.create ~name ~schema ~heap ~indexes:(List.map fst index_pairs)
@@ -175,7 +286,7 @@ let table t ~name ~schema ~indexes =
       List.iter
         (fun (s : Table.index_spec) -> Table.rebuild_index tbl ~index:s.index_name)
         index_missing;
-      let pagers = heap_pager :: List.map snd index_pairs in
+      let pagers = (heap_file_name name, heap_pager) :: List.map snd index_pairs in
       Hashtbl.replace t.open_tables name (tbl, pagers);
       tbl
 
@@ -186,18 +297,18 @@ let drop_table t name =
   if not (List.exists (fun e -> String.equal e.table_name name) t.catalog) then
     raise Not_found;
   let entry = List.find (fun e -> String.equal e.table_name name) t.catalog in
+  (* Settle outstanding dirty state first so the WAL never references
+     files about to disappear. *)
+  if t.durable then checkpoint t;
   (match Hashtbl.find_opt t.open_tables name with
   | Some (_, pagers) ->
-      List.iter Pager.close pagers;
+      List.iter (fun (_, p) -> Pager.close p) pagers;
       Hashtbl.remove t.open_tables name
   | None -> ());
   (match t.dir with
   | None -> ()
   | Some dir ->
-      let remove file =
-        let path = Filename.concat dir file in
-        if Sys.file_exists path then Sys.remove path
-      in
+      let remove file = Io.remove t.io (Filename.concat dir file) in
       remove (heap_file_name name);
       List.iter (fun (index, _) -> remove (index_file_name name index)) entry.index_meta);
   t.catalog <- List.filter (fun e -> not (String.equal e.table_name name)) t.catalog;
@@ -206,19 +317,35 @@ let drop_table t name =
 let pager_stats t =
   Hashtbl.fold
     (fun name (_, pagers) acc ->
-      List.mapi (fun i p -> (Printf.sprintf "%s/%d" name i, Pager.stats p)) pagers @ acc)
+      List.mapi (fun i (_, p) -> (Printf.sprintf "%s/%d" name i, Pager.stats p)) pagers
+      @ acc)
     t.open_tables []
 
 let reset_pager_stats t =
-  Hashtbl.iter (fun _ (_, pagers) -> List.iter Pager.reset_stats pagers) t.open_tables
+  Hashtbl.iter (fun _ (_, pagers) -> List.iter (fun (_, p) -> Pager.reset_stats p) pagers)
+    t.open_tables
 
 let flush t =
   check_open t;
-  Hashtbl.iter (fun _ (tbl, _) -> Table.flush tbl) t.open_tables
+  if t.durable && t.dir <> None then checkpoint t
+  else Hashtbl.iter (fun _ (tbl, _) -> Table.flush tbl) t.open_tables
 
 let close t =
   if not t.closed then begin
-    Hashtbl.iter (fun _ (_, pagers) -> List.iter Pager.close pagers) t.open_tables;
+    if t.durable && t.dir <> None then checkpoint t;
+    Hashtbl.iter (fun _ (_, pagers) -> List.iter (fun (_, p) -> Pager.close p) pagers)
+      t.open_tables;
+    Option.iter Wal.close t.db_wal;
+    Hashtbl.reset t.open_tables;
+    t.closed <- true
+  end
+
+let abandon t =
+  if not t.closed then begin
+    Hashtbl.iter
+      (fun _ (_, pagers) -> List.iter (fun (_, p) -> Pager.abandon p) pagers)
+      t.open_tables;
+    Option.iter Wal.close t.db_wal;
     Hashtbl.reset t.open_tables;
     t.closed <- true
   end

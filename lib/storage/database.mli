@@ -4,18 +4,28 @@
     catalog persists table schemas and index names; key-extraction
     functions are code, so callers re-supply the same {!Table.index_spec}
     list when opening — the catalog verifies names and uniqueness flags
-    and indexes whose files are missing are rebuilt from the heap. *)
+    and indexes whose files are missing are rebuilt from the heap.
+
+    With [durable], the whole directory shares a single write-ahead log
+    ([crimson.wal]): a checkpoint ({!flush}/{!close}) collects the dirty
+    pages of {e every} open file into one committed batch, so a crash
+    can never persist the heap's half of an insert without its index
+    entries. Recovery runs inside {!open_dir}, before any table opens. *)
 
 type t
 
 exception Schema_mismatch of string
 
-val open_dir : ?pool_size:int -> ?durable:bool -> string -> t
+val open_dir : ?pool_size:int -> ?durable:bool -> ?io:Io.t -> string -> t
 (** Open or create a database in a directory (created if absent).
     [pool_size] is the per-file buffer-pool size in pages; [durable]
-    (default false) routes write-backs through per-file write-ahead logs
-    for crash-atomic checkpoints (see {!Pager.create_file}). Committed
-    WALs left by a crash are replayed regardless of the flag. *)
+    (default false) makes checkpoints crash-atomic across all files via
+    the database-level WAL. [io] (default {!Io.real}) is the backend
+    every file of this database is accessed through — tests pass a
+    fault-injecting one. Committed WALs left by a crash are replayed
+    regardless of the flag; torn ones are discarded
+    ([storage.recovery.*] metrics). Raises {!Error.Error} on backend
+    failure or corrupt page files. *)
 
 val open_mem : ?pool_size:int -> unit -> t
 (** Fully in-memory database with identical behaviour (tests,
@@ -35,6 +45,11 @@ val table_names : t -> string list
 val drop_table : t -> string -> unit
 (** Remove a table and its files. Raises [Not_found] for unknown names. *)
 
+val checkpoint : t -> unit
+(** Commit every file's dirty pages as one atomic batch through the
+    database WAL, then write them back. No-op when nothing is dirty or
+    the database is in-memory. {!flush} calls this when [durable]. *)
+
 val pager_stats : t -> (string * Pager.stats) list
 (** Per-file buffer pool statistics, labelled by file stem. *)
 
@@ -42,3 +57,9 @@ val reset_pager_stats : t -> unit
 
 val flush : t -> unit
 val close : t -> unit
+
+val abandon : t -> unit
+(** Release every file {e without} flushing — for error paths (a
+    fault-frozen backend, a failed open) where storage must not be
+    touched again. Dirty state is dropped; a later {!open_dir} recovers
+    to the last checkpoint. *)

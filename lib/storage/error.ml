@@ -1,0 +1,20 @@
+type t =
+  | Corrupt_page of { file : string; detail : string }
+  | Torn_wal_record of { file : string; index : int; detail : string }
+  | Io_failed of { file : string; op : string; detail : string }
+
+exception Error of t
+
+let to_string = function
+  | Corrupt_page { file; detail } -> Printf.sprintf "%s: corrupt: %s" file detail
+  | Torn_wal_record { file; index; detail } ->
+      Printf.sprintf "%s: torn WAL record #%d: %s" file index detail
+  | Io_failed { file; op; detail } ->
+      Printf.sprintf "%s: %s failed: %s" file op detail
+
+let fail e = raise (Error e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Crimson_storage.Error.Error: " ^ to_string e)
+    | _ -> None)

@@ -1,0 +1,28 @@
+(** Typed storage errors.
+
+    The open paths of {!Pager}, {!Wal} and {!Database} used to fail with
+    stringly [Failure]/[Pager.Corrupt] values; callers that need to react
+    differently to "the page file is garbage" vs "the disk said no" now
+    get a variant, mirroring [Repo.Open_error] one layer up. Operational
+    corruption hit mid-query (short page reads, bad node bytes) raises
+    the same [Corrupt_page] variant. *)
+
+type t =
+  | Corrupt_page of { file : string; detail : string }
+      (** A page file or page image failed structural validation while
+          opening (bad magic, unaligned length, unknown node kind). *)
+  | Torn_wal_record of { file : string; index : int; detail : string }
+      (** A WAL that must be intact (committed by the database-level
+          commit record) holds a record whose checksum fails. [index] is
+          the 0-based record number. *)
+  | Io_failed of { file : string; op : string; detail : string }
+      (** The backing I/O layer failed — a real [Unix_error] or an
+          injected fault (see {!Io}). *)
+
+exception Error of t
+
+val to_string : t -> string
+(** Human-readable one-liner naming the file and the cause. *)
+
+val fail : t -> 'a
+(** [fail e] raises [Error e]. *)

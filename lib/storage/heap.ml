@@ -22,7 +22,12 @@ let create pager =
   else
     Pager.with_page pager 0 (fun page ->
         if Bytes.sub_string page 0 (String.length magic) <> magic then
-          raise (Pager.Corrupt "heap: bad magic"));
+          Error.fail
+            (Error.Corrupt_page
+               {
+                 file = Option.value (Pager.file_path pager) ~default:"<mem>";
+                 detail = "heap: bad magic";
+               }));
   { pager; tail_page = Pager.page_count pager - 1 }
 
 let fresh_page t =

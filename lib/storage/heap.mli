@@ -17,7 +17,7 @@ val rid_to_string : rid -> string
 
 val create : Pager.t -> t
 (** Wrap a pager as a heap file, formatting it when empty. Raises
-    {!Pager.Corrupt} when the file exists but is not a heap file. *)
+    {!Error.Error} ([Corrupt_page]) when the file exists but is not a heap file. *)
 
 val insert : t -> string -> rid
 (** Raises [Invalid_argument] for records larger than

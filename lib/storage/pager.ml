@@ -1,5 +1,3 @@
-exception Corrupt of string
-
 module Counter = Crimson_obs.Metrics.Counter
 
 (* Process-global telemetry: every pool in the process feeds these, the
@@ -12,14 +10,22 @@ let m_evictions = Crimson_obs.Metrics.counter "storage.pager.eviction"
 let m_fsyncs = Crimson_obs.Metrics.counter "storage.pager.fsync"
 let h_fsync = Crimson_obs.Metrics.histogram "storage.pager.fsync_ms"
 
-let timed_fsync fd =
+(* Crash-recovery telemetry: WAL replays applied on open, pages they
+   restored, and torn/uncommitted logs discarded (see also
+   storage.wal.torn_record for checksum-level detail). *)
+let m_rec_replays = Crimson_obs.Metrics.counter "storage.recovery.replays"
+let m_rec_pages = Crimson_obs.Metrics.counter "storage.recovery.pages"
+let m_rec_discarded = Crimson_obs.Metrics.counter "storage.recovery.discarded"
+let h_recovery = Crimson_obs.Metrics.histogram "storage.recovery.ms"
+
+let timed_fsync file =
   Counter.incr m_fsyncs;
-  Crimson_obs.Span.record_traced h_fsync (fun () -> Unix.fsync fd)
+  Crimson_obs.Span.record_traced h_fsync (fun () -> Io.fsync file)
 
 type backend =
   | File of {
-      fd : Unix.file_descr;
-      wal : Wal.t option; (* present when the pager is durable *)
+      file : Io.file;
+      wal : Wal.t option; (* present when the pager is durable standalone *)
     }
   | Mem of { pages : bytes Crimson_util.Vec.t }
 
@@ -43,6 +49,11 @@ type t = {
   mutable free_frames : int list;
   mutable n_pages : int;
   mutable closed : bool;
+  (* Database-managed pagers get a checkpoint-the-whole-group callback:
+     eviction pressure on a dirty frame must not write uncommitted pages
+     to the file outside a WAL batch, so it forces a group checkpoint
+     instead (see Database). *)
+  mutable dirty_pressure : (unit -> unit) option;
   (* Per-instance counters backing the [stats] view; the increments are
      mirrored into the registry-wide [m_*] counters above. *)
   reads : Counter.t;
@@ -67,6 +78,7 @@ let create ~pool_size backend ~n_pages =
     free_frames = List.init pool_size Fun.id;
     n_pages;
     closed = false;
+    dirty_pressure = None;
     reads = Counter.make "reads";
     writes = Counter.make "writes";
     hits = Counter.make "hits";
@@ -74,38 +86,56 @@ let create ~pool_size backend ~n_pages =
     evictions = Counter.make "evictions";
   }
 
-(* Apply a committed WAL batch to the main file (crash recovery). *)
-let recover fd path =
-  let wal_file = path ^ ".wal" in
-  if Sys.file_exists wal_file && (Unix.stat wal_file).Unix.st_size > 0 then begin
-    let wal = Wal.open_for path in
-    (match Wal.read_committed wal with
-    | Some batch ->
-        List.iter
-          (fun (page_id, image) ->
-            ignore (Unix.lseek fd (page_id * Page.size) Unix.SEEK_SET);
-            let rec drain pos =
-              if pos < Page.size then
-                drain (pos + Unix.write fd image pos (Page.size - pos))
-            in
-            drain 0)
-          batch;
-        timed_fsync fd
-    | None -> () (* torn before commit: pre-checkpoint state is intact *));
-    Wal.clear wal;
-    Wal.close wal
+let write_page_at file page_id image =
+  let off = page_id * Page.size in
+  let rec drain pos =
+    if pos < Page.size then
+      drain (pos + Io.pwrite file ~off:(off + pos) image ~pos ~len:(Page.size - pos))
+  in
+  drain 0
+
+(* Apply a committed WAL batch to the main file (crash recovery). The
+   same replay primitive serves the database-level WAL (Database). *)
+let replay_batch file batch =
+  Counter.incr m_rec_replays;
+  Counter.add m_rec_pages (List.length batch);
+  List.iter (fun (page_id, image) -> write_page_at file page_id image) batch;
+  timed_fsync file
+
+let recover io file path =
+  let wal_file = Wal.wal_path path in
+  if Io.file_exists io wal_file then begin
+    let wal = Wal.open_for ~io path in
+    Fun.protect
+      ~finally:(fun () -> Wal.close wal)
+      (fun () ->
+        Crimson_obs.Span.record_traced h_recovery (fun () ->
+            (match Wal.read wal with
+            | Wal.Committed entries ->
+                replay_batch file
+                  (List.map (fun (e : Wal.entry) -> (e.page_id, e.image)) entries)
+            | Wal.Torn _ ->
+                (* Crash before commit: pre-checkpoint state is intact. *)
+                Counter.incr m_rec_discarded
+            | Wal.Empty -> ());
+            Wal.clear wal))
   end
 
-let create_file ?(pool_size = 256) ?(durable = false) path =
-  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  recover fd path;
-  let len = (Unix.fstat fd).Unix.st_size in
+let create_file ?(pool_size = 256) ?(durable = false) ?(io = Io.real) path =
+  let file = Io.open_file io path in
+  (try recover io file path
+   with e ->
+     Io.close file;
+     raise e);
+  let len = Io.size file in
   if len mod Page.size <> 0 then begin
-    Unix.close fd;
-    raise (Corrupt (Printf.sprintf "pager: %s has unaligned length %d" path len))
+    Io.close file;
+    Error.fail
+      (Error.Corrupt_page
+         { file = path; detail = Printf.sprintf "unaligned length %d" len })
   end;
-  let wal = if durable then Some (Wal.open_for path) else None in
-  create ~pool_size (File { fd; wal }) ~n_pages:(len / Page.size)
+  let wal = if durable then Some (Wal.open_for ~io path) else None in
+  create ~pool_size (File { file; wal }) ~n_pages:(len / Page.size)
 
 let create_mem ?(pool_size = 256) () =
   create ~pool_size (Mem { pages = Crimson_util.Vec.create () }) ~n_pages:0
@@ -113,6 +143,11 @@ let create_mem ?(pool_size = 256) () =
 let check_open t = if t.closed then invalid_arg "Pager: already closed"
 
 let page_count t = t.n_pages
+
+let file_path t =
+  match t.backend with File { file; _ } -> Some (Io.path file) | Mem _ -> None
+
+let set_dirty_pressure t f = t.dirty_pressure <- Some f
 
 (* ------------------------------- LRU ------------------------------- *)
 
@@ -143,13 +178,18 @@ let backend_read t page_id buf =
   Counter.incr t.reads;
   Counter.incr m_reads;
   match t.backend with
-  | File { fd; _ } ->
+  | File { file; _ } ->
       let off = page_id * Page.size in
-      ignore (Unix.lseek fd off Unix.SEEK_SET);
       let rec fill pos =
         if pos < Page.size then begin
-          let n = Unix.read fd buf pos (Page.size - pos) in
-          if n = 0 then raise (Corrupt (Printf.sprintf "pager: short read of page %d" page_id));
+          let n = Io.pread file ~off:(off + pos) buf ~pos ~len:(Page.size - pos) in
+          if n = 0 then
+            Error.fail
+              (Error.Corrupt_page
+                 {
+                   file = Io.path file;
+                   detail = Printf.sprintf "pager: short read of page %d" page_id;
+                 });
           fill (pos + n)
         end
       in
@@ -160,16 +200,7 @@ let backend_write t page_id buf =
   Counter.incr t.writes;
   Counter.incr m_writes;
   match t.backend with
-  | File { fd; _ } ->
-      let off = page_id * Page.size in
-      ignore (Unix.lseek fd off Unix.SEEK_SET);
-      let rec drain pos =
-        if pos < Page.size then begin
-          let n = Unix.write fd buf pos (Page.size - pos) in
-          drain (pos + n)
-        end
-      in
-      drain 0
+  | File { file; _ } -> write_page_at file page_id buf
   | Mem { pages } -> Bytes.blit buf 0 (Crimson_util.Vec.get pages page_id) 0 Page.size
 
 (* Route a batch of dirty pages through the WAL (when durable) before
@@ -180,21 +211,14 @@ let write_back_batch t batch =
   | File { wal = None; _ } | Mem _ -> ());
   List.iter (fun (page_id, buf) -> backend_write t page_id buf) batch;
   match t.backend with
-  | File { fd; wal = Some wal } ->
-      timed_fsync fd;
+  | File { file; wal = Some wal } ->
+      timed_fsync file;
       Wal.clear wal
   | File { wal = None; _ } | Mem _ -> ()
 
 (* ------------------------------ Frames ----------------------------- *)
 
-let evict_one t =
-  (* Walk from the LRU tail for the first unpinned frame. *)
-  let rec find i =
-    if i < 0 then failwith "Pager: all frames pinned; pool too small"
-    else if t.frames.(i).pins = 0 then i
-    else find t.frames.(i).prev
-  in
-  let i = find t.lru_tail in
+let do_evict t i =
   let f = t.frames.(i) in
   if f.dirty then begin
     write_back_batch t [ (f.page_id, f.buf) ];
@@ -206,6 +230,34 @@ let evict_one t =
   Counter.incr t.evictions;
   Counter.incr m_evictions;
   i
+
+let evict_one t =
+  (* Walk from the LRU tail for the first unpinned frame, preferring a
+     clean one: evicting clean frames never touches the backend, and
+     under a group checkpoint discipline dirty frames must not leak to
+     the file between commit points. *)
+  let rec find ~clean_only i =
+    if i < 0 then None
+    else
+      let f = t.frames.(i) in
+      if f.pins = 0 && ((not clean_only) || not f.dirty) then Some i
+      else find ~clean_only f.prev
+  in
+  match find ~clean_only:true t.lru_tail with
+  | Some i -> do_evict t i
+  | None -> (
+      match t.dirty_pressure with
+      | Some checkpoint -> (
+          (* Commit the whole group early; afterwards some unpinned frame
+             is clean (checkpoint cleans every frame). *)
+          checkpoint ();
+          match find ~clean_only:true t.lru_tail with
+          | Some i -> do_evict t i
+          | None -> failwith "Pager: all frames pinned; pool too small")
+      | None -> (
+          match find ~clean_only:false t.lru_tail with
+          | Some i -> do_evict t i
+          | None -> failwith "Pager: all frames pinned; pool too small"))
 
 let frame_for t page_id ~load =
   match Hashtbl.find_opt t.frame_of_page page_id with
@@ -264,14 +316,36 @@ let with_frame t page_id ~dirty f =
 let with_page t page_id f = with_frame t page_id ~dirty:false f
 let with_page_mut t page_id f = with_frame t page_id ~dirty:true f
 
-let flush t =
-  check_open t;
+let collect_dirty t =
   let dirty = ref [] in
   Array.iter
     (fun f -> if f.page_id >= 0 && f.dirty then dirty := (f.page_id, f.buf) :: !dirty)
     t.frames;
-  if !dirty <> [] then begin
-    write_back_batch t (List.rev !dirty);
+  List.rev !dirty
+
+let dirty_batch t =
+  check_open t;
+  collect_dirty t
+
+let apply_checkpoint t =
+  check_open t;
+  let dirty = collect_dirty t in
+  if dirty <> [] then begin
+    List.iter (fun (page_id, buf) -> backend_write t page_id buf) dirty;
+    (match t.backend with
+    | File { file; _ } -> timed_fsync file
+    | Mem _ -> ());
+    (* Only after every write and the fsync succeeded: an I/O failure
+       mid-way must leave the frames dirty so the WAL stays the source
+       of truth. *)
+    Array.iter (fun f -> if f.page_id >= 0 then f.dirty <- false) t.frames
+  end
+
+let flush t =
+  check_open t;
+  let dirty = collect_dirty t in
+  if dirty <> [] then begin
+    write_back_batch t dirty;
     Array.iter (fun f -> if f.page_id >= 0 then f.dirty <- false) t.frames
   end
 
@@ -279,8 +353,18 @@ let close t =
   if not t.closed then begin
     flush t;
     (match t.backend with
-    | File { fd; wal } ->
-        Unix.close fd;
+    | File { file; wal } ->
+        Io.close file;
+        Option.iter Wal.close wal
+    | Mem _ -> ());
+    t.closed <- true
+  end
+
+let abandon t =
+  if not t.closed then begin
+    (match t.backend with
+    | File { file; wal } ->
+        Io.close file;
         Option.iter Wal.close wal
     | Mem _ -> ());
     t.closed <- true

@@ -9,26 +9,33 @@
     This is the component that realises the paper's storage argument:
     simulation trees are far larger than memory, queries touch few pages,
     so index-directed random access through a small pool must perform —
-    experiment E9 measures exactly this by shrinking [pool_size]. *)
+    experiment E9 measures exactly this by shrinking [pool_size].
+
+    All file traffic goes through an {!Io} backend, so tests can inject
+    faults (failed/short/torn writes, simulated power loss) under the
+    whole stack. *)
 
 type t
 
-exception Corrupt of string
-
-val create_file : ?pool_size:int -> ?durable:bool -> string -> t
+val create_file : ?pool_size:int -> ?durable:bool -> ?io:Io.t -> string -> t
 (** Open or create a page file. [pool_size] (default 256 frames, minimum
     8) bounds resident pages. With [durable] (default false) every dirty
     write-back is routed through a write-ahead log ([<path>.wal]) so
     checkpoints are atomic under crashes, at the cost of an fsync per
-    flush/eviction batch. Opening always replays a committed WAL left by
-    a crash, durable or not. Raises [Sys_error] on IO failure and
-    {!Corrupt} when the file length is not page-aligned. *)
+    flush/eviction batch. Opening always replays a committed sibling WAL
+    left by a crash, durable or not (torn logs are discarded; see
+    [storage.recovery.*] metrics). Raises {!Error.Error}
+    ([Io_failed] on backend failure, [Corrupt_page] when the file length
+    is not page-aligned). *)
 
 val create_mem : ?pool_size:int -> unit -> t
 (** Volatile pager backed by memory — same code paths and pool behaviour
     as the file pager, without a file. Used by tests and benchmarks. *)
 
 val page_count : t -> int
+
+val file_path : t -> string option
+(** The backing file's path ([None] for memory pagers). *)
 
 val allocate : t -> int
 (** Append a zeroed page; returns its id. *)
@@ -42,17 +49,48 @@ val with_page_mut : t -> int -> (bytes -> 'a) -> 'a
 (** Like {!with_page} but marks the page dirty. *)
 
 val flush : t -> unit
-(** Write back all dirty frames (no-op for memory pagers). *)
+(** Write back all dirty frames (no-op for memory pagers), through this
+    pager's own WAL when durable. *)
 
 val close : t -> unit
 (** Flush and release the backing file. Using a closed pager raises
     [Invalid_argument]. *)
 
+val abandon : t -> unit
+(** Release the backing file {e without} flushing — dirty frames are
+    dropped. For error paths where the caller must not touch storage
+    again (a fault-frozen backend, a failed open). *)
+
+(** {1 Group checkpoints}
+
+    A {!Database} makes one checkpoint cover every file of the
+    directory: it collects {!dirty_batch} from each pager, commits the
+    union to a single database-level WAL, then calls {!apply_checkpoint}
+    on each pager. Pagers enrolled in a group must never write dirty
+    pages outside it, so {!set_dirty_pressure} installs a
+    checkpoint-now callback used when eviction finds only dirty
+    frames. *)
+
+val dirty_batch : t -> (int * bytes) list
+(** Snapshot of (page id, buffer) for every dirty resident frame. The
+    buffers are live frame storage: commit them before the next pager
+    operation. *)
+
+val apply_checkpoint : t -> unit
+(** Write every dirty frame to the backing file, fsync, and mark frames
+    clean — the apply phase after the group WAL committed. Frames stay
+    dirty if any write fails. *)
+
+val set_dirty_pressure : t -> (unit -> unit) -> unit
+(** Callback invoked when eviction would have to write back a dirty
+    frame; it must make frames clean (by checkpointing the group). *)
+
 (** Per-pool counters. Each increment is mirrored into the process-global
     metrics registry under [storage.pager.*] ({!Crimson_obs.Metrics}), so
     this record is a per-instance view of the same accounting; fsync
     counts and durations are registry-only ([storage.pager.fsync],
-    [storage.pager.fsync_ms]). *)
+    [storage.pager.fsync_ms]). Crash recovery feeds
+    [storage.recovery.replays]/[.pages]/[.discarded]/[.ms]. *)
 type stats = {
   reads : int;  (** Page fetches from the backend (pool misses). *)
   writes : int;  (** Page write-backs to the backend. *)
@@ -65,3 +103,10 @@ type stats = {
 
 val stats : t -> stats
 val reset_stats : t -> unit
+
+(**/**)
+
+val replay_batch : Io.file -> (int * bytes) list -> unit
+(** Write a committed batch of page images into a file and fsync — the
+    replay primitive shared with {!Database}'s directory-level
+    recovery. *)

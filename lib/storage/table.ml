@@ -25,7 +25,7 @@ let stored_key spec key rid =
 let find_index t ~index =
   match List.find_opt (fun (spec, _) -> String.equal spec.index_name index) t.indexes with
   | Some x -> x
-  | None -> raise Not_found
+  | None -> invalid_arg (Printf.sprintf "Table: no index named %s" index)
 
 let insert t row =
   Record.check t.schema row;
@@ -73,16 +73,21 @@ let update t rid row =
 
 let scan t f = Heap.iter t.heap (fun rid payload -> f rid (Record.decode t.schema payload))
 
-let lookup_unique t ~index ~key =
+let find t ~index ~key =
   let spec, btree = find_index t ~index in
   if not spec.unique then
-    invalid_arg (Printf.sprintf "Table.lookup_unique: index %s is not unique" index);
+    invalid_arg (Printf.sprintf "Table.find: index %s is not unique" index);
   match Btree.find btree ~key with
   | None -> None
   | Some rid -> (
       match get t rid with
       | Some row -> Some (rid, row)
       | None -> None)
+
+let find_exn t ~index ~key =
+  match find t ~index ~key with Some x -> x | None -> raise Not_found
+
+let lookup_unique = find
 
 let iter_index t ~index ~prefix f =
   let _, btree = find_index t ~index in

@@ -45,9 +45,17 @@ val update : t -> Heap.rid -> Record.value array -> Heap.rid
 
 val scan : t -> (Heap.rid -> Record.value array -> unit) -> unit
 
+val find : t -> index:string -> key:string -> (Heap.rid * Record.value array) option
+(** Point lookup on a unique index: [None] when the key is absent.
+    Raises [Invalid_argument] for an unknown or non-unique index name —
+    a programming error, unlike a missing key. *)
+
+val find_exn : t -> index:string -> key:string -> Heap.rid * Record.value array
+(** Like {!find}; raises [Not_found] when the key is absent. *)
+
 val lookup_unique : t -> index:string -> key:string -> (Heap.rid * Record.value array) option
-(** Point lookup on a unique index. Raises [Not_found] for an unknown
-    index name. *)
+[@@ocaml.deprecated "Use Table.find (same behaviour, consistent naming)."]
+(** @deprecated Old name of {!find}. *)
 
 val iter_index :
   t -> index:string -> prefix:string -> (Heap.rid -> Record.value array -> bool) -> unit

@@ -1,32 +1,83 @@
 (** Write-ahead log for atomic checkpoints.
 
-    The file pager flushes dirty pages in two phases: first every page
-    image goes to the WAL (with a commit record sealing the batch), then
-    the images are applied to the main file and the WAL is cleared. A
-    crash before the commit record leaves the main file in its previous
-    consistent state (the torn WAL is discarded); a crash after it is
-    repaired on the next open by replaying the committed batch. Either
-    way a checkpoint is all-or-nothing — the property the paper gets
-    from its host RDBMS.
+    A WAL holds at most one batch of page images. Writers flush dirty
+    pages in two phases: first every image goes to the WAL, sealed by a
+    commit record; then the images are applied to the main file(s) and
+    the WAL is cleared. A crash before the commit record leaves the
+    previous consistent state (the torn WAL is discarded); a crash
+    after it is repaired on the next open by replaying the batch.
+    Either way a checkpoint is all-or-nothing — the property the paper
+    gets from its host RDBMS.
 
-    The WAL lives next to the page file as [<path>.wal]. *)
+    Records carry a file tag so one WAL can cover several page files:
+    {!Database} routes every file's dirty pages through a single
+    [crimson.wal] per directory, making the checkpoint atomic {e
+    across} heap and index files. A standalone durable {!Pager} uses a
+    sibling [<path>.wal] with empty tags.
+
+    On-disk layout (version 2):
+    {v
+    magic "CRIMWAL2" (8)
+    n (u32)
+    n x [ file_len (u32) | file | page_id (u32) | image (Page.size)
+          | record_checksum (u32) ]
+    commit_checksum (u32)
+    v}
+    Every record is individually checksummed, so replay can tell a torn
+    or bit-flipped tail record from a valid one; the trailing commit
+    checksum (the masked sum of the record checksums) doubles as the
+    commit record — a torn write cannot produce both the right length
+    and the right value. Version-1 logs (whole-batch checksum, no file
+    tags) are still decoded for upgrades. *)
 
 type t
 
-val open_for : string -> t
+type entry = {
+  file : string;  (** Path relative to the WAL's directory; "" = the sibling page file. *)
+  page_id : int;
+  image : bytes;  (** Exactly {!Page.size} bytes. *)
+}
+
+type torn = {
+  intact : int;  (** Records that decoded and checksummed cleanly. *)
+  detail : string;  (** Why decoding stopped. *)
+}
+
+type read_result =
+  | Empty
+  | Committed of entry list
+  | Torn of torn
+      (** No valid commit record: normal after a crash mid-append — the
+          batch must be discarded. *)
+
+val wal_path : string -> string
+(** [wal_path page_file] is the sibling WAL path ([page_file ^ ".wal"]). *)
+
+val open_for : ?io:Io.t -> string -> t
 (** [open_for page_file_path] opens/creates the sibling WAL. *)
 
+val open_path : ?io:Io.t -> string -> t
+(** Open/create a WAL at exactly this path (the database-level WAL). *)
+
+val path : t -> string
+
+val append_entries : t -> entry list -> unit
+(** Replace the WAL's contents with these records and a commit record,
+    then fsync. Images must be {!Page.size} bytes. *)
+
 val append_batch : t -> (int * bytes) list -> unit
-(** Write (page id, image) records followed by a commit record, then
-    fsync. Images must be {!Page.size} bytes. *)
+(** {!append_entries} with empty file tags (single-file WALs). *)
+
+val read : t -> read_result
+(** Classify and decode the WAL. Never raises on torn or corrupt
+    content. *)
 
 val read_committed : t -> (int * bytes) list option
-(** [Some batch] when the WAL holds a complete, checksum-valid committed
-    batch; [None] when empty, torn, or corrupt (torn logs are normal —
-    they mean the crash happened before commit). *)
+(** Single-file view of {!read}: [Some batch] only for a committed
+    batch, file tags dropped. *)
 
 val clear : t -> unit
-(** Truncate to empty and fsync — called once the batch has been applied
-    to the main file. *)
+(** Truncate to empty and fsync — called once the batch has been
+    applied. *)
 
 val close : t -> unit

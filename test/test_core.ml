@@ -217,7 +217,7 @@ module Node_view = Crimson_core.Node_view
 (* Ground truth: decode straight off the nodes table, no cache. *)
 let direct_view repo stored node =
   match
-    Crimson_storage.Table.lookup_unique (Repo.nodes repo) ~index:"by_node"
+    Crimson_storage.Table.find (Repo.nodes repo) ~index:"by_node"
       ~key:(Crimson_core.Schema.Nodes.key_node ~tree:(Stored_tree.id stored) node)
   with
   | Some (_, row) -> Node_view.of_row row
@@ -628,22 +628,22 @@ let test_query_history () =
   let id2 = Repo.record_query repo ~text:"project {Bha,Lla,Syn}" ~result:"ok" in
   check Alcotest.bool "ids increase" true (id2 > id1);
   (match Repo.history repo with
-  | [ (i1, _, t1, _, ms1, pg1); (i2, _, t2, _, ms2, pg2) ] ->
-      check Alcotest.int "first id" id1 i1;
-      check Alcotest.string "first text" "sample k=4 t=1" t1;
-      check (Alcotest.float 1e-9) "first elapsed" 1.25 ms1;
-      check Alcotest.int "first pages" 7 pg1;
-      check Alcotest.int "second id" id2 i2;
-      check Alcotest.string "second text" "project {Bha,Lla,Syn}" t2;
-      check (Alcotest.float 1e-9) "unmeasured elapsed defaults to 0" 0.0 ms2;
-      check Alcotest.int "unmeasured pages default to 0" 0 pg2
+  | [ q1; q2 ] ->
+      check Alcotest.int "first id" id1 q1.Repo.id;
+      check Alcotest.string "first text" "sample k=4 t=1" q1.Repo.text;
+      check (Alcotest.float 1e-9) "first elapsed" 1.25 q1.Repo.elapsed_ms;
+      check Alcotest.int "first pages" 7 q1.Repo.pages;
+      check Alcotest.int "second id" id2 q2.Repo.id;
+      check Alcotest.string "second text" "project {Bha,Lla,Syn}" q2.Repo.text;
+      check (Alcotest.float 1e-9) "unmeasured elapsed defaults to 0" 0.0 q2.Repo.elapsed_ms;
+      check Alcotest.int "unmeasured pages default to 0" 0 q2.Repo.pages
   | _ -> Alcotest.fail "expected two entries");
   match Repo.history_entry repo id1 with
-  | Some (_, text, result, elapsed_ms, pages) ->
-      check Alcotest.string "text" "sample k=4 t=1" text;
-      check Alcotest.string "result" "Bha,Lla,Syn,Bsu" result;
-      check (Alcotest.float 1e-9) "entry elapsed" 1.25 elapsed_ms;
-      check Alcotest.int "entry pages" 7 pages
+  | Some q ->
+      check Alcotest.string "text" "sample k=4 t=1" q.Repo.text;
+      check Alcotest.string "result" "Bha,Lla,Syn,Bsu" q.Repo.result;
+      check (Alcotest.float 1e-9) "entry elapsed" 1.25 q.Repo.elapsed_ms;
+      check Alcotest.int "entry pages" 7 q.Repo.pages
   | None -> Alcotest.fail "entry missing"
 
 (* A repository written before the telemetry columns existed must open
@@ -668,12 +668,12 @@ let test_query_history_legacy_migration () =
        Crimson_storage.Database.close db);
       let repo = Repo.open_dir dir in
       (match Repo.history repo with
-      | [ (0, time, text, result, elapsed_ms, pages) ] ->
-          check (Alcotest.float 1e-9) "timestamp preserved" 123.5 time;
-          check Alcotest.string "text preserved" "lca Bha,Lla" text;
-          check Alcotest.string "result preserved" "x" result;
-          check (Alcotest.float 1e-9) "old rows read zero elapsed" 0.0 elapsed_ms;
-          check Alcotest.int "old rows read zero pages" 0 pages
+      | [ ({ id = 0; _ } as q) ] ->
+          check (Alcotest.float 1e-9) "timestamp preserved" 123.5 q.Repo.time;
+          check Alcotest.string "text preserved" "lca Bha,Lla" q.Repo.text;
+          check Alcotest.string "result preserved" "x" q.Repo.result;
+          check (Alcotest.float 1e-9) "old rows read zero elapsed" 0.0 q.Repo.elapsed_ms;
+          check Alcotest.int "old rows read zero pages" 0 q.Repo.pages
       | _ -> Alcotest.fail "expected the migrated legacy row");
       let id = Repo.record_query repo ~elapsed_ms:2.0 ~pages:3 ~text:"new" ~result:"y" in
       check Alcotest.int "ids continue after migration" 1 id;
@@ -681,10 +681,10 @@ let test_query_history_legacy_migration () =
       (* Reopen: the migrated table now carries the new schema. *)
       let repo = Repo.open_dir dir in
       (match Repo.history_entry repo id with
-      | Some (_, text, _, elapsed_ms, pages) ->
-          check Alcotest.string "new row text" "new" text;
-          check (Alcotest.float 1e-9) "new row elapsed" 2.0 elapsed_ms;
-          check Alcotest.int "new row pages" 3 pages
+      | Some q ->
+          check Alcotest.string "new row text" "new" q.Repo.text;
+          check (Alcotest.float 1e-9) "new row elapsed" 2.0 q.Repo.elapsed_ms;
+          check Alcotest.int "new row pages" 3 q.Repo.pages
       | None -> Alcotest.fail "new row missing after reopen");
       Repo.close repo)
 

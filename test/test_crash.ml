@@ -1,0 +1,277 @@
+(* Crash-safety harness: drive a fixed workload against a durable
+   repository through a fault-injecting I/O backend, crash at every
+   mutating operation, reopen through the real backend, and check the
+   recovered state. The invariant is transactional: the workload is a
+   sequence of committed steps (each ends in one [Repo.flush]-level
+   checkpoint), and after any crash the surviving state must be an exact
+   prefix of those steps — every committed step fully present, every
+   uncommitted one fully absent, nothing in between. *)
+
+module Io = Crimson_storage.Io
+module Error = Crimson_storage.Error
+module Repo = Crimson_core.Repo
+module Loader = Crimson_core.Loader
+module Stored_tree = Crimson_core.Stored_tree
+module Projection = Crimson_core.Projection
+module Tree = Crimson_tree.Tree
+
+let check = Alcotest.check
+
+let with_temp_dir f =
+  let dir = Filename.temp_file "crimson" ".crash" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () ->
+      let rec rm path =
+        if Sys.is_directory path then begin
+          Array.iter (fun e -> rm (Filename.concat path e)) (Sys.readdir path);
+          Unix.rmdir path
+        end
+        else Sys.remove path
+      in
+      rm dir)
+    (fun () -> f dir)
+
+(* ----------------------------- Workload ----------------------------- *)
+
+(* Three transactions. Each ends in exactly one group checkpoint (the
+   loader flushes once at the end of a load; the query step flushes
+   explicitly), so each is atomic under the WAL discipline. *)
+
+let step_load repo =
+  let fx = Helpers.figure1 () in
+  ignore
+    (Loader.load_tree ~f:2 repo ~name:"figure1" ~species:[ ("Bha", "ACGT") ]
+       fx.tree)
+
+let step_species repo =
+  let stored = Stored_tree.open_name repo "figure1" in
+  ignore (Loader.append_species repo stored [ ("Lla", "GGTT") ])
+
+let step_queries repo =
+  for i = 1 to 3 do
+    ignore
+      (Repo.record_query repo
+         ~text:(Printf.sprintf "q%d" i)
+         ~result:(Printf.sprintf "r%d" i))
+  done;
+  Repo.flush repo
+
+let steps = [| step_load; step_species; step_queries |]
+let n_steps = Array.length steps
+
+(* Run the workload through [io]. Returns how many steps returned
+   normally; a raised fault stops the run at that point, like the
+   process dying there. *)
+let run_workload ~io dir =
+  let observed = ref 0 in
+  let repo = ref None in
+  (try
+     let r = Repo.open_dir ~io ~durable:true dir in
+     repo := Some r;
+     Array.iter
+       (fun step ->
+         step r;
+         incr observed)
+       steps;
+     Repo.close r;
+     repo := None
+   with
+  | Io.Crash | Error.Error _ | Repo.Open_error _ -> ());
+  (* After a simulated power loss the handle cannot flush; release its
+     descriptors without touching the frozen backend. *)
+  (match !repo with
+  | Some r -> ( try Repo.abandon r with Io.Crash -> ())
+  | None -> ());
+  !observed
+
+(* ---------------------------- Verification -------------------------- *)
+
+(* Reopen through the real backend (recovery runs inside open) and
+   measure which steps survived; check each surviving step is complete
+   and internally consistent, not merely detectable. *)
+let verify ~label ~observed dir =
+  let repo = Repo.open_dir ~durable:true dir in
+  Fun.protect
+    ~finally:(fun () -> Repo.close repo)
+    (fun () ->
+      let step1 =
+        List.exists (fun (_, name) -> name = "figure1") (Stored_tree.list_all repo)
+      in
+      (* Step 1 present: the whole tree, its layers and its species row
+         must be intact — a half-loaded tree is an invariant violation,
+         not a shorter prefix. *)
+      if step1 then begin
+        let stored = Stored_tree.open_name repo "figure1" in
+        if Stored_tree.node_count stored <> 8 then
+          Alcotest.failf "%s: partial tree (%d/8 nodes)" label
+            (Stored_tree.node_count stored);
+        if Stored_tree.leaf_count stored <> 5 then
+          Alcotest.failf "%s: partial leaves" label;
+        if Loader.species_sequence repo stored "Bha" <> Some "ACGT" then
+          Alcotest.failf "%s: species row missing from committed load" label;
+        let proj = Projection.project_names stored [ "Bha"; "Lla"; "Syn" ] in
+        if Tree.node_count proj <> 5 then
+          Alcotest.failf "%s: projection broken after recovery" label
+      end;
+      let step2 =
+        step1
+        &&
+        let stored = Stored_tree.open_name repo "figure1" in
+        Loader.species_sequence repo stored "Lla" = Some "GGTT"
+      in
+      let history = Repo.history repo in
+      (* Step 3 wrote three rows under one checkpoint: all or nothing. *)
+      let step3 =
+        match List.length history with
+        | 3 -> true
+        | 0 -> false
+        | n -> Alcotest.failf "%s: torn query history (%d/3 rows)" label n
+      in
+      let present =
+        match (step1, step2, step3) with
+        | true, true, true -> 3
+        | true, true, false -> 2
+        | true, false, false -> 1
+        | false, false, false -> 0
+        | _ ->
+            Alcotest.failf "%s: non-prefix state (%b,%b,%b)" label step1 step2
+              step3
+      in
+      (* A step that returned committed durably; the step the fault
+         interrupted may or may not have reached its commit point (a
+         fault after the WAL commit record is a commit the caller never
+         heard about). Anything else is lost or phantom data. *)
+      if present < observed || present > min n_steps (observed + 1) then
+        Alcotest.failf "%s: observed %d commits but recovered %d" label observed
+          present;
+      present)
+
+(* ------------------------------ Matrix ------------------------------ *)
+
+(* Size the matrix by running the workload once through a backend that
+   only counts mutating operations. *)
+let count_ops () =
+  with_temp_dir (fun dir ->
+      let io = Io.counting () in
+      let observed = run_workload ~io dir in
+      check Alcotest.int "fault-free workload completes" n_steps observed;
+      Io.op_count io)
+
+(* One line per matrix cell when CRIMSON_CRASH_LOG names a file — CI
+   uploads it as a build artifact so a failing cell can be located
+   without rerunning locally. *)
+let test_matrix () =
+  let total = count_ops () in
+  if total < 20 then Alcotest.failf "workload too small to matter (%d ops)" total;
+  let log = Buffer.create 4096 in
+  Buffer.add_string log
+    (Printf.sprintf "# crash matrix: %d fault points x 3 fault kinds\n" total);
+  List.iter
+    (fun (fault, fname) ->
+      for at = 1 to total do
+        let label = Printf.sprintf "%s@%d" fname at in
+        with_temp_dir (fun dir ->
+            let io = Io.faulty fault ~at in
+            let observed = run_workload ~io dir in
+            let present = verify ~label ~observed dir in
+            Buffer.add_string log
+              (Printf.sprintf "%s observed=%d recovered=%d ok\n" label observed
+                 present))
+      done)
+    [ (Io.Fail_op, "fail"); (Io.Torn_write, "torn"); (Io.Crash_op, "crash") ];
+  match Sys.getenv_opt "CRIMSON_CRASH_LOG" with
+  | None -> ()
+  | Some path ->
+      let oc = open_out path in
+      Buffer.output_buffer oc log;
+      close_out oc
+
+(* Legitimate short writes are not faults: the stack's retry loops must
+   absorb them and the workload must complete unharmed. *)
+let test_short_writes () =
+  with_temp_dir (fun dir ->
+      let io = Io.short_writes ~every:3 in
+      let observed = run_workload ~io dir in
+      check Alcotest.int "workload completes over short writes" n_steps observed;
+      ignore (verify ~label:"short-writes" ~observed dir))
+
+(* A transient disk error while opening must surface as the typed
+   [Open_error], leak nothing, and leave the directory retryable: the
+   second open (the fault has already fired) and the full workload
+   succeed. *)
+let test_transient_open_failure () =
+  with_temp_dir (fun dir ->
+      let io = Io.faulty Io.Fail_op ~at:2 in
+      (match Repo.open_dir ~io ~durable:true dir with
+      | _ -> Alcotest.fail "expected the injected open failure"
+      | exception Repo.Open_error _ -> ());
+      let observed = run_workload ~io dir in
+      check Alcotest.int "workload completes after retry" n_steps observed;
+      ignore (verify ~label:"transient-open" ~observed dir))
+
+(* --------------------------- kill -9 smoke --------------------------- *)
+
+(* The in-process matrix proves the algebra; this proves the real thing:
+   a forked child loads trees into a durable repository as fast as it
+   can, the parent SIGKILLs it mid-load, reopens the directory and
+   checks every surviving tree is whole. *)
+let test_kill9_during_load () =
+  with_temp_dir (fun dir ->
+      let tree_nodes = 200 in
+      match Unix.fork () with
+      | 0 ->
+          (* Child: load until killed. Never reach the parent's alcotest
+             exit hooks. *)
+          (try
+             let repo = Repo.open_dir ~durable:true dir in
+             let rng = Crimson_util.Prng.create 42 in
+             let i = ref 0 in
+             while true do
+               let tree = Helpers.random_tree rng tree_nodes in
+               ignore
+                 (Loader.load_tree ~f:2 repo
+                    ~name:(Printf.sprintf "T%d" !i)
+                    tree);
+               incr i
+             done
+           with _ -> ());
+          Unix._exit 0
+      | pid ->
+          (* Let it commit a few loads, then pull the plug. *)
+          Unix.sleepf 0.4;
+          Unix.kill pid Sys.sigkill;
+          ignore (Unix.waitpid [] pid);
+          let repo = Repo.open_dir ~durable:true dir in
+          Fun.protect
+            ~finally:(fun () -> Repo.close repo)
+            (fun () ->
+              let trees = Stored_tree.list_all repo in
+              check Alcotest.bool "child committed at least one tree" true
+                (List.length trees >= 1);
+              List.iter
+                (fun (_, name) ->
+                  let stored = Stored_tree.open_name repo name in
+                  if Stored_tree.node_count stored <> tree_nodes then
+                    Alcotest.failf "tree %s half-loaded (%d/%d nodes)" name
+                      (Stored_tree.node_count stored)
+                      tree_nodes;
+                  (* The round-trip exercises layers, nodes and leaves. *)
+                  let t = Loader.fetch_tree stored in
+                  if Tree.node_count t <> tree_nodes then
+                    Alcotest.failf "tree %s does not round-trip" name)
+                trees))
+
+let () =
+  Alcotest.run "crimson_crash"
+    [
+      ( "matrix",
+        [
+          Alcotest.test_case "every fault point" `Quick test_matrix;
+          Alcotest.test_case "short writes" `Quick test_short_writes;
+          Alcotest.test_case "transient open failure" `Quick test_transient_open_failure;
+        ] );
+      ( "e2e",
+        [ Alcotest.test_case "kill -9 during load" `Quick test_kill9_during_load ] );
+    ]

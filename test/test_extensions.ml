@@ -120,9 +120,9 @@ let test_query_records_history () =
   let history = Repo.history repo in
   check Alcotest.int "only recorded queries" 1 (List.length history);
   match history with
-  | [ (_, _, text, result, _, _) ] ->
-      check Alcotest.string "text" "lca(Lla, Spy)" text;
-      check Alcotest.bool "result" true (contains "x" result)
+  | [ q ] ->
+      check Alcotest.string "text" "lca(Lla, Spy)" q.Repo.text;
+      check Alcotest.bool "result" true (contains "x" q.Repo.result)
   | _ -> Alcotest.fail "unexpected history"
 
 let test_query_never_raises () =

@@ -46,7 +46,10 @@ let test_newick_quoted_labels () =
 let test_newick_comments_and_whitespace () =
   let t = Newick.parse "  ( A : 1 , [a comment] B : 2 ) ; " in
   check Alcotest.int "nodes" 3 (Tree.node_count t);
-  check Alcotest.bool "B parsed" true (Tree.leaf_by_name t "B" <> None)
+  check Alcotest.bool "B parsed" true (Tree.leaf_by_name t "B" <> None);
+  (* Windows line endings inside and after the description. *)
+  let t = Newick.parse "(A:1,\r\nB:2);\r\n" in
+  check Alcotest.int "crlf nodes" 3 (Tree.node_count t)
 
 let test_newick_single_node () =
   let t = Newick.parse "OnlyOne;" in
@@ -209,6 +212,47 @@ let test_nexus_errors () =
   expect_error "#NEXUS\nBEGIN TAXA;\nTAXLABELS A B\n";
   expect_error "#NEXUS\nstray;\n"
 
+(* Torn inputs: a NEXUS file cut off mid-construct (half-synced file,
+   truncated download) must fail with a located parse error, never an
+   exception leak or a silently partial document. *)
+let test_nexus_truncated_translate () =
+  let expect_error s =
+    match Nexus.parse s with
+    | exception Nexus.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  (* Cut inside the entry list, after a key, and after a full pair. *)
+  expect_error "#NEXUS\nBEGIN TREES;\n  TRANSLATE 1 Bha, 2 Lla";
+  expect_error "#NEXUS\nBEGIN TREES;\n  TRANSLATE 1 Bha, 2";
+  expect_error "#NEXUS\nBEGIN TREES;\n  TRANSLATE 1";
+  expect_error "#NEXUS\nBEGIN TREES;\n  TRANSLATE"
+
+let test_nexus_unterminated_quote () =
+  let expect_error s =
+    match Nexus.parse s with
+    | exception Nexus.Parse_error _ -> ()
+    | _ -> Alcotest.failf "expected parse error for %S" s
+  in
+  (* The closing quote never arrives — in TAXLABELS and in a tree. *)
+  expect_error "#NEXUS\nBEGIN TAXA;\nTAXLABELS 'Syn the";
+  expect_error "#NEXUS\nBEGIN TREES;\nTREE t = ('Syn";
+  (* A doubled quote is an escape, not a terminator: still unterminated. *)
+  expect_error "#NEXUS\nBEGIN TAXA;\nTAXLABELS 'it''s"
+
+let test_nexus_crlf_line_endings () =
+  (* The same document with CRLF line endings must parse identically. *)
+  let unix = "#NEXUS\nBEGIN TREES;\n  TRANSLATE 1 Bha, 2 Lla, 3 Syn;\n  TREE t1 = ((1:1,2:1):1,3:2);\nEND;\n" in
+  let dos = String.concat "\r\n" (String.split_on_char '\n' unix) in
+  let doc_unix = Nexus.parse unix and doc_dos = Nexus.parse dos in
+  let name_of (n, _) = n in
+  check (Alcotest.list Alcotest.string) "same trees"
+    (List.map name_of doc_unix.trees)
+    (List.map name_of doc_dos.trees);
+  let _, tree = List.hd doc_dos.trees in
+  check Alcotest.bool "translate applied under CRLF" true
+    (Tree.leaf_by_name tree "Bha" <> None);
+  check Alcotest.int "leaves" 3 (Tree.leaf_count tree)
+
 let test_nexus_roundtrip () =
   let doc = Nexus.parse sample_nexus in
   let doc' = Nexus.parse (Nexus.to_string doc) in
@@ -290,6 +334,9 @@ let () =
           Alcotest.test_case "skips unknown blocks" `Quick test_nexus_skips_unknown_blocks;
           Alcotest.test_case "interleaved matrix" `Quick test_nexus_interleaved_matrix;
           Alcotest.test_case "malformed inputs" `Quick test_nexus_errors;
+          Alcotest.test_case "truncated TRANSLATE" `Quick test_nexus_truncated_translate;
+          Alcotest.test_case "unterminated quote" `Quick test_nexus_unterminated_quote;
+          Alcotest.test_case "CRLF line endings" `Quick test_nexus_crlf_line_endings;
           Alcotest.test_case "round trip" `Quick test_nexus_roundtrip;
           Alcotest.test_case "of_tree" `Quick test_nexus_of_tree;
           Alcotest.test_case "file io" `Quick test_nexus_file_io;

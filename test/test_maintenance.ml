@@ -49,7 +49,7 @@ let test_vacuum_counts_and_lookups () =
   (* Index still answers correctly for survivors and victims. *)
   for i = 0 to 499 do
     let key = Key.text (Printf.sprintf "row%04d" i) in
-    match Table.lookup_unique t ~index:"by_name" ~key with
+    match Table.find t ~index:"by_name" ~key with
     | Some (_, row) ->
         if i mod 2 = 0 then Alcotest.failf "deleted row %d resurrected" i
         else check Alcotest.int "value" i (Record.get_int row 1)
@@ -98,7 +98,7 @@ let test_vacuum_persists () =
       let db2 = Database.open_dir dir in
       let t2 = Database.table db2 ~name:"t" ~schema:species_schema ~indexes:[ name_ix ] in
       check Alcotest.int "rows survive" 50 (Table.row_count t2);
-      (match Table.lookup_unique t2 ~index:"by_name" ~key:(Key.text "p075") with
+      (match Table.find t2 ~index:"by_name" ~key:(Key.text "p075") with
       | Some (_, row) -> check Alcotest.int "value" 75 (Record.get_int row 1)
       | None -> Alcotest.fail "lookup after reopen");
       Database.close db2)
@@ -230,7 +230,7 @@ let table_model =
     (fun name v acc ->
       acc
       &&
-      match Table.lookup_unique t ~index:"by_name" ~key:(Key.text name) with
+      match Table.find t ~index:"by_name" ~key:(Key.text name) with
       | Some (_, row) -> Record.get_int row 1 = v
       | None -> false)
     model true

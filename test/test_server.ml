@@ -216,7 +216,7 @@ let test_engine_metrics () =
   | _ -> Alcotest.fail "server.request_ms not registered");
   (* The engine records served queries in the Query Repository. *)
   check Alcotest.bool "query recorded" true
-    (List.exists (fun (_, _, text, _, _, _) -> text = "lca(T0, T1)") (Repo.history repo))
+    (List.exists (fun (q : Repo.query_record) -> q.text = "lca(T0, T1)") (Repo.history repo))
 
 let test_request_timeout () =
   (* A pathological query (deeply nested pattern parse is fast; use a
@@ -450,7 +450,8 @@ let test_e2e_smoke () =
           (* The server's Query Repository writes reached disk. *)
           let repo = Repo.open_dir ~create:false repo_dir in
           let served =
-            List.filter (fun (_, _, text, _, _, _) -> text = "lca(T0, T7)")
+            List.filter
+              (fun (q : Repo.query_record) -> q.text = "lca(T0, T7)")
               (Repo.history repo)
           in
           check Alcotest.bool "server recorded queries" true (List.length served >= 3);

@@ -3,6 +3,7 @@
 
 module Page = Crimson_storage.Page
 module Pager = Crimson_storage.Pager
+module Error = Crimson_storage.Error
 module Slotted = Crimson_storage.Slotted
 module Heap = Crimson_storage.Heap
 module Btree = Crimson_storage.Btree
@@ -139,8 +140,8 @@ let test_pager_corrupt_file () =
       output_string oc "short and unaligned";
       close_out oc;
       match Pager.create_file path with
-      | exception Pager.Corrupt _ -> ()
-      | _ -> Alcotest.fail "expected Corrupt")
+      | exception Error.Error (Error.Corrupt_page _) -> ()
+      | _ -> Alcotest.fail "expected Corrupt_page")
 
 (* ----------------------------- Slotted ----------------------------- *)
 
@@ -290,7 +291,7 @@ let test_heap_rejects_foreign_file () =
       Pager.close p;
       let p2 = Pager.create_file path in
       match Heap.create p2 with
-      | exception Pager.Corrupt _ -> Pager.close p2
+      | exception Error.Error (Error.Corrupt_page _) -> Pager.close p2
       | _ -> Alcotest.fail "heap opened a btree file")
 
 let test_heap_rid_packing () =
@@ -670,7 +671,7 @@ let test_table_insert_lookup () =
   (match Table.get t rid with
   | Some row -> check Alcotest.string "by rid" "Bha" (Record.get_text row 0)
   | None -> Alcotest.fail "row lost");
-  match Table.lookup_unique t ~index:"by_name" ~key:(Key.text "Lla") with
+  match Table.find t ~index:"by_name" ~key:(Key.text "Lla") with
   | Some (_, row) -> check (Alcotest.float 0.0) "indexed" 2.25 (Record.get_float row 2)
   | None -> Alcotest.fail "index lookup failed"
 
@@ -701,7 +702,7 @@ let test_table_delete_maintains_indexes () =
   check Alcotest.bool "delete" true (Table.delete t rid);
   check Alcotest.bool "idempotent" false (Table.delete t rid);
   check (Alcotest.option Alcotest.bool) "index cleaned" None
-    (Option.map (fun _ -> true) (Table.lookup_unique t ~index:"by_name" ~key:(Key.text "Gone")));
+    (Option.map (fun _ -> true) (Table.find t ~index:"by_name" ~key:(Key.text "Gone")));
   (* Name reusable after delete. *)
   ignore (Table.insert t [| Record.VText "Gone"; Record.VInt 2; Record.VFloat 4.0 |])
 
@@ -711,7 +712,7 @@ let test_table_update () =
   let rid = Table.insert t [| Record.VText "X"; Record.VInt 1; Record.VFloat 1.0 |] in
   let rid' = Table.update t rid [| Record.VText "Y"; Record.VInt 1; Record.VFloat 9.0 |] in
   check (Alcotest.option Alcotest.bool) "old name gone" None
-    (Option.map (fun _ -> true) (Table.lookup_unique t ~index:"by_name" ~key:(Key.text "X")));
+    (Option.map (fun _ -> true) (Table.find t ~index:"by_name" ~key:(Key.text "X")));
   match Table.get t rid' with
   | Some row -> check Alcotest.string "new row" "Y" (Record.get_text row 0)
   | None -> Alcotest.fail "updated row missing"
@@ -789,7 +790,7 @@ let test_table_cursor_start_and_deletes () =
   | None -> Alcotest.fail "cursor empty at start key");
   (* Rows deleted after index entries were yielded are skipped, not
      surfaced as ghosts. *)
-  (match Table.lookup_unique t ~index:"by_name" ~key:(Key.text "S8") with
+  (match Table.find t ~index:"by_name" ~key:(Key.text "S8") with
   | Some (rid, _) -> ignore (Table.delete t rid)
   | None -> Alcotest.fail "S8 missing");
   (match Table.Cursor.next cur with
@@ -816,7 +817,7 @@ let test_table_scan_range_and_last_entry () =
   (match Table.last_entry t ~index:"by_name" with
   | Some (_, row) -> check Alcotest.string "last" "S9" (Record.get_text row 0)
   | None -> Alcotest.fail "last_entry lost");
-  (match Table.lookup_unique t ~index:"by_name" ~key:(Key.text "S9") with
+  (match Table.find t ~index:"by_name" ~key:(Key.text "S9") with
   | Some (rid, _) -> ignore (Table.delete t rid)
   | None -> Alcotest.fail "S9 missing");
   match Table.last_entry t ~index:"by_name" with
@@ -844,7 +845,7 @@ let test_database_persistence_and_reopen () =
         (Database.table_names db2);
       let t2 = make_table db2 in
       check Alcotest.int "rows survive" 100 (Table.row_count t2);
-      (match Table.lookup_unique t2 ~index:"by_name" ~key:(Key.text "Sp042") with
+      (match Table.find t2 ~index:"by_name" ~key:(Key.text "Sp042") with
       | Some (_, row) -> check Alcotest.int "content" 42 (Record.get_int row 1)
       | None -> Alcotest.fail "lookup after reopen");
       Database.close db2)
@@ -879,7 +880,7 @@ let test_database_index_rebuild () =
       Sys.remove (Filename.concat dir "species.by_name.idx");
       let db2 = Database.open_dir dir in
       let t2 = make_table db2 in
-      (match Table.lookup_unique t2 ~index:"by_name" ~key:(Key.text "R025") with
+      (match Table.find t2 ~index:"by_name" ~key:(Key.text "R025") with
       | Some (_, row) -> check Alcotest.int "rebuilt" 25 (Record.get_int row 1)
       | None -> Alcotest.fail "index not rebuilt");
       Database.close db2)
@@ -928,7 +929,7 @@ let test_integration_small_pool () =
       check Alcotest.int "all rows" n (Table.row_count t);
       for i = 0 to 99 do
         let name = Printf.sprintf "Taxon%05d" (i * 17) in
-        match Table.lookup_unique t ~index:"by_name" ~key:(Key.text name) with
+        match Table.find t ~index:"by_name" ~key:(Key.text name) with
         | Some (_, row) -> check Alcotest.int "value" (i * 17) (Record.get_int row 1)
         | None -> Alcotest.failf "lost %s" name
       done;

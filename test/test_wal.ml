@@ -86,6 +86,59 @@ let test_wal_torn_write_discarded () =
       check Alcotest.bool "torn batch discarded" true (Wal.read_committed wal = None);
       Wal.close wal)
 
+(* The acceptance case for the v2 format: a multi-record batch whose
+   LAST record has one bit flipped. The per-record checksum must
+   classify the log as torn at exactly that record, read_committed must
+   refuse it, and a pager reopening next to it must keep the pre-crash
+   state and count a discard. *)
+let test_wal_bit_flipped_tail_record () =
+  with_temp_dir (fun dir ->
+      let path = Filename.concat dir "t.pages" in
+      let wal = Wal.open_for path in
+      Wal.append_entries wal
+        [
+          { Wal.file = "a.heap"; page_id = 0; image = page_of_char 'a' };
+          { Wal.file = "a.heap"; page_id = 1; image = page_of_char 'b' };
+          { Wal.file = "b.idx"; page_id = 2; image = page_of_char 'c' };
+        ];
+      Wal.close wal;
+      let wal_file = path ^ ".wal"
+      and record_len file = 4 + String.length file + 4 + Crimson_storage.Page.size + 4 in
+      (* Flip one bit inside the third record's page image. *)
+      let tail_image_off =
+        12 + record_len "a.heap" + record_len "a.heap" + 4 + String.length "b.idx" + 4 + 17
+      in
+      let fd = Unix.openfile wal_file [ Unix.O_RDWR ] 0o644 in
+      let b = Bytes.create 1 in
+      ignore (Unix.lseek fd tail_image_off Unix.SEEK_SET);
+      ignore (Unix.read fd b 0 1);
+      Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x10));
+      ignore (Unix.lseek fd tail_image_off Unix.SEEK_SET);
+      ignore (Unix.write fd b 0 1);
+      Unix.close fd;
+      let wal = Wal.open_for path in
+      (match Wal.read wal with
+      | Wal.Torn { intact; detail } ->
+          check Alcotest.int "first two records verify" 2 intact;
+          check Alcotest.bool "blamed on the record checksum" true
+            (detail = "record checksum mismatch")
+      | Wal.Committed _ -> Alcotest.fail "bit flip not detected"
+      | Wal.Empty -> Alcotest.fail "log vanished");
+      check Alcotest.bool "read_committed refuses it" true
+        (Wal.read_committed wal = None);
+      Wal.close wal;
+      (* Recovery next to a page file: the torn log is discarded, the
+         file's own state survives untouched. *)
+      let discards () =
+        Crimson_obs.Metrics.Counter.value
+          (Crimson_obs.Metrics.counter "storage.recovery.discarded")
+      in
+      let before = discards () in
+      let p = Pager.create_file path in
+      check Alcotest.int "no pages appeared from the torn log" 0 (Pager.page_count p);
+      check Alcotest.int "discard counted" (before + 1) (discards ());
+      Pager.close p)
+
 let test_wal_corrupt_checksum_discarded () =
   with_temp_dir (fun dir ->
       let path = Filename.concat dir "t.pages" in
@@ -208,6 +261,8 @@ let () =
           Alcotest.test_case "roundtrip" `Quick test_wal_roundtrip;
           Alcotest.test_case "latest batch wins" `Quick test_wal_overwrites_previous_batch;
           Alcotest.test_case "torn write discarded" `Quick test_wal_torn_write_discarded;
+          Alcotest.test_case "bit-flipped tail record" `Quick
+            test_wal_bit_flipped_tail_record;
           Alcotest.test_case "corrupt checksum discarded" `Quick
             test_wal_corrupt_checksum_discarded;
         ] );
