@@ -2,7 +2,7 @@
 # green. Formatting runs only where ocamlformat is installed, so the
 # target works in minimal containers too.
 
-.PHONY: all check build test fmt bench bench-snapshot clean server-smoke trace-smoke crash-smoke crash-matrix serve-demo
+.PHONY: all check build test fmt bench bench-snapshot bench-diff clean server-smoke trace-smoke crash-smoke crash-matrix serve-demo
 
 all: build
 
@@ -63,6 +63,13 @@ bench:
 # subset, e.g. `make bench-snapshot BENCH="E1 E6"`.
 bench-snapshot:
 	CRIMSON_BENCH_SNAPSHOT=$(CURDIR) dune exec bench/main.exe -- $(BENCH)
+
+# Compare the fresh BENCH_*.json at the repository root (produced by
+# `make bench-snapshot`) against the committed bench/baselines/.
+# Warn-only: a >20% throughput regression prints a WARNING but the
+# target always succeeds — bench containers are too noisy to hard-gate.
+bench-diff:
+	dune exec bench/diff.exe -- $(CURDIR) $(CURDIR)/bench/baselines
 
 clean:
 	dune clean

@@ -29,6 +29,11 @@ let reset_metrics () = Metrics.reset_all ()
 
 let metrics_snapshot () = Metrics.to_json ()
 
+(* Fields already emitted for an experiment this run, so the snapshot
+   file keeps the experiment's own fields when the harness adds its
+   trailing "seconds" line (same experiment id, second emit). *)
+let emitted_fields : (string, (string * Json.t) list) Hashtbl.t = Hashtbl.create 8
+
 let emit_bench ~experiment ?(fields = []) () =
   let line =
     Json.Obj
@@ -42,12 +47,21 @@ let emit_bench ~experiment ?(fields = []) () =
   match Sys.getenv_opt "CRIMSON_BENCH_SNAPSHOT" with
   | None -> ()
   | Some dir ->
+      let prev = Option.value ~default:[] (Hashtbl.find_opt emitted_fields experiment) in
+      let kept = List.filter (fun (k, _) -> not (List.mem_assoc k fields)) prev in
+      let merged = kept @ fields in
+      Hashtbl.replace emitted_fields experiment merged;
+      let file_line =
+        Json.Obj
+          ((("experiment", Json.Str experiment) :: merged)
+          @ [ ("metrics", metrics_snapshot ()) ])
+      in
       let path = Filename.concat dir (Printf.sprintf "BENCH_%s.json" experiment) in
       let oc = open_out path in
       Fun.protect
         ~finally:(fun () -> close_out_noerr oc)
         (fun () ->
-          output_string oc (Json.to_string line);
+          output_string oc (Json.to_string file_line);
           output_char oc '\n')
 
 (* Milliseconds of one call. *)

@@ -1,0 +1,123 @@
+(* Compare fresh BENCH_<exp>.json snapshots against the committed
+   baselines in bench/baselines/.
+
+   Usage: diff.exe [FRESH_DIR] [BASELINE_DIR]
+   (defaults: current directory, bench/baselines)
+
+   For every experiment present in both directories, numeric top-level
+   fields are compared by suffix convention: [*per_s] is
+   higher-is-better, [*_ms] and [*_pct] are lower-is-better; everything
+   else (counts, sizes, the raw metrics dump) is informational only.
+   A >20% regression prints a WARNING line, but the exit status is
+   always 0 — benchmark containers are too noisy for a hard gate, so
+   CI surfaces the warning in the log instead of failing the build. *)
+
+module Json = Crimson_obs.Json
+
+let regression_threshold_pct = 20.0
+
+type direction = Higher_better | Lower_better
+
+let direction_of field =
+  let ends_with suffix =
+    let fl = String.length field and sl = String.length suffix in
+    fl >= sl && String.sub field (fl - sl) sl = suffix
+  in
+  if ends_with "per_s" then Some Higher_better
+  else if ends_with "_ms" || ends_with "_pct" then Some Lower_better
+  else None
+
+let read_bench path =
+  let ic = open_in path in
+  let line =
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) (fun () -> input_line ic)
+  in
+  Json.parse line
+
+let numeric_fields j =
+  match j with
+  | Json.Obj fields ->
+      List.filter_map
+        (function name, Json.Num v -> Some (name, v) | _ -> None)
+        fields
+  | _ -> []
+
+let experiment_files dir =
+  match Sys.readdir dir with
+  | entries ->
+      Array.to_list entries
+      |> List.filter_map (fun e ->
+             if
+               String.length e > 11
+               && String.sub e 0 6 = "BENCH_"
+               && Filename.check_suffix e ".json"
+             then Some (Filename.chop_suffix (String.sub e 6 (String.length e - 6)) ".json")
+             else None)
+      |> List.sort compare
+  | exception Sys_error _ -> []
+
+let () =
+  let fresh_dir = if Array.length Sys.argv > 1 then Sys.argv.(1) else "." in
+  let base_dir =
+    if Array.length Sys.argv > 2 then Sys.argv.(2)
+    else Filename.concat (Filename.concat "." "bench") "baselines"
+  in
+  let fresh_exps = experiment_files fresh_dir in
+  let base_exps = experiment_files base_dir in
+  if base_exps = [] then begin
+    Printf.printf "bench-diff: no baselines in %s — nothing to compare\n" base_dir;
+    exit 0
+  end;
+  if fresh_exps = [] then begin
+    Printf.printf
+      "bench-diff: no fresh BENCH_*.json in %s — run `make bench-snapshot` first\n"
+      fresh_dir;
+    exit 0
+  end;
+  let warnings = ref 0 in
+  let compared = ref 0 in
+  List.iter
+    (fun exp ->
+      if not (List.mem exp fresh_exps) then
+        Printf.printf "%-6s no fresh snapshot — skipped\n" exp
+      else begin
+        let file d = Filename.concat d (Printf.sprintf "BENCH_%s.json" exp) in
+        match (read_bench (file base_dir), read_bench (file fresh_dir)) with
+        | exception (Sys_error msg | Failure msg) ->
+            Printf.printf "%-6s unreadable snapshot (%s) — skipped\n" exp msg
+        | base, fresh ->
+            let base_fields = numeric_fields base in
+            List.iter
+              (fun (field, bv) ->
+                match
+                  (direction_of field, List.assoc_opt field (numeric_fields fresh))
+                with
+                | None, _ | _, None -> ()
+                | Some dir, Some fv ->
+                    incr compared;
+                    (* Positive delta_pct always means "got worse". *)
+                    let delta_pct =
+                      if bv = 0.0 then 0.0
+                      else
+                        match dir with
+                        | Higher_better -> 100.0 *. (1.0 -. (fv /. bv))
+                        | Lower_better -> 100.0 *. ((fv /. bv) -. 1.0)
+                    in
+                    let flag =
+                      if delta_pct > regression_threshold_pct then begin
+                        incr warnings;
+                        "  WARNING: regression"
+                      end
+                      else ""
+                    in
+                    Printf.printf "%-6s %-28s base %12.3f  fresh %12.3f  %+6.1f%%%s\n"
+                      exp field bv fv delta_pct flag)
+              base_fields
+      end)
+    base_exps;
+  Printf.printf "bench-diff: %d fields compared, %d warning(s)\n" !compared !warnings;
+  if !warnings > 0 then
+    Printf.printf
+      "bench-diff: warn-only — threshold is %.0f%%; investigate before trusting the run\n"
+      regression_threshold_pct;
+  exit 0

@@ -20,6 +20,7 @@ let experiments =
     ("E10", "node view cache: capacity sweep", Exp_node_cache.run);
     ("E11", "query service: concurrent clients over a served repository", Exp_server.run);
     ("E12", "WAL recovery: replay time vs committed batch size", Exp_recovery.run);
+    ("E13", "profiler overhead: disabled charge points vs full profiling", Exp_profile.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

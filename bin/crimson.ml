@@ -570,6 +570,9 @@ let stats_cmd =
                   Ok (List.map (fun (id, _) -> Stored_tree.open_id repo id)
                         (Stored_tree.list_all repo))
             in
+            (* Runtime health gauges refresh at scrape time; a one-shot
+               CLI can afford the full heap walk for live_words. *)
+            Crimson_obs.Runtime.refresh ~live:true ();
             match selected with
             | Error msg -> fail "%s" msg
             | Ok trees when prometheus ->
@@ -664,6 +667,84 @@ let query_cmd =
     (Cmd.info "query" ~doc:"Run textual queries (lca, clade, project, sample, …)" ~man)
     Term.(ret (const run $ logging $ repo_arg $ tree_arg $ seed_arg $ queries))
 
+(* ------------------------------ profile ---------------------------- *)
+
+let profile_cmd =
+  let queries =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"QUERY"
+         ~doc:"Queries like 'lca(A,B)' — see $(b,crimson query --help) for the \
+               language.")
+  in
+  let explain_flag =
+    Arg.(value & flag
+         & info [ "explain" ]
+             ~doc:"Describe each query's plan (resolution steps, access paths) \
+                   without executing it.")
+  in
+  let json_flag =
+    Arg.(value & flag
+         & info [ "json" ] ~doc:"One JSON object per query with the full cost report.")
+  in
+  let run _ dir tree seed explain json queries =
+    guarded (fun () ->
+        with_tree dir tree (fun repo stored ->
+            let module Json = Crimson_obs.Json in
+            let module Profile = Crimson_obs.Profile in
+            let rng = Prng.create seed in
+            let errors = ref 0 in
+            List.iter
+              (fun q ->
+                if explain then
+                  match Crimson_core.Query_lang.explain stored q with
+                  | Ok plan ->
+                      Printf.printf "%s\n" q;
+                      List.iter (fun l -> Printf.printf "  %s\n" l) plan
+                  | Error msg ->
+                      incr errors;
+                      Printf.printf "%s\n  ! %s\n" q msg
+                else
+                  match Crimson_core.Query_lang.profile ~rng repo stored q with
+                  | Ok (outcome, report) ->
+                      if json then
+                        print_endline
+                          (Json.to_string
+                             (Json.Obj
+                                [
+                                  ("query", Json.Str q);
+                                  ("result", Json.Str outcome.Crimson_core.Query_lang.result);
+                                  ("profile", Profile.report_to_json report);
+                                ]))
+                      else begin
+                        Printf.printf "%s\n  = %s\n" q
+                          outcome.Crimson_core.Query_lang.result;
+                        print_string (Profile.report_to_text report)
+                      end
+                  | Error msg ->
+                      incr errors;
+                      Printf.printf "%s\n  ! %s\n" q msg)
+              queries;
+            if !errors > 0 then
+              fail "%d quer%s failed" !errors (if !errors = 1 then "y" else "ies")
+            else `Ok ()))
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "Run queries under the cost profiler and print a per-stage breakdown: \
+          elapsed time, pages read/written, pager and node-cache hits/misses, \
+          bytes decoded, cursor steps, fsyncs and GC allocation. The history row \
+          records the cost summary, so $(b,crimson history) shows which past \
+          queries were expensive and why. With $(b,--explain), print the plan \
+          instead of executing.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:"Run queries with a per-stage cost breakdown (or --explain the plan)" ~man)
+    Term.(ret
+            (const run $ logging $ repo_arg $ tree_arg $ seed_arg $ explain_flag
+           $ json_flag $ queries))
+
 (* ------------------------------ history ---------------------------- *)
 
 let history_cmd =
@@ -677,9 +758,10 @@ let history_cmd =
                 (fun (q : Repo.query_record) ->
                   let tm = Unix.localtime q.time in
                   Printf.printf
-                    "#%-4d %04d-%02d-%02d %02d:%02d  %7.2fms %5d pages  %-40s -> %s\n"
+                    "#%-4d %04d-%02d-%02d %02d:%02d  %7.2fms %5d pages  %-40s -> %s%s\n"
                     q.id (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
-                    tm.Unix.tm_hour tm.Unix.tm_min q.elapsed_ms q.pages q.text q.result)
+                    tm.Unix.tm_hour tm.Unix.tm_min q.elapsed_ms q.pages q.text q.result
+                    (if q.cost = "" then "" else "\n      cost " ^ q.cost))
                 entries;
             `Ok ()))
   in
@@ -962,6 +1044,177 @@ let slowlog_cmd =
        ~man)
     Term.(ret (const run $ logging $ to_addr $ count $ json_flag))
 
+(* -------------------------------- top ------------------------------ *)
+
+let top_cmd =
+  let to_addr =
+    Arg.(value & opt string default_listen
+         & info [ "to"; "listen" ] ~docv:"ADDR" ~doc:("Server address: " ^ listen_doc))
+  in
+  let interval =
+    Arg.(value & opt float 2.0
+         & info [ "interval"; "i" ] ~docv:"SECONDS" ~doc:"Refresh interval.")
+  in
+  let iterations =
+    Arg.(value & opt int 0
+         & info [ "iterations"; "n" ] ~docv:"N"
+             ~doc:"Render N frames and exit (0 = run until interrupted).")
+  in
+  let run _ to_addr interval iterations =
+    guarded (fun () ->
+        match Wire.parse_addr to_addr with
+        | Error msg -> fail "bad --to address: %s" msg
+        | Ok addr ->
+            let client = Client.connect addr in
+            Fun.protect
+              ~finally:(fun () -> Client.close client)
+              (fun () ->
+                let module Json = Crimson_obs.Json in
+                let module TP = Crimson_util.Table_printer in
+                let module Trace = Crimson_obs.Trace in
+                let clear = Unix.isatty Unix.stdout in
+                let path obj keys =
+                  let rec go j = function
+                    | [] -> Some j
+                    | k :: rest -> Option.bind (Json.member k j) (fun v -> go v rest)
+                  in
+                  go obj keys
+                in
+                let metric obj keys =
+                  match path obj keys with Some (Json.Num v) -> Some v | _ -> None
+                in
+                let fnum = function Some v -> Printf.sprintf "%.0f" v | None -> "-" in
+                let mib = function
+                  | Some v -> Printf.sprintf "%.1f MiB" (v /. (1024.0 *. 1024.0))
+                  | None -> "-"
+                in
+                (* requests at the previous frame, for a req/s estimate *)
+                let prev_requests = ref None in
+                let frame () =
+                  let top = Client.request client "TOP" in
+                  let stats = Client.request client "STATS" in
+                  let slow = Client.request client "SLOWLOG 5" in
+                  if not (Client.ok top) then
+                    fail "server error: %s"
+                      (Option.value ~default:"(no error message)"
+                         (Client.str_field "error" top))
+                  else begin
+                    if clear then print_string "\027[H\027[2J";
+                    let requests = Client.num_field "requests" top in
+                    let rps =
+                      match (requests, !prev_requests) with
+                      | Some now, Some prev when interval > 0.0 ->
+                          Printf.sprintf "%.1f req/s" ((now -. prev) /. interval)
+                      | _ -> "-"
+                    in
+                    prev_requests := requests;
+                    Printf.printf "crimson top — %s   uptime %ss   active %s   requests %s   %s\n"
+                      (Wire.addr_to_string addr)
+                      (fnum (Client.num_field "uptime_s" top))
+                      (fnum (Client.num_field "active" top))
+                      (fnum requests) rps;
+                    let gauges = [ "metrics"; "gauges" ] in
+                    let counters = [ "metrics"; "counters" ] in
+                    Printf.printf
+                      "runtime: rss %s   heap %s   gc %s minor / %s major   fds %s   errors %s\n\n"
+                      (mib (metric stats (gauges @ [ "runtime.rss_bytes" ])))
+                      (match metric stats (gauges @ [ "runtime.gc.heap_words" ]) with
+                      | Some w -> mib (Some (w *. float_of_int (Sys.word_size / 8)))
+                      | None -> "-")
+                      (fnum (metric stats (gauges @ [ "runtime.gc.minor_collections" ])))
+                      (fnum (metric stats (gauges @ [ "runtime.gc.major_collections" ])))
+                      (fnum (metric stats (gauges @ [ "runtime.fds.open" ])))
+                      (fnum (metric stats (counters @ [ "server.errors" ])));
+                    (match Json.member "sessions" top with
+                    | Some (Json.List []) -> print_endline "(no live sessions)"
+                    | Some (Json.List sessions) ->
+                        let t =
+                          TP.create
+                            ~columns:
+                              [
+                                ("session", TP.Right); ("tree", TP.Left);
+                                ("req", TP.Right); ("ms", TP.Right);
+                                ("pages", TP.Right); ("bytes", TP.Right);
+                                ("age", TP.Right); ("last", TP.Left);
+                              ]
+                        in
+                        List.iter
+                          (fun s ->
+                            let str keys =
+                              match path s keys with
+                              | Some (Json.Str v) -> v
+                              | Some (Json.Num v) -> Printf.sprintf "%.0f" v
+                              | _ -> "-"
+                            in
+                            let ms =
+                              match metric s [ "ms" ] with
+                              | Some v -> Printf.sprintf "%.1f" v
+                              | None -> "-"
+                            in
+                            let age =
+                              match metric s [ "age_s" ] with
+                              | Some v -> Printf.sprintf "%.0fs" v
+                              | None -> "-"
+                            in
+                            let last = str [ "last" ] in
+                            let last =
+                              if String.length last > 40 then String.sub last 0 40 ^ "…"
+                              else last
+                            in
+                            TP.add_row t
+                              [
+                                str [ "session" ]; str [ "tree" ]; str [ "requests" ];
+                                ms; str [ "pages" ]; str [ "bytes_out" ]; age; last;
+                              ])
+                          sessions;
+                        print_string (TP.render t)
+                    | _ -> print_endline "(malformed TOP reply)");
+                    (match Json.member "entries" slow with
+                    | Some (Json.List (_ :: _ as entries)) ->
+                        print_endline "\nslowlog (most recent):";
+                        List.iter
+                          (fun e ->
+                            match Trace.record_of_json e with
+                            | Ok r ->
+                                let line =
+                                  match List.assoc_opt "line" r.Trace.meta with
+                                  | Some (Json.Str s) -> s
+                                  | _ -> "(?)"
+                                in
+                                Printf.printf "  %8.3fms  %s\n"
+                                  (Trace.root_elapsed_ms r) line
+                            | Error _ -> ())
+                          entries
+                    | _ -> ());
+                    `Ok ()
+                  end
+                in
+                let rec loop n =
+                  match frame () with
+                  | `Ok () ->
+                      if iterations > 0 && n + 1 >= iterations then `Ok ()
+                      else begin
+                        flush stdout;
+                        Unix.sleepf (Float.max 0.1 interval);
+                        loop (n + 1)
+                      end
+                  | other -> other
+                in
+                loop 0))
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "A live monitor for $(b,crimson serve): polls TOP, STATS and SLOWLOG and \
+          renders the active sessions (cost hogs first, with cumulative requests, \
+          wall time, pages and reply bytes), process runtime gauges (RSS, heap, GC, \
+          file descriptors) and the most recent slow queries.";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "top" ~doc:"Live session/cost monitor for a running crimson server" ~man)
+    Term.(ret (const run $ logging $ to_addr $ interval $ iterations))
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -971,8 +1224,9 @@ let () =
     Cmd.group info
       [
         load_cmd; append_species_cmd; list_cmd; delete_cmd; show_cmd; stats_cmd;
-        lca_cmd; clade_cmd; project_cmd; match_cmd; query_cmd; simulate_cmd;
-        benchmark_cmd; history_cmd; serve_cmd; connect_cmd; slowlog_cmd;
+        lca_cmd; clade_cmd; project_cmd; match_cmd; query_cmd; profile_cmd;
+        simulate_cmd; benchmark_cmd; history_cmd; serve_cmd; connect_cmd;
+        slowlog_cmd; top_cmd;
       ]
   in
   exit (Cmd.eval group)

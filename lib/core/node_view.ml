@@ -194,11 +194,13 @@ let create_cache ?(capacity = default_capacity) ?(prefetch = default_prefetch)
 
 let hit c =
   c.hits <- c.hits + 1;
-  Metrics.Counter.incr m_hits
+  Metrics.Counter.incr m_hits;
+  Crimson_obs.Profile.cache_hit ()
 
 let miss c =
   c.misses <- c.misses + 1;
-  Metrics.Counter.incr m_misses
+  Metrics.Counter.incr m_misses;
+  Crimson_obs.Profile.cache_miss ()
 
 (* Adaptive batching: a miss near the previous miss means a sweep or a
    climb is under way (node ids are dense preorder, so both walk the id

@@ -217,23 +217,113 @@ let execute ~rng repo stored { fn; args } =
   | "info", _ -> bad "info takes no arguments"
   | fn, _ -> bad "unknown function %S (see 'crimson query --help')" fn
 
-let run ?rng ?(record = true) repo stored text =
-  let rng = match rng with Some r -> r | None -> Prng.create 0 in
-  match
-    Repo.measure repo (fun () ->
-        Crimson_obs.Span.with_ ~name:"core.query" (fun () ->
-            let call = parse_query text in
-            Crimson_obs.Span.attr "fn" (Crimson_obs.Json.Str call.fn);
-            Crimson_obs.Span.attr "args"
-              (Crimson_obs.Json.Num (float_of_int (List.length call.args)));
-            let result = execute ~rng repo stored call in
-            Crimson_obs.Span.attr "result_chars"
-              (Crimson_obs.Json.Num (float_of_int (String.length result)));
-            result))
-  with
-  | result, elapsed_ms, pages ->
-      if record then ignore (Repo.record_query repo ~elapsed_ms ~pages ~text ~result);
-      Ok { text; result }
+(* ----------------------------- Planning ----------------------------- *)
+
+(* [plan] mirrors [execute]'s dispatch — same arity checks, same error
+   messages — but describes the access path instead of walking it. Keep
+   the two matches in sync when adding a query function. *)
+let plan stored { fn; args } =
+  let nargs = List.length args in
+  let layers = Stored_tree.layer_count stored in
+  let f = Stored_tree.f stored in
+  let step fmt = Printf.ksprintf (fun s -> s) fmt in
+  let resolve_step k =
+    step "resolve %d name(s): 1 B+tree find each in leaves.by_name (node ids pass through)"
+      k
+  in
+  let header = step "query %s/%d on tree %S" fn nargs (Stored_tree.name stored) in
+  let body =
+    match (fn, args) with
+    | "lca", (_ :: _ :: _ as species) ->
+        [
+          resolve_step (List.length species);
+          step "layered LCA: fold pairwise over %d nodes" (List.length species);
+          step
+            "each pair climbs the layer decomposition: O(layers) = O(%d) layer rows, \
+             each a sub-root lookup in subtrees.by_layer"
+            layers;
+          step "node views served by the node-view LRU cache (prefetch window f=%d)" f;
+        ]
+    | "lca", _ -> bad "lca needs at least two species"
+    | "clade", (_ :: _ as species) ->
+        [
+          resolve_step (List.length species);
+          step "clade root: layered LCA over %d nodes, O(%d) layer rows per pair"
+            (List.length species) layers;
+          step "clade size/leaves: preorder interval scan of nodes.by_node (cursor)";
+        ]
+    | "clade", [] -> bad "clade needs at least one species"
+    | "distance", [ _; _ ] ->
+        [
+          resolve_step 2;
+          step "LCA via the layer decomposition: O(%d) layer rows" layers;
+          step "distance = root_dist(a) + root_dist(b) - 2*root_dist(lca): 3 node views";
+        ]
+    | "distance", _ -> bad "distance needs exactly two species"
+    | "path", [ _; _ ] ->
+        [
+          resolve_step 2;
+          step "LCA via the layer decomposition: O(%d) layer rows" layers;
+          step "collect both climbs to the LCA: O(depth) node views, cache-batched";
+        ]
+    | "path", _ -> bad "path needs exactly two species"
+    | "depth", [ _ ] ->
+        [ resolve_step 1; step "climb parent pointers to the root: O(depth) node views" ]
+    | "depth", _ -> bad "depth needs exactly one species"
+    | "parent", [ _ ] -> [ resolve_step 1; step "1 node view (parent field)" ]
+    | "parent", _ -> bad "parent needs exactly one species"
+    | "children", [ _ ] ->
+        [ resolve_step 1; step "prefix scan of nodes.by_parent for the child rows" ]
+    | "children", _ -> bad "children needs exactly one node"
+    | "project", (_ :: _ as species) ->
+        [
+          resolve_step (List.length species);
+          step "pairwise LCAs of %d nodes: O(%d) layer rows per pair"
+            (List.length species) layers;
+          step "build the induced subtree in memory and render Newick (no writes)";
+        ]
+    | "project", [] -> bad "project needs at least one species"
+    | "sample", ([ _ ] | [ _; _ ]) ->
+        [
+          step "uniform draw from the leaves table: O(k) index probes in leaves.by_leaf";
+          (if nargs = 2 then
+             step "time-sliced: frontier scan at the cut time, then sample the frontier"
+           else step "k names resolved back through node views");
+        ]
+    | "sample", _ -> bad "sample needs (k) or (k, time)"
+    | "frontier", [ _ ] ->
+        [
+          step "walk from the root, cutting edges crossing the time: O(frontier) node \
+                views";
+        ]
+    | "frontier", _ -> bad "frontier needs exactly one time"
+    | "match", [ _ ] ->
+        [
+          step "parse the Newick pattern (in memory)";
+          step "resolve pattern leaves, project the induced subtree, compare shapes";
+          step "RF distance over the two splits sets";
+        ]
+    | "match", _ -> bad "match needs exactly one quoted Newick pattern"
+    | "seq", [ _ ] ->
+        [
+          resolve_step 1;
+          step "sequence chunks: prefix scan of species.by_chunk, decode + concatenate";
+        ]
+    | "seq", _ -> bad "seq needs exactly one species"
+    | "info", [] -> [ step "catalog metadata only: 1 row from trees.by_id" ]
+    | "info", _ -> bad "info takes no arguments"
+    | fn, _ -> bad "unknown function %S (see 'crimson query --help')" fn
+  in
+  header :: body
+
+(* The query service feeds these functions untrusted network input, so
+   no failure on arbitrary bytes may escape as an exception. The named
+   cases keep their friendly messages; anything else degrades to a
+   generic error. Out_of_memory stays fatal: swallowing it would turn
+   exhaustion into a silent wrong answer. *)
+let trap f =
+  match f () with
+  | v -> Ok v
   | exception Bad_query msg -> Error msg
   | exception Sampling.Invalid_sample msg -> Error msg
   | exception Projection.Projection_error msg -> Error msg
@@ -242,13 +332,52 @@ let run ?rng ?(record = true) repo stored text =
   | exception Newick.Parse_error { pos; message } ->
       Error (Printf.sprintf "Newick error at offset %d: %s" pos message)
   | exception Stored_tree.Unknown_node n -> Error (Printf.sprintf "unknown node %d" n)
-  (* The query service feeds this function untrusted network input, so
-     no failure on arbitrary bytes may escape as an exception. The named
-     cases above keep their friendly messages; anything else degrades to
-     a generic error. Out_of_memory stays fatal: swallowing it would turn
-     exhaustion into a silent wrong answer. *)
   | exception Stack_overflow -> Error "query too deeply nested"
   | exception Out_of_memory -> raise Out_of_memory
+  | exception e -> Error (Printf.sprintf "internal error: %s" (Printexc.to_string e))
+
+let run ?rng ?(record = true) repo stored text =
+  let rng = match rng with Some r -> r | None -> Prng.create 0 in
+  match
+    trap (fun () ->
+        Repo.measure repo (fun () ->
+            Crimson_obs.Span.with_ ~name:"core.query" (fun () ->
+                let call = parse_query text in
+                Crimson_obs.Span.attr "fn" (Crimson_obs.Json.Str call.fn);
+                Crimson_obs.Span.attr "args"
+                  (Crimson_obs.Json.Num (float_of_int (List.length call.args)));
+                let result = execute ~rng repo stored call in
+                Crimson_obs.Span.attr "result_chars"
+                  (Crimson_obs.Json.Num (float_of_int (String.length result)));
+                result)))
+  with
+  | Error _ as e -> e
+  | Ok (result, elapsed_ms, pages) ->
+      if record then ignore (Repo.record_query repo ~elapsed_ms ~pages ~text ~result);
+      Ok { text; result }
+
+let explain stored text = trap (fun () -> plan stored (parse_query text))
+
+module Profile = Crimson_obs.Profile
+
+let profile ?rng ?(record = true) repo stored text =
+  let rng = match rng with Some r -> r | None -> Prng.create 0 in
+  match
+    trap (fun () ->
+        Repo.measure repo (fun () ->
+            Profile.profile (fun () ->
+                Crimson_obs.Span.with_ ~name:"core.query" (fun () ->
+                    let call = Profile.stage "parse" (fun () -> parse_query text) in
+                    Crimson_obs.Span.attr "fn" (Crimson_obs.Json.Str call.fn);
+                    Profile.stage "execute" (fun () -> execute ~rng repo stored call)))))
+  with
+  | Error _ as e -> e
+  | Ok ((result, report), elapsed_ms, pages) ->
+      if record then begin
+        let cost = Crimson_obs.Json.to_string (Profile.cost_summary report) in
+        ignore (Repo.record_query repo ~elapsed_ms ~pages ~cost ~text ~result)
+      end;
+      Ok ({ text; result }, report)
   | exception e -> Error (Printf.sprintf "internal error: %s" (Printexc.to_string e))
 
 let help =

@@ -43,5 +43,23 @@ val run :
     input), with the sole exception of [Out_of_memory], which stays
     fatal. *)
 
+val explain : Stored_tree.t -> string -> (string list, string) result
+(** Parse one query and describe its plan — resolution steps, access
+    paths, complexity in terms of the tree's layer decomposition —
+    without executing it. Same arity checks and error messages as
+    {!run}; nothing is recorded in the history. *)
+
+val profile :
+  ?rng:Crimson_util.Prng.t ->
+  ?record:bool ->
+  Repo.t ->
+  Stored_tree.t ->
+  string ->
+  (outcome * Crimson_obs.Profile.report, string) result
+(** Like {!run}, but executes under a {!Crimson_obs.Profile} context
+    with "parse" and "execute" stages and returns the cost report
+    alongside the outcome. When [record] is set the history row's [cost]
+    column carries the report totals as compact JSON. *)
+
 val help : string
 (** The cheat sheet above, for the CLI. *)

@@ -22,21 +22,28 @@ let open_queries db =
   let open_with schema =
     Database.table db ~name:"queries" ~schema ~indexes:Schema.Queries.indexes
   in
+  (* Reopen under [schema], re-inserting every row padded out to the
+     current layout. Rows from before a column existed read as zero-cost
+     (the honest sentinel the decoder can promise). *)
+  let migrate_from schema ~pad =
+    let legacy = open_with schema in
+    let rows = ref [] in
+    Table.scan legacy (fun _ row -> rows := row :: !rows);
+    Database.drop_table db "queries";
+    let tbl = open_with Schema.Queries.schema in
+    List.iter
+      (fun row -> ignore (Table.insert tbl (Array.append row pad)))
+      (List.rev !rows);
+    tbl
+  in
   match open_with Schema.Queries.schema with
   | tbl -> tbl
-  | exception Database.Schema_mismatch _ ->
-      let legacy = open_with Schema.Queries.legacy_schema in
-      let rows = ref [] in
-      Table.scan legacy (fun _ row -> rows := row :: !rows);
-      Database.drop_table db "queries";
-      let tbl = open_with Schema.Queries.schema in
-      List.iter
-        (fun row ->
-          ignore
-            (Table.insert tbl
-               (Array.append row [| Record.VFloat 0.0; Record.VInt 0 |])))
-        (List.rev !rows);
-      tbl
+  | exception Database.Schema_mismatch _ -> (
+      match migrate_from Schema.Queries.legacy_schema_v1 ~pad:[| Record.VText "" |] with
+      | tbl -> tbl
+      | exception Database.Schema_mismatch _ ->
+          migrate_from Schema.Queries.legacy_schema
+            ~pad:[| Record.VFloat 0.0; Record.VInt 0; Record.VText "" |])
 
 let open_tables db =
   let trees =
@@ -163,7 +170,7 @@ let measure t f =
   let elapsed_ms = 1000.0 *. (Unix.gettimeofday () -. t0) in
   (result, elapsed_ms, pages_touched t - pages0)
 
-let record_query ?(elapsed_ms = 0.0) ?(pages = 0) t ~text ~result =
+let record_query ?(elapsed_ms = 0.0) ?(pages = 0) ?(cost = "") t ~text ~result =
   let id = next_query_id t in
   t.next_query_id <- Some (id + 1);
   ignore
@@ -175,6 +182,7 @@ let record_query ?(elapsed_ms = 0.0) ?(pages = 0) t ~text ~result =
          Record.VText result;
          Record.VFloat elapsed_ms;
          Record.VInt pages;
+         Record.VText cost;
        |]);
   id
 
@@ -185,6 +193,7 @@ type query_record = {
   result : string;
   elapsed_ms : float;
   pages : int;
+  cost : string;
 }
 
 let decode_record row =
@@ -195,6 +204,7 @@ let decode_record row =
     result = Record.get_text row Schema.Queries.c_result;
     elapsed_ms = Record.get_float row Schema.Queries.c_elapsed_ms;
     pages = Record.get_int row Schema.Queries.c_pages;
+    cost = Record.get_text row Schema.Queries.c_cost;
   }
 
 let history t =

@@ -61,9 +61,17 @@ val abandon : t -> unit
     read back with both costs at 0. *)
 
 val record_query :
-  ?elapsed_ms:float -> ?pages:int -> t -> text:string -> result:string -> int
+  ?elapsed_ms:float ->
+  ?pages:int ->
+  ?cost:string ->
+  t ->
+  text:string ->
+  result:string ->
+  int
 (** Append to the history; returns the query id. Timestamps come from the
-    system clock; both costs default to 0 (unmeasured). *)
+    system clock; both costs default to 0 (unmeasured). [cost] is a
+    compact JSON cost breakdown from {!Crimson_obs.Profile} — [""] (the
+    default) means the query was not profiled. *)
 
 val measure : t -> (unit -> 'a) -> 'a * float * int
 (** [measure t f] runs [f] and returns [(result, elapsed_ms,
@@ -80,6 +88,7 @@ type query_record = {
   result : string;  (** Rendered result summary. *)
   elapsed_ms : float;  (** Measured wall time, 0 when unmeasured. *)
   pages : int;  (** Buffer-pool pages touched, 0 when unmeasured. *)
+  cost : string;  (** JSON cost breakdown, [""] when not profiled. *)
 }
 (** One Query Repository row. Replaces the positional 6-tuple the
     history accessors used to return — callers name the fields they

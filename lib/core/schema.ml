@@ -197,6 +197,7 @@ module Queries = struct
       ("result", Record.Text);
       ("elapsed_ms", Record.Float);
       ("pages", Record.Int);
+      ("cost", Record.Text);
     |]
 
   (* Pre-telemetry layout (id, time, text, result): repositories written
@@ -204,12 +205,17 @@ module Queries = struct
      reading as zero-cost (see Repo.open_dir). *)
   let legacy_schema : Record.schema = Array.sub schema 0 4
 
+  (* First telemetry generation (…, elapsed_ms, pages) but no cost
+     breakdown column; migrates with cost = "". *)
+  let legacy_schema_v1 : Record.schema = Array.sub schema 0 6
+
   let c_id = 0
   let c_time = 1
   let c_text = 2
   let c_result = 3
   let c_elapsed_ms = 4
   let c_pages = 5
+  let c_cost = 6
   let key_id id = Key.int id
   let indexes = [ ix "by_id" (fun row -> key_id (Record.get_int row c_id)) true ]
 end

@@ -107,12 +107,17 @@ module Queries : sig
   (** The pre-telemetry 4-column layout, kept for the on-open migration
       of old repositories. *)
 
+  val legacy_schema_v1 : Record.schema
+  (** The first telemetry layout (elapsed_ms/pages, no cost breakdown),
+      kept for the on-open migration as well. *)
+
   val c_id : int
   val c_time : int
   val c_text : int
   val c_result : int
   val c_elapsed_ms : int
   val c_pages : int
+  val c_cost : int
   val indexes : Table.index_spec list
   val key_id : int -> string
 end

@@ -66,7 +66,9 @@ let root _ = 0
    fetches (and prefetches around) the row, every further field read of
    that node is an in-memory record access. *)
 
-let view t node = Node_view.node t.cache node
+let view t node =
+  Crimson_obs.Profile.node_view ();
+  Node_view.node t.cache node
 let cache_stats t = Node_view.stats t.cache
 let invalidate_cache t = Node_view.invalidate t.cache
 let parent t node = (view t node).Node_view.parent

@@ -104,6 +104,19 @@ module Histogram = struct
 
   let name t = t.name
 
+  (* Non-empty buckets as (upper bound, cumulative count), ascending.
+     The final entry's cumulative count equals [count t]; +Inf is the
+     exporter's job. *)
+  let cumulative_buckets t =
+    let out = ref [] and cum = ref 0 in
+    for i = 0 to n_buckets - 1 do
+      if t.buckets.(i) > 0 then begin
+        cum := !cum + t.buckets.(i);
+        out := (bucket_hi i, !cum) :: !out
+      end
+    done;
+    List.rev !out
+
   let reset t =
     Array.fill t.buckets 0 n_buckets 0;
     t.count <- 0;
@@ -159,6 +172,12 @@ let histogram name =
     (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
 
 let find name = Hashtbl.find_opt registry name
+
+(* HELP texts, keyed by registry (dotted) name. Kept outside the metric
+   records so help can be attached before or after registration. *)
+let help_texts : (string, string) Hashtbl.t = Hashtbl.create 16
+let set_help name text = Hashtbl.replace help_texts name text
+let help_of name = Hashtbl.find_opt help_texts name
 
 let snapshot () =
   Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
@@ -240,10 +259,11 @@ let to_text () =
   Buffer.contents buf
 
 (* Prometheus text exposition format (version 0.0.4). Names get a
-   [crimson_] prefix and dots/dashes fold to underscores; histograms are
-   exported as summaries (pre-computed quantiles) because the log-scale
-   bucket bounds would make poor native Prometheus buckets. Units stay
-   milliseconds, matching the rest of the registry. *)
+   [crimson_] prefix and dots/dashes fold to underscores. Histograms
+   export as native cumulative [_bucket{le=...}] series over the
+   non-empty log-scale buckets, plus a parallel [<name>_summary] family
+   carrying the pre-computed quantiles. Units stay milliseconds,
+   matching the rest of the registry. *)
 let prometheus_name name =
   let buf = Buffer.create (String.length name + 8) in
   Buffer.add_string buf "crimson_";
@@ -262,28 +282,70 @@ let prometheus_float v =
   else if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
   else Printf.sprintf "%.9g" v
 
+(* HELP text escaping per the exposition format: backslash and newline
+   only. Label values additionally escape the double quote. *)
+let prometheus_escape_help text =
+  let buf = Buffer.create (String.length text) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
+let prometheus_escape_label text =
+  let buf = Buffer.create (String.length text) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    text;
+  Buffer.contents buf
+
 let to_prometheus () =
   let buf = Buffer.create 4096 in
-  let meta name kind = Printf.bprintf buf "# TYPE %s %s\n" name kind in
+  let meta ~raw name kind =
+    (match help_of raw with
+    | Some text ->
+        Printf.bprintf buf "# HELP %s %s\n" name (prometheus_escape_help text)
+    | None -> ());
+    Printf.bprintf buf "# TYPE %s %s\n" name kind
+  in
   List.iter
     (fun (name, m) ->
       let pname = prometheus_name name in
       match m with
       | Counter c ->
-          meta pname "counter";
+          meta ~raw:name pname "counter";
           Printf.bprintf buf "%s %d\n" pname (Counter.value c)
       | Gauge g ->
-          meta pname "gauge";
+          meta ~raw:name pname "gauge";
           Printf.bprintf buf "%s %s\n" pname (prometheus_float (Gauge.value g))
       | Histogram h ->
-          meta pname "summary";
+          meta ~raw:name pname "histogram";
+          List.iter
+            (fun (le, cum) ->
+              Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" pname
+                (prometheus_float le) cum)
+            (Histogram.cumulative_buckets h);
+          Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" pname (Histogram.count h);
+          Printf.bprintf buf "%s_sum %s\n" pname (prometheus_float (Histogram.sum h));
+          Printf.bprintf buf "%s_count %d\n" pname (Histogram.count h);
+          (* Quantiles stay available as a sibling summary family. *)
+          let sname = pname ^ "_summary" in
+          meta ~raw:(name ^ "_summary") sname "summary";
           List.iter
             (fun (q, p) ->
-              Printf.bprintf buf "%s{quantile=\"%s\"} %s\n" pname q
+              Printf.bprintf buf "%s{quantile=\"%s\"} %s\n" sname q
                 (prometheus_float (Histogram.percentile h p)))
             [ ("0.5", 50.0); ("0.9", 90.0); ("0.99", 99.0) ];
-          Printf.bprintf buf "%s_sum %s\n" pname (prometheus_float (Histogram.sum h));
-          Printf.bprintf buf "%s_count %d\n" pname (Histogram.count h))
+          Printf.bprintf buf "%s_sum %s\n" sname (prometheus_float (Histogram.sum h));
+          Printf.bprintf buf "%s_count %d\n" sname (Histogram.count h))
     (snapshot ());
   Buffer.contents buf
 

@@ -70,6 +70,12 @@ module Histogram : sig
       observed min/max. Bucket width bounds the relative error at ~19%.
       0 when empty; raises [Invalid_argument] on [p] out of range. *)
 
+  val cumulative_buckets : t -> (float * int) list
+  (** Non-empty log-scale buckets as [(upper_bound, cumulative_count)]
+      pairs, ascending; the last cumulative count equals {!count}.
+      Empty list when no samples. Feeds the Prometheus [_bucket{le=…}]
+      exposition. *)
+
   val name : t -> string
 end
 
@@ -100,19 +106,41 @@ val reset_all : unit -> unit
 (** Zero every registered metric (registration survives). Tests and the
     bench harness call this between experiments. *)
 
+val set_help : string -> string -> unit
+(** [set_help name text] attaches a HELP string to a registry name, for
+    the Prometheus exposition. May be called before or after the metric
+    itself is registered; later calls replace earlier ones. *)
+
+val help_of : string -> string option
+
 (** {1 Exporters} *)
 
 val to_text : unit -> string
 (** Human view: one {!Crimson_util.Table_printer} table — counters and
     gauges first, then histograms with count/mean/p50/p90/p99/max. *)
 
+val prometheus_name : string -> string
+(** [crimson_<name>] with every non-alphanumeric character folded to
+    [_] — a valid Prometheus metric name for any registry name. *)
+
+val prometheus_escape_help : string -> string
+(** Escape a HELP text per the exposition format: backslash doubles,
+    newline becomes a literal backslash-n. *)
+
+val prometheus_escape_label : string -> string
+(** Escape a label value: backslash doubles, double quote gains a
+    backslash, newline becomes a literal backslash-n. *)
+
 val to_prometheus : unit -> string
-(** Prometheus text exposition format (0.0.4): every metric renamed to
-    [crimson_<name>] with non-alphanumeric characters folded to [_].
-    Counters and gauges export directly; histograms export as summaries
-    with [quantile="0.5"|"0.9"|"0.99"] sample lines plus [_sum] and
-    [_count]. Values keep the registry's native unit (milliseconds for
-    latency histograms) — no seconds conversion. *)
+(** Prometheus text exposition format (0.0.4): every metric renamed via
+    {!prometheus_name}, with a [# HELP] line when {!set_help} provided
+    one. Counters and gauges export directly. Histograms export as true
+    cumulative histograms — one [_bucket{le="..."}] series per
+    non-empty log-scale bucket plus [le="+Inf"], [_sum] and [_count] —
+    and additionally as a [<name>_summary] summary family carrying the
+    [quantile="0.5"|"0.9"|"0.99"] estimates. Values keep the registry's
+    native unit (milliseconds for latency histograms) — no seconds
+    conversion. *)
 
 val to_json : unit -> Json.t
 (** [{"counters": {...}, "gauges": {...}, "histograms": {name:

@@ -1,0 +1,319 @@
+module Table_printer = Crimson_util.Table_printer
+
+type counters = {
+  pages_read : int;
+  pages_written : int;
+  pager_hits : int;
+  pager_misses : int;
+  cache_hits : int;
+  cache_misses : int;
+  node_views : int;
+  rows_decoded : int;
+  bytes_decoded : int;
+  bytes_read : int;
+  bytes_written : int;
+  btree_finds : int;
+  cursor_steps : int;
+  fsyncs : int;
+}
+
+type stage = {
+  stage_name : string;
+  calls : int;
+  elapsed_ms : float;
+  minor_words : float;
+  major_words : float;
+  cost : counters;
+}
+
+type report = {
+  total : stage;
+  stages : stage list;
+}
+
+(* Mutable accumulator mirroring [counters]. One per open scope; frozen
+   into the immutable record when the scope closes. *)
+type acc = {
+  mutable a_pages_read : int;
+  mutable a_pages_written : int;
+  mutable a_pager_hits : int;
+  mutable a_pager_misses : int;
+  mutable a_cache_hits : int;
+  mutable a_cache_misses : int;
+  mutable a_node_views : int;
+  mutable a_rows_decoded : int;
+  mutable a_bytes_decoded : int;
+  mutable a_bytes_read : int;
+  mutable a_bytes_written : int;
+  mutable a_btree_finds : int;
+  mutable a_cursor_steps : int;
+  mutable a_fsyncs : int;
+}
+
+let acc_make () =
+  {
+    a_pages_read = 0;
+    a_pages_written = 0;
+    a_pager_hits = 0;
+    a_pager_misses = 0;
+    a_cache_hits = 0;
+    a_cache_misses = 0;
+    a_node_views = 0;
+    a_rows_decoded = 0;
+    a_bytes_decoded = 0;
+    a_bytes_read = 0;
+    a_bytes_written = 0;
+    a_btree_finds = 0;
+    a_cursor_steps = 0;
+    a_fsyncs = 0;
+  }
+
+let freeze a =
+  {
+    pages_read = a.a_pages_read;
+    pages_written = a.a_pages_written;
+    pager_hits = a.a_pager_hits;
+    pager_misses = a.a_pager_misses;
+    cache_hits = a.a_cache_hits;
+    cache_misses = a.a_cache_misses;
+    node_views = a.a_node_views;
+    rows_decoded = a.a_rows_decoded;
+    bytes_decoded = a.a_bytes_decoded;
+    bytes_read = a.a_bytes_read;
+    bytes_written = a.a_bytes_written;
+    btree_finds = a.a_btree_finds;
+    cursor_steps = a.a_cursor_steps;
+    fsyncs = a.a_fsyncs;
+  }
+
+(* A completed (or merged) stage under construction. *)
+type live_stage = {
+  ls_name : string;
+  ls_acc : acc;
+  mutable ls_calls : int;
+  mutable ls_elapsed : float;
+  mutable ls_minor : float;
+  mutable ls_major : float;
+}
+
+type ctx = {
+  total : acc;
+  stages : (string, live_stage) Hashtbl.t;
+  mutable order : string list;  (* reverse first-completion order *)
+  mutable open_stages : acc list;  (* innermost first *)
+}
+
+let active : ctx option ref = ref None
+let enabled () = !active <> None
+
+(* ----------------------------- Charging ----------------------------- *)
+
+(* Each charge updates the context total plus the innermost open stage.
+   Charges between stages (or when the caller uses no stages at all)
+   still land in the total, so the report never loses work. *)
+
+let charge f =
+  match !active with
+  | None -> ()
+  | Some ctx -> (
+      f ctx.total;
+      match ctx.open_stages with [] -> () | a :: _ -> f a)
+
+let page_read () = charge (fun a -> a.a_pages_read <- a.a_pages_read + 1)
+let page_write () = charge (fun a -> a.a_pages_written <- a.a_pages_written + 1)
+let pager_hit () = charge (fun a -> a.a_pager_hits <- a.a_pager_hits + 1)
+let pager_miss () = charge (fun a -> a.a_pager_misses <- a.a_pager_misses + 1)
+let pager_unmiss () = charge (fun a -> a.a_pager_misses <- a.a_pager_misses - 1)
+let cache_hit () = charge (fun a -> a.a_cache_hits <- a.a_cache_hits + 1)
+let cache_miss () = charge (fun a -> a.a_cache_misses <- a.a_cache_misses + 1)
+let node_view () = charge (fun a -> a.a_node_views <- a.a_node_views + 1)
+
+let row_decoded ~bytes =
+  charge (fun a ->
+      a.a_rows_decoded <- a.a_rows_decoded + 1;
+      a.a_bytes_decoded <- a.a_bytes_decoded + bytes)
+
+let node_decoded ~bytes =
+  charge (fun a -> a.a_bytes_decoded <- a.a_bytes_decoded + bytes)
+
+let add_bytes_read n = charge (fun a -> a.a_bytes_read <- a.a_bytes_read + n)
+let add_bytes_written n = charge (fun a -> a.a_bytes_written <- a.a_bytes_written + n)
+let btree_find () = charge (fun a -> a.a_btree_finds <- a.a_btree_finds + 1)
+let cursor_step () = charge (fun a -> a.a_cursor_steps <- a.a_cursor_steps + 1)
+let fsync () = charge (fun a -> a.a_fsyncs <- a.a_fsyncs + 1)
+
+(* ------------------------------ Scoping ------------------------------ *)
+
+let now_ms () = Unix.gettimeofday () *. 1000.0
+
+let add_acc ~into a =
+  into.a_pages_read <- into.a_pages_read + a.a_pages_read;
+  into.a_pages_written <- into.a_pages_written + a.a_pages_written;
+  into.a_pager_hits <- into.a_pager_hits + a.a_pager_hits;
+  into.a_pager_misses <- into.a_pager_misses + a.a_pager_misses;
+  into.a_cache_hits <- into.a_cache_hits + a.a_cache_hits;
+  into.a_cache_misses <- into.a_cache_misses + a.a_cache_misses;
+  into.a_node_views <- into.a_node_views + a.a_node_views;
+  into.a_rows_decoded <- into.a_rows_decoded + a.a_rows_decoded;
+  into.a_bytes_decoded <- into.a_bytes_decoded + a.a_bytes_decoded;
+  into.a_bytes_read <- into.a_bytes_read + a.a_bytes_read;
+  into.a_bytes_written <- into.a_bytes_written + a.a_bytes_written;
+  into.a_btree_finds <- into.a_btree_finds + a.a_btree_finds;
+  into.a_cursor_steps <- into.a_cursor_steps + a.a_cursor_steps;
+  into.a_fsyncs <- into.a_fsyncs + a.a_fsyncs
+
+let stage name f =
+  match !active with
+  | None -> f ()
+  | Some ctx ->
+      let a = acc_make () in
+      ctx.open_stages <- a :: ctx.open_stages;
+      (* [Gc.minor_words] stays exact in native code, where [quick_stat]'s
+         minor_words only refreshes at collection points. *)
+      let minor0 = Gc.minor_words () in
+      let gc0 = Gc.quick_stat () in
+      let t0 = now_ms () in
+      let close () =
+        let elapsed = now_ms () -. t0 in
+        let minor1 = Gc.minor_words () in
+        let gc1 = Gc.quick_stat () in
+        (* Pop this scope even if an inner scope leaked (it cannot: stage
+           scopes are strictly nested via Fun.protect). *)
+        (match ctx.open_stages with
+        | a' :: rest when a' == a -> ctx.open_stages <- rest
+        | other -> ctx.open_stages <- List.filter (fun x -> x != a) other);
+        let ls =
+          match Hashtbl.find_opt ctx.stages name with
+          | Some ls -> ls
+          | None ->
+              let ls =
+                {
+                  ls_name = name;
+                  ls_acc = acc_make ();
+                  ls_calls = 0;
+                  ls_elapsed = 0.0;
+                  ls_minor = 0.0;
+                  ls_major = 0.0;
+                }
+              in
+              Hashtbl.replace ctx.stages name ls;
+              ctx.order <- name :: ctx.order;
+              ls
+        in
+        ls.ls_calls <- ls.ls_calls + 1;
+        ls.ls_elapsed <- ls.ls_elapsed +. elapsed;
+        ls.ls_minor <- ls.ls_minor +. (minor1 -. minor0);
+        ls.ls_major <- ls.ls_major +. (gc1.Gc.major_words -. gc0.Gc.major_words);
+        add_acc ~into:ls.ls_acc a;
+        (* Nested stages: the enclosing open stage absorbs the charges
+           too, so an outer "execute" stage covers its inner phases. *)
+        match ctx.open_stages with [] -> () | outer :: _ -> add_acc ~into:outer a
+      in
+      Fun.protect ~finally:close f
+
+let profile f =
+  let ctx =
+    { total = acc_make (); stages = Hashtbl.create 8; order = []; open_stages = [] }
+  in
+  let saved = !active in
+  active := Some ctx;
+  let minor0 = Gc.minor_words () in
+  let gc0 = Gc.quick_stat () in
+  let t0 = now_ms () in
+  let result = Fun.protect ~finally:(fun () -> active := saved) f in
+  let elapsed = now_ms () -. t0 in
+  let minor1 = Gc.minor_words () in
+  let gc1 = Gc.quick_stat () in
+  let freeze_stage ls =
+    {
+      stage_name = ls.ls_name;
+      calls = ls.ls_calls;
+      elapsed_ms = ls.ls_elapsed;
+      minor_words = ls.ls_minor;
+      major_words = ls.ls_major;
+      cost = freeze ls.ls_acc;
+    }
+  in
+  let stages =
+    List.rev_map (fun name -> freeze_stage (Hashtbl.find ctx.stages name)) ctx.order
+  in
+  let total =
+    {
+      stage_name = "total";
+      calls = 1;
+      elapsed_ms = elapsed;
+      minor_words = minor1 -. minor0;
+      major_words = gc1.Gc.major_words -. gc0.Gc.major_words;
+      cost = freeze ctx.total;
+    }
+  in
+  (result, { total; stages })
+
+(* ------------------------------ Reports ------------------------------ *)
+
+let pages_touched (r : report) =
+  r.total.cost.pager_hits + r.total.cost.pager_misses
+
+(* (label, projection) for every cost dimension, in display order. *)
+let dimensions =
+  [
+    ("pages_read", fun c -> c.pages_read);
+    ("pages_written", fun c -> c.pages_written);
+    ("pager_hits", fun c -> c.pager_hits);
+    ("pager_misses", fun c -> c.pager_misses);
+    ("cache_hits", fun c -> c.cache_hits);
+    ("cache_misses", fun c -> c.cache_misses);
+    ("node_views", fun c -> c.node_views);
+    ("rows_decoded", fun c -> c.rows_decoded);
+    ("bytes_decoded", fun c -> c.bytes_decoded);
+    ("bytes_read", fun c -> c.bytes_read);
+    ("bytes_written", fun c -> c.bytes_written);
+    ("btree_finds", fun c -> c.btree_finds);
+    ("cursor_steps", fun c -> c.cursor_steps);
+    ("fsyncs", fun c -> c.fsyncs);
+  ]
+
+let counters_to_json c =
+  List.filter_map
+    (fun (label, get) ->
+      let v = get c in
+      if v = 0 then None else Some (label, Json.Num (float_of_int v)))
+    dimensions
+
+let cost_summary (r : report) = Json.Obj (counters_to_json r.total.cost)
+
+let stage_to_json s =
+  Json.Obj
+    (("stage", Json.Str s.stage_name)
+    :: ("calls", Json.Num (float_of_int s.calls))
+    :: ("elapsed_ms", Json.Num s.elapsed_ms)
+    :: ("minor_words", Json.Num s.minor_words)
+    :: ("major_words", Json.Num s.major_words)
+    :: counters_to_json s.cost)
+
+let report_to_json (r : report) =
+  Json.Obj
+    [
+      ("total", stage_to_json r.total);
+      ("stages", Json.List (List.map stage_to_json r.stages));
+    ]
+
+let report_to_text (r : report) =
+  let cols = r.stages @ [ r.total ] in
+  let t =
+    Table_printer.create
+      ~columns:
+        (("cost", Table_printer.Left)
+        :: List.map (fun s -> (s.stage_name, Table_printer.Right)) cols)
+  in
+  let row label cells = Table_printer.add_row t (label :: cells) in
+  row "elapsed_ms" (List.map (fun s -> Printf.sprintf "%.3f" s.elapsed_ms) cols);
+  row "calls" (List.map (fun s -> string_of_int s.calls) cols);
+  List.iter
+    (fun (label, get) ->
+      if get r.total.cost <> 0 then
+        row label (List.map (fun s -> string_of_int (get s.cost)) cols))
+    dimensions;
+  row "minor_words" (List.map (fun s -> Printf.sprintf "%.0f" s.minor_words) cols);
+  row "major_words" (List.map (fun s -> Printf.sprintf "%.0f" s.major_words) cols);
+  Table_printer.render t

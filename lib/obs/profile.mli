@@ -1,0 +1,112 @@
+(** Scoped query cost accounting.
+
+    A profile context is installed around a unit of work (one query, one
+    request) and every instrumented layer below — pager, B+tree, table,
+    WAL, raw I/O, node-view cache — charges the resources it consumes
+    into it: pages read and written, cache hits and misses, bytes
+    decoded, cursor steps, fsyncs. Allocation pressure is sampled from
+    [Gc.quick_stat] deltas per stage.
+
+    Design constraints:
+
+    - {b near-zero overhead when disabled.} There is at most one active
+      context per process (the engine is single-threaded); every charge
+      function starts with a [match !active with None -> () | ...] — one
+      load and one branch on the hot path when nobody is profiling.
+    - {b scoped, not global.} Unlike the {!Metrics} registry, which
+      accumulates forever, a context exists only for the dynamic extent
+      of {!profile} and yields an immutable {!report}.
+    - {b staged.} {!stage} labels phases of the work ("parse",
+      "execute"); charges land in the innermost open stage plus the
+      report total. Repeated stages with the same name merge. *)
+
+(** What one stage (or the whole profiled extent) consumed. *)
+type counters = {
+  pages_read : int;  (** pager backend page reads (cache misses hitting disk) *)
+  pages_written : int;  (** pager backend page writes *)
+  pager_hits : int;  (** page requests served from the frame pool *)
+  pager_misses : int;  (** page requests that had to fault *)
+  cache_hits : int;  (** node-view cache hits (core layer) *)
+  cache_misses : int;  (** node-view cache misses *)
+  node_views : int;  (** node-view resolutions requested *)
+  rows_decoded : int;  (** table rows decoded from heap payloads *)
+  bytes_decoded : int;  (** bytes decoded: row payloads + B+tree node pages *)
+  bytes_read : int;  (** bytes read from the I/O backend *)
+  bytes_written : int;  (** bytes written to the I/O backend *)
+  btree_finds : int;  (** point lookups in B+trees *)
+  cursor_steps : int;  (** B+tree cursor advances *)
+  fsyncs : int;  (** fsync calls (WAL + pager) *)
+}
+
+type stage = {
+  stage_name : string;
+  calls : int;  (** how many same-named {!stage} scopes merged into this row *)
+  elapsed_ms : float;
+  minor_words : float;  (** [Gc.minor_words] delta (exact in native code) *)
+  major_words : float;  (** [Gc.quick_stat] major_words delta *)
+  cost : counters;
+}
+
+type report = {
+  total : stage;  (** whole profiled extent; [stage_name = "total"] *)
+  stages : stage list;  (** completion order, same-named stages merged *)
+}
+
+val enabled : unit -> bool
+(** True while a context is installed (inside {!profile}). *)
+
+val profile : (unit -> 'a) -> 'a * report
+(** [profile f] installs a fresh context, runs [f], and returns its
+    result with the cost report. Nested calls stack: the inner context
+    shadows the outer for its extent (charges inside go to the inner
+    one only), and the outer is restored on exit — also on raise. *)
+
+val stage : string -> (unit -> 'a) -> 'a
+(** [stage name f] opens a named accounting scope for the extent of
+    [f]. No-op passthrough when no context is installed. *)
+
+(** {1 Charge points}
+
+    Called by the instrumented layers. All are no-ops when disabled. *)
+
+val page_read : unit -> unit
+val page_write : unit -> unit
+val pager_hit : unit -> unit
+val pager_miss : unit -> unit
+
+val pager_unmiss : unit -> unit
+(** Retract one pager miss. The pager excludes fresh-page allocation
+    from its miss accounting; this keeps the profile's notion of
+    pages-touched identical to the pager's. *)
+
+val cache_hit : unit -> unit
+val cache_miss : unit -> unit
+val node_view : unit -> unit
+val row_decoded : bytes:int -> unit
+val node_decoded : bytes:int -> unit
+val add_bytes_read : int -> unit
+val add_bytes_written : int -> unit
+val btree_find : unit -> unit
+val cursor_step : unit -> unit
+val fsync : unit -> unit
+
+(** {1 Reports} *)
+
+val pages_touched : report -> int
+(** [pager_hits + pager_misses] of the total — the same notion of
+    pages-touched that [Repo.measure] computes from pager stats. *)
+
+val counters_to_json : counters -> (string * Json.t) list
+(** Flat field list, only non-zero counters, stable order. *)
+
+val cost_summary : report -> Json.t
+(** Compact object of the total's non-zero counters — what the Query
+    Repository stores in its [cost] column. *)
+
+val stage_to_json : stage -> Json.t
+val report_to_json : report -> Json.t
+(** [{"total": {...}, "stages": [{...}, ...]}]. *)
+
+val report_to_text : report -> string
+(** Table: one row per cost dimension, one column per stage plus
+    total. Zero-everywhere dimensions are omitted. *)

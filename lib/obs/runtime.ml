@@ -1,0 +1,56 @@
+let g_minor = Metrics.gauge "runtime.gc.minor_collections"
+let g_major = Metrics.gauge "runtime.gc.major_collections"
+let g_compactions = Metrics.gauge "runtime.gc.compactions"
+let g_heap = Metrics.gauge "runtime.gc.heap_words"
+let g_top_heap = Metrics.gauge "runtime.gc.top_heap_words"
+let g_live = Metrics.gauge "runtime.gc.live_words"
+let g_fds = Metrics.gauge "runtime.fds.open"
+let g_rss = Metrics.gauge "runtime.rss_bytes"
+
+let () =
+  Metrics.set_help "runtime.gc.heap_words"
+    "Major heap size in words, from Gc counters at the last refresh.";
+  Metrics.set_help "runtime.gc.live_words"
+    "Live words in the major heap; only refreshed by a full Gc.stat walk.";
+  Metrics.set_help "runtime.fds.open" "Open file descriptors (/proc/self/fd).";
+  Metrics.set_help "runtime.rss_bytes"
+    "Resident set size in bytes (VmRSS of /proc/self/status)."
+
+(* Open descriptors by counting /proc/self/fd entries. The readdir holds
+   one descriptor of its own; subtract it. Absent /proc (non-Linux), the
+   gauge stays at its last value (initially 0). *)
+let refresh_fds () =
+  match Sys.readdir "/proc/self/fd" with
+  | entries -> Metrics.Gauge.set g_fds (float_of_int (max 0 (Array.length entries - 1)))
+  | exception Sys_error _ -> ()
+
+(* Resident set size from the VmRSS line of /proc/self/status (kB). *)
+let refresh_rss () =
+  match open_in "/proc/self/status" with
+  | exception Sys_error _ -> ()
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            let rec scan () =
+              let line = input_line ic in
+              match Scanf.sscanf_opt line "VmRSS: %d kB" (fun kb -> kb) with
+              | Some kb -> Metrics.Gauge.set g_rss (float_of_int kb *. 1024.0)
+              | None -> scan ()
+            in
+            scan ()
+          with End_of_file -> ())
+
+let refresh ?(live = false) () =
+  let s = if live then Gc.stat () else Gc.quick_stat () in
+  Metrics.Gauge.set g_minor (float_of_int s.Gc.minor_collections);
+  Metrics.Gauge.set g_major (float_of_int s.Gc.major_collections);
+  Metrics.Gauge.set g_compactions (float_of_int s.Gc.compactions);
+  Metrics.Gauge.set g_heap (float_of_int s.Gc.heap_words);
+  Metrics.Gauge.set g_top_heap (float_of_int s.Gc.top_heap_words);
+  (* quick_stat leaves live_words at 0 — a lie; only overwrite the gauge
+     when the full walk actually computed it. *)
+  if live then Metrics.Gauge.set g_live (float_of_int s.Gc.live_words);
+  refresh_fds ();
+  refresh_rss ()

@@ -1,0 +1,24 @@
+(** Process runtime health gauges.
+
+    {!refresh} samples the OCaml GC and the operating system and stores
+    the readings in the {!Metrics} registry, so every exporter (STATS,
+    METRICS, [crimson stats]) picks them up without new plumbing:
+
+    - [runtime.gc.minor_collections], [runtime.gc.major_collections],
+      [runtime.gc.compactions]
+    - [runtime.gc.heap_words], [runtime.gc.top_heap_words]
+    - [runtime.gc.live_words] (only with [~live:true])
+    - [runtime.fds.open] — open file descriptors (via /proc, 0 where
+      unavailable)
+    - [runtime.rss_bytes] — resident set size (via /proc, 0 where
+      unavailable)
+
+    Gauges are refreshed on demand — at scrape/stats time — rather than
+    continuously, so idle servers pay nothing. *)
+
+val refresh : ?live:bool -> unit -> unit
+(** Update the gauges. With [~live:true] the sample uses [Gc.stat],
+    which walks the heap to compute [live_words] — accurate but it
+    forces a full major collection, so servers refresh with the default
+    [live:false] ([Gc.quick_stat], constant time) and only one-shot CLI
+    invocations ask for the live count. *)

@@ -38,6 +38,20 @@ let m_sink_writes = Metrics.counter "obs.trace.sink.writes"
 let m_sink_rotations = Metrics.counter "obs.trace.sink.rotations"
 let m_sink_errors = Metrics.counter "obs.trace.sink.errors"
 
+(* Records silently displaced from the bounded rings. Nonzero means the
+   scrape/inspection cadence is slower than the request rate — visible
+   in [crimson stats --json] so trace loss never goes unnoticed. *)
+let m_ring_dropped = Metrics.counter "obs.trace.ring.dropped"
+let m_slowlog_dropped = Metrics.counter "obs.trace.slowlog.dropped"
+
+let () =
+  Metrics.set_help "obs.trace.ring.dropped"
+    "Trace records overwritten in the in-memory ring before being read.";
+  Metrics.set_help "obs.trace.slowlog.dropped"
+    "Slow-query records overwritten in the slowlog ring before being read.";
+  Metrics.set_help "obs.trace.sink.rotations"
+    "JSONL trace sink rotations (previous generation renamed to .1)."
+
 (* --------------------------- Ring buffers --------------------------- *)
 
 module Ring = struct
@@ -45,9 +59,12 @@ module Ring = struct
 
   let create n = { slots = Array.make (max 1 n) None; next = 0 }
 
+  (* Returns true when an unread slot was overwritten (ring full). *)
   let push r x =
+    let displaced = r.slots.(r.next) <> None in
     r.slots.(r.next) <- Some x;
-    r.next <- (r.next + 1) mod Array.length r.slots
+    r.next <- (r.next + 1) mod Array.length r.slots;
+    displaced
 
   (* Newest first. *)
   let recent ?n r =
@@ -270,11 +287,11 @@ let finalize st root =
   in
   let record = { id = st.trace_id; started_at = st.started_at; meta; root } in
   Metrics.Counter.incr m_records;
-  Ring.push !buffer record;
+  if Ring.push !buffer record then Metrics.Counter.incr m_ring_dropped;
   (match !slow_threshold with
   | Some t when root.elapsed_ms >= t ->
       Metrics.Counter.incr m_slow;
-      Ring.push !slow_buffer record
+      if Ring.push !slow_buffer record then Metrics.Counter.incr m_slowlog_dropped
   | Some _ | None -> ());
   if !sink_state <> None then
     sink_write (Json.to_string (record_to_json record) ^ "\n")

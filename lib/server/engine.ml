@@ -34,9 +34,16 @@ let default_config =
 
 type session = {
   id : int;
+  started_at : float;
   mutable tree : Stored_tree.t option;
   mutable rng : Prng.t;
   mutable requests : int;
+  (* Cumulative resource accounting, reported by TOP and mirrored into
+     the server.session.* aggregate metrics. *)
+  mutable ms : float;
+  mutable pages : int;
+  mutable bytes_out : int;
+  mutable last_line : string;
   mutable closed : bool;
 }
 
@@ -44,6 +51,8 @@ type t = {
   cfg : config;
   repo : Repo.t;
   trees : (int, Stored_tree.t) Hashtbl.t;  (* shared warm handles, by tree id *)
+  sessions : (int, session) Hashtbl.t;  (* live sessions, for TOP *)
+  started_at : float;
   mutable next_session : int;
   mutable active : int;
   (* Pre-created metric handles: the per-request path does no name
@@ -55,6 +64,12 @@ type t = {
   m_rejected : Metrics.Counter.t;
   m_closed : Metrics.Counter.t;
   m_active : Metrics.Gauge.t;
+  (* Aggregates over every session that ever ran (requests, wall ms,
+     pages touched, reply bytes) — the server.session.* family. *)
+  m_sess_requests : Metrics.Counter.t;
+  m_sess_ms : Metrics.Gauge.t;
+  m_sess_pages : Metrics.Counter.t;
+  m_sess_bytes : Metrics.Counter.t;
 }
 
 let create ?(config = default_config) repo =
@@ -71,6 +86,8 @@ let create ?(config = default_config) repo =
     cfg = config;
     repo;
     trees = Hashtbl.create 8;
+    sessions = Hashtbl.create 16;
+    started_at = Unix.gettimeofday ();
     next_session = 1;
     active = 0;
     m_requests = Metrics.counter "server.requests";
@@ -80,6 +97,10 @@ let create ?(config = default_config) repo =
     m_rejected = Metrics.counter "server.sessions.rejected";
     m_closed = Metrics.counter "server.sessions.closed";
     m_active = Metrics.gauge "server.sessions.active";
+    m_sess_requests = Metrics.counter "server.session.requests";
+    m_sess_ms = Metrics.gauge "server.session.ms";
+    m_sess_pages = Metrics.counter "server.session.pages";
+    m_sess_bytes = Metrics.counter "server.session.bytes_out";
   }
 
 let config t = t.cfg
@@ -117,12 +138,28 @@ let open_session t =
     Metrics.Counter.incr t.m_accepted;
     Metrics.Gauge.set t.m_active (float_of_int t.active);
     Log.debug (fun m -> m "session=%d opened (%d active)" id t.active);
-    Ok { id; tree = None; rng = Prng.create 0; requests = 0; closed = false }
+    let s =
+      {
+        id;
+        started_at = Unix.gettimeofday ();
+        tree = None;
+        rng = Prng.create 0;
+        requests = 0;
+        ms = 0.0;
+        pages = 0;
+        bytes_out = 0;
+        last_line = "";
+        closed = false;
+      }
+    in
+    Hashtbl.replace t.sessions id s;
+    Ok s
   end
 
 let close_session t s =
   if not s.closed then begin
     s.closed <- true;
+    Hashtbl.remove t.sessions s.id;
     t.active <- t.active - 1;
     Metrics.Counter.incr t.m_closed;
     Metrics.Gauge.set t.m_active (float_of_int t.active);
@@ -258,6 +295,8 @@ let query t s text =
               ignore
                 (Repo.record_query t.repo ~elapsed_ms ~pages ~text
                    ~result:outcome.Query_lang.result);
+              s.pages <- s.pages + pages;
+              Metrics.Counter.add t.m_sess_pages pages;
               keep
                 (Wire.ok
                    [
@@ -271,7 +310,91 @@ let query t s text =
               error t
                 (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout)))
 
-let stats _t = keep (Wire.ok [ ("metrics", Metrics.to_json ()) ])
+let explain t s text =
+  match s.tree with
+  | None -> error t "no tree selected (USE <tree> first)"
+  | Some stored -> (
+      match Query_lang.explain stored text with
+      | Ok plan ->
+          keep
+            (Wire.ok
+               [
+                 ("query", Json.Str text);
+                 ("plan", Json.List (List.map (fun l -> Json.Str l) plan));
+               ])
+      | Error msg -> error t msg)
+
+let profile t s text =
+  match s.tree with
+  | None -> error t "no tree selected (USE <tree> first)"
+  | Some stored -> (
+      match
+        Repo.measure t.repo (fun () ->
+            with_timeout t.cfg.request_timeout (fun () ->
+                Query_lang.profile ~rng:s.rng ~record:false t.repo stored text))
+      with
+      | result, elapsed_ms, pages -> (
+          match result with
+          | Ok (Ok (outcome, report)) ->
+              let cost =
+                Json.to_string (Crimson_obs.Profile.cost_summary report)
+              in
+              ignore
+                (Repo.record_query t.repo ~elapsed_ms ~pages ~cost ~text
+                   ~result:outcome.Query_lang.result);
+              s.pages <- s.pages + pages;
+              Metrics.Counter.add t.m_sess_pages pages;
+              keep
+                (Wire.ok
+                   [
+                     ("result", Json.Str outcome.Query_lang.result);
+                     ("elapsed_ms", Json.Num elapsed_ms);
+                     ("pages", num pages);
+                     ("profile", Crimson_obs.Profile.report_to_json report);
+                   ])
+          | Ok (Error msg) -> error t msg
+          | Error `Timeout ->
+              Metrics.Counter.incr t.m_timeouts;
+              error t
+                (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout)))
+
+let top t =
+  Crimson_obs.Runtime.refresh ();
+  let now = Unix.gettimeofday () in
+  let sessions =
+    Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
+    (* Cost hogs first: cumulative wall time, then id for stability. *)
+    |> List.sort (fun a b ->
+           match Float.compare b.ms a.ms with 0 -> Int.compare a.id b.id | c -> c)
+  in
+  let row s =
+    Json.Obj
+      [
+        ("session", num s.id);
+        ( "tree",
+          match s.tree with
+          | Some st -> Json.Str (Stored_tree.name st)
+          | None -> Json.Null );
+        ("requests", num s.requests);
+        ("ms", Json.Num s.ms);
+        ("pages", num s.pages);
+        ("bytes_out", num s.bytes_out);
+        ("age_s", Json.Num (now -. s.started_at));
+        ("last", Json.Str s.last_line);
+      ]
+  in
+  keep
+    (Wire.ok
+       [
+         ("uptime_s", Json.Num (now -. t.started_at));
+         ("active", num t.active);
+         ("requests", num (Metrics.Counter.value t.m_requests));
+         ("sessions", Json.List (List.map row sessions));
+       ])
+
+let stats _t =
+  Crimson_obs.Runtime.refresh ();
+  keep (Wire.ok [ ("metrics", Metrics.to_json ()) ])
 
 let slowlog _t n =
   let entries = Trace.slowlog ?n () in
@@ -286,6 +409,7 @@ let slowlog _t n =
        ])
 
 let metrics_reply _t =
+  Crimson_obs.Runtime.refresh ();
   keep
     (Wire.ok
        [
@@ -298,7 +422,9 @@ let truncate_line line =
 
 let handle_line t s line =
   s.requests <- s.requests + 1;
+  s.last_line <- truncate_line line;
   Metrics.Counter.incr t.m_requests;
+  Metrics.Counter.incr t.m_sess_requests;
   (* The per-request trace: one span tree rooted at server.request_ms
      (which the Span layer also feeds as a histogram, so STATS scrapes
      keep working), tagged with the session/request ids and the request
@@ -320,11 +446,18 @@ let handle_line t s line =
             s.rng <- Prng.create n;
             keep (Wire.ok [ ("seed", num n) ])
         | Ok (Wire.Query text) -> query t s text
+        | Ok (Wire.Explain text) -> explain t s text
+        | Ok (Wire.Profile text) -> profile t s text
+        | Ok Wire.Top -> top t
         | Ok Wire.Stats -> stats t
         | Ok (Wire.Slowlog n) -> slowlog t n
         | Ok Wire.Metrics -> metrics_reply t
         | Ok Wire.Quit -> { body = Wire.ok [ ("bye", Json.Bool true) ]; close = true })
   in
+  s.ms <- s.ms +. elapsed_ms;
+  s.bytes_out <- s.bytes_out + String.length reply.body;
+  Metrics.Gauge.add t.m_sess_ms elapsed_ms;
+  Metrics.Counter.add t.m_sess_bytes (String.length reply.body);
   Log.debug (fun m ->
       m "session=%d req=%d %.3fms %s" s.id s.requests elapsed_ms
         (if String.length line > 80 then String.sub line 0 80 ^ "…" else line));

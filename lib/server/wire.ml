@@ -51,6 +51,9 @@ type command =
   | Use of string
   | Seed of int
   | Query of string
+  | Explain of string
+  | Profile of string
+  | Top
   | Stats
   | Slowlog of int option
   | Metrics
@@ -79,6 +82,12 @@ let parse_command line =
         | None -> Error "SEED needs an integer")
     | "QUERY", "" -> Error "QUERY needs a query text"
     | "QUERY", text -> Ok (Query text)
+    | "EXPLAIN", "" -> Error "EXPLAIN needs a query text"
+    | "EXPLAIN", text -> Ok (Explain text)
+    | "PROFILE", "" -> Error "PROFILE needs a query text"
+    | "PROFILE", text -> Ok (Profile text)
+    | "TOP", "" -> Ok Top
+    | "TOP", _ -> Error "TOP takes no argument"
     | "STATS", "" -> Ok Stats
     | "STATS", _ -> Error "STATS takes no argument"
     | "SLOWLOG", "" -> Ok (Slowlog None)
@@ -93,8 +102,8 @@ let parse_command line =
     | verb, _ ->
         Error
           (Printf.sprintf
-             "unknown command %S (expected HELLO, USE, SEED, QUERY, STATS, SLOWLOG, \
-              METRICS or QUIT)"
+             "unknown command %S (expected HELLO, USE, SEED, QUERY, EXPLAIN, PROFILE, \
+              TOP, STATS, SLOWLOG, METRICS or QUIT)"
              verb)
 
 (* ------------------------------ Framing ---------------------------- *)

@@ -11,6 +11,9 @@
     USE <tree>            select the session's tree
     SEED <n>              reseed the session RNG (sampling determinism)
     QUERY <text>          run a Query_lang expression on the session tree
+    EXPLAIN <text>        describe the query's plan without executing it
+    PROFILE <text>        run the query with a per-stage cost breakdown
+    TOP                   per-session cumulative accounting, cost hogs first
     STATS                 telemetry registry snapshot as JSON
     SLOWLOG [n]           most recent slow-query trace records (all by default)
     METRICS               Prometheus text exposition, in the "text" field
@@ -41,6 +44,9 @@ type command =
   | Use of string
   | Seed of int
   | Query of string
+  | Explain of string
+  | Profile of string
+  | Top
   | Stats
   | Slowlog of int option  (** [SLOWLOG \[n\]]: at most [n] entries *)
   | Metrics

@@ -100,6 +100,7 @@ let read_node t page_id =
   | Some node -> node
   | None ->
       Crimson_obs.Metrics.Counter.incr m_node_decodes;
+      Crimson_obs.Profile.node_decoded ~bytes:Page.size;
       let node = Pager.with_page t.pager page_id (decode_node ~pager:t.pager) in
       if Hashtbl.length t.node_cache >= t.cache_limit then
         Hashtbl.reset t.node_cache;
@@ -200,6 +201,7 @@ let search entries key =
 
 let find t ~key =
   Crimson_obs.Metrics.Counter.incr m_finds;
+  Crimson_obs.Profile.btree_find ();
   let rec go page_id =
     match read_node t page_id with
     | Leaf { entries; _ } -> (
@@ -361,6 +363,7 @@ module Cursor = struct
     if c.pos < Array.length c.entries then begin
       let e = c.entries.(c.pos) in
       c.pos <- c.pos + 1;
+      Crimson_obs.Profile.cursor_step ();
       Some e
     end
     else if c.next_page = 0 then None

@@ -83,15 +83,23 @@ let size f =
 
 let pread f ~off buf ~pos ~len =
   check_alive f.io;
-  guard ~file:f.fpath ~op:"read" (fun () ->
-      ignore (Unix.lseek f.fd off Unix.SEEK_SET);
-      Unix.read f.fd buf pos len)
+  let n =
+    guard ~file:f.fpath ~op:"read" (fun () ->
+        ignore (Unix.lseek f.fd off Unix.SEEK_SET);
+        Unix.read f.fd buf pos len)
+  in
+  Crimson_obs.Profile.add_bytes_read n;
+  n
 
 let pwrite f ~off buf ~pos ~len =
   let do_write n =
-    guard ~file:f.fpath ~op:"write" (fun () ->
-        ignore (Unix.lseek f.fd off Unix.SEEK_SET);
-        Unix.write f.fd buf pos n)
+    let written =
+      guard ~file:f.fpath ~op:"write" (fun () ->
+          ignore (Unix.lseek f.fd off Unix.SEEK_SET);
+          Unix.write f.fd buf pos n)
+    in
+    Crimson_obs.Profile.add_bytes_written written;
+    written
   in
   match tick f.io ~file:f.fpath ~op:"write" ~len with
   | `Proceed -> do_write len

@@ -20,6 +20,7 @@ let h_recovery = Crimson_obs.Metrics.histogram "storage.recovery.ms"
 
 let timed_fsync file =
   Counter.incr m_fsyncs;
+  Crimson_obs.Profile.fsync ();
   Crimson_obs.Span.record_traced h_fsync (fun () -> Io.fsync file)
 
 type backend =
@@ -177,6 +178,7 @@ let lru_touch t i =
 let backend_read t page_id buf =
   Counter.incr t.reads;
   Counter.incr m_reads;
+  Crimson_obs.Profile.page_read ();
   match t.backend with
   | File { file; _ } ->
       let off = page_id * Page.size in
@@ -199,6 +201,7 @@ let backend_read t page_id buf =
 let backend_write t page_id buf =
   Counter.incr t.writes;
   Counter.incr m_writes;
+  Crimson_obs.Profile.page_write ();
   match t.backend with
   | File { file; _ } -> write_page_at file page_id buf
   | Mem { pages } -> Bytes.blit buf 0 (Crimson_util.Vec.get pages page_id) 0 Page.size
@@ -264,11 +267,13 @@ let frame_for t page_id ~load =
   | Some i ->
       Counter.incr t.hits;
       Counter.incr m_hits;
+      Crimson_obs.Profile.pager_hit ();
       lru_touch t i;
       i
   | None ->
       Counter.incr t.misses;
       Counter.incr m_misses;
+      Crimson_obs.Profile.pager_miss ();
       let i =
         match t.free_frames with
         | i :: rest ->
@@ -299,6 +304,7 @@ let allocate t =
      keep hit-rate statistics about reads only. *)
   Counter.add t.misses (-1);
   Counter.add m_misses (-1);
+  Crimson_obs.Profile.pager_unmiss ();
   page_id
 
 let with_frame t page_id ~dirty f =

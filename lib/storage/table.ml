@@ -52,7 +52,9 @@ let insert t row =
 
 let get t rid =
   match Heap.get t.heap rid with
-  | Some payload -> Some (Record.decode t.schema payload)
+  | Some payload ->
+      Crimson_obs.Profile.row_decoded ~bytes:(String.length payload);
+      Some (Record.decode t.schema payload)
   | None -> None
 
 let delete t rid =

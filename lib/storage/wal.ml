@@ -10,6 +10,7 @@ let h_fsync = Crimson_obs.Metrics.histogram "storage.wal.fsync_ms"
 
 let timed_fsync file =
   Crimson_obs.Metrics.Counter.incr m_fsyncs;
+  Crimson_obs.Profile.fsync ();
   Crimson_obs.Span.record_traced h_fsync (fun () -> Io.fsync file)
 
 type t = {

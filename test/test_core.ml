@@ -688,6 +688,48 @@ let test_query_history_legacy_migration () =
       | None -> Alcotest.fail "new row missing after reopen");
       Repo.close repo)
 
+(* The first telemetry generation (elapsed_ms/pages but no cost column)
+   must also migrate: old rows read with an empty cost, new rows carry
+   the profiler's cost JSON across a reopen. *)
+let test_query_history_v1_migration () =
+  with_temp_dir (fun dir ->
+      (let db = Crimson_storage.Database.open_dir dir in
+       let v1 =
+         Crimson_storage.Database.table db ~name:"queries"
+           ~schema:Crimson_core.Schema.Queries.legacy_schema_v1
+           ~indexes:Crimson_core.Schema.Queries.indexes
+       in
+       ignore
+         (Crimson_storage.Table.insert v1
+            [|
+              Crimson_storage.Record.VInt 0;
+              Crimson_storage.Record.VFloat 50.25;
+              Crimson_storage.Record.VText "lca a,b";
+              Crimson_storage.Record.VText "x";
+              Crimson_storage.Record.VFloat 1.5;
+              Crimson_storage.Record.VInt 4;
+            |]);
+       Crimson_storage.Database.close db);
+      let repo = Repo.open_dir dir in
+      (match Repo.history repo with
+      | [ q ] ->
+          check Alcotest.string "text preserved" "lca a,b" q.Repo.text;
+          check (Alcotest.float 1e-9) "elapsed preserved" 1.5 q.Repo.elapsed_ms;
+          check Alcotest.int "pages preserved" 4 q.Repo.pages;
+          check Alcotest.string "old rows read empty cost" "" q.Repo.cost
+      | _ -> Alcotest.fail "expected the migrated v1 row");
+      let cost = {|{"pages_read":2,"cursor_steps":9}|} in
+      let id =
+        Repo.record_query repo ~elapsed_ms:2.0 ~pages:3 ~cost ~text:"new" ~result:"y"
+      in
+      check Alcotest.int "ids continue after migration" 1 id;
+      Repo.close repo;
+      let repo = Repo.open_dir dir in
+      (match Repo.history_entry repo id with
+      | Some q -> check Alcotest.string "cost survives reopen" cost q.Repo.cost
+      | None -> Alcotest.fail "new row missing after reopen");
+      Repo.close repo)
+
 (* --------------------------- Persistence --------------------------- *)
 
 let test_persistence_across_reopen () =
@@ -809,6 +851,8 @@ let () =
           Alcotest.test_case "record and recall" `Quick test_query_history;
           Alcotest.test_case "legacy schema migration" `Quick
             test_query_history_legacy_migration;
+          Alcotest.test_case "v1 schema migration (no cost column)" `Quick
+            test_query_history_v1_migration;
         ] );
       ( "persistence",
         [

@@ -125,6 +125,48 @@ let test_query_records_history () =
       check Alcotest.bool "result" true (contains "x" q.Repo.result)
   | _ -> Alcotest.fail "unexpected history"
 
+(* explain: plan without execution, same guardrails as run, no history. *)
+let test_query_explain () =
+  let repo, stored = load_figure1 () in
+  (match Query_lang.explain stored "lca(Lla, Spy)" with
+  | Ok (header :: rest) ->
+      check Alcotest.bool "header names the function" true (contains "lca/2" header);
+      check Alcotest.bool "plan describes access paths" true
+        (List.exists (fun l -> contains "B+tree" l || contains "layer" l) rest)
+  | Ok [] -> Alcotest.fail "empty plan"
+  | Error e -> Alcotest.fail e);
+  (match Query_lang.explain stored "lca(Lla)" with
+  | Error msg -> check Alcotest.bool "arity error mentions lca" true (contains "lca" msg)
+  | Ok _ -> Alcotest.fail "bad arity must fail");
+  (match Query_lang.explain stored "lca(Lla, Spy" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unterminated query must fail");
+  check Alcotest.int "explain records nothing" 0 (List.length (Repo.history repo))
+
+(* profile: same outcome as run, plus a staged cost report whose totals
+   land in the history row's cost column. *)
+let test_query_profile () =
+  let repo, stored = load_figure1 () in
+  (match Query_lang.profile repo stored "lca(Lla, Spy)" with
+  | Error e -> Alcotest.fail e
+  | Ok ({ result; _ }, report) ->
+      check Alcotest.bool "same result as run" true (contains "x" result);
+      let open Crimson_obs.Profile in
+      let stage_names = List.map (fun s -> s.stage_name) report.stages in
+      check Alcotest.bool "parse and execute stages" true
+        (List.mem "parse" stage_names && List.mem "execute" stage_names);
+      check Alcotest.bool "work was charged" true (pages_touched report > 0));
+  (match Repo.history repo with
+  | [ q ] ->
+      check Alcotest.bool "history row carries cost JSON" true
+        (String.length q.Repo.cost > 0 && q.Repo.cost.[0] = '{')
+  | _ -> Alcotest.fail "expected one history row");
+  (* Profiling off the record leaves the history alone. *)
+  (match Query_lang.profile ~record:false repo stored "depth(Spy)" with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  check Alcotest.int "record:false adds nothing" 1 (List.length (Repo.history repo))
+
 let test_query_never_raises () =
   (* Arbitrary bytes — adversarial cases plus deterministic random fuzz —
      must come back as Ok/Error, never as an exception. *)
@@ -423,6 +465,8 @@ let () =
           Alcotest.test_case "never raises on arbitrary bytes" `Quick
             test_query_never_raises;
           Alcotest.test_case "history recording" `Quick test_query_records_history;
+          Alcotest.test_case "explain" `Quick test_query_explain;
+          Alcotest.test_case "profile" `Quick test_query_profile;
           Alcotest.test_case "deterministic sampling" `Quick
             test_query_deterministic_sampling;
         ] );

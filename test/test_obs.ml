@@ -304,16 +304,64 @@ let test_prometheus_exporter () =
   check Alcotest.bool "counter sample" true (has "crimson_test_prom_counter 7");
   (* Dots and dashes both fold to underscores. *)
   check Alcotest.bool "gauge name mangled" true (has "crimson_test_prom_gauge 2.5");
-  check Alcotest.bool "summary TYPE" true (has "# TYPE crimson_test_prom_hist summary");
-  check Alcotest.bool "summary count" true (has "crimson_test_prom_hist_count 3");
-  check Alcotest.bool "summary sum" true (has "crimson_test_prom_hist_sum 7");
+  check Alcotest.bool "histogram TYPE" true
+    (has "# TYPE crimson_test_prom_hist histogram");
+  check Alcotest.bool "histogram count" true (has "crimson_test_prom_hist_count 3");
+  check Alcotest.bool "histogram sum" true (has "crimson_test_prom_hist_sum 7");
+  check Alcotest.bool "+Inf bucket" true
+    (has {|crimson_test_prom_hist_bucket{le="+Inf"} 3|});
   let contains needle hay =
     let nl = String.length needle and hl = String.length hay in
     let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
     scan 0
   in
+  check Alcotest.bool "finite le bucket present" true
+    (List.exists (contains {|crimson_test_prom_hist_bucket{le="|}) lines);
+  check Alcotest.bool "summary family TYPE" true
+    (has "# TYPE crimson_test_prom_hist_summary summary");
   check Alcotest.bool "quantile label present" true
-    (List.exists (contains {|crimson_test_prom_hist{quantile="0.99"}|}) lines)
+    (List.exists (contains {|crimson_test_prom_hist_summary{quantile="0.99"}|}) lines)
+
+(* Cumulative bucket exposition: le bounds ascend, counts are cumulative
+   and monotone, and the last finite bucket's count equals the total. *)
+let test_prometheus_buckets () =
+  let h = Metrics.histogram "test.prom.buckets" in
+  List.iter (Metrics.Histogram.observe h) [ 0.5; 0.5; 5.0; 50.0; 50.0; 50.0 ];
+  let buckets = Metrics.Histogram.cumulative_buckets h in
+  check Alcotest.int "three non-empty buckets" 3 (List.length buckets);
+  let les = List.map fst buckets and cums = List.map snd buckets in
+  check (Alcotest.list Alcotest.int) "cumulative counts" [ 2; 3; 6 ] cums;
+  check Alcotest.bool "ascending bounds" true (List.sort compare les = les);
+  List.iter2
+    (fun le cum ->
+      let below =
+        List.length (List.filter (fun v -> v <= le) [ 0.5; 0.5; 5.0; 50.0; 50.0; 50.0 ])
+      in
+      check Alcotest.int (Printf.sprintf "cum at le=%g" le) below cum)
+    les cums;
+  check (Alcotest.list (Alcotest.pair (Alcotest.float 0.0) Alcotest.int))
+    "empty histogram has no buckets" []
+    (Metrics.Histogram.cumulative_buckets (Metrics.histogram "test.prom.empty"))
+
+(* Name mangling and HELP/label escaping. *)
+let test_prometheus_escaping () =
+  check Alcotest.string "name mangling"
+    "crimson_storage_pager_read_ms"
+    (Metrics.prometheus_name "storage.pager/read-ms");
+  check Alcotest.string "help escaping" {|a\\b\nc "quoted"|}
+    (Metrics.prometheus_escape_help "a\\b\nc \"quoted\"");
+  check Alcotest.string "label escaping" {|a\\b\nc \"quoted\"|}
+    (Metrics.prometheus_escape_label "a\\b\nc \"quoted\"");
+  Metrics.Counter.incr (Metrics.counter "test.prom.helped");
+  Metrics.set_help "test.prom.helped" "line one\nline two \\ done";
+  let text = Metrics.to_prometheus () in
+  let lines = String.split_on_char '\n' text in
+  check Alcotest.bool "HELP line escaped" true
+    (List.mem {|# HELP crimson_test_prom_helped line one\nline two \\ done|} lines);
+  (* The embedded newline must not have split the HELP across lines:
+     nothing in the output starts with the unescaped second half. *)
+  check Alcotest.bool "no raw newline leaked" true
+    (not (List.exists (fun l -> l = "line two \\ done") lines))
 
 let test_reset_all () =
   let c = Metrics.counter "test.reset.counter" in
@@ -351,6 +399,8 @@ let () =
           Alcotest.test_case "json parser details" `Quick test_json_parser_details;
           Alcotest.test_case "json trace payloads" `Quick test_json_trace_payloads;
           Alcotest.test_case "prometheus exporter" `Quick test_prometheus_exporter;
+          Alcotest.test_case "prometheus buckets" `Quick test_prometheus_buckets;
+          Alcotest.test_case "prometheus escaping" `Quick test_prometheus_escaping;
           Alcotest.test_case "reset all" `Quick test_reset_all;
         ] );
     ]

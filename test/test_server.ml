@@ -218,6 +218,112 @@ let test_engine_metrics () =
   check Alcotest.bool "query recorded" true
     (List.exists (fun (q : Repo.query_record) -> q.text = "lca(T0, T1)") (Repo.history repo))
 
+(* EXPLAIN / PROFILE / TOP: happy paths and every error path the wire
+   grammar and engine can produce. *)
+let test_explain_profile_top () =
+  let repo, _stored = load_test_repo () in
+  let t = Engine.create repo in
+  let s = match Engine.open_session t with Ok s -> s | Error _ -> Alcotest.fail "open" in
+  (* Before USE: tree-dependent verbs refuse, TOP still answers. *)
+  ignore (expect_err (Engine.handle_line t s "EXPLAIN lca(T0, T1)"));
+  ignore (expect_err (Engine.handle_line t s "PROFILE lca(T0, T1)"));
+  ignore (expect_ok (Engine.handle_line t s "TOP"));
+  ignore (expect_ok (Engine.handle_line t s "USE gold"));
+  (* EXPLAIN: a plan is a non-empty list of strings; nothing recorded. *)
+  let before = List.length (Repo.history repo) in
+  let r = expect_ok (Engine.handle_line t s "EXPLAIN lca(T0, T1)") in
+  (match field "plan" r with
+  | Json.List (Json.Str _ :: _) -> ()
+  | _ -> Alcotest.failf "plan not a string list: %s" (body r));
+  check Alcotest.int "explain records nothing" before (List.length (Repo.history repo));
+  (* Error paths: empty argument (wire grammar), malformed query, and
+     unknown species (execution-level resolution). *)
+  ignore (expect_err (Engine.handle_line t s "EXPLAIN"));
+  ignore (expect_err (Engine.handle_line t s "PROFILE"));
+  ignore (expect_err (Engine.handle_line t s "TOP extra"));
+  ignore (expect_err (Engine.handle_line t s "EXPLAIN lca((((("));
+  ignore (expect_err (Engine.handle_line t s "PROFILE lca((((("));
+  ignore (expect_err (Engine.handle_line t s "PROFILE lca(Nope, T1)"));
+  (* PROFILE: the report's pages must equal the reply's pager-counted
+     pages, and a warm repeat must be deterministic. *)
+  let profile_pages r =
+    let stage_counter name =
+      match Json.member "total" (field "profile" r) with
+      | Some total -> (
+          match Json.member name total with
+          | Some (Json.Num v) -> int_of_float v
+          | _ -> 0)
+      | None -> Alcotest.failf "profile lacks total: %s" (body r)
+    in
+    let reply_pages =
+      match field "pages" r with
+      | Json.Num v -> int_of_float v
+      | _ -> Alcotest.fail "pages not a number"
+    in
+    (stage_counter "pager_hits" + stage_counter "pager_misses", reply_pages)
+  in
+  ignore (expect_ok (Engine.handle_line t s "QUERY lca(T0, T7)"));
+  let r1 = expect_ok (Engine.handle_line t s "PROFILE lca(T0, T7)") in
+  let report1, reply1 = profile_pages r1 in
+  check Alcotest.int "profile pages match pager counters" reply1 report1;
+  check Alcotest.bool "profiled query touched pages" true (reply1 > 0);
+  let r2 = expect_ok (Engine.handle_line t s "PROFILE lca(T0, T7)") in
+  let report2, reply2 = profile_pages r2 in
+  check Alcotest.int "warm repeat: same pages (report)" report1 report2;
+  check Alcotest.int "warm repeat: same pages (reply)" reply1 reply2;
+  (* PROFILE records the query with its cost JSON. *)
+  check Alcotest.bool "profile recorded with cost" true
+    (List.exists
+       (fun (q : Repo.query_record) ->
+         q.text = "lca(T0, T7)" && String.length q.cost > 0 && q.cost.[0] = '{')
+       (Repo.history repo));
+  (* TOP: this session appears with its accumulated accounting. *)
+  let r = expect_ok (Engine.handle_line t s "TOP") in
+  (match field "sessions" r with
+  | Json.List rows ->
+      let mine =
+        List.find_opt
+          (fun row ->
+            match Json.member "session" row with
+            | Some (Json.Num v) -> int_of_float v = Engine.session_id s
+            | _ -> false)
+          rows
+      in
+      (match mine with
+      | Some row ->
+          (match Json.member "requests" row with
+          | Some (Json.Num v) -> check Alcotest.bool "requests counted" true (v >= 10.0)
+          | _ -> Alcotest.fail "session row lacks requests");
+          (match Json.member "pages" row with
+          | Some (Json.Num v) ->
+              check Alcotest.bool "session pages accumulated" true (int_of_float v > 0)
+          | _ -> Alcotest.fail "session row lacks pages");
+          (match Json.member "last" row with
+          | Some (Json.Str last) -> check Alcotest.string "last line" "TOP" last
+          | _ -> Alcotest.fail "session row lacks last")
+      | None -> Alcotest.fail "own session missing from TOP")
+  | _ -> Alcotest.failf "sessions not a list: %s" (body r));
+  Engine.close_session t s;
+  (* A closed session leaves the TOP table. *)
+  let s2 = match Engine.open_session t with Ok s -> s | Error _ -> Alcotest.fail "s2" in
+  let r = expect_ok (Engine.handle_line t s2 "TOP") in
+  (match field "sessions" r with
+  | Json.List rows -> check Alcotest.int "only the live session" 1 (List.length rows)
+  | _ -> Alcotest.fail "sessions not a list");
+  Engine.close_session t s2
+
+(* An over-budget PROFILE line dies in the line buffer before the
+   engine ever sees it — same poisoning contract as any other verb. *)
+let test_profile_over_budget_line () =
+  let lb = Wire.Line_buffer.create ~max_line:64 in
+  let huge = "PROFILE lca(" ^ String.make 128 'x' ^ ", T1)\n" in
+  (match Wire.Line_buffer.feed lb huge with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected over-budget error");
+  match Wire.Line_buffer.feed lb "TOP\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "poisoned buffer must stay in error"
+
 let test_request_timeout () =
   (* A pathological query (deeply nested pattern parse is fast; use a
      huge sample instead? sampling validates k) — the reliable slow path
@@ -470,6 +576,9 @@ let () =
         [
           Alcotest.test_case "sessions and admission" `Quick test_engine_sessions;
           Alcotest.test_case "metrics and recording" `Quick test_engine_metrics;
+          Alcotest.test_case "explain, profile and top" `Quick test_explain_profile_top;
+          Alcotest.test_case "over-budget profile line" `Quick
+            test_profile_over_budget_line;
           Alcotest.test_case "request timeout" `Quick test_request_timeout;
         ] );
       ( "repo",
