@@ -2,7 +2,7 @@
 # green. Formatting runs only where ocamlformat is installed, so the
 # target works in minimal containers too.
 
-.PHONY: all check build test fmt bench bench-snapshot bench-diff clean server-smoke trace-smoke crash-smoke crash-matrix serve-demo
+.PHONY: all check build test fmt bench bench-snapshot bench-diff clean server-smoke serve-smoke trace-smoke crash-smoke crash-matrix serve-demo
 
 all: build
 
@@ -19,7 +19,7 @@ fmt:
 		echo "ocamlformat not installed; skipping dune fmt"; \
 	fi
 
-check: build test fmt server-smoke trace-smoke crash-smoke
+check: build test fmt server-smoke serve-smoke trace-smoke crash-smoke
 
 # The end-to-end server test forks a real `crimson_server` on a Unix
 # socket and drives it with concurrent clients; running it on its own
@@ -27,6 +27,12 @@ check: build test fmt server-smoke trace-smoke crash-smoke
 # when only the service layer breaks.
 server-smoke:
 	dune exec test/test_server.exe -- test e2e
+
+# CLI-level fleet smoke: boot `crimson serve` at --workers 1 and
+# --workers 4, drive each through `crimson connect`, and require a
+# clean SIGTERM drain (exit 0, listening socket removed).
+serve-smoke: build
+	sh scripts/serve_smoke.sh 1 4
 
 # Crash safety end to end: fork a loader into a durable repository,
 # SIGKILL it mid-load, reopen and verify every surviving tree is whole.

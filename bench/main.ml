@@ -21,6 +21,7 @@ let experiments =
     ("E11", "query service: concurrent clients over a served repository", Exp_server.run);
     ("E12", "WAL recovery: replay time vs committed batch size", Exp_recovery.run);
     ("E13", "profiler overhead: disabled charge points vs full profiling", Exp_profile.run);
+    ("E14", "worker fleet: throughput grid and open-loop latency", Exp_workers.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

@@ -837,11 +837,22 @@ let serve_cmd =
              ~doc:"How often the serving loop fsyncs the trace sink; 0 disables \
                    periodic flushing.")
   in
+  let workers =
+    Arg.(value & opt int Engine.default_config.Engine.workers
+         & info [ "workers" ] ~docv:"N"
+             ~doc:"Worker domains serving requests. 1 (the default) is the \
+                   single-threaded server; N >= 2 runs a coordinator plus N \
+                   shared-nothing workers, each with its own read-only open of \
+                   the repository. STATS/METRICS/TOP stay fleet-wide.")
+  in
   let run trace_out db listen max_sessions timeout max_line create slowlog_ms
-      trace_max_bytes flush_interval =
+      trace_max_bytes flush_interval workers =
     guarded (fun () ->
         match Wire.parse_addr listen with
         | Error msg -> fail "bad --listen address: %s" msg
+        | Ok addr when workers < 1 ->
+            ignore addr;
+            fail "--workers must be at least 1 (got %d)" workers
         | Ok addr ->
             let repo = Repo.open_dir ~create db in
             Fun.protect
@@ -856,6 +867,7 @@ let serve_cmd =
                     trace_out;
                     trace_max_bytes;
                     flush_interval;
+                    workers;
                   }
                 in
                 Server.run ~config
@@ -884,7 +896,7 @@ let serve_cmd =
     (Cmd.info "serve" ~doc:"Serve a repository over TCP or a Unix socket" ~man)
     Term.(ret
             (const run $ logging $ db $ listen $ max_sessions $ timeout $ max_line
-           $ create $ slowlog_ms $ trace_max_bytes $ flush_interval))
+           $ create $ slowlog_ms $ trace_max_bytes $ flush_interval $ workers))
 
 (* ------------------------------ connect ---------------------------- *)
 

@@ -243,7 +243,12 @@ let prefetch_nodes c n =
       Span.attr "batch" (Json.Num (float_of_int !fetched)));
   Metrics.Histogram.observe h_prefetch (float_of_int !fetched)
 
+(* Node resolution is the query path's unit of progress — every lca
+   climb, clade expansion or projection touches it — so it is where the
+   request deadline is polled. The check is counter-gated (a handful of
+   instructions when no deadline is armed). *)
 let find c n =
+  Crimson_obs.Deadline.check ();
   if n < 0 then None
   else
     match Lru.find c.views n with
@@ -306,6 +311,7 @@ let prefetch_layer c ~layer n =
   Metrics.Histogram.observe h_prefetch (float_of_int !fetched)
 
 let layer_view c ~layer n =
+  Crimson_obs.Deadline.check ();
   match Lru.find c.layer_views (layer, n) with
   | Some v ->
       hit c;
@@ -327,6 +333,7 @@ let layer_view c ~layer n =
           | None -> raise (Unknown_node n)))
 
 let sub_root c ~layer s =
+  Crimson_obs.Deadline.check ();
   match Lru.find c.sub_roots (layer, s) with
   | Some root ->
       hit c;

@@ -334,6 +334,10 @@ let trap f =
   | exception Stored_tree.Unknown_node n -> Error (Printf.sprintf "unknown node %d" n)
   | exception Stack_overflow -> Error "query too deeply nested"
   | exception Out_of_memory -> raise Out_of_memory
+  (* A request deadline expiring mid-query must unwind to the server's
+     [Deadline.with_timeout] scope, not degrade into an "internal
+     error" reply. *)
+  | exception Crimson_obs.Deadline.Expired -> raise Crimson_obs.Deadline.Expired
   | exception e -> Error (Printf.sprintf "internal error: %s" (Printexc.to_string e))
 
 let run ?rng ?(record = true) repo stored text =
@@ -378,6 +382,7 @@ let profile ?rng ?(record = true) repo stored text =
         ignore (Repo.record_query repo ~elapsed_ms ~pages ~cost ~text ~result)
       end;
       Ok ({ text; result }, report)
+  | exception Crimson_obs.Deadline.Expired -> raise Crimson_obs.Deadline.Expired
   | exception e -> Error (Printf.sprintf "internal error: %s" (Printexc.to_string e))
 
 let help =

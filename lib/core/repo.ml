@@ -38,6 +38,17 @@ let open_queries db =
   in
   match open_with Schema.Queries.schema with
   | tbl -> tbl
+  | exception Database.Schema_mismatch _ when Database.mode db = Database.Read_only
+    ->
+      (* Migration re-inserts every row under the new layout — a write.
+         A read-only open cannot do it; one read-write open migrates the
+         repository for every subsequent reader. *)
+      Crimson_storage.Error.fail
+        (Crimson_storage.Error.Read_only
+           {
+             file = (match Database.dir db with Some d -> d | None -> "<mem>");
+             op = "migrate legacy queries schema (open read-write once)";
+           })
   | exception Database.Schema_mismatch _ -> (
       match migrate_from Schema.Queries.legacy_schema_v1 ~pad:[| Record.VText "" |] with
       | tbl -> tbl
@@ -90,15 +101,16 @@ let open_error fmt = Printf.ksprintf (fun s -> raise (Open_error s)) fmt
 (* The server opens repositories it must not create, and has to report a
    clean startup failure instead of a raw [Sys_error]/[Unix_error]: every
    failure mode of opening funnels into the one typed exception. *)
-let open_dir ?pool_size ?durable ?io ?(create = true) dir =
-  if not create then begin
+let open_dir ?pool_size ?durable ?io ?(create = true) ?(mode = Database.Read_write)
+    dir =
+  if (not create) || mode = Database.Read_only then begin
     if not (Sys.file_exists dir) then open_error "%s: no such directory" dir;
     if not (Sys.is_directory dir) then open_error "%s: not a directory" dir;
     if not (Sys.file_exists (Filename.concat dir "catalog.crim")) then
       open_error "%s: not a crimson repository (no catalog.crim)" dir
   end;
   let opened =
-    match Database.open_dir ?pool_size ?durable ?io dir with
+    match Database.open_dir ?pool_size ?durable ?io ~mode dir with
     | db -> (
         (* Opening half the tables and then failing must not leak the
            descriptors of the ones that did open — the crash matrix
@@ -129,6 +141,8 @@ let open_dir ?pool_size ?durable ?io ?(create = true) dir =
 let open_mem ?pool_size () = open_tables (Database.open_mem ?pool_size ())
 
 let database t = t.db
+let dir t = Database.dir t.db
+let mode t = Database.mode t.db
 let trees t = t.trees
 let nodes t = t.nodes
 let layers t = t.layers

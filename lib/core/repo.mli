@@ -20,6 +20,7 @@ val open_dir :
   ?durable:bool ->
   ?io:Crimson_storage.Io.t ->
   ?create:bool ->
+  ?mode:Database.mode ->
   string ->
   t
 (** Open or create the repositories under a directory. [pool_size] is the
@@ -29,12 +30,30 @@ val open_dir :
     backends drive the crash-safety harness). [create] (default [true])
     creates the directory when absent; with [~create:false] the
     directory must already exist and hold a repository catalog, else
-    {!Open_error} is raised. *)
+    {!Open_error} is raised.
+
+    [mode] (default [Read_write]) selects the open mode. With
+    [~mode:Read_only] the directory must already exist (as with
+    [~create:false]), WAL replay is skipped — a committed WAL left by a
+    crash makes the open fail with {!Open_error} until one read-write
+    open replays it — and every mutating operation (recording queries,
+    creating tables, legacy-schema migration) fails with the typed
+    [Crimson_storage.Error.Read_only]. Server worker domains each hold
+    a read-only handle over the same immutable files while the
+    coordinator keeps the only read-write one. *)
 
 val open_mem : ?pool_size:int -> unit -> t
 (** Volatile repositories (tests, benchmarks). *)
 
 val database : t -> Database.t
+
+val dir : t -> string option
+(** The backing directory ([None] for in-memory repositories). The
+    coordinator uses it to point worker domains at the same files. *)
+
+val mode : t -> Database.mode
+(** The mode this repository was opened with. *)
+
 val trees : t -> Table.t
 val nodes : t -> Table.t
 val layers : t -> Table.t

@@ -1,29 +1,43 @@
 module Table_printer = Crimson_util.Table_printer
 
+(* Domain safety: server workers run as OCaml 5 domains and share the
+   metric handles captured at module initialisation (pager read
+   counters, node-cache hit counters, ...). Counters and gauges are
+   single [Atomic.t] cells — lock-free on the hot path. Histograms
+   mutate several fields per observation, so each instance carries its
+   own mutex; contention is negligible because observations happen at
+   request granularity, not per node. The registry itself is touched
+   only at metric creation and export time and sits behind one global
+   mutex. *)
+
 module Counter = struct
   type t = {
     name : string;
-    mutable value : int;
+    value : int Atomic.t;
   }
 
-  let make name = { name; value = 0 }
-  let incr t = t.value <- t.value + 1
-  let add t n = t.value <- t.value + n
-  let value t = t.value
-  let reset t = t.value <- 0
+  let make name = { name; value = Atomic.make 0 }
+  let incr t = ignore (Atomic.fetch_and_add t.value 1)
+  let add t n = ignore (Atomic.fetch_and_add t.value n)
+  let value t = Atomic.get t.value
+  let reset t = Atomic.set t.value 0
   let name t = t.name
 end
 
 module Gauge = struct
   type t = {
     name : string;
-    mutable value : float;
+    value : float Atomic.t;
   }
 
-  let make name = { name; value = 0.0 }
-  let set t v = t.value <- v
-  let add t v = t.value <- t.value +. v
-  let value t = t.value
+  let make name = { name; value = Atomic.make 0.0 }
+  let set t v = Atomic.set t.value v
+
+  let rec add t v =
+    let cur = Atomic.get t.value in
+    if not (Atomic.compare_and_set t.value cur (cur +. v)) then add t v
+
+  let value t = Atomic.get t.value
   let name t = t.name
 end
 
@@ -40,6 +54,7 @@ module Histogram = struct
 
   type t = {
     name : string;
+    lock : Mutex.t;
     buckets : int array;
     mutable count : int;
     mutable sum : float;
@@ -50,12 +65,17 @@ module Histogram = struct
   let make name =
     {
       name;
+      lock = Mutex.create ();
       buckets = Array.make n_buckets 0;
       count = 0;
       sum = 0.0;
       min = Float.infinity;
       max = Float.neg_infinity;
     }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
   let bucket_of v =
     if v <= base then 0
@@ -65,27 +85,34 @@ module Histogram = struct
 
   let observe t v =
     let v = if Float.is_nan v || v < 0.0 then 0.0 else v in
-    t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
-    t.count <- t.count + 1;
-    t.sum <- t.sum +. v;
-    if v < t.min then t.min <- v;
-    if v > t.max then t.max <- v
+    locked t (fun () ->
+        t.buckets.(bucket_of v) <- t.buckets.(bucket_of v) + 1;
+        t.count <- t.count + 1;
+        t.sum <- t.sum +. v;
+        if v < t.min then t.min <- v;
+        if v > t.max then t.max <- v)
 
-  let count t = t.count
-  let sum t = t.sum
-  let mean t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
-  let min t = if t.count = 0 then 0.0 else t.min
-  let max t = if t.count = 0 then 0.0 else t.max
+  (* Unlocked readers, shared by the public accessors (each takes the
+     lock once) and by [percentile] (which needs several of them under a
+     single critical section — the mutex is not reentrant). *)
+  let min_u t = if t.count = 0 then 0.0 else t.min
+  let max_u t = if t.count = 0 then 0.0 else t.max
+  let mean_u t = if t.count = 0 then 0.0 else t.sum /. float_of_int t.count
+  let count t = locked t (fun () -> t.count)
+  let sum t = locked t (fun () -> t.sum)
+  let mean t = locked t (fun () -> mean_u t)
+  let min t = locked t (fun () -> min_u t)
+  let max t = locked t (fun () -> max_u t)
   let bucket_hi i = base *. Float.pow growth (float_of_int i)
   let bucket_lo i = if i = 0 then 0.0 else base *. Float.pow growth (float_of_int (i - 1))
 
-  let percentile t p =
+  let percentile_u t p =
     if p < 0.0 || p > 100.0 then invalid_arg "Histogram.percentile: p outside [0,100]";
     if t.count = 0 then 0.0
     else begin
       let target = p /. 100.0 *. float_of_int t.count in
       let rec walk i cum =
-        if i >= n_buckets then max t
+        if i >= n_buckets then max_u t
         else
           let c = t.buckets.(i) in
           let cum' = cum +. float_of_int c in
@@ -99,30 +126,33 @@ module Histogram = struct
           else walk (i + 1) cum'
       in
       let est = walk 0 0.0 in
-      Float.max (min t) (Float.min (max t) est)
+      Float.max (min_u t) (Float.min (max_u t) est)
     end
 
+  let percentile t p = locked t (fun () -> percentile_u t p)
   let name t = t.name
 
   (* Non-empty buckets as (upper bound, cumulative count), ascending.
      The final entry's cumulative count equals [count t]; +Inf is the
      exporter's job. *)
   let cumulative_buckets t =
-    let out = ref [] and cum = ref 0 in
-    for i = 0 to n_buckets - 1 do
-      if t.buckets.(i) > 0 then begin
-        cum := !cum + t.buckets.(i);
-        out := (bucket_hi i, !cum) :: !out
-      end
-    done;
-    List.rev !out
+    locked t (fun () ->
+        let out = ref [] and cum = ref 0 in
+        for i = 0 to n_buckets - 1 do
+          if t.buckets.(i) > 0 then begin
+            cum := !cum + t.buckets.(i);
+            out := (bucket_hi i, !cum) :: !out
+          end
+        done;
+        List.rev !out)
 
   let reset t =
-    Array.fill t.buckets 0 n_buckets 0;
-    t.count <- 0;
-    t.sum <- 0.0;
-    t.min <- Float.infinity;
-    t.max <- Float.neg_infinity
+    locked t (fun () ->
+        Array.fill t.buckets 0 n_buckets 0;
+        t.count <- 0;
+        t.sum <- 0.0;
+        t.min <- Float.infinity;
+        t.max <- Float.neg_infinity)
 end
 
 (* ------------------------------ Registry ----------------------------- *)
@@ -133,6 +163,11 @@ type metric =
   | Histogram of Histogram.t
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+let registry_lock = Mutex.create ()
+
+let with_registry f =
+  Mutex.lock registry_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock registry_lock) f
 
 let kind = function
   | Counter _ -> "counter"
@@ -140,18 +175,19 @@ let kind = function
   | Histogram _ -> "histogram"
 
 let register name wrap make project =
-  match Hashtbl.find_opt registry name with
-  | None ->
-      let m = make name in
-      Hashtbl.replace registry name (wrap m);
-      m
-  | Some existing -> (
-      match project existing with
-      | Some m -> m
+  with_registry (fun () ->
+      match Hashtbl.find_opt registry name with
       | None ->
-          invalid_arg
-            (Printf.sprintf "Metrics: %s is already registered as a %s" name
-               (kind existing)))
+          let m = make name in
+          Hashtbl.replace registry name (wrap m);
+          m
+      | Some existing -> (
+          match project existing with
+          | Some m -> m
+          | None ->
+              invalid_arg
+                (Printf.sprintf "Metrics: %s is already registered as a %s" name
+                   (kind existing))))
 
 let counter name =
   register name
@@ -171,16 +207,20 @@ let histogram name =
     Histogram.make
     (function Histogram h -> Some h | Counter _ | Gauge _ -> None)
 
-let find name = Hashtbl.find_opt registry name
+let find name = with_registry (fun () -> Hashtbl.find_opt registry name)
 
 (* HELP texts, keyed by registry (dotted) name. Kept outside the metric
    records so help can be attached before or after registration. *)
 let help_texts : (string, string) Hashtbl.t = Hashtbl.create 16
-let set_help name text = Hashtbl.replace help_texts name text
-let help_of name = Hashtbl.find_opt help_texts name
+
+let set_help name text =
+  with_registry (fun () -> Hashtbl.replace help_texts name text)
+
+let help_of name = with_registry (fun () -> Hashtbl.find_opt help_texts name)
 
 let snapshot () =
-  Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry []
+  with_registry (fun () ->
+      Hashtbl.fold (fun name m acc -> (name, m) :: acc) registry [])
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let counter_value name =
@@ -189,13 +229,13 @@ let counter_value name =
   | Some (Gauge _ | Histogram _) | None -> 0
 
 let reset_all () =
-  Hashtbl.iter
-    (fun _ m ->
+  List.iter
+    (fun (_, m) ->
       match m with
       | Counter c -> Counter.reset c
       | Gauge g -> Gauge.set g 0.0
       | Histogram h -> Histogram.reset h)
-    registry
+    (snapshot ())
 
 (* ----------------------------- Exporters ----------------------------- *)
 

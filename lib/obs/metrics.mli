@@ -9,10 +9,12 @@
 
     Design constraints, in order:
 
-    - the fast path must stay cheap: incrementing a counter is one
-      mutable [int] store, observing a histogram is a handful of float
-      compares into a preallocated [int array] — no allocation either
-      way;
+    - the fast path must stay cheap and domain-safe: incrementing a
+      counter is one [Atomic] fetch-and-add, a gauge update is one
+      atomic store (or a CAS loop for [add]), observing a histogram is
+      a handful of float compares into a preallocated [int array] under
+      a per-instance mutex — metric handles may be shared freely across
+      worker domains;
     - metric instances are created once (at module initialisation or
       handle construction) and cached; name lookup happens only at
       creation and export time;

@@ -103,8 +103,13 @@ type ctx = {
   mutable open_stages : acc list;  (* innermost first *)
 }
 
-let active : ctx option ref = ref None
-let enabled () = !active <> None
+(* Domain-local: each worker domain profiles its own request without
+   seeing (or charging) its siblings. *)
+let active_key : ctx option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let active () = Domain.DLS.get active_key
+let enabled () = !(active ()) <> None
 
 (* ----------------------------- Charging ----------------------------- *)
 
@@ -113,7 +118,7 @@ let enabled () = !active <> None
    still land in the total, so the report never loses work. *)
 
 let charge f =
-  match !active with
+  match !(active ()) with
   | None -> ()
   | Some ctx -> (
       f ctx.total;
@@ -163,7 +168,7 @@ let add_acc ~into a =
   into.a_fsyncs <- into.a_fsyncs + a.a_fsyncs
 
 let stage name f =
-  match !active with
+  match !(active ()) with
   | None -> f ()
   | Some ctx ->
       let a = acc_make () in
@@ -215,6 +220,7 @@ let profile f =
   let ctx =
     { total = acc_make (); stages = Hashtbl.create 8; order = []; open_stages = [] }
   in
+  let active = active () in
   let saved = !active in
   active := Some ctx;
   let minor0 = Gc.minor_words () in

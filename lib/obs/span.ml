@@ -2,28 +2,33 @@ let src = Logs.Src.create "crimson.obs" ~doc:"Crimson telemetry spans"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
-(* Innermost frame first. Crimson is single-threaded per process; a
-   domain-local would be needed before queries run on multiple domains.
-   Forked children must call [Trace.child_reset] (which calls {!reset})
-   so they never inherit the parent's open stack. *)
+(* Innermost frame first. The open-span stack and the event sink are
+   domain-local: every server worker domain keeps its own request
+   stack and (when tracing) its own collector, so spans from parallel
+   requests never interleave. Forked children must call
+   [Trace.child_reset] (which calls {!reset}) so they never inherit the
+   parent's open stack. *)
 type frame = {
   name : string;
   t0 : float;
   mutable attrs : (string * Json.t) list; (* newest first *)
 }
 
-let stack : frame list ref = ref []
+let stack_key : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
 
-let depth () = List.length !stack
-let current () = match !stack with [] -> None | f :: _ -> Some f.name
-let reset () = stack := []
+let stack () = Domain.DLS.get stack_key
+
+let depth () = List.length !(stack ())
+let current () = match !(stack ()) with [] -> None | f :: _ -> Some f.name
+let reset () = stack () := []
 
 let now_ms () = 1000.0 *. Unix.gettimeofday ()
 
 (* ------------------------------ Events ------------------------------ *)
 (* The trace pipeline observes enter/exit through this sink. It is
    installed only while a trace is actively collecting, so the
-   no-tracing fast path costs one ref read per span. *)
+   no-tracing fast path costs one domain-local read per span. *)
 
 type sink = {
   on_enter : name:string -> depth:int -> t0_ms:float -> unit;
@@ -35,16 +40,19 @@ type sink = {
     unit;
 }
 
-let sink : sink option ref = ref None
+let sink_key : sink option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let set_sink s = sink := s
-let tracing () = !sink <> None
+let sink () = Domain.DLS.get sink_key
+
+let set_sink s = sink () := s
+let tracing () = !(sink ()) <> None
 
 let attr key value =
-  match !sink with
+  match !(sink ()) with
   | None -> ()
   | Some _ -> (
-      match !stack with
+      match !(stack ()) with
       | [] -> ()
       | frame :: _ -> frame.attrs <- (key, value) :: frame.attrs)
 
@@ -53,14 +61,17 @@ let attr key value =
 let timed ~name f =
   let t0 = now_ms () in
   let frame = { name; t0; attrs = [] } in
+  let stack = stack () in
   let depth0 = List.length !stack in
   stack := frame :: !stack;
-  (match !sink with Some s -> s.on_enter ~name ~depth:depth0 ~t0_ms:t0 | None -> ());
+  (match !(sink ()) with
+  | Some s -> s.on_enter ~name ~depth:depth0 ~t0_ms:t0
+  | None -> ());
   let finish () =
     (match !stack with _ :: tl -> stack := tl | [] -> ());
     let elapsed = now_ms () -. t0 in
     Metrics.Histogram.observe (Metrics.histogram name) elapsed;
-    (match !sink with
+    (match !(sink ()) with
     | Some s ->
         s.on_exit ~name ~depth:depth0 ~elapsed_ms:elapsed
           ~attrs:(List.rev frame.attrs)
@@ -88,7 +99,7 @@ let record hist f =
       raise e
 
 let record_traced hist ?attrs f =
-  match !sink with
+  match !(sink ()) with
   | None -> record hist f
   | Some _ ->
       with_ ~name:(Metrics.Histogram.name hist) (fun () ->

@@ -8,8 +8,14 @@
    opens the root span, and finalises the record when that root exits —
    including on exceptions, because [Span.timed] runs its finish path
    while unwinding. A nested [timed] joins the enclosing trace as an
-   ordinary span instead of starting a second one. Everything here is
-   single-threaded, like the span stack it observes. *)
+   ordinary span instead of starting a second one.
+
+   Domain model: collection state and the ring buffers are domain-local
+   (each server worker assembles and retains its own traces — a worker
+   answering SLOWLOG reports its own ring), trace ids come from one
+   process-global atomic so ids stay unique across workers, and the
+   JSONL sink is process-global behind a mutex so all workers append to
+   the same file. *)
 
 type span = {
   name : string;
@@ -88,19 +94,37 @@ let default_buffer_capacity = 128
 let default_slowlog_capacity = 64
 let default_max_events = 4096
 
-let buffer = ref (Ring.create default_buffer_capacity)
-let slow_buffer = ref (Ring.create default_slowlog_capacity)
-let slow_threshold : float option ref = ref None
-let max_events = ref default_max_events
+(* Ring capacities are process-wide settings; the rings themselves are
+   per-domain so workers never contend (and never see each other's
+   traces — fleet-wide slowlog aggregation is the server layer's job). *)
+let buffer_capacity = Atomic.make default_buffer_capacity
+let slowlog_capacity = Atomic.make default_slowlog_capacity
 
-let set_buffer_capacity n = buffer := Ring.create (max 1 n)
-let set_slowlog_capacity n = slow_buffer := Ring.create (max 1 n)
-let set_slowlog_ms t = slow_threshold := t
-let slowlog_threshold () = !slow_threshold
-let set_max_events n = max_events := max 1 n
-let recent ?n () = Ring.recent ?n !buffer
-let slowlog ?n () = Ring.recent ?n !slow_buffer
-let slowlog_reset () = slow_buffer := Ring.clear !slow_buffer
+let buffer_key : record Ring.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (Ring.create (Atomic.get buffer_capacity)))
+
+let slow_buffer_key : record Ring.t ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref (Ring.create (Atomic.get slowlog_capacity)))
+
+let buffer () = Domain.DLS.get buffer_key
+let slow_buffer () = Domain.DLS.get slow_buffer_key
+let slow_threshold : float option Atomic.t = Atomic.make None
+let max_events = Atomic.make default_max_events
+
+let set_buffer_capacity n =
+  Atomic.set buffer_capacity (max 1 n);
+  buffer () := Ring.create (max 1 n)
+
+let set_slowlog_capacity n =
+  Atomic.set slowlog_capacity (max 1 n);
+  slow_buffer () := Ring.create (max 1 n)
+
+let set_slowlog_ms t = Atomic.set slow_threshold t
+let slowlog_threshold () = Atomic.get slow_threshold
+let set_max_events n = Atomic.set max_events (max 1 n)
+let recent ?n () = Ring.recent ?n !(buffer ())
+let slowlog ?n () = Ring.recent ?n !(slow_buffer ())
+let slowlog_reset () = slow_buffer () := Ring.clear !(slow_buffer ())
 
 (* ------------------------------- JSON -------------------------------- *)
 
@@ -190,15 +214,26 @@ type sink_state = {
   mutable size : int;
 }
 
+(* Process-global: every worker domain appends finished traces to the
+   same JSONL file. One O_APPEND write per record under the mutex keeps
+   lines whole across domains. *)
 let sink_state : sink_state option ref = ref None
+let sink_lock = Mutex.create ()
+
+let with_sink f =
+  Mutex.lock sink_lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock sink_lock) f
+
 let default_sink_max_bytes = 64 * 1024 * 1024
 
-let close_sink () =
+let close_sink_u () =
   match !sink_state with
   | None -> ()
   | Some s ->
       (try Unix.close s.fd with Unix.Unix_error _ -> ());
       sink_state := None
+
+let close_sink () = with_sink close_sink_u
 
 let open_sink_fd path =
   let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_APPEND ] 0o644 in
@@ -206,15 +241,18 @@ let open_sink_fd path =
   (fd, size)
 
 let set_sink ?(max_bytes = default_sink_max_bytes) path =
-  close_sink ();
-  match path with
-  | None -> ()
-  | Some path -> (
-      match open_sink_fd path with
-      | fd, size -> sink_state := Some { path; max_bytes = max 1 max_bytes; fd; size }
-      | exception Unix.Unix_error _ -> Metrics.Counter.incr m_sink_errors)
+  with_sink (fun () ->
+      close_sink_u ();
+      match path with
+      | None -> ()
+      | Some path -> (
+          match open_sink_fd path with
+          | fd, size ->
+              sink_state := Some { path; max_bytes = max 1 max_bytes; fd; size }
+          | exception Unix.Unix_error _ -> Metrics.Counter.incr m_sink_errors))
 
-let sink_path () = match !sink_state with Some s -> Some s.path | None -> None
+let sink_path () =
+  with_sink (fun () -> match !sink_state with Some s -> Some s.path | None -> None)
 
 (* Rotation keeps exactly one previous generation: [path] renames to
    [path.1] (clobbering any older one) and a fresh [path] starts. *)
@@ -230,26 +268,29 @@ let rotate s =
    a crash mid-write loses at most the final (partial) line, which any
    JSONL reader already has to tolerate. *)
 let sink_write line =
-  match !sink_state with
-  | None -> ()
-  | Some s -> (
-      try
-        if s.size > 0 && s.size + String.length line > s.max_bytes then rotate s;
-        let n = String.length line in
-        let written = ref 0 in
-        while !written < n do
-          written := !written + Unix.write_substring s.fd line !written (n - !written)
-        done;
-        s.size <- s.size + n;
-        Metrics.Counter.incr m_sink_writes
-      with Unix.Unix_error _ | Sys_error _ ->
-        Metrics.Counter.incr m_sink_errors;
-        close_sink ())
+  with_sink (fun () ->
+      match !sink_state with
+      | None -> ()
+      | Some s -> (
+          try
+            if s.size > 0 && s.size + String.length line > s.max_bytes then rotate s;
+            let n = String.length line in
+            let written = ref 0 in
+            while !written < n do
+              written :=
+                !written + Unix.write_substring s.fd line !written (n - !written)
+            done;
+            s.size <- s.size + n;
+            Metrics.Counter.incr m_sink_writes
+          with Unix.Unix_error _ | Sys_error _ ->
+            Metrics.Counter.incr m_sink_errors;
+            close_sink_u ()))
 
 let flush () =
-  match !sink_state with
-  | None -> ()
-  | Some s -> ( try Unix.fsync s.fd with Unix.Unix_error _ -> ())
+  with_sink (fun () ->
+      match !sink_state with
+      | None -> ()
+      | Some s -> ( try Unix.fsync s.fd with Unix.Unix_error _ -> ()))
 
 (* ---------------------------- Collection ----------------------------- *)
 
@@ -271,15 +312,23 @@ type state = {
   mutable dropped : int;
 }
 
-let current : state option ref = ref None
-let next_id = ref 1
+let current_key : state option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
 
-let collecting () = !current <> None
-let current_id () = match !current with Some st -> Some st.trace_id | None -> None
+let current () = Domain.DLS.get current_key
+let next_id = Atomic.make 1
+
+let collecting () = !(current ()) <> None
+
+let current_id () =
+  match !(current ()) with Some st -> Some st.trace_id | None -> None
+
+let sink_installed () =
+  with_sink (fun () -> !sink_state <> None)
 
 let finalize st root =
   Span.set_sink None;
-  current := None;
+  current () := None;
   let meta =
     if st.dropped > 0 then
       st.meta @ [ ("dropped_events", Json.Num (float_of_int st.dropped)) ]
@@ -287,18 +336,19 @@ let finalize st root =
   in
   let record = { id = st.trace_id; started_at = st.started_at; meta; root } in
   Metrics.Counter.incr m_records;
-  if Ring.push !buffer record then Metrics.Counter.incr m_ring_dropped;
-  (match !slow_threshold with
+  if Ring.push !(buffer ()) record then Metrics.Counter.incr m_ring_dropped;
+  (match Atomic.get slow_threshold with
   | Some t when root.elapsed_ms >= t ->
       Metrics.Counter.incr m_slow;
-      if Ring.push !slow_buffer record then Metrics.Counter.incr m_slowlog_dropped
+      if Ring.push !(slow_buffer ()) record then
+        Metrics.Counter.incr m_slowlog_dropped
   | Some _ | None -> ());
-  if !sink_state <> None then
+  if sink_installed () then
     sink_write (Json.to_string (record_to_json record) ^ "\n")
 
 let on_enter st ~name ~depth ~t0_ms =
   if st.skipping > 0 then st.skipping <- st.skipping + 1
-  else if st.events >= !max_events then begin
+  else if st.events >= Atomic.get max_events then begin
     st.skipping <- 1;
     st.dropped <- st.dropped + 1;
     Metrics.Counter.incr m_dropped
@@ -340,12 +390,12 @@ let make_sink st =
   }
 
 let timed ~name ?(meta = []) f =
-  match !current with
+  match !(current ()) with
   | Some _ -> Span.timed ~name f (* join the enclosing trace *)
   | None ->
       let st =
         {
-          trace_id = !next_id;
+          trace_id = Atomic.fetch_and_add next_id 1;
           started_at = Unix.gettimeofday ();
           meta;
           t0_ms = 0.0;
@@ -355,7 +405,7 @@ let timed ~name ?(meta = []) f =
           dropped = 0;
         }
       in
-      incr next_id;
+      let current = current () in
       current := Some st;
       Span.set_sink (Some (make_sink st));
       let cleanup () =
@@ -381,7 +431,7 @@ let with_ ~name ?meta f = fst (timed ~name ?meta f)
 
 let reset () =
   Span.set_sink None;
-  current := None;
+  current () := None;
   Span.reset ()
 
 let child_reset () =
@@ -391,5 +441,5 @@ let child_reset () =
      it (close only decrements the kernel refcount — the parent's sink
      is untouched) and starts with tracing outputs disabled. *)
   close_sink ();
-  buffer := Ring.clear !buffer;
-  slow_buffer := Ring.clear !slow_buffer
+  buffer () := Ring.clear !(buffer ());
+  slow_buffer () := Ring.clear !(slow_buffer ())

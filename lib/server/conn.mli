@@ -1,0 +1,48 @@
+(** Transport plumbing shared by the single-worker server loop and the
+    coordinator's worker domains: the listening socket plus
+    per-connection buffering. Protocol logic stays in {!Worker_core};
+    callers shuttle the bytes. *)
+
+exception Bind_error of string
+(** Binding or listening failed; the message names the address and
+    cause. *)
+
+val listen_on : Wire.addr -> Unix.file_descr
+(** Bind and listen (backlog 128). TCP sockets get [SO_REUSEADDR]; a
+    stale Unix-domain socket file left by a dead server is removed
+    (anything else at that path raises {!Bind_error}). *)
+
+type t = {
+  fd : Unix.file_descr;
+  session : Worker_core.session;
+  inbuf : Wire.Line_buffer.t;
+  out : Buffer.t;
+  mutable out_pos : int;  (** Bytes of [out] already written. *)
+  mutable closing : bool;  (** No more reads; close once [out] drains. *)
+}
+
+val make : max_line:int -> session:Worker_core.session -> Unix.file_descr -> t
+
+val pending_out : t -> int
+(** Buffered reply bytes not yet written. *)
+
+val enqueue : t -> string -> unit
+(** Append a reply body to the out buffer (compacting when drained). *)
+
+val flush : t -> bool
+(** One non-blocking write attempt; [false] when the peer is gone
+    (EPIPE / ECONNRESET). *)
+
+type read_result =
+  | Lines of string list  (** Complete request lines, in arrival order. *)
+  | Nothing  (** Spurious wakeup (EAGAIN / EINTR). *)
+  | Eof  (** Peer closed or reset: drop the connection. *)
+  | Framing_error of string  (** Line overflow / NUL byte. *)
+
+val read : t -> read_result
+(** One non-blocking read attempt, framed into lines by the
+    connection's {!Wire.Line_buffer}. *)
+
+val reject : Unix.file_descr -> string -> unit
+(** Best-effort one-shot write of a rejection line, then close — for
+    admission control on a socket that never becomes a connection. *)

@@ -1,0 +1,413 @@
+(* The shared-nothing fleet: one coordinator thread (the spawning
+   domain) plus N worker domains.
+
+   The coordinator owns the listening socket, admission control, the
+   configuration, and the only read-write repository handle — the Query
+   Repository write path. Workers never touch the coordinator's
+   repository: each domain opens its own read-only
+   [Repo.open_dir ~mode:Read_only] over the same immutable files, giving
+   it private file descriptors, buffer pools and node-view caches.
+   Cross-domain traffic is limited to:
+
+   - accepted connections, handed to a worker's inbox (round-robin)
+     with a pipe-byte wakeup;
+   - query-history rows, enqueued on a serialized channel the
+     coordinator drains into its writable repository;
+   - session accounting atomics (admission count, session ids);
+   - published per-session rows, so TOP answers fleet-wide.
+
+   Metrics need no aggregation step: counters are atomic and
+   process-global, so the server.* family already sums across workers,
+   while server.worker.<id>.* exposes each worker's slice. *)
+
+module Repo = Crimson_core.Repo
+module Metrics = Crimson_obs.Metrics
+module Trace = Crimson_obs.Trace
+module Log = (val Logs.src_log Worker_core.src : Logs.LOG)
+
+(* One Query Repository row in flight from a worker to the writer. *)
+type write_req = {
+  q_elapsed_ms : float;
+  q_pages : int;
+  q_cost : string;
+  q_text : string;
+  q_result : string;
+}
+
+type shared = {
+  stop : bool Atomic.t;
+  active : int Atomic.t;  (* fleet-wide live sessions (admission) *)
+  next_session : int Atomic.t;  (* fleet-wide session id allocator *)
+  ready : int Atomic.t;  (* workers that finished opening their repo *)
+  boot_failed : bool Atomic.t;
+  write_lock : Mutex.t;
+  write_queue : write_req Queue.t;
+  write_wake_w : Unix.file_descr;  (* workers ring the coordinator *)
+}
+
+(* Coordinator-side view of one worker domain. *)
+type slot = {
+  w_id : int;  (* 1-based *)
+  w_lock : Mutex.t;
+  w_inbox : (Unix.file_descr * int) Queue.t;  (* (conn fd, session id) *)
+  w_wake_r : Unix.file_descr;
+  w_wake_w : Unix.file_descr;
+  w_rows_lock : Mutex.t;
+  mutable w_rows : Worker_core.session_row list;  (* latest published *)
+}
+
+(* Wake pipes are best-effort edge triggers: a full pipe already has a
+   pending wakeup, a closed peer means shutdown is underway. *)
+let wake fd =
+  try ignore (Unix.write_substring fd "!" 0 1)
+  with
+  | Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EPIPE | Unix.EBADF), _, _)
+  -> ()
+
+let drain_pipe fd =
+  let buf = Bytes.create 256 in
+  let rec go () =
+    match Unix.read fd buf 0 (Bytes.length buf) with
+    | n when n = Bytes.length buf -> go ()
+    | _ -> ()
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+  in
+  go ()
+
+let locked m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
+
+(* ------------------------------ Workers ----------------------------- *)
+
+(* The event loop of one worker domain: same select discipline as the
+   single-worker server, plus the inbox wakeup pipe as a read source. *)
+let worker_loop ~shared ~slots ~slot ~cfg ~dir ~fleet_started_at () =
+  let ctx =
+    {
+      Worker_core.worker_id = slot.w_id;
+      workers = Array.length slots;
+      fleet_started_at;
+      fleet_active = (fun () -> Atomic.get shared.active);
+      on_session_closed = (fun () -> ignore (Atomic.fetch_and_add shared.active (-1)));
+      record_query =
+        (fun ~elapsed_ms ~pages ~cost ~text ~result ->
+          locked shared.write_lock (fun () ->
+              Queue.push
+                {
+                  q_elapsed_ms = elapsed_ms;
+                  q_pages = pages;
+                  q_cost = cost;
+                  q_text = text;
+                  q_result = result;
+                }
+                shared.write_queue);
+          wake shared.write_wake_w);
+      publish_sessions =
+        (fun rows -> locked slot.w_rows_lock (fun () -> slot.w_rows <- rows));
+      peer_sessions =
+        (fun () ->
+          Array.fold_left
+            (fun acc peer ->
+              if peer.w_id = slot.w_id then acc
+              else locked peer.w_rows_lock (fun () -> peer.w_rows) @ acc)
+            [] slots);
+    }
+  in
+  (* Each worker opens its own read-only repository: private fds, buffer
+     pools, node-view caches — shared-nothing over shared immutable
+     files. The coordinator flushed its handle before spawning, and no
+     history row can be written before every worker reports ready, so
+     this open sees a quiescent directory. *)
+  let repo =
+    match Repo.open_dir ~mode:Crimson_storage.Database.Read_only ~create:false dir with
+    | repo ->
+        Atomic.incr shared.ready;
+        repo
+    | exception e ->
+        Atomic.set shared.boot_failed true;
+        Log.err (fun m ->
+            m "worker %d: cannot open %s read-only: %s" slot.w_id dir
+              (Printexc.to_string e));
+        raise e
+  in
+  let core = Worker_core.create ~config:cfg ~ctx repo in
+  let conns = ref [] in
+  let drop c =
+    Worker_core.close_session core c.Conn.session;
+    (try Unix.close c.Conn.fd with Unix.Unix_error _ -> ());
+    conns := List.filter (fun c' -> c' != c) !conns
+  in
+  let adopt_inbox () =
+    let batch =
+      locked slot.w_lock (fun () ->
+          let acc = ref [] in
+          while not (Queue.is_empty slot.w_inbox) do
+            acc := Queue.pop slot.w_inbox :: !acc
+          done;
+          List.rev !acc)
+    in
+    List.iter
+      (fun (fd, id) ->
+        let session = Worker_core.accept_session core ~id in
+        conns := Conn.make ~max_line:cfg.Worker_core.max_line ~session fd :: !conns)
+      batch
+  in
+  let handle_lines c lines =
+    List.iter
+      (fun line ->
+        if not c.Conn.closing then begin
+          let reply = Worker_core.handle_line core c.Conn.session line in
+          Conn.enqueue c reply.Worker_core.body;
+          if reply.Worker_core.close then c.Conn.closing <- true
+        end)
+      lines
+  in
+  let read_conn c =
+    match Conn.read c with
+    | Conn.Lines lines -> handle_lines c lines
+    | Conn.Nothing -> ()
+    | Conn.Eof -> drop c
+    | Conn.Framing_error msg ->
+        let reply = Worker_core.protocol_error core c.Conn.session msg in
+        Conn.enqueue c reply.Worker_core.body;
+        c.Conn.closing <- true
+  in
+  let last_tick = ref (Unix.gettimeofday ()) in
+  while not (Atomic.get shared.stop) do
+    (if cfg.Worker_core.flush_interval > 0.0 then
+       let now = Unix.gettimeofday () in
+       if now -. !last_tick >= cfg.Worker_core.flush_interval then begin
+         last_tick := now;
+         Worker_core.tick core
+       end);
+    adopt_inbox ();
+    let readable =
+      slot.w_wake_r
+      :: List.filter_map
+           (fun c -> if c.Conn.closing then None else Some c.Conn.fd)
+           !conns
+    in
+    let writable =
+      List.filter_map
+        (fun c -> if Conn.pending_out c > 0 then Some c.Conn.fd else None)
+        !conns
+    in
+    match Unix.select readable writable [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | r, w, _ ->
+        if List.memq slot.w_wake_r r then drain_pipe slot.w_wake_r;
+        (* Snapshot: handlers mutate [conns]. *)
+        List.iter
+          (fun c ->
+            if List.memq c.Conn.fd w then
+              if not (Conn.flush c) then drop c
+              else if c.Conn.closing && Conn.pending_out c = 0 then drop c)
+          !conns;
+        List.iter (fun c -> if List.memq c.Conn.fd r then read_conn c) !conns
+  done;
+  (* Graceful drain, mirroring the single-worker server: connections
+     still in the inbox are adopted so their admission slots release,
+     buffered replies get a bounded window, then everything closes. *)
+  adopt_inbox ();
+  let deadline = Unix.gettimeofday () +. 2.0 in
+  let rec drain () =
+    let waiting = List.filter (fun c -> Conn.pending_out c > 0) !conns in
+    if waiting <> [] && Unix.gettimeofday () < deadline then begin
+      (match
+         Unix.select [] (List.map (fun c -> c.Conn.fd) waiting) [] 0.1
+       with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | _, w, _ ->
+          List.iter
+            (fun c -> if List.memq c.Conn.fd w && not (Conn.flush c) then drop c)
+            waiting);
+      drain ()
+    end
+  in
+  drain ();
+  List.iter drop !conns;
+  Worker_core.tick core;
+  Repo.close repo;
+  Log.info (fun m -> m "worker %d: drained and closed" slot.w_id)
+
+(* ---------------------------- Coordinator --------------------------- *)
+
+let drain_writes shared repo =
+  let batch =
+    locked shared.write_lock (fun () ->
+        let acc = ref [] in
+        while not (Queue.is_empty shared.write_queue) do
+          acc := Queue.pop shared.write_queue :: !acc
+        done;
+        List.rev !acc)
+  in
+  List.iter
+    (fun r ->
+      ignore
+        (Repo.record_query repo ~elapsed_ms:r.q_elapsed_ms ~pages:r.q_pages
+           ~cost:r.q_cost ~text:r.q_text ~result:r.q_result))
+    batch
+
+let run ~(config : Worker_core.config) ?(on_ready = fun _ -> ()) repo addr =
+  let workers = config.Worker_core.workers in
+  let dir =
+    match Repo.dir repo with
+    | Some d -> d
+    | None ->
+        invalid_arg
+          "serve --workers: a multi-worker server needs an on-disk repository \
+           (worker domains re-open it read-only)"
+  in
+  (* Fleet-global observability is installed once, here, before any
+     worker core exists: the shared JSONL sink, the slowlog threshold,
+     and the request histogram. *)
+  ignore (Metrics.histogram "server.request_ms");
+  Trace.set_slowlog_ms config.Worker_core.slowlog_ms;
+  (match config.Worker_core.trace_out with
+  | Some path ->
+      Trace.set_sink ~max_bytes:config.Worker_core.trace_max_bytes (Some path)
+  | None -> ());
+  (* Quiesce the files so the workers' read-only opens see a consistent
+     image (no half-checkpointed WAL). *)
+  Repo.flush repo;
+  let listen_fd = Conn.listen_on addr in
+  Unix.set_nonblock listen_fd;
+  let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+  let write_wake_r, write_wake_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock write_wake_r;
+  Unix.set_nonblock write_wake_w;
+  let shared =
+    {
+      stop = Atomic.make false;
+      active = Atomic.make 0;
+      next_session = Atomic.make 1;
+      ready = Atomic.make 0;
+      boot_failed = Atomic.make false;
+      write_lock = Mutex.create ();
+      write_queue = Queue.create ();
+      write_wake_w;
+    }
+  in
+  let old_int =
+    Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> Atomic.set shared.stop true))
+  in
+  let old_term =
+    Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> Atomic.set shared.stop true))
+  in
+  let slots =
+    Array.init workers (fun i ->
+        let r, w = Unix.pipe ~cloexec:true () in
+        Unix.set_nonblock r;
+        Unix.set_nonblock w;
+        {
+          w_id = i + 1;
+          w_lock = Mutex.create ();
+          w_inbox = Queue.create ();
+          w_wake_r = r;
+          w_wake_w = w;
+          w_rows_lock = Mutex.create ();
+          w_rows = [];
+        })
+  in
+  let fleet_started_at = Unix.gettimeofday () in
+  let m_rejected = Metrics.counter "server.sessions.rejected" in
+  let domains =
+    Array.map
+      (fun slot ->
+        Domain.spawn
+          (worker_loop ~shared ~slots ~slot ~cfg:config ~dir ~fleet_started_at))
+      slots
+  in
+  let teardown () =
+    Atomic.set shared.stop true;
+    Array.iter (fun slot -> wake slot.w_wake_w) slots;
+    Array.iter
+      (fun d -> try Domain.join d with _ -> ())
+      domains;
+    (* Rows enqueued while the fleet drained still reach the history. *)
+    drain_writes shared repo;
+    Repo.flush repo;
+    Trace.flush ();
+    Array.iter
+      (fun slot ->
+        (try Unix.close slot.w_wake_r with Unix.Unix_error _ -> ());
+        try Unix.close slot.w_wake_w with Unix.Unix_error _ -> ())
+      slots;
+    (try Unix.close write_wake_r with Unix.Unix_error _ -> ());
+    (try Unix.close write_wake_w with Unix.Unix_error _ -> ());
+    (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+    (match addr with
+    | Wire.Unix_path path -> ( try Sys.remove path with Sys_error _ -> ())
+    | Wire.Tcp _ -> ());
+    Sys.set_signal Sys.sigpipe old_pipe;
+    Sys.set_signal Sys.sigint old_int;
+    Sys.set_signal Sys.sigterm old_term
+  in
+  (* Don't accept until every worker holds its read-only repository:
+     from then on the directory only changes through the coordinator's
+     handle, which the workers never read again. *)
+  while
+    Atomic.get shared.ready < workers
+    && not (Atomic.get shared.boot_failed)
+    && not (Atomic.get shared.stop)
+  do
+    Unix.sleepf 0.002
+  done;
+  if Atomic.get shared.boot_failed then begin
+    teardown ();
+    raise (Conn.Bind_error (Printf.sprintf "worker cannot open repository %s" dir))
+  end;
+  on_ready (Unix.getsockname listen_fd);
+  Log.info (fun m ->
+      m "listening on %s with %d workers" (Wire.addr_to_string addr) workers);
+  let rr = ref 0 in
+  let accept_new () =
+    match Unix.accept listen_fd with
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _)
+      -> ()
+    | fd, _peer ->
+        let active = Atomic.get shared.active in
+        if active >= config.Worker_core.max_sessions then begin
+          Metrics.Counter.incr m_rejected;
+          Log.info (fun m ->
+              m "session rejected: %d active (limit %d)" active
+                config.Worker_core.max_sessions);
+          Conn.reject fd
+            (Worker_core.rejection_body ~active
+               ~max_sessions:config.Worker_core.max_sessions)
+        end
+        else begin
+          (* Charge the admission slot before dispatch; the worker's
+             close_session releases it via [on_session_closed]. *)
+          Atomic.incr shared.active;
+          let id = Atomic.fetch_and_add shared.next_session 1 in
+          Unix.set_nonblock fd;
+          let slot = slots.(!rr mod workers) in
+          incr rr;
+          locked slot.w_lock (fun () -> Queue.push (fd, id) slot.w_inbox);
+          wake slot.w_wake_w
+        end
+  in
+  let flush_interval = config.Worker_core.flush_interval in
+  let last_tick = ref (Unix.gettimeofday ()) in
+  while not (Atomic.get shared.stop) do
+    (if flush_interval > 0.0 then
+       let now = Unix.gettimeofday () in
+       if now -. !last_tick >= flush_interval then begin
+         last_tick := now;
+         Trace.flush ()
+       end);
+    (match Unix.select [ listen_fd; write_wake_r ] [] [] 0.25 with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+    | r, _, _ ->
+        if List.memq write_wake_r r then drain_pipe write_wake_r;
+        if List.memq listen_fd r then accept_new ());
+    (* The write channel drains opportunistically every iteration — the
+       wakeup pipe only bounds the latency when the loop is idle. *)
+    drain_writes shared repo
+  done;
+  Log.info (fun m -> m "shutting down: draining %d workers" workers);
+  teardown ();
+  Log.info (fun m -> m "shutdown complete")

@@ -1,0 +1,33 @@
+(** The multi-worker server: a coordinator plus N shared-nothing worker
+    domains ({!Worker_core}) over one repository directory.
+
+    The coordinator (the calling domain) owns the listening socket,
+    admission control against the fleet-wide session limit, and the only
+    read-write repository handle — workers send query-history rows over
+    a serialized channel and it performs every insert. Each worker
+    domain opens its own read-only repository (private file descriptors,
+    buffer pools, node-view caches) and runs the same select loop as the
+    single-worker server over the connections the coordinator hands it
+    round-robin.
+
+    STATS and METRICS are fleet-wide for free (metric counters are
+    atomic and process-global; [server.worker.<id>.*] carries each
+    worker's slice); TOP merges the answering worker's live sessions
+    with every peer's published rows. SIGINT/SIGTERM stop the accept
+    loop, drain all workers (bounded reply flush, sessions closed,
+    repositories closed), join the domains, write out any queued
+    history rows, and remove a Unix-domain socket file. *)
+
+val run :
+  config:Worker_core.config ->
+  ?on_ready:(Unix.sockaddr -> unit) ->
+  Crimson_core.Repo.t ->
+  Wire.addr ->
+  unit
+(** Serve [addr] with [config.workers] worker domains until signalled.
+    [repo] must be an on-disk repository opened read-write
+    ([Invalid_argument] for in-memory ones — workers re-open the
+    directory read-only). [on_ready] fires with the bound address after
+    every worker holds its repository and the socket accepts. Raises
+    {!Conn.Bind_error} when binding fails or a worker cannot open the
+    repository. *)

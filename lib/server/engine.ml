@@ -1,473 +1,13 @@
-module Repo = Crimson_core.Repo
-module Stored_tree = Crimson_core.Stored_tree
-module Query_lang = Crimson_core.Query_lang
-module Json = Crimson_obs.Json
-module Metrics = Crimson_obs.Metrics
-module Span = Crimson_obs.Span
-module Trace = Crimson_obs.Trace
-module Prng = Crimson_util.Prng
+(* Compatibility facade: the protocol engine proper now lives in
+   Worker_core so the coordinator can run several of them, one per
+   domain. Standalone callers (the single-worker server, the protocol
+   unit tests) keep the historical [Engine] name and API — a core
+   created without a fleet context behaves exactly like the old
+   monolithic engine. *)
 
-let src = Logs.Src.create "crimson.server" ~doc:"Crimson query service"
+include Worker_core
 
-module Log = (val Logs.src_log src : Logs.LOG)
-
-type config = {
-  max_sessions : int;
-  request_timeout : float;
-  max_line : int;
-  slowlog_ms : float option;
-  trace_out : string option;
-  trace_max_bytes : int;
-  flush_interval : float;
-}
-
-let default_config =
-  {
-    max_sessions = 64;
-    request_timeout = 5.0;
-    max_line = 65536;
-    slowlog_ms = None;
-    trace_out = None;
-    trace_max_bytes = 64 * 1024 * 1024;
-    flush_interval = 5.0;
-  }
-
-type session = {
-  id : int;
-  started_at : float;
-  mutable tree : Stored_tree.t option;
-  mutable rng : Prng.t;
-  mutable requests : int;
-  (* Cumulative resource accounting, reported by TOP and mirrored into
-     the server.session.* aggregate metrics. *)
-  mutable ms : float;
-  mutable pages : int;
-  mutable bytes_out : int;
-  mutable last_line : string;
-  mutable closed : bool;
-}
-
-type t = {
-  cfg : config;
-  repo : Repo.t;
-  trees : (int, Stored_tree.t) Hashtbl.t;  (* shared warm handles, by tree id *)
-  sessions : (int, session) Hashtbl.t;  (* live sessions, for TOP *)
-  started_at : float;
-  mutable next_session : int;
-  mutable active : int;
-  (* Pre-created metric handles: the per-request path does no name
-     lookups. *)
-  m_requests : Metrics.Counter.t;
-  m_errors : Metrics.Counter.t;
-  m_timeouts : Metrics.Counter.t;
-  m_accepted : Metrics.Counter.t;
-  m_rejected : Metrics.Counter.t;
-  m_closed : Metrics.Counter.t;
-  m_active : Metrics.Gauge.t;
-  (* Aggregates over every session that ever ran (requests, wall ms,
-     pages touched, reply bytes) — the server.session.* family. *)
-  m_sess_requests : Metrics.Counter.t;
-  m_sess_ms : Metrics.Gauge.t;
-  m_sess_pages : Metrics.Counter.t;
-  m_sess_bytes : Metrics.Counter.t;
-}
-
-let create ?(config = default_config) repo =
-  (* Register the request-latency histogram up front so a STATS before
-     the first QUERY already shows it (Span.timed feeds it by name). *)
-  ignore (Metrics.histogram "server.request_ms");
-  Trace.set_slowlog_ms config.slowlog_ms;
-  (* [None] leaves any sink installed by the caller (global --trace-out)
-     alone; only an explicit path (re)targets the JSONL sink. *)
-  (match config.trace_out with
-  | Some path -> Trace.set_sink ~max_bytes:config.trace_max_bytes (Some path)
-  | None -> ());
-  {
-    cfg = config;
-    repo;
-    trees = Hashtbl.create 8;
-    sessions = Hashtbl.create 16;
-    started_at = Unix.gettimeofday ();
-    next_session = 1;
-    active = 0;
-    m_requests = Metrics.counter "server.requests";
-    m_errors = Metrics.counter "server.errors";
-    m_timeouts = Metrics.counter "server.timeouts";
-    m_accepted = Metrics.counter "server.sessions.accepted";
-    m_rejected = Metrics.counter "server.sessions.rejected";
-    m_closed = Metrics.counter "server.sessions.closed";
-    m_active = Metrics.gauge "server.sessions.active";
-    m_sess_requests = Metrics.counter "server.session.requests";
-    m_sess_ms = Metrics.gauge "server.session.ms";
-    m_sess_pages = Metrics.counter "server.session.pages";
-    m_sess_bytes = Metrics.counter "server.session.bytes_out";
-  }
-
-let config t = t.cfg
-let repo t = t.repo
-let active_sessions t = t.active
-let session_id s = s.id
-let session_requests s = s.requests
-
-type reply = {
-  body : string;
-  close : bool;
-}
-
-let keep body = { body; close = false }
-
-(* ----------------------------- Sessions ---------------------------- *)
-
-let open_session t =
-  if t.active >= t.cfg.max_sessions then begin
-    Metrics.Counter.incr t.m_rejected;
-    Log.info (fun m -> m "session rejected: %d active (limit %d)" t.active t.cfg.max_sessions);
-    Error
-      {
-        body =
-          Wire.error
-            (Printf.sprintf "session limit reached (%d active, max %d)" t.active
-               t.cfg.max_sessions);
-        close = true;
-      }
-  end
-  else begin
-    let id = t.next_session in
-    t.next_session <- id + 1;
-    t.active <- t.active + 1;
-    Metrics.Counter.incr t.m_accepted;
-    Metrics.Gauge.set t.m_active (float_of_int t.active);
-    Log.debug (fun m -> m "session=%d opened (%d active)" id t.active);
-    let s =
-      {
-        id;
-        started_at = Unix.gettimeofday ();
-        tree = None;
-        rng = Prng.create 0;
-        requests = 0;
-        ms = 0.0;
-        pages = 0;
-        bytes_out = 0;
-        last_line = "";
-        closed = false;
-      }
-    in
-    Hashtbl.replace t.sessions id s;
-    Ok s
-  end
-
-let close_session t s =
-  if not s.closed then begin
-    s.closed <- true;
-    Hashtbl.remove t.sessions s.id;
-    t.active <- t.active - 1;
-    Metrics.Counter.incr t.m_closed;
-    Metrics.Gauge.set t.m_active (float_of_int t.active);
-    Log.debug (fun m -> m "session=%d closed after %d requests" s.id s.requests)
-  end
-
-(* --------------------------- Request timeout ------------------------ *)
-
-exception Timeout
-
-(* Single-threaded wall-clock bound: an ITIMER_REAL alarm whose handler
-   raises from the signal's safepoint. [Query_lang.run]'s catch-all may
-   swallow the in-flight exception, so the handler also sets a flag that
-   is checked on normal return — either way the caller sees [`Timeout].
-   Storage writes (query recording) happen outside the timed window, so
-   the alarm can never interrupt a table insert. *)
-let with_timeout seconds f =
-  if seconds <= 0.0 then Ok (f ())
-  else begin
-    let fired = ref false in
-    let old =
-      Sys.signal Sys.sigalrm
-        (Sys.Signal_handle
-           (fun _ ->
-             fired := true;
-             raise Timeout))
-    in
-    (* The alarm can be delivered while disarm itself runs (between [f]
-       returning and the itimer reaching zero); the handler's raise would
-       then escape past the match below. Absorb it — [fired] is set, so
-       the caller still observes [`Timeout]. *)
-    let disarm () =
-      try
-        ignore
-          (Unix.setitimer Unix.ITIMER_REAL
-             { Unix.it_value = 0.0; it_interval = 0.0 });
-        Sys.set_signal Sys.sigalrm old
-      with Timeout ->
-        ignore
-          (Unix.setitimer Unix.ITIMER_REAL
-             { Unix.it_value = 0.0; it_interval = 0.0 });
-        Sys.set_signal Sys.sigalrm old
-    in
-    ignore (Unix.setitimer Unix.ITIMER_REAL { Unix.it_value = seconds; it_interval = 0.0 });
-    match f () with
-    | v ->
-        disarm ();
-        if !fired then Error `Timeout else Ok v
-    | exception Timeout ->
-        disarm ();
-        Error `Timeout
-    | exception e ->
-        disarm ();
-        if !fired then Error `Timeout else raise e
-  end
-
-(* ----------------------------- Handlers ---------------------------- *)
-
-let num n = Json.Num (float_of_int n)
-
-let error t msg =
-  Metrics.Counter.incr t.m_errors;
-  keep (Wire.error msg)
-
-let protocol_error t s msg =
-  Metrics.Counter.incr t.m_errors;
-  Log.info (fun m -> m "session=%d protocol error: %s" s.id msg);
-  { body = Wire.error msg; close = true }
-
-let hello t s =
-  let trees = List.map (fun (_, name) -> Json.Str name) (Stored_tree.list_all t.repo) in
-  keep
-    (Wire.ok
-       [
-         ("server", Json.Str "crimson");
-         ("version", Json.Str "1.0.0");
-         ("session", num s.id);
-         ("max_line", num t.cfg.max_line);
-         ("trees", Json.List trees);
-       ])
-
-let use t s name =
-  match Stored_tree.open_name t.repo name with
-  | exception Stored_tree.Unknown_tree _ ->
-      error t (Printf.sprintf "no tree named %S (HELLO lists the stored trees)" name)
-  | fresh ->
-      (* Share one warm handle per tree across sessions so decoded-node
-         views survive connection churn. *)
-      let stored =
-        let id = Stored_tree.id fresh in
-        match Hashtbl.find_opt t.trees id with
-        | Some shared -> shared
-        | None ->
-            Hashtbl.add t.trees id fresh;
-            fresh
-      in
-      s.tree <- Some stored;
-      keep
-        (Wire.ok
-           [
-             ("tree", Json.Str (Stored_tree.name stored));
-             ("nodes", num (Stored_tree.node_count stored));
-             ("leaves", num (Stored_tree.leaf_count stored));
-           ])
-
-let query t s text =
-  match s.tree with
-  | None -> error t "no tree selected (USE <tree> first)"
-  | Some stored -> (
-      (* Cache stats before/after give the trace the per-request hit and
-         miss deltas; only sampled while a trace is collecting. *)
-      let cache0 = if Span.tracing () then Some (Stored_tree.cache_stats stored) else None in
-      match
-        Repo.measure t.repo (fun () ->
-            with_timeout t.cfg.request_timeout (fun () ->
-                Query_lang.run ~rng:s.rng ~record:false t.repo stored text))
-      with
-      | result, elapsed_ms, pages -> (
-          (match cache0 with
-          | Some c0 ->
-              let c1 = Stored_tree.cache_stats stored in
-              Span.attr "tree" (num (Stored_tree.id stored));
-              Span.attr "pages" (num pages);
-              Span.attr "cache_hits" (num (c1.Crimson_core.Node_view.hits - c0.Crimson_core.Node_view.hits));
-              Span.attr "cache_misses"
-                (num (c1.Crimson_core.Node_view.misses - c0.Crimson_core.Node_view.misses))
-          | None -> ());
-          match result with
-          | Ok (Ok outcome) ->
-              if cache0 <> None then
-                Span.attr "result_chars"
-                  (num (String.length outcome.Query_lang.result));
-              ignore
-                (Repo.record_query t.repo ~elapsed_ms ~pages ~text
-                   ~result:outcome.Query_lang.result);
-              s.pages <- s.pages + pages;
-              Metrics.Counter.add t.m_sess_pages pages;
-              keep
-                (Wire.ok
-                   [
-                     ("result", Json.Str outcome.Query_lang.result);
-                     ("elapsed_ms", Json.Num elapsed_ms);
-                     ("pages", num pages);
-                   ])
-          | Ok (Error msg) -> error t msg
-          | Error `Timeout ->
-              Metrics.Counter.incr t.m_timeouts;
-              error t
-                (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout)))
-
-let explain t s text =
-  match s.tree with
-  | None -> error t "no tree selected (USE <tree> first)"
-  | Some stored -> (
-      match Query_lang.explain stored text with
-      | Ok plan ->
-          keep
-            (Wire.ok
-               [
-                 ("query", Json.Str text);
-                 ("plan", Json.List (List.map (fun l -> Json.Str l) plan));
-               ])
-      | Error msg -> error t msg)
-
-let profile t s text =
-  match s.tree with
-  | None -> error t "no tree selected (USE <tree> first)"
-  | Some stored -> (
-      match
-        Repo.measure t.repo (fun () ->
-            with_timeout t.cfg.request_timeout (fun () ->
-                Query_lang.profile ~rng:s.rng ~record:false t.repo stored text))
-      with
-      | result, elapsed_ms, pages -> (
-          match result with
-          | Ok (Ok (outcome, report)) ->
-              let cost =
-                Json.to_string (Crimson_obs.Profile.cost_summary report)
-              in
-              ignore
-                (Repo.record_query t.repo ~elapsed_ms ~pages ~cost ~text
-                   ~result:outcome.Query_lang.result);
-              s.pages <- s.pages + pages;
-              Metrics.Counter.add t.m_sess_pages pages;
-              keep
-                (Wire.ok
-                   [
-                     ("result", Json.Str outcome.Query_lang.result);
-                     ("elapsed_ms", Json.Num elapsed_ms);
-                     ("pages", num pages);
-                     ("profile", Crimson_obs.Profile.report_to_json report);
-                   ])
-          | Ok (Error msg) -> error t msg
-          | Error `Timeout ->
-              Metrics.Counter.incr t.m_timeouts;
-              error t
-                (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout)))
-
-let top t =
-  Crimson_obs.Runtime.refresh ();
-  let now = Unix.gettimeofday () in
-  let sessions =
-    Hashtbl.fold (fun _ s acc -> s :: acc) t.sessions []
-    (* Cost hogs first: cumulative wall time, then id for stability. *)
-    |> List.sort (fun a b ->
-           match Float.compare b.ms a.ms with 0 -> Int.compare a.id b.id | c -> c)
-  in
-  let row s =
-    Json.Obj
-      [
-        ("session", num s.id);
-        ( "tree",
-          match s.tree with
-          | Some st -> Json.Str (Stored_tree.name st)
-          | None -> Json.Null );
-        ("requests", num s.requests);
-        ("ms", Json.Num s.ms);
-        ("pages", num s.pages);
-        ("bytes_out", num s.bytes_out);
-        ("age_s", Json.Num (now -. s.started_at));
-        ("last", Json.Str s.last_line);
-      ]
-  in
-  keep
-    (Wire.ok
-       [
-         ("uptime_s", Json.Num (now -. t.started_at));
-         ("active", num t.active);
-         ("requests", num (Metrics.Counter.value t.m_requests));
-         ("sessions", Json.List (List.map row sessions));
-       ])
-
-let stats _t =
-  Crimson_obs.Runtime.refresh ();
-  keep (Wire.ok [ ("metrics", Metrics.to_json ()) ])
-
-let slowlog _t n =
-  let entries = Trace.slowlog ?n () in
-  keep
-    (Wire.ok
-       [
-         ( "threshold_ms",
-           match Trace.slowlog_threshold () with
-           | Some th -> Json.Num th
-           | None -> Json.Null );
-         ("entries", Json.List (List.map Trace.record_to_json entries));
-       ])
-
-let metrics_reply _t =
-  Crimson_obs.Runtime.refresh ();
-  keep
-    (Wire.ok
-       [
-         ("format", Json.Str "prometheus");
-         ("text", Json.Str (Metrics.to_prometheus ()));
-       ])
-
-let truncate_line line =
-  if String.length line > 512 then String.sub line 0 512 ^ "…" else line
-
-let handle_line t s line =
-  s.requests <- s.requests + 1;
-  s.last_line <- truncate_line line;
-  Metrics.Counter.incr t.m_requests;
-  Metrics.Counter.incr t.m_sess_requests;
-  (* The per-request trace: one span tree rooted at server.request_ms
-     (which the Span layer also feeds as a histogram, so STATS scrapes
-     keep working), tagged with the session/request ids and the request
-     line — that text is what the slowlog shows next to the tree. *)
-  let reply, elapsed_ms =
-    Trace.timed ~name:"server.request_ms"
-      ~meta:
-        [
-          ("session", num s.id);
-          ("request", num s.requests);
-          ("line", Json.Str (truncate_line line));
-        ]
-      (fun () ->
-        match Wire.parse_command line with
-        | Error msg -> error t msg
-        | Ok Wire.Hello -> hello t s
-        | Ok (Wire.Use name) -> use t s name
-        | Ok (Wire.Seed n) ->
-            s.rng <- Prng.create n;
-            keep (Wire.ok [ ("seed", num n) ])
-        | Ok (Wire.Query text) -> query t s text
-        | Ok (Wire.Explain text) -> explain t s text
-        | Ok (Wire.Profile text) -> profile t s text
-        | Ok Wire.Top -> top t
-        | Ok Wire.Stats -> stats t
-        | Ok (Wire.Slowlog n) -> slowlog t n
-        | Ok Wire.Metrics -> metrics_reply t
-        | Ok Wire.Quit -> { body = Wire.ok [ ("bye", Json.Bool true) ]; close = true })
-  in
-  s.ms <- s.ms +. elapsed_ms;
-  s.bytes_out <- s.bytes_out + String.length reply.body;
-  Metrics.Gauge.add t.m_sess_ms elapsed_ms;
-  Metrics.Counter.add t.m_sess_bytes (String.length reply.body);
-  Log.debug (fun m ->
-      m "session=%d req=%d %.3fms %s" s.id s.requests elapsed_ms
-        (if String.length line > 80 then String.sub line 0 80 ^ "…" else line));
-  reply
-
-(* Periodic maintenance, driven by the server loop between selects:
-   durability for the trace sink plus a debug heartbeat. *)
-let tick t =
-  Trace.flush ();
-  Log.debug (fun m ->
-      m "tick: %d active sessions, %d traces, %d slow" t.active
-        (Metrics.counter_value "obs.trace.records")
-        (Metrics.counter_value "obs.trace.slow"))
+(* Shadow the core's constructor to hide the fleet context: an [Engine]
+   is always a standalone core. The coordinator builds its workers
+   through [Worker_core.create ~ctx] directly. *)
+let create ?config repo = Worker_core.create ?config repo

@@ -1,6 +1,12 @@
 (** The protocol engine: session state and request handling over one
     open repository, independent of any socket.
 
+    Since the shared-nothing split this module is a thin facade over
+    {!Worker_core}: an engine {e is} a standalone worker core — it owns
+    admission control and writes query history directly into its
+    repository. The coordinator runs several cores (one per domain)
+    through {!Worker_core.create} with a fleet context instead.
+
     The engine is the server's brain; the event loop in {!Server} only
     shuttles bytes. Keeping it socket-free lets protocol unit tests
     drive sessions directly — open, handle lines, inspect replies —
@@ -11,10 +17,11 @@
     tree's decoded-node views stay warm across connections. Each session
     carries its own current tree, RNG and request counter.
 
-    Telemetry: every handled line counts into [server.requests] and
-    times into the [server.request_ms] histogram; failures into
-    [server.errors], timeouts into [server.timeouts]; session churn into
-    [server.sessions.accepted]/[rejected]/[closed] and the
+    Telemetry: every handled line counts into [server.requests] (and the
+    per-worker [server.worker.<id>.requests] — id 0 for a standalone
+    engine) and times into the [server.request_ms] histogram; failures
+    into [server.errors], timeouts into [server.timeouts]; session churn
+    into [server.sessions.accepted]/[rejected]/[closed] and the
     [server.sessions.active] gauge. Each request also emits a debug
     span line on the [crimson.server] log source tagged with the
     session id. Successful queries are recorded in the Query
@@ -27,9 +34,12 @@
     [trace_out] JSONL sink. SLOWLOG and METRICS requests expose the
     slowlog and the Prometheus rendering of the registry. *)
 
-type config = {
+type config = Worker_core.config = {
   max_sessions : int;  (** Admission control: further sessions are rejected. *)
-  request_timeout : float;  (** Per-request wall-clock seconds; 0 disables. *)
+  request_timeout : float;
+      (** Per-request wall-clock seconds; 0 disables. Enforced by
+          {!Crimson_obs.Deadline} checks woven through node resolution
+          (not signals), so it composes with worker domains. *)
   max_line : int;  (** Input line-length cap in bytes (enforced by the caller's
                        {!Wire.Line_buffer}; reported in HELLO). *)
   slowlog_ms : float option;
@@ -41,24 +51,30 @@ type config = {
   trace_max_bytes : int;  (** Sink rotation cap (only with [trace_out]). *)
   flush_interval : float;
       (** Seconds between {!tick} calls by the server loop. *)
+  workers : int;
+      (** Worker domains for {!Server.run}: [1] (default) is the
+          single-threaded server; [n >= 2] runs a coordinator plus [n]
+          shared-nothing worker domains over the same repository
+          directory. Ignored by the engine itself. *)
 }
 
 val default_config : config
 (** 64 sessions, 5 s timeout, 64 KiB lines, no slowlog, no trace sink
-    (64 MiB rotation cap when one is set), 5 s flush interval. *)
+    (64 MiB rotation cap when one is set), 5 s flush interval, 1
+    worker. *)
 
-type t
+type t = Worker_core.t
 
 val create : ?config:config -> Crimson_core.Repo.t -> t
 val config : t -> config
 val repo : t -> Crimson_core.Repo.t
 
-type reply = {
+type reply = Worker_core.reply = {
   body : string;  (** One rendered reply line, LF-terminated. *)
   close : bool;  (** Close the session after sending [body]. *)
 }
 
-type session
+type session = Worker_core.session
 
 val open_session : t -> (session, reply) result
 (** [Error reply] when the session limit is reached — the reply is the

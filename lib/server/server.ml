@@ -1,92 +1,16 @@
 module Log = (val Logs.src_log Engine.src : Logs.LOG)
 
-exception Bind_error of string
+exception Bind_error = Conn.Bind_error
 
-let bind_error fmt = Printf.ksprintf (fun s -> raise (Bind_error s)) fmt
+(* --------------------------- Single worker -------------------------- *)
 
-(* --------------------------- Listening socket ----------------------- *)
-
-let resolve_host host =
-  match Unix.inet_addr_of_string host with
-  | addr -> addr
-  | exception Failure _ -> (
-      match Unix.gethostbyname host with
-      | { Unix.h_addr_list = [||]; _ } -> bind_error "host %s has no address" host
-      | { Unix.h_addr_list; _ } -> h_addr_list.(0)
-      | exception Not_found -> bind_error "unknown host %s" host)
-
-let listen_on addr =
-  match addr with
-  | Wire.Tcp (host, port) -> (
-      let inet = resolve_host host in
-      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-      try
-        Unix.setsockopt fd Unix.SO_REUSEADDR true;
-        Unix.bind fd (Unix.ADDR_INET (inet, port));
-        Unix.listen fd 128;
-        fd
-      with Unix.Unix_error (e, _, _) ->
-        Unix.close fd;
-        bind_error "cannot listen on %s: %s" (Wire.addr_to_string addr)
-          (Unix.error_message e))
-  | Wire.Unix_path path -> (
-      (* A stale socket file from a dead server would make bind fail;
-         only ever remove sockets, never ordinary files. *)
-      (match Unix.lstat path with
-      | { Unix.st_kind = Unix.S_SOCK; _ } -> Sys.remove path
-      | _ -> bind_error "%s exists and is not a socket" path
-      | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ());
-      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-      try
-        Unix.bind fd (Unix.ADDR_UNIX path);
-        Unix.listen fd 128;
-        fd
-      with Unix.Unix_error (e, _, _) ->
-        Unix.close fd;
-        bind_error "cannot listen on %s: %s" (Wire.addr_to_string addr)
-          (Unix.error_message e))
-
-(* ----------------------------- Connections -------------------------- *)
-
-type conn = {
-  fd : Unix.file_descr;
-  session : Engine.session;
-  inbuf : Wire.Line_buffer.t;
-  out : Buffer.t;  (* bytes not yet written, from [out_pos] *)
-  mutable out_pos : int;
-  mutable closing : bool;  (* no more reads; close once [out] drains *)
-}
-
-let pending_out c = Buffer.length c.out - c.out_pos
-
-let enqueue c s =
-  (* Compact once everything written so the buffer cannot grow without
-     bound across a long session. *)
-  if pending_out c = 0 then begin
-    Buffer.clear c.out;
-    c.out_pos <- 0
-  end;
-  Buffer.add_string c.out s
-
-(* One non-blocking write attempt; false when the connection died. *)
-let flush_conn c =
-  let n = pending_out c in
-  if n = 0 then true
-  else
-    match Unix.write_substring c.fd (Buffer.contents c.out) c.out_pos n with
-    | written ->
-        c.out_pos <- c.out_pos + written;
-        true
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-        true
-    | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> false
-
-(* ------------------------------- Loop ------------------------------- *)
-
-let run ?config ?(on_ready = fun _ -> ()) repo addr =
-  let engine = Engine.create ?config repo in
-  let max_line = (Engine.config engine).Engine.max_line in
-  let listen_fd = listen_on addr in
+(* The historical single-threaded server: one standalone engine, one
+   select loop, everything on the calling domain. [--workers 1] (the
+   default) lands here, byte-for-byte the old behaviour. *)
+let run_single ~config ~on_ready repo addr =
+  let engine = Engine.create ~config repo in
+  let max_line = config.Engine.max_line in
+  let listen_fd = Conn.listen_on addr in
   Unix.set_nonblock listen_fd;
   (* A client closing mid-reply must surface as EPIPE, not kill the
      process. *)
@@ -96,8 +20,8 @@ let run ?config ?(on_ready = fun _ -> ()) repo addr =
   let old_term = Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true)) in
   let conns = ref [] in
   let drop c =
-    Engine.close_session engine c.session;
-    (try Unix.close c.fd with Unix.Unix_error _ -> ());
+    Engine.close_session engine c.Conn.session;
+    (try Unix.close c.Conn.fd with Unix.Unix_error _ -> ());
     conns := List.filter (fun c' -> c' != c) !conns
   in
   let accept_new () =
@@ -107,59 +31,37 @@ let run ?config ?(on_ready = fun _ -> ()) repo addr =
     | fd, _peer -> (
         Unix.set_nonblock fd;
         match Engine.open_session engine with
-        | Ok session ->
-            conns :=
-              {
-                fd;
-                session;
-                inbuf = Wire.Line_buffer.create ~max_line;
-                out = Buffer.create 256;
-                out_pos = 0;
-                closing = false;
-              }
-              :: !conns
+        | Ok session -> conns := Conn.make ~max_line ~session fd :: !conns
         | Error reply ->
             (* Admission control: answer, then close — a rejected client
-               gets a protocol error, never a hang. The reply is one
-               short line, well under the socket send buffer, so the
-               best-effort write cannot block. *)
-            (try
-               ignore
-                 (Unix.write_substring fd reply.Engine.body 0
-                    (String.length reply.Engine.body))
-             with Unix.Unix_error _ -> ());
-            (try Unix.close fd with Unix.Unix_error _ -> ()))
+               gets a protocol error, never a hang. *)
+            Conn.reject fd reply.Engine.body)
   in
   let handle_lines c lines =
     (* Requests pipelined after QUIT (or after a framing error) are
        dropped: the session is already closing. *)
     List.iter
       (fun line ->
-        if not c.closing then begin
-          let reply = Engine.handle_line engine c.session line in
-          enqueue c reply.Engine.body;
-          if reply.Engine.close then c.closing <- true
+        if not c.Conn.closing then begin
+          let reply = Engine.handle_line engine c.Conn.session line in
+          Conn.enqueue c reply.Engine.body;
+          if reply.Engine.close then c.Conn.closing <- true
         end)
       lines
   in
   let read_conn c =
-    let buf = Bytes.create 4096 in
-    match Unix.read c.fd buf 0 (Bytes.length buf) with
-    | 0 -> drop c
-    | n -> (
-        match Wire.Line_buffer.feed c.inbuf (Bytes.sub_string buf 0 n) with
-        | Ok lines -> handle_lines c lines
-        | Error msg ->
-            let reply = Engine.protocol_error engine c.session msg in
-            enqueue c reply.Engine.body;
-            c.closing <- true)
-    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) ->
-        ()
-    | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> drop c
+    match Conn.read c with
+    | Conn.Lines lines -> handle_lines c lines
+    | Conn.Nothing -> ()
+    | Conn.Eof -> drop c
+    | Conn.Framing_error msg ->
+        let reply = Engine.protocol_error engine c.Conn.session msg in
+        Conn.enqueue c reply.Engine.body;
+        c.Conn.closing <- true
   in
   on_ready (Unix.getsockname listen_fd);
   Log.info (fun m -> m "listening on %s" (Wire.addr_to_string addr));
-  let flush_interval = (Engine.config engine).Engine.flush_interval in
+  let flush_interval = config.Engine.flush_interval in
   let last_tick = ref (Unix.gettimeofday ()) in
   while not !stop do
     (* Periodic maintenance between selects: fsync the trace sink so a
@@ -171,9 +73,16 @@ let run ?config ?(on_ready = fun _ -> ()) repo addr =
          Engine.tick engine
        end);
     let readable =
-      listen_fd :: List.filter_map (fun c -> if c.closing then None else Some c.fd) !conns
+      listen_fd
+      :: List.filter_map
+           (fun c -> if c.Conn.closing then None else Some c.Conn.fd)
+           !conns
     in
-    let writable = List.filter_map (fun c -> if pending_out c > 0 then Some c.fd else None) !conns in
+    let writable =
+      List.filter_map
+        (fun c -> if Conn.pending_out c > 0 then Some c.Conn.fd else None)
+        !conns
+    in
     match Unix.select readable writable [] 0.25 with
     | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
     | r, w, _ ->
@@ -181,11 +90,11 @@ let run ?config ?(on_ready = fun _ -> ()) repo addr =
         (* Snapshot: handlers mutate [conns]. *)
         List.iter
           (fun c ->
-            if List.memq c.fd w then
-              if not (flush_conn c) then drop c
-              else if c.closing && pending_out c = 0 then drop c)
+            if List.memq c.Conn.fd w then
+              if not (Conn.flush c) then drop c
+              else if c.Conn.closing && Conn.pending_out c = 0 then drop c)
           !conns;
-        List.iter (fun c -> if List.memq c.fd r then read_conn c) !conns
+        List.iter (fun c -> if List.memq c.Conn.fd r then read_conn c) !conns
   done;
   (* Graceful drain: requests are synchronous so none is in flight here;
      what remains is buffered replies. Stop accepting, give clients a
@@ -194,13 +103,13 @@ let run ?config ?(on_ready = fun _ -> ()) repo addr =
   (try Unix.close listen_fd with Unix.Unix_error _ -> ());
   let deadline = Unix.gettimeofday () +. 2.0 in
   let rec drain () =
-    let waiting = List.filter (fun c -> pending_out c > 0) !conns in
+    let waiting = List.filter (fun c -> Conn.pending_out c > 0) !conns in
     if waiting <> [] && Unix.gettimeofday () < deadline then begin
-      (match Unix.select [] (List.map (fun c -> c.fd) waiting) [] 0.1 with
+      (match Unix.select [] (List.map (fun c -> c.Conn.fd) waiting) [] 0.1 with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
       | _, w, _ ->
           List.iter
-            (fun c -> if List.memq c.fd w && not (flush_conn c) then drop c)
+            (fun c -> if List.memq c.Conn.fd w && not (Conn.flush c) then drop c)
             waiting);
       drain ()
     end
@@ -215,3 +124,10 @@ let run ?config ?(on_ready = fun _ -> ()) repo addr =
   Sys.set_signal Sys.sigint old_int;
   Sys.set_signal Sys.sigterm old_term;
   Log.info (fun m -> m "shutdown complete")
+
+(* ------------------------------ Dispatch ----------------------------- *)
+
+let run ?config ?(on_ready = fun _ -> ()) repo addr =
+  let config = match config with Some c -> c | None -> Engine.default_config in
+  if config.Engine.workers <= 1 then run_single ~config ~on_ready repo addr
+  else Coordinator.run ~config ~on_ready repo addr

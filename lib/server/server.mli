@@ -1,19 +1,27 @@
-(** The Crimson query service: a single-process, single-threaded
-    [Unix.select] event loop serving the {!Wire} protocol over TCP or a
-    Unix-domain socket.
+(** The Crimson query service, serving the {!Wire} protocol over TCP or
+    a Unix-domain socket in one of two shapes, selected by
+    [config.workers]:
 
-    One process holds one open repository (and its warm stored-tree
-    views, shared across sessions by the {!Engine}); requests execute
-    synchronously on the event loop — matching the system's
-    single-threaded span and storage assumptions — so concurrency is
-    between sessions' I/O, never inside the storage engine.
+    - [workers = 1] (default): the historical single-process,
+      single-threaded [Unix.select] event loop. One standalone
+      {!Engine} holds the open repository and its warm stored-tree
+      views; requests execute synchronously on the event loop, so
+      concurrency is between sessions' I/O, never inside the storage
+      engine.
+    - [workers >= 2]: a {!Coordinator} plus that many shared-nothing
+      worker domains, each running its own {!Worker_core} over a
+      private read-only open of the same repository directory. The
+      coordinator keeps the listening socket, admission control and the
+      only write path (the Query Repository); STATS/METRICS/TOP report
+      fleet-wide numbers. Requires an on-disk repository.
 
-    Robustness: admission control (over-limit connects receive a
-    rejection line and are closed, never left hanging), a per-request
-    wall-clock timeout, an input line cap, and malformed input answered
-    with protocol errors. SIGINT/SIGTERM trigger a graceful drain: stop
-    accepting, flush every pending reply, close sessions, remove the
-    Unix socket file, return.
+    Robustness (both shapes): admission control (over-limit connects
+    receive a rejection line and are closed, never left hanging), a
+    per-request deadline-check timeout, an input line cap, and
+    malformed input answered with protocol errors. SIGINT/SIGTERM
+    trigger a graceful drain: stop accepting, flush every pending
+    reply, close sessions (and join worker domains), remove the Unix
+    socket file, return.
 
     Every [Engine.flush_interval] seconds the loop calls {!Engine.tick}
     between selects (and once more at shutdown), fsyncing the JSONL
@@ -27,8 +35,9 @@ val run :
   unit
 (** Bind, listen and serve until SIGINT/SIGTERM. [on_ready] is called
     once with the bound address (reports the kernel-chosen port when
-    listening on port 0). Raises {!Bind_error} when the address cannot
-    be bound; never raises out of the serving loop itself. The caller
-    still owns (and closes) the repository. *)
+    listening on port 0), after every worker is ready. Raises
+    {!Bind_error} when the address cannot be bound; never raises out of
+    the serving loop itself. The caller still owns (and closes) the
+    repository. *)
 
 exception Bind_error of string

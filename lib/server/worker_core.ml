@@ -1,0 +1,557 @@
+module Repo = Crimson_core.Repo
+module Stored_tree = Crimson_core.Stored_tree
+module Query_lang = Crimson_core.Query_lang
+module Json = Crimson_obs.Json
+module Metrics = Crimson_obs.Metrics
+module Span = Crimson_obs.Span
+module Trace = Crimson_obs.Trace
+module Deadline = Crimson_obs.Deadline
+module Prng = Crimson_util.Prng
+
+let src = Logs.Src.create "crimson.server" ~doc:"Crimson query service"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type config = {
+  max_sessions : int;
+  request_timeout : float;
+  max_line : int;
+  slowlog_ms : float option;
+  trace_out : string option;
+  trace_max_bytes : int;
+  flush_interval : float;
+  workers : int;
+}
+
+let default_config =
+  {
+    max_sessions = 64;
+    request_timeout = 5.0;
+    max_line = 65536;
+    slowlog_ms = None;
+    trace_out = None;
+    trace_max_bytes = 64 * 1024 * 1024;
+    flush_interval = 5.0;
+    workers = 1;
+  }
+
+type session = {
+  id : int;
+  started_at : float;
+  mutable tree : Stored_tree.t option;
+  mutable rng : Prng.t;
+  mutable requests : int;
+  (* Cumulative resource accounting, reported by TOP and mirrored into
+     the server.session.* aggregate metrics. *)
+  mutable ms : float;
+  mutable pages : int;
+  mutable bytes_out : int;
+  mutable last_line : string;
+  mutable closed : bool;
+}
+
+(* A published snapshot of one session's accounting: pure data, safe to
+   hand across domains. Workers publish their rows after every handled
+   request; whichever worker answers TOP merges its own live table with
+   the peers' latest snapshots. *)
+type session_row = {
+  r_worker : int;
+  r_session : int;
+  r_tree : string option;
+  r_requests : int;
+  r_ms : float;
+  r_pages : int;
+  r_bytes_out : int;
+  r_started_at : float;
+  r_last : string;
+}
+
+(* The fleet context a coordinator injects into each worker core. All
+   mutation crossing domain boundaries goes through these closures: the
+   Query Repository write path is a serialized channel to the
+   coordinator, admission accounting is a shared atomic behind
+   [fleet_active]/[on_session_closed], and TOP visibility flows through
+   publish/peers. A core created without a context (the single-worker
+   server, unit tests) owns all of that locally. *)
+type ctx = {
+  worker_id : int; (* 1-based within the fleet *)
+  workers : int;
+  fleet_started_at : float;
+  fleet_active : unit -> int;
+  on_session_closed : unit -> unit;
+  record_query :
+    elapsed_ms:float ->
+    pages:int ->
+    cost:string ->
+    text:string ->
+    result:string ->
+    unit;
+  publish_sessions : session_row list -> unit;
+  peer_sessions : unit -> session_row list;
+}
+
+type t = {
+  cfg : config;
+  repo : Repo.t;
+  ctx : ctx option;
+  worker_id : int; (* 0 = standalone single-worker core *)
+  trees : (int, Stored_tree.t) Hashtbl.t;  (* warm handles, by tree id *)
+  sessions : (int, session) Hashtbl.t;  (* live sessions, for TOP *)
+  started_at : float;
+  mutable next_session : int;
+  mutable active : int;
+  (* Pre-created metric handles: the per-request path does no name
+     lookups. The server.* family is process-global — counters are
+     atomic, so with N workers these are already fleet-wide sums. *)
+  m_requests : Metrics.Counter.t;
+  m_errors : Metrics.Counter.t;
+  m_timeouts : Metrics.Counter.t;
+  m_accepted : Metrics.Counter.t;
+  m_rejected : Metrics.Counter.t;
+  m_closed : Metrics.Counter.t;
+  m_active : Metrics.Gauge.t;
+  (* Aggregates over every session that ever ran (requests, wall ms,
+     pages touched, reply bytes) — the server.session.* family. *)
+  m_sess_requests : Metrics.Counter.t;
+  m_sess_ms : Metrics.Gauge.t;
+  m_sess_pages : Metrics.Counter.t;
+  m_sess_bytes : Metrics.Counter.t;
+  (* This worker's own slice (the server.worker.<id> family): the fleet-wide
+     total equals the sum over workers, which the coordinator tests
+     assert directly. *)
+  mw_requests : Metrics.Counter.t;
+  mw_errors : Metrics.Counter.t;
+  mw_timeouts : Metrics.Counter.t;
+}
+
+let create ?(config = default_config) ?ctx repo =
+  (* Register the request-latency histogram up front so a STATS before
+     the first QUERY already shows it (Span.timed feeds it by name). *)
+  ignore (Metrics.histogram "server.request_ms");
+  Trace.set_slowlog_ms config.slowlog_ms;
+  (* [None] leaves any sink installed by the caller (global --trace-out)
+     alone; only an explicit path (re)targets the JSONL sink. In a
+     fleet the coordinator installs the shared sink once, before the
+     worker cores exist. *)
+  (match (config.trace_out, ctx) with
+  | Some path, None -> Trace.set_sink ~max_bytes:config.trace_max_bytes (Some path)
+  | Some _, Some _ | None, _ -> ());
+  let worker_id = match ctx with Some (c : ctx) -> c.worker_id | None -> 0 in
+  let wname suffix = Printf.sprintf "server.worker.%d.%s" worker_id suffix in
+  {
+    cfg = config;
+    repo;
+    ctx;
+    worker_id;
+    trees = Hashtbl.create 8;
+    sessions = Hashtbl.create 16;
+    started_at = Unix.gettimeofday ();
+    next_session = 1;
+    active = 0;
+    m_requests = Metrics.counter "server.requests";
+    m_errors = Metrics.counter "server.errors";
+    m_timeouts = Metrics.counter "server.timeouts";
+    m_accepted = Metrics.counter "server.sessions.accepted";
+    m_rejected = Metrics.counter "server.sessions.rejected";
+    m_closed = Metrics.counter "server.sessions.closed";
+    m_active = Metrics.gauge "server.sessions.active";
+    m_sess_requests = Metrics.counter "server.session.requests";
+    m_sess_ms = Metrics.gauge "server.session.ms";
+    m_sess_pages = Metrics.counter "server.session.pages";
+    m_sess_bytes = Metrics.counter "server.session.bytes_out";
+    mw_requests = Metrics.counter (wname "requests");
+    mw_errors = Metrics.counter (wname "errors");
+    mw_timeouts = Metrics.counter (wname "timeouts");
+  }
+
+let config t = t.cfg
+let repo t = t.repo
+let active_sessions t = t.active
+let session_id s = s.id
+let session_requests s = s.requests
+let worker_id t = t.worker_id
+
+type reply = {
+  body : string;
+  close : bool;
+}
+
+let keep body = { body; close = false }
+
+(* ----------------------------- Sessions ---------------------------- *)
+
+let fleet_active t =
+  match t.ctx with Some c -> c.fleet_active () | None -> t.active
+
+let row_of_session t s =
+  {
+    r_worker = t.worker_id;
+    r_session = s.id;
+    r_tree = Option.map Stored_tree.name s.tree;
+    r_requests = s.requests;
+    r_ms = s.ms;
+    r_pages = s.pages;
+    r_bytes_out = s.bytes_out;
+    r_started_at = s.started_at;
+    r_last = s.last_line;
+  }
+
+let live_rows t =
+  Hashtbl.fold (fun _ s acc -> row_of_session t s :: acc) t.sessions []
+
+(* Fleet mode: push this worker's current accounting into its published
+   slot so any sibling answering TOP sees it. Called after every handled
+   request and on session close — rows per worker are bounded by its
+   session count, so this is a cheap list build. *)
+let publish t =
+  match t.ctx with
+  | Some c -> c.publish_sessions (live_rows t)
+  | None -> ()
+
+let rejection_body ~active ~max_sessions =
+  Wire.error
+    (Printf.sprintf "session limit reached (%d active, max %d)" active max_sessions)
+
+let make_session id =
+  {
+    id;
+    started_at = Unix.gettimeofday ();
+    tree = None;
+    rng = Prng.create 0;
+    requests = 0;
+    ms = 0.0;
+    pages = 0;
+    bytes_out = 0;
+    last_line = "";
+    closed = false;
+  }
+
+let open_session t =
+  if t.active >= t.cfg.max_sessions then begin
+    Metrics.Counter.incr t.m_rejected;
+    Log.info (fun m ->
+        m "session rejected: %d active (limit %d)" t.active t.cfg.max_sessions);
+    Error
+      {
+        body = rejection_body ~active:t.active ~max_sessions:t.cfg.max_sessions;
+        close = true;
+      }
+  end
+  else begin
+    let id = t.next_session in
+    t.next_session <- id + 1;
+    t.active <- t.active + 1;
+    Metrics.Counter.incr t.m_accepted;
+    Metrics.Gauge.set t.m_active (float_of_int (fleet_active t));
+    Log.debug (fun m -> m "session=%d opened (%d active)" id t.active);
+    let s = make_session id in
+    Hashtbl.replace t.sessions id s;
+    Ok s
+  end
+
+(* Fleet path: admission control and id allocation already happened in
+   the coordinator (against the shared atomic), so the worker just
+   materialises the session. *)
+let accept_session t ~id =
+  t.active <- t.active + 1;
+  Metrics.Counter.incr t.m_accepted;
+  Metrics.Gauge.set t.m_active (float_of_int (fleet_active t));
+  Log.debug (fun m ->
+      m "session=%d accepted by worker %d (%d local)" id t.worker_id t.active);
+  let s = make_session id in
+  Hashtbl.replace t.sessions id s;
+  s
+
+let close_session t s =
+  if not s.closed then begin
+    s.closed <- true;
+    Hashtbl.remove t.sessions s.id;
+    t.active <- t.active - 1;
+    Metrics.Counter.incr t.m_closed;
+    (match t.ctx with Some c -> c.on_session_closed () | None -> ());
+    Metrics.Gauge.set t.m_active (float_of_int (fleet_active t));
+    publish t;
+    Log.debug (fun m -> m "session=%d closed after %d requests" s.id s.requests)
+  end
+
+(* --------------------------- Query recording ------------------------ *)
+
+(* The Query Repository is the one write path. A standalone core owns a
+   read-write repository and inserts directly; a fleet worker's
+   repository is read-only, so the row travels over the serialized
+   channel to the coordinator, which holds the only writable handle. *)
+let record t ?(cost = "") ~elapsed_ms ~pages ~text ~result () =
+  match t.ctx with
+  | Some c -> c.record_query ~elapsed_ms ~pages ~cost ~text ~result
+  | None -> ignore (Repo.record_query t.repo ~elapsed_ms ~pages ~cost ~text ~result)
+
+(* ----------------------------- Handlers ---------------------------- *)
+
+let num n = Json.Num (float_of_int n)
+
+let error t msg =
+  Metrics.Counter.incr t.m_errors;
+  Metrics.Counter.incr t.mw_errors;
+  keep (Wire.error msg)
+
+let protocol_error t s msg =
+  Metrics.Counter.incr t.m_errors;
+  Metrics.Counter.incr t.mw_errors;
+  Log.info (fun m -> m "session=%d protocol error: %s" s.id msg);
+  { body = Wire.error msg; close = true }
+
+let hello t s =
+  let trees = List.map (fun (_, name) -> Json.Str name) (Stored_tree.list_all t.repo) in
+  keep
+    (Wire.ok
+       [
+         ("server", Json.Str "crimson");
+         ("version", Json.Str "1.0.0");
+         ("session", num s.id);
+         ("max_line", num t.cfg.max_line);
+         ("trees", Json.List trees);
+       ])
+
+let use t s name =
+  match Stored_tree.open_name t.repo name with
+  | exception Stored_tree.Unknown_tree _ ->
+      error t (Printf.sprintf "no tree named %S (HELLO lists the stored trees)" name)
+  | fresh ->
+      (* Share one warm handle per tree across this worker's sessions so
+         decoded-node views survive connection churn. Handles are
+         per-worker — shared-nothing — so no cross-domain locking. *)
+      let stored =
+        let id = Stored_tree.id fresh in
+        match Hashtbl.find_opt t.trees id with
+        | Some shared -> shared
+        | None ->
+            Hashtbl.add t.trees id fresh;
+            fresh
+      in
+      s.tree <- Some stored;
+      keep
+        (Wire.ok
+           [
+             ("tree", Json.Str (Stored_tree.name stored));
+             ("nodes", num (Stored_tree.node_count stored));
+             ("leaves", num (Stored_tree.leaf_count stored));
+           ])
+
+let query t s text =
+  match s.tree with
+  | None -> error t "no tree selected (USE <tree> first)"
+  | Some stored -> (
+      (* Cache stats before/after give the trace the per-request hit and
+         miss deltas; only sampled while a trace is collecting. *)
+      let cache0 = if Span.tracing () then Some (Stored_tree.cache_stats stored) else None in
+      match
+        Repo.measure t.repo (fun () ->
+            Deadline.with_timeout t.cfg.request_timeout (fun () ->
+                Query_lang.run ~rng:s.rng ~record:false t.repo stored text))
+      with
+      | result, elapsed_ms, pages -> (
+          (match cache0 with
+          | Some c0 ->
+              let c1 = Stored_tree.cache_stats stored in
+              Span.attr "tree" (num (Stored_tree.id stored));
+              Span.attr "pages" (num pages);
+              Span.attr "cache_hits" (num (c1.Crimson_core.Node_view.hits - c0.Crimson_core.Node_view.hits));
+              Span.attr "cache_misses"
+                (num (c1.Crimson_core.Node_view.misses - c0.Crimson_core.Node_view.misses))
+          | None -> ());
+          match result with
+          | Ok (Ok outcome) ->
+              if cache0 <> None then
+                Span.attr "result_chars"
+                  (num (String.length outcome.Query_lang.result));
+              record t ~elapsed_ms ~pages ~text ~result:outcome.Query_lang.result ();
+              s.pages <- s.pages + pages;
+              Metrics.Counter.add t.m_sess_pages pages;
+              keep
+                (Wire.ok
+                   [
+                     ("result", Json.Str outcome.Query_lang.result);
+                     ("elapsed_ms", Json.Num elapsed_ms);
+                     ("pages", num pages);
+                   ])
+          | Ok (Error msg) -> error t msg
+          | Error `Timeout ->
+              Metrics.Counter.incr t.m_timeouts;
+              Metrics.Counter.incr t.mw_timeouts;
+              error t
+                (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout)))
+
+let explain t s text =
+  match s.tree with
+  | None -> error t "no tree selected (USE <tree> first)"
+  | Some stored -> (
+      match Query_lang.explain stored text with
+      | Ok plan ->
+          keep
+            (Wire.ok
+               [
+                 ("query", Json.Str text);
+                 ("plan", Json.List (List.map (fun l -> Json.Str l) plan));
+               ])
+      | Error msg -> error t msg)
+
+let profile t s text =
+  match s.tree with
+  | None -> error t "no tree selected (USE <tree> first)"
+  | Some stored -> (
+      match
+        Repo.measure t.repo (fun () ->
+            Deadline.with_timeout t.cfg.request_timeout (fun () ->
+                Query_lang.profile ~rng:s.rng ~record:false t.repo stored text))
+      with
+      | result, elapsed_ms, pages -> (
+          match result with
+          | Ok (Ok (outcome, report)) ->
+              let cost =
+                Json.to_string (Crimson_obs.Profile.cost_summary report)
+              in
+              record t ~elapsed_ms ~pages ~cost ~text
+                ~result:outcome.Query_lang.result ();
+              s.pages <- s.pages + pages;
+              Metrics.Counter.add t.m_sess_pages pages;
+              keep
+                (Wire.ok
+                   [
+                     ("result", Json.Str outcome.Query_lang.result);
+                     ("elapsed_ms", Json.Num elapsed_ms);
+                     ("pages", num pages);
+                     ("profile", Crimson_obs.Profile.report_to_json report);
+                   ])
+          | Ok (Error msg) -> error t msg
+          | Error `Timeout ->
+              Metrics.Counter.incr t.m_timeouts;
+              Metrics.Counter.incr t.mw_timeouts;
+              error t
+                (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout)))
+
+let row_to_json now row =
+  Json.Obj
+    [
+      ("worker", num row.r_worker);
+      ("session", num row.r_session);
+      ( "tree",
+        match row.r_tree with Some name -> Json.Str name | None -> Json.Null );
+      ("requests", num row.r_requests);
+      ("ms", Json.Num row.r_ms);
+      ("pages", num row.r_pages);
+      ("bytes_out", num row.r_bytes_out);
+      ("age_s", Json.Num (now -. row.r_started_at));
+      ("last", Json.Str row.r_last);
+    ]
+
+let top t =
+  Crimson_obs.Runtime.refresh ();
+  let now = Unix.gettimeofday () in
+  (* This worker's rows come from the live session table (so the TOP
+     request itself is already visible as a session's last line); peers
+     contribute their most recently published snapshots. *)
+  let peers = match t.ctx with Some c -> c.peer_sessions () | None -> [] in
+  let rows =
+    live_rows t @ peers
+    (* Cost hogs first: cumulative wall time, then (worker, id) for
+       stability. *)
+    |> List.sort (fun a b ->
+           match Float.compare b.r_ms a.r_ms with
+           | 0 -> compare (a.r_worker, a.r_session) (b.r_worker, b.r_session)
+           | c -> c)
+  in
+  let started_at =
+    match t.ctx with Some c -> c.fleet_started_at | None -> t.started_at
+  in
+  keep
+    (Wire.ok
+       [
+         ("uptime_s", Json.Num (now -. started_at));
+         ("active", num (fleet_active t));
+         ("workers", num (match t.ctx with Some c -> c.workers | None -> 1));
+         ("requests", num (Metrics.Counter.value t.m_requests));
+         ("sessions", Json.List (List.map (row_to_json now) rows));
+       ])
+
+let stats _t =
+  Crimson_obs.Runtime.refresh ();
+  keep (Wire.ok [ ("metrics", Metrics.to_json ()) ])
+
+let slowlog _t n =
+  let entries = Trace.slowlog ?n () in
+  keep
+    (Wire.ok
+       [
+         ( "threshold_ms",
+           match Trace.slowlog_threshold () with
+           | Some th -> Json.Num th
+           | None -> Json.Null );
+         ("entries", Json.List (List.map Trace.record_to_json entries));
+       ])
+
+let metrics_reply _t =
+  Crimson_obs.Runtime.refresh ();
+  keep
+    (Wire.ok
+       [
+         ("format", Json.Str "prometheus");
+         ("text", Json.Str (Metrics.to_prometheus ()));
+       ])
+
+let truncate_line line =
+  if String.length line > 512 then String.sub line 0 512 ^ "…" else line
+
+let handle_line t s line =
+  s.requests <- s.requests + 1;
+  s.last_line <- truncate_line line;
+  Metrics.Counter.incr t.m_requests;
+  Metrics.Counter.incr t.mw_requests;
+  Metrics.Counter.incr t.m_sess_requests;
+  (* The per-request trace: one span tree rooted at server.request_ms
+     (which the Span layer also feeds as a histogram, so STATS scrapes
+     keep working), tagged with the session/request ids and the request
+     line — that text is what the slowlog shows next to the tree. *)
+  let reply, elapsed_ms =
+    Trace.timed ~name:"server.request_ms"
+      ~meta:
+        [
+          ("worker", num t.worker_id);
+          ("session", num s.id);
+          ("request", num s.requests);
+          ("line", Json.Str (truncate_line line));
+        ]
+      (fun () ->
+        match Wire.parse_command line with
+        | Error msg -> error t msg
+        | Ok Wire.Hello -> hello t s
+        | Ok (Wire.Use name) -> use t s name
+        | Ok (Wire.Seed n) ->
+            s.rng <- Prng.create n;
+            keep (Wire.ok [ ("seed", num n) ])
+        | Ok (Wire.Query text) -> query t s text
+        | Ok (Wire.Explain text) -> explain t s text
+        | Ok (Wire.Profile text) -> profile t s text
+        | Ok Wire.Top -> top t
+        | Ok Wire.Stats -> stats t
+        | Ok (Wire.Slowlog n) -> slowlog t n
+        | Ok Wire.Metrics -> metrics_reply t
+        | Ok Wire.Quit -> { body = Wire.ok [ ("bye", Json.Bool true) ]; close = true })
+  in
+  s.ms <- s.ms +. elapsed_ms;
+  s.bytes_out <- s.bytes_out + String.length reply.body;
+  Metrics.Gauge.add t.m_sess_ms elapsed_ms;
+  Metrics.Counter.add t.m_sess_bytes (String.length reply.body);
+  publish t;
+  Log.debug (fun m ->
+      m "worker=%d session=%d req=%d %.3fms %s" t.worker_id s.id s.requests elapsed_ms
+        (if String.length line > 80 then String.sub line 0 80 ^ "…" else line));
+  reply
+
+(* Periodic maintenance, driven by the server loop between selects:
+   durability for the trace sink plus a debug heartbeat. *)
+let tick t =
+  Trace.flush ();
+  Log.debug (fun m ->
+      m "tick: %d active sessions, %d traces, %d slow" t.active
+        (Metrics.counter_value "obs.trace.records")
+        (Metrics.counter_value "obs.trace.slow"))

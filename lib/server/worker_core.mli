@@ -1,0 +1,141 @@
+(** The per-worker query core: everything one worker needs to serve its
+    own connections with no shared mutable state — sessions, warm
+    {!Crimson_core.Stored_tree} handles (and through them per-worker
+    node-view caches and buffer pools), and pre-created metric handles.
+
+    A core runs in one of two modes:
+
+    - {b standalone} ([create] without [?ctx]) — the single-worker
+      server and the unit tests. The core owns admission control,
+      session-id allocation, and writes query history directly into its
+      (read-write) repository. Behaviour is identical to the old
+      monolithic [Engine].
+    - {b fleet} ([create ~ctx]) — one of N worker domains behind a
+      {!Coordinator}. The core's repository is opened read-only; every
+      cross-domain concern (the Query Repository write path, fleet
+      admission accounting, TOP visibility) is routed through the
+      [ctx] closures the coordinator provides. *)
+
+type config = {
+  max_sessions : int;  (** Reject new sessions beyond this many, fleet-wide. *)
+  request_timeout : float;  (** Per-request wall-clock budget, seconds; [0.] = none. *)
+  max_line : int;  (** Longest accepted request line, bytes. *)
+  slowlog_ms : float option;  (** Slow-query threshold; [None] disables the slowlog. *)
+  trace_out : string option;  (** JSONL trace sink path ([None]: keep current sink). *)
+  trace_max_bytes : int;  (** Sink rotation threshold. *)
+  flush_interval : float;  (** Seconds between maintenance ticks. *)
+  workers : int;
+      (** Worker domains serving requests. [1] (the default) keeps the
+          single-threaded server; [n >= 2] runs the coordinator with [n]
+          shared-nothing worker domains (requires a persistent, on-disk
+          repository). *)
+}
+
+val default_config : config
+
+type t
+(** One worker core. Not thread-safe: a core and all its sessions are
+    confined to the domain that created it. *)
+
+type session
+(** One client session: selected tree, RNG seed, request counter and
+    cumulative cost accounting. *)
+
+type session_row = {
+  r_worker : int;
+  r_session : int;
+  r_tree : string option;
+  r_requests : int;
+  r_ms : float;
+  r_pages : int;
+  r_bytes_out : int;
+  r_started_at : float;
+  r_last : string;
+}
+(** A published snapshot of one session's accounting: plain data, safe
+    to hand across domains. Workers publish their rows after every
+    handled request; whichever worker answers TOP merges its own live
+    table with the peers' latest snapshots. *)
+
+type ctx = {
+  worker_id : int;  (** 1-based id of this worker within the fleet. *)
+  workers : int;  (** Fleet size. *)
+  fleet_started_at : float;  (** Coordinator start time, for TOP uptime. *)
+  fleet_active : unit -> int;  (** Fleet-wide live session count. *)
+  on_session_closed : unit -> unit;
+      (** Called once per session close, so the coordinator can release
+          the admission slot. *)
+  record_query :
+    elapsed_ms:float ->
+    pages:int ->
+    cost:string ->
+    text:string ->
+    result:string ->
+    unit;
+      (** The serialized Query Repository write path: enqueue one
+          history row for the coordinator (the only writer) to insert. *)
+  publish_sessions : session_row list -> unit;
+      (** Publish this worker's current session rows for fleet TOP. *)
+  peer_sessions : unit -> session_row list;
+      (** The other workers' most recently published rows. *)
+}
+(** The fleet context a coordinator injects into each worker core; see
+    {!create}. *)
+
+val create : ?config:config -> ?ctx:ctx -> Crimson_core.Repo.t -> t
+(** Build a core over an open repository. Without [?ctx] the core is
+    standalone (owns admission and the history write path). With [?ctx]
+    the core is one fleet worker: [repo] should be a read-only handle
+    and the trace sink is left to the coordinator (an explicit
+    [trace_out] is ignored — the coordinator installs the shared sink
+    once, before spawning workers). *)
+
+val config : t -> config
+val repo : t -> Crimson_core.Repo.t
+
+val worker_id : t -> int
+(** This core's fleet id; [0] for a standalone core. *)
+
+type reply = {
+  body : string;  (** Complete response line(s), newline-terminated. *)
+  close : bool;  (** Close the connection after writing [body]. *)
+}
+
+val open_session :
+  t -> (session, reply) result
+(** Standalone admission: [Error reply] when [max_sessions] live
+    sessions exist — write [reply.body] and close. *)
+
+val accept_session : t -> id:int -> session
+(** Fleet admission: the coordinator already charged the shared
+    admission count and allocated [id]; just materialise the session. *)
+
+val close_session : t -> session -> unit
+(** Idempotent; releases the session (and, in a fleet, its admission
+    slot via [ctx.on_session_closed]). *)
+
+val session_id : session -> int
+val session_requests : session -> int
+
+val active_sessions : t -> int
+(** Live sessions on {e this} core (not fleet-wide). *)
+
+val handle_line : t -> session -> string -> reply
+(** Execute one request line and produce its reply. Never raises:
+    malformed input, unknown trees, query errors and timeouts all come
+    back as error replies. Request timeouts are deadline checks
+    ({!Crimson_obs.Deadline}) woven through node resolution — no
+    signals, so N workers can time out independently. *)
+
+val protocol_error : t -> session -> string -> reply
+(** Reply for transport-level violations (oversized line, NUL byte):
+    counted as an error, [close = true]. *)
+
+val tick : t -> unit
+(** Periodic maintenance (trace-sink flush); call between selects. *)
+
+val rejection_body : active:int -> max_sessions:int -> string
+(** The exact over-limit error line, shared with the coordinator so a
+    fleet rejects with byte-identical text. *)
+
+val src : Logs.src

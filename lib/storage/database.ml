@@ -15,11 +15,16 @@ type catalog_entry = {
   index_meta : (string * bool) list; (* name, unique *)
 }
 
+type mode =
+  | Read_write
+  | Read_only
+
 type t = {
   dir : string option; (* None = in-memory *)
   io : Io.t;
   pool_size : int;
   durable : bool;
+  mode : mode;
   mutable catalog : catalog_entry list;
   (* Table handle plus (relative file name, pager) for each of its
      files — the names tag WAL records at checkpoint time. *)
@@ -130,16 +135,42 @@ let recover_dir io dir =
 
 (* ----------------------------- Open/close -------------------------- *)
 
-let open_dir ?(pool_size = 256) ?(durable = false) ?(io = Io.real) dir =
-  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
-  else if not (Sys.is_directory dir) then
-    invalid_arg (Printf.sprintf "Database.open_dir: %s is not a directory" dir);
-  recover_dir io dir;
+(* Read-only opens must not replay or clear the database-level WAL: a
+   committed batch means the files are stale until a read-write open
+   replays it, so refuse with the typed error; torn/empty logs leave
+   the files authoritative and are left in place. *)
+let check_wal_read_only io dir =
+  let wal_file = Filename.concat dir db_wal_name in
+  if Io.file_exists io wal_file then begin
+    let wal = Wal.open_path ~io wal_file in
+    Fun.protect
+      ~finally:(fun () -> Wal.close wal)
+      (fun () ->
+        match Wal.read wal with
+        | Wal.Committed _ ->
+            Error.fail (Error.Read_only { file = wal_file; op = "WAL replay" })
+        | Wal.Torn _ | Wal.Empty -> ())
+  end
+
+let open_dir ?(pool_size = 256) ?(durable = false) ?(io = Io.real)
+    ?(mode = Read_write) dir =
+  (match mode with
+  | Read_write ->
+      if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+      else if not (Sys.is_directory dir) then
+        invalid_arg (Printf.sprintf "Database.open_dir: %s is not a directory" dir)
+  | Read_only ->
+      if not (Sys.file_exists dir && Sys.is_directory dir) then
+        Error.fail (Error.Read_only { file = dir; op = "create directory" }));
+  (match mode with
+  | Read_write -> recover_dir io dir
+  | Read_only -> check_wal_read_only io dir);
   {
     dir = Some dir;
     io;
     pool_size;
-    durable;
+    durable = (durable && mode = Read_write);
+    mode;
     catalog = load_catalog io dir;
     open_tables = Hashtbl.create 8;
     db_wal = None;
@@ -152,6 +183,7 @@ let open_mem ?(pool_size = 256) () =
     io = Io.real;
     pool_size;
     durable = false;
+    mode = Read_write;
     catalog = [];
     open_tables = Hashtbl.create 8;
     db_wal = None;
@@ -159,6 +191,12 @@ let open_mem ?(pool_size = 256) () =
   }
 
 let is_persistent t = t.dir <> None
+let mode t = t.mode
+let dir t = t.dir
+
+let fail_read_only t op =
+  let file = match t.dir with Some d -> d | None -> "<mem>" in
+  Error.fail (Error.Read_only { file; op })
 
 let check_open t = if t.closed then invalid_arg "Database: already closed"
 
@@ -213,7 +251,11 @@ let make_pager t file =
          whole directory), so the per-file WAL stays off; committed
          per-file WALs left by older versions still replay inside
          [Pager.create_file]. *)
-      let pager = Pager.create_file ~pool_size:t.pool_size ~io:t.io (Filename.concat dir file) in
+      let pager =
+        Pager.create_file ~pool_size:t.pool_size ~io:t.io
+          ~read_only:(t.mode = Read_only)
+          (Filename.concat dir file)
+      in
       if t.durable then Pager.set_dirty_pressure pager (fun () -> checkpoint t);
       pager
   | None -> Pager.create_mem ~pool_size:t.pool_size ()
@@ -241,6 +283,8 @@ let table t ~name ~schema ~indexes =
           if e.index_meta <> requested_meta then
             mismatch "table %s: stored index set differs" name
       | None ->
+          if t.mode = Read_only then
+            fail_read_only t (Printf.sprintf "create table %s" name);
           t.catalog <-
             t.catalog @ [ { table_name = name; schema; index_meta = requested_meta } ];
           save_catalog t);
@@ -254,6 +298,10 @@ let table t ~name ~schema ~indexes =
                 && not (Sys.file_exists (Filename.concat dir (index_file_name name s.index_name))))
               indexes
       in
+      if t.mode = Read_only && index_missing <> [] then
+        fail_read_only t
+          (Printf.sprintf "rebuild index %s.%s" name
+             (match index_missing with s :: _ -> s.Table.index_name | [] -> "?"));
       (* Track pagers opened so far: failing on the third index file must
          not leak the descriptors of the heap and earlier indexes. *)
       let opened = ref [] in
@@ -294,6 +342,7 @@ let table_names t = List.map (fun e -> e.table_name) t.catalog
 
 let drop_table t name =
   check_open t;
+  if t.mode = Read_only then fail_read_only t (Printf.sprintf "drop table %s" name);
   if not (List.exists (fun e -> String.equal e.table_name name) t.catalog) then
     raise Not_found;
   let entry = List.find (fun e -> String.equal e.table_name name) t.catalog in

@@ -16,7 +16,20 @@ type t
 
 exception Schema_mismatch of string
 
-val open_dir : ?pool_size:int -> ?durable:bool -> ?io:Io.t -> string -> t
+type mode =
+  | Read_write
+  | Read_only
+      (** Skip WAL replay (a committed WAL raises [Error.Read_only] —
+          open read-write once to recover first), never create or
+          mutate files, and refuse every mutating operation
+          ([table] creation, [drop_table], page writes) with the typed
+          [Error.Read_only]. Any number of read-only handles — one per
+          worker domain — may share a directory with one read-write
+          owner, provided the owner only appends to tables the readers
+          never touch. *)
+
+val open_dir :
+  ?pool_size:int -> ?durable:bool -> ?io:Io.t -> ?mode:mode -> string -> t
 (** Open or create a database in a directory (created if absent).
     [pool_size] is the per-file buffer-pool size in pages; [durable]
     (default false) makes checkpoints crash-atomic across all files via
@@ -25,13 +38,21 @@ val open_dir : ?pool_size:int -> ?durable:bool -> ?io:Io.t -> string -> t
     fault-injecting one. Committed WALs left by a crash are replayed
     regardless of the flag; torn ones are discarded
     ([storage.recovery.*] metrics). Raises {!Error.Error} on backend
-    failure or corrupt page files. *)
+    failure or corrupt page files. [mode] defaults to [Read_write];
+    see {!mode}. *)
 
 val open_mem : ?pool_size:int -> unit -> t
 (** Fully in-memory database with identical behaviour (tests,
     benchmarks). *)
 
 val is_persistent : t -> bool
+
+val mode : t -> mode
+(** The mode this database was opened with ([Read_write] for
+    in-memory databases). *)
+
+val dir : t -> string option
+(** The backing directory ([None] for in-memory databases). *)
 
 val table :
   t -> name:string -> schema:Record.schema -> indexes:Table.index_spec list -> Table.t

@@ -2,6 +2,7 @@ type t =
   | Corrupt_page of { file : string; detail : string }
   | Torn_wal_record of { file : string; index : int; detail : string }
   | Io_failed of { file : string; op : string; detail : string }
+  | Read_only of { file : string; op : string }
 
 exception Error of t
 
@@ -11,6 +12,8 @@ let to_string = function
       Printf.sprintf "%s: torn WAL record #%d: %s" file index detail
   | Io_failed { file; op; detail } ->
       Printf.sprintf "%s: %s failed: %s" file op detail
+  | Read_only { file; op } ->
+      Printf.sprintf "%s: %s refused: opened read-only" file op
 
 let fail e = raise (Error e)
 

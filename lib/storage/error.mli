@@ -18,6 +18,10 @@ type t =
   | Io_failed of { file : string; op : string; detail : string }
       (** The backing I/O layer failed — a real [Unix_error] or an
           injected fault (see {!Io}). *)
+  | Read_only of { file : string; op : string }
+      (** A mutating operation ([op]) was attempted on a store opened
+          with [~mode:Read_only]. Worker domains open the repository
+          read-only; the coordinator holds the only writable handle. *)
 
 exception Error of t
 

@@ -55,6 +55,10 @@ type t = {
      to the file outside a WAL batch, so it forces a group checkpoint
      instead (see Database). *)
   mutable dirty_pressure : (unit -> unit) option;
+  (* Read-only pools refuse every mutating operation with a typed
+     [Error.Read_only]: worker domains open the same immutable files as
+     the coordinator and must never write through them. *)
+  read_only : bool;
   (* Per-instance counters backing the [stats] view; the increments are
      mirrored into the registry-wide [m_*] counters above. *)
   reads : Counter.t;
@@ -68,10 +72,11 @@ let make_frames pool_size =
   Array.init pool_size (fun _ ->
       { buf = Page.fresh (); page_id = -1; dirty = false; pins = 0; prev = -1; next = -1 })
 
-let create ~pool_size backend ~n_pages =
+let create ~pool_size ?(read_only = false) backend ~n_pages =
   let pool_size = max 8 pool_size in
   {
     backend;
+    read_only;
     frames = make_frames pool_size;
     frame_of_page = Hashtbl.create (2 * pool_size);
     lru_head = -1;
@@ -122,9 +127,29 @@ let recover io file path =
             Wal.clear wal))
   end
 
-let create_file ?(pool_size = 256) ?(durable = false) ?(io = Io.real) path =
+(* Read-only open must not replay (writes) or clear the WAL; it may only
+   classify it. A committed batch means the main file is stale until
+   someone replays it — refuse, directing the caller to one read-write
+   open. Torn or empty logs leave the main file authoritative. *)
+let check_wal_read_only io path =
+  let wal_file = Wal.wal_path path in
+  if Io.file_exists io wal_file then begin
+    let wal = Wal.open_for ~io path in
+    Fun.protect
+      ~finally:(fun () -> Wal.close wal)
+      (fun () ->
+        match Wal.read wal with
+        | Wal.Committed _ ->
+            Error.fail (Error.Read_only { file = path; op = "WAL replay" })
+        | Wal.Torn _ | Wal.Empty -> ())
+  end
+
+let create_file ?(pool_size = 256) ?(durable = false) ?(io = Io.real)
+    ?(read_only = false) path =
+  if read_only && not (Io.file_exists io path) then
+    Error.fail (Error.Read_only { file = path; op = "create" });
   let file = Io.open_file io path in
-  (try recover io file path
+  (try if read_only then check_wal_read_only io path else recover io file path
    with e ->
      Io.close file;
      raise e);
@@ -135,8 +160,8 @@ let create_file ?(pool_size = 256) ?(durable = false) ?(io = Io.real) path =
       (Error.Corrupt_page
          { file = path; detail = Printf.sprintf "unaligned length %d" len })
   end;
-  let wal = if durable then Some (Wal.open_for ~io path) else None in
-  create ~pool_size (File { file; wal }) ~n_pages:(len / Page.size)
+  let wal = if durable && not read_only then Some (Wal.open_for ~io path) else None in
+  create ~pool_size ~read_only (File { file; wal }) ~n_pages:(len / Page.size)
 
 let create_mem ?(pool_size = 256) () =
   create ~pool_size (Mem { pages = Crimson_util.Vec.create () }) ~n_pages:0
@@ -149,6 +174,11 @@ let file_path t =
   match t.backend with File { file; _ } -> Some (Io.path file) | Mem _ -> None
 
 let set_dirty_pressure t f = t.dirty_pressure <- Some f
+let read_only t = t.read_only
+
+let fail_read_only t op =
+  let file = match file_path t with Some p -> p | None -> "<mem>" in
+  Error.fail (Error.Read_only { file; op })
 
 (* ------------------------------- LRU ------------------------------- *)
 
@@ -292,6 +322,7 @@ let frame_for t page_id ~load =
 
 let allocate t =
   check_open t;
+  if t.read_only then fail_read_only t "allocate page";
   let page_id = t.n_pages in
   t.n_pages <- t.n_pages + 1;
   (match t.backend with
@@ -309,6 +340,7 @@ let allocate t =
 
 let with_frame t page_id ~dirty f =
   check_open t;
+  if dirty && t.read_only then fail_read_only t "mutate page";
   if page_id < 0 || page_id >= t.n_pages then
     invalid_arg (Printf.sprintf "Pager: page %d out of range [0,%d)" page_id t.n_pages);
   let i = frame_for t page_id ~load:true in

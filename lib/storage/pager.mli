@@ -17,7 +17,8 @@
 
 type t
 
-val create_file : ?pool_size:int -> ?durable:bool -> ?io:Io.t -> string -> t
+val create_file :
+  ?pool_size:int -> ?durable:bool -> ?io:Io.t -> ?read_only:bool -> string -> t
 (** Open or create a page file. [pool_size] (default 256 frames, minimum
     8) bounds resident pages. With [durable] (default false) every dirty
     write-back is routed through a write-ahead log ([<path>.wal]) so
@@ -26,7 +27,14 @@ val create_file : ?pool_size:int -> ?durable:bool -> ?io:Io.t -> string -> t
     left by a crash, durable or not (torn logs are discarded; see
     [storage.recovery.*] metrics). Raises {!Error.Error}
     ([Io_failed] on backend failure, [Corrupt_page] when the file length
-    is not page-aligned). *)
+    is not page-aligned).
+
+    With [read_only] (default false) the file must already exist, the
+    sibling WAL is only classified — a committed batch raises
+    [Error.Read_only] directing the caller to one read-write open first;
+    torn/empty logs are left untouched — and every mutating operation
+    ({!allocate}, {!with_page_mut}) raises [Error.Read_only]. Multiple
+    read-only pools may share the same immutable files across domains. *)
 
 val create_mem : ?pool_size:int -> unit -> t
 (** Volatile pager backed by memory — same code paths and pool behaviour
@@ -36,6 +44,9 @@ val page_count : t -> int
 
 val file_path : t -> string option
 (** The backing file's path ([None] for memory pagers). *)
+
+val read_only : t -> bool
+(** Whether this pool was opened with [~read_only:true]. *)
 
 val allocate : t -> int
 (** Append a zeroed page; returns its id. *)

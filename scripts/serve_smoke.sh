@@ -1,0 +1,47 @@
+#!/bin/sh
+# CLI-level smoke for `crimson serve --workers N`: simulate and load a
+# small repository, boot the server on a Unix socket at each requested
+# worker count, drive it through `crimson connect`, and require a clean
+# SIGTERM drain (exit 0, socket removed).
+set -eu
+
+BIN=${CRIMSON_BIN:-_build/default/bin/crimson.exe}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+"$BIN" simulate --model yule --leaves 200 --seed 7 -o "$WORK/t.nex" >/dev/null
+"$BIN" load -r "$WORK/repo" -n smoke -f 8 "$WORK/t.nex" >/dev/null
+
+for W in "$@"; do
+    SOCK="$WORK/w$W.sock"
+    "$BIN" serve -r "$WORK/repo" --listen "unix:$SOCK" --workers "$W" \
+        --max-sessions 8 &
+    PID=$!
+    i=0
+    while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
+        sleep 0.05
+        i=$((i + 1))
+    done
+    if [ ! -S "$SOCK" ]; then
+        echo "serve-smoke: socket never appeared (workers=$W)" >&2
+        kill -9 "$PID" 2>/dev/null || true
+        exit 1
+    fi
+    OUT=$("$BIN" connect --to "unix:$SOCK" \
+        'HELLO' 'USE smoke' 'QUERY lca(T0, T7)' 'STATS' 'QUIT')
+    if ! printf '%s\n' "$OUT" | grep -q '"result"'; then
+        echo "serve-smoke: no query result (workers=$W)" >&2
+        kill -9 "$PID" 2>/dev/null || true
+        exit 1
+    fi
+    kill -TERM "$PID"
+    if ! wait "$PID"; then
+        echo "serve-smoke: server exited non-zero on SIGTERM (workers=$W)" >&2
+        exit 1
+    fi
+    if [ -e "$SOCK" ]; then
+        echo "serve-smoke: socket not removed on shutdown (workers=$W)" >&2
+        exit 1
+    fi
+    echo "serve-smoke: workers=$W ok"
+done

@@ -563,7 +563,289 @@ let test_e2e_smoke () =
           check Alcotest.bool "server recorded queries" true (List.length served >= 3);
           Repo.close repo))
 
+(* ------------------------ Read-only repositories --------------------- *)
+
+(* The worker-domain contract: a [~mode:Read_only] open serves every
+   read path over the same files while refusing each mutation with the
+   typed [Error.Read_only] — never a crash, never a silent write. *)
+let test_read_only_mode () =
+  with_tmp_dir (fun dir ->
+      let repo_dir = Filename.concat dir "repo" in
+      let leaves =
+        let repo = Repo.open_dir repo_dir in
+        let tree = Models.yule ~rng:(Prng.create 3) ~leaves:20 () in
+        let stored = (Loader.load_tree ~f:4 repo ~name:"gold" tree).Loader.tree in
+        ignore (Repo.record_query repo ~text:"info()" ~result:"r");
+        let n = Stored_tree.leaf_count stored in
+        Repo.close repo;
+        n
+      in
+      (* Read-only open of a missing directory refuses up front. *)
+      (match
+         Repo.open_dir ~mode:Crimson_storage.Database.Read_only
+           (Filename.concat dir "absent")
+       with
+      | exception Repo.Open_error _ -> ()
+      | _ -> Alcotest.fail "read-only open of a missing dir should refuse");
+      let ro = Repo.open_dir ~mode:Crimson_storage.Database.Read_only repo_dir in
+      check Alcotest.bool "mode reports read-only" true
+        (Repo.mode ro = Crimson_storage.Database.Read_only);
+      (* Every read path works: trees open, queries execute, history
+         lists. *)
+      let stored = Stored_tree.open_name ro "gold" in
+      check Alcotest.int "tree readable" leaves (Stored_tree.leaf_count stored);
+      (match Query_lang.run ~rng:(Prng.create 1) ~record:false ro stored "lca(T0, T1)" with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "query on read-only repo failed: %s" e);
+      check Alcotest.int "history readable" 1 (List.length (Repo.history ro));
+      (* Mutations refuse with the typed error, naming the operation. *)
+      (match Repo.record_query ro ~text:"x" ~result:"y" with
+      | exception
+          Crimson_storage.Error.Error (Crimson_storage.Error.Read_only _) ->
+          ()
+      | exception e ->
+          Alcotest.failf "wrong refusal: %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "record_query on a read-only repo should refuse");
+      Repo.close ro;
+      (* A read-only open leaves the repository writable for others. *)
+      let rw = Repo.open_dir ~create:false repo_dir in
+      ignore (Repo.record_query rw ~text:"z" ~result:"w");
+      Repo.close rw)
+
+(* -------------------------- Multi-worker fleet ----------------------- *)
+
+(* The coordinator acceptance tests: N worker domains behind one
+   socket must answer byte-identically to direct library calls, reject
+   over-limit connects fleet-wide, aggregate STATS so the server total
+   equals the sum of per-worker slices, show sessions from different
+   workers in one TOP, drain cleanly on SIGTERM (exit 0), and land
+   every query-history row in the coordinator's repository. *)
+let test_multiworker_e2e () =
+  with_tmp_dir (fun dir ->
+      let repo_dir = Filename.concat dir "repo" in
+      let sock = Filename.concat dir "w.sock" in
+      let expected =
+        let repo = Repo.open_dir repo_dir in
+        let tree = Models.yule ~rng:(Prng.create 11) ~leaves:30 () in
+        let stored = (Loader.load_tree ~f:4 repo ~name:"gold" tree).Loader.tree in
+        let rng = Prng.create 5 in
+        let answers =
+          List.map
+            (fun q ->
+              match Query_lang.run ~rng ~record:false repo stored q with
+              | Ok o -> (q, o.Query_lang.result)
+              | Error e -> Alcotest.failf "direct %S failed: %s" q e)
+            smoke_queries
+        in
+        Repo.close repo;
+        answers
+      in
+      flush stdout;
+      flush stderr;
+      let server_pid =
+        match Unix.fork () with
+        | 0 ->
+            Crimson_obs.Trace.child_reset ();
+            (* The parent's in-process engine tests leave counts behind in
+               the global registry; the forked server must start at zero
+               like an exec'd one, or fleet totals include the residue. *)
+            Crimson_obs.Metrics.reset_all ();
+            let repo = Repo.open_dir ~create:false repo_dir in
+            let config =
+              {
+                Engine.default_config with
+                Engine.max_sessions = 3;
+                request_timeout = 10.0;
+                max_line = 4096;
+                workers = 3;
+              }
+            in
+            Fun.protect
+              ~finally:(fun () -> Repo.close repo)
+              (fun () -> Server.run ~config repo (Wire.Unix_path sock));
+            Unix._exit 0
+        | pid -> pid
+      in
+      let deadline = Unix.gettimeofday () +. 10.0 in
+      while (not (Sys.file_exists sock)) && Unix.gettimeofday () < deadline do
+        ignore (Unix.select [] [] [] 0.02)
+      done;
+      check Alcotest.bool "socket appears" true (Sys.file_exists sock);
+      Fun.protect
+        ~finally:(fun () ->
+          (try Unix.kill server_pid Sys.sigkill with Unix.Unix_error _ -> ());
+          try ignore (Unix.waitpid [] server_pid) with Unix.Unix_error _ -> ())
+        (fun () ->
+          (* Three concurrent scripted clients, answers byte-identical to
+             the direct library results — whichever worker serves them. *)
+          flush stdout;
+          flush stderr;
+          let clients =
+            List.init 3 (fun _ ->
+                match Unix.fork () with
+                | 0 ->
+                    Crimson_obs.Trace.child_reset ();
+                    let status =
+                      try
+                        let c = Client.connect (Wire.Unix_path sock) in
+                        if not (Client.ok (Client.request c "HELLO")) then Unix._exit 3;
+                        if not (Client.ok (Client.request c "USE gold")) then Unix._exit 4;
+                        if not (Client.ok (Client.request c "SEED 5")) then Unix._exit 5;
+                        let bad = ref 0 in
+                        List.iter
+                          (fun (q, want) ->
+                            let reply = Client.request c ("QUERY " ^ q) in
+                            match Client.str_field "result" reply with
+                            | Some got when got = want -> ()
+                            | _ -> incr bad)
+                          expected;
+                        ignore (Client.request c "QUIT");
+                        Client.close c;
+                        if !bad = 0 then 0 else 1
+                      with _ -> 2
+                    in
+                    Unix._exit status
+                | pid -> pid)
+          in
+          List.iter
+            (fun pid ->
+              match Unix.waitpid [] pid with
+              | _, Unix.WEXITED 0 -> ()
+              | _, Unix.WEXITED n -> Alcotest.failf "client exited %d" n
+              | _, _ -> Alcotest.fail "client killed")
+            clients;
+          (* Admission slots are released asynchronously: a worker
+             decrements the shared count only after it drops the drained
+             connection, so a connect racing a just-quit session can be
+             rejected. Acquire sessions by polling until admitted. *)
+          let admit () =
+            let deadline = Unix.gettimeofday () +. 5.0 in
+            let rec go () =
+              let c = Client.connect (Wire.Unix_path sock) in
+              match Client.request c "HELLO" with
+              | reply when Client.ok reply -> c
+              | _ | (exception Client.Connection_error _) ->
+                  Client.close c;
+                  if Unix.gettimeofday () >= deadline then
+                    Alcotest.fail "no admission slot freed within 5s"
+                  else begin
+                    ignore (Unix.select [] [] [] 0.05);
+                    go ()
+                  end
+            in
+            go ()
+          in
+          (* Fleet-wide admission: fill all 3 slots (they land on
+             different workers round-robin), the 4th connect is rejected
+             by the coordinator with the standard protocol error. *)
+          let held = List.init 3 (fun _ -> admit ()) in
+          List.iter
+            (fun c ->
+              ignore (Client.request c "USE gold");
+              ignore (Client.request c "QUERY lca(T0, T7)"))
+            held;
+          let over = Client.connect (Wire.Unix_path sock) in
+          (match Client.read_line over with
+          | Some line ->
+              let j = Json.parse line in
+              check Alcotest.bool "rejection is an error" false (Client.ok j);
+              check Alcotest.bool "rejection names the limit" true
+                (contains "limit" line)
+          | None -> Alcotest.fail "over-limit connect saw EOF before the rejection");
+          check Alcotest.bool "rejected connection closed" true
+            (Client.read_line over = None);
+          Client.close over;
+          let first = List.hd held in
+          (* TOP answered by one worker must see every worker's sessions:
+             each held session already published rows, so the reply has 3
+             rows spanning at least 2 distinct worker ids. *)
+          let top = Client.request first "TOP" in
+          (match Json.member "sessions" top with
+          | Some (Json.List rows) ->
+              check Alcotest.int "TOP sees all fleet sessions" 3 (List.length rows);
+              let workers =
+                List.sort_uniq compare
+                  (List.filter_map
+                     (fun row ->
+                       match Json.member "worker" row with
+                       | Some (Json.Num v) -> Some (int_of_float v)
+                       | _ -> None)
+                     rows)
+              in
+              check Alcotest.bool "TOP spans multiple workers" true
+                (List.length workers >= 2)
+          | _ -> Alcotest.fail "TOP lacks sessions");
+          (match Json.member "active" top with
+          | Some (Json.Num v) -> check Alcotest.int "fleet active" 3 (int_of_float v)
+          | _ -> Alcotest.fail "TOP lacks active");
+          (* STATS aggregation: the fleet-wide request counter equals the
+             sum of the per-worker slices, counted at one quiescent
+             moment (only this STATS is in flight). *)
+          let stats = Client.request first "STATS" in
+          let counters =
+            match Json.member "metrics" stats with
+            | Some m -> (
+                match Json.member "counters" m with
+                | Some (Json.Obj kvs) -> kvs
+                | _ -> Alcotest.fail "STATS lacks counters")
+            | None -> Alcotest.fail "STATS lacks metrics"
+          in
+          let counter name =
+            match List.assoc_opt name counters with
+            | Some (Json.Num v) -> int_of_float v
+            | _ -> 0
+          in
+          let per_worker =
+            counter "server.worker.1.requests"
+            + counter "server.worker.2.requests"
+            + counter "server.worker.3.requests"
+          in
+          check Alcotest.int "fleet requests = sum of worker slices"
+            (counter "server.requests") per_worker;
+          check Alcotest.bool "every worker served something" true
+            (counter "server.worker.1.requests" > 0
+            && counter "server.worker.2.requests" > 0
+            && counter "server.worker.3.requests" > 0);
+          (* A slot freed on one worker admits a new connection. The
+             release is asynchronous — the worker decrements the shared
+             admission count after it drops the drained connection — so
+             poll briefly instead of racing the first attempt. *)
+          ignore (Client.request first "QUIT");
+          Client.close first;
+          let again = admit () in
+          check Alcotest.bool "freed slot admits" true true;
+          (* Graceful SIGTERM: coordinator stops accepting, every worker
+             drains and joins, exit 0, socket removed. *)
+          Unix.kill server_pid Sys.sigterm;
+          (match Unix.waitpid [] server_pid with
+          | _, Unix.WEXITED 0 -> ()
+          | _, Unix.WEXITED n -> Alcotest.failf "server exited %d on SIGTERM" n
+          | _, Unix.WSIGNALED n -> Alcotest.failf "server killed by signal %d" n
+          | _, _ -> Alcotest.fail "server stopped");
+          check Alcotest.bool "socket removed on shutdown" false
+            (Sys.file_exists sock);
+          Client.close again;
+          List.iter (fun c -> Client.close c) (List.tl held);
+          (* Every QUERY travelled the serialized write channel into the
+             coordinator's repository: 3 smoke clients x 7 queries, plus
+             3 held sessions' lca(T0, T7). *)
+          let repo = Repo.open_dir ~create:false repo_dir in
+          let history = Repo.history repo in
+          let served q =
+            List.length
+              (List.filter (fun (r : Repo.query_record) -> r.text = q) history)
+          in
+          check Alcotest.bool "held queries recorded" true
+            (served "lca(T0, T7)" >= 6);
+          check Alcotest.int "smoke queries recorded" 3 (served "sample(5)");
+          Repo.close repo))
+
 let () =
+  (* The e2e tests fork servers and clients and write into sockets the
+     peer may already have closed (e.g. an admission rejection); without
+     this the test runner dies silently of SIGPIPE instead of seeing the
+     EPIPE the client maps to Connection_error. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   Alcotest.run "crimson_server"
     [
       ( "wire",
@@ -582,7 +864,13 @@ let () =
           Alcotest.test_case "request timeout" `Quick test_request_timeout;
         ] );
       ( "repo",
-        [ Alcotest.test_case "open_dir typed errors" `Quick test_open_dir_errors ] );
+        [
+          Alcotest.test_case "open_dir typed errors" `Quick test_open_dir_errors;
+          Alcotest.test_case "read-only mode" `Quick test_read_only_mode;
+        ] );
       ( "e2e",
-        [ Alcotest.test_case "concurrent smoke" `Slow test_e2e_smoke ] );
+        [
+          Alcotest.test_case "concurrent smoke" `Slow test_e2e_smoke;
+          Alcotest.test_case "multi-worker fleet" `Slow test_multiworker_e2e;
+        ] );
     ]
