@@ -2,7 +2,7 @@
 # green. Formatting runs only where ocamlformat is installed, so the
 # target works in minimal containers too.
 
-.PHONY: all check build test fmt bench bench-snapshot bench-diff clean server-smoke serve-smoke trace-smoke crash-smoke crash-matrix serve-demo
+.PHONY: all check build test fmt bench bench-snapshot bench-diff clean server-smoke serve-smoke trace-smoke crash-smoke crash-matrix collection-smoke serve-demo
 
 all: build
 
@@ -19,7 +19,7 @@ fmt:
 		echo "ocamlformat not installed; skipping dune fmt"; \
 	fi
 
-check: build test fmt server-smoke serve-smoke trace-smoke crash-smoke
+check: build test fmt server-smoke serve-smoke trace-smoke crash-smoke collection-smoke
 
 # The end-to-end server test forks a real `crimson_server` on a Unix
 # socket and drives it with concurrent clients; running it on its own
@@ -45,6 +45,12 @@ crash-smoke:
 # fault point to crash_matrix.log (CI uploads it as an artifact).
 crash-matrix:
 	CRIMSON_CRASH_LOG=$(CURDIR)/crash_matrix.log dune exec test/test_crash.exe -- test matrix
+
+# Collection store end to end through the CLI: ingest 20 bootstrap
+# replicates, then require the consensus to be byte-stable across two
+# runs and across a served fleet at --workers 1 vs 4.
+collection-smoke: build
+	sh scripts/collection_smoke.sh
 
 # The trace pipeline end to end: serve a repository with slowlog_ms=0
 # and a JSONL trace sink, run scripted queries, and assert the SLOWLOG

@@ -22,6 +22,7 @@ let experiments =
     ("E12", "WAL recovery: replay time vs committed batch size", Exp_recovery.run);
     ("E13", "profiler overhead: disabled charge points vs full profiling", Exp_profile.run);
     ("E14", "worker fleet: throughput grid and open-loop latency", Exp_workers.run);
+    ("E15", "collection store: dictionary size and bulk-query latency", Exp_collection.run);
     ("micro", "bechamel micro-benchmarks", Micro.run);
   ]
 

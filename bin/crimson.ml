@@ -838,22 +838,33 @@ let serve_cmd =
                    periodic flushing.")
   in
   let workers =
-    Arg.(value & opt int Engine.default_config.Engine.workers
+    Arg.(value
+         & opt string (string_of_int Engine.default_config.Engine.workers)
          & info [ "workers" ] ~docv:"N"
              ~doc:"Worker domains serving requests. 1 (the default) is the \
                    single-threaded server; N >= 2 runs a coordinator plus N \
                    shared-nothing workers, each with its own read-only open of \
-                   the repository. STATS/METRICS/TOP stay fleet-wide.")
+                   the repository. STATS/METRICS/TOP stay fleet-wide. \
+                   $(b,auto) sizes the fleet from the machine's recommended \
+                   domain count.")
   in
   let run trace_out db listen max_sessions timeout max_line create slowlog_ms
       trace_max_bytes flush_interval workers =
     guarded (fun () ->
-        match Wire.parse_addr listen with
-        | Error msg -> fail "bad --listen address: %s" msg
-        | Ok addr when workers < 1 ->
-            ignore addr;
-            fail "--workers must be at least 1 (got %d)" workers
-        | Ok addr ->
+        let workers =
+          match String.lowercase_ascii (String.trim workers) with
+          | "auto" -> Ok (Crimson_server.Worker_core.auto_workers ())
+          | s -> (
+              match int_of_string_opt s with
+              | Some n when n >= 1 -> Ok n
+              | Some n -> Error (Printf.sprintf "--workers must be at least 1 (got %d)" n)
+              | None ->
+                  Error (Printf.sprintf "--workers expects a count or 'auto' (got %S)" s))
+        in
+        match (Wire.parse_addr listen, workers) with
+        | Error msg, _ -> fail "bad --listen address: %s" msg
+        | _, Error msg -> fail "%s" msg
+        | Ok addr, Ok workers ->
             let repo = Repo.open_dir ~create db in
             Fun.protect
               ~finally:(fun () -> Repo.close repo)
@@ -1227,6 +1238,202 @@ let top_cmd =
     (Cmd.info "top" ~doc:"Live session/cost monitor for a running crimson server" ~man)
     Term.(ret (const run $ logging $ to_addr $ interval $ iterations))
 
+(* ----------------------------- collection --------------------------- *)
+
+module Collection = Crimson_collection.Collection
+
+let coll_arg =
+  let doc = "Collection name." in
+  Arg.(required & opt (some string) None & info [ "c"; "collection" ] ~docv:"NAME" ~doc)
+
+(* One Newick file may carry many replicates (one ';'-terminated tree
+   per line is the common bootstrap output shape); parse them all. *)
+let parse_trees_file path =
+  let ic = open_in_bin path in
+  let text =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  String.split_on_char ';' text
+  |> List.filter_map (fun seg ->
+         let s = String.trim seg in
+         if s = "" then None else Some (Newick.parse (s ^ ";")))
+
+let coll_guarded f =
+  try guarded f
+  with Collection.Collection_error msg -> fail "%s" msg
+
+let collection_add_cmd =
+  let files =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE"
+         ~doc:"Newick files; each may hold several ';'-terminated trees \
+               (bootstrap replicates).")
+  in
+  let run _ dir coll files =
+    coll_guarded (fun () ->
+        with_repo dir (fun repo ->
+            let trees = List.concat_map parse_trees_file files in
+            match trees with
+            | [] -> fail "no trees found in the input files"
+            | first :: _ ->
+                let c =
+                  match Collection.open_name repo coll with
+                  | c -> c
+                  | exception Collection.Collection_error _ ->
+                      let taxa =
+                        Array.to_list (Tree.leaves first)
+                        |> List.filter_map (Tree.name first)
+                      in
+                      let c = Collection.create repo ~name:coll ~taxa in
+                      Printf.printf "created collection %s (%d taxa)\n" coll
+                        (Collection.n_taxa c);
+                      c
+                in
+                List.iter
+                  (fun tree ->
+                    let r = Collection.ingest c tree in
+                    Printf.printf
+                      "member %d (%s): %d clades, %d new, %s, %d bytes\n"
+                      r.Collection.member r.Collection.member_name
+                      r.Collection.clades r.Collection.new_bips
+                      (if r.Collection.delta then "delta" else "full")
+                      r.Collection.enc_bytes)
+                  trees;
+                let s = Collection.stats c in
+                Printf.printf "collection %s: %d trees, %d bipartitions, %.2fx vs naive\n"
+                  coll s.Collection.s_trees s.Collection.s_dict_entries
+                  (Collection.ratio s);
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "add" ~doc:"Ingest trees into a collection (created on first add)")
+    Term.(ret (const run $ logging $ repo_arg $ coll_arg $ files))
+
+let collection_list_cmd =
+  let run _ dir =
+    coll_guarded (fun () ->
+        with_repo dir (fun repo ->
+            match Collection.list_all repo with
+            | [] ->
+                print_endline "no collections";
+                `Ok ()
+            | colls ->
+                List.iter
+                  (fun (_, name) ->
+                    let c = Collection.open_name repo name in
+                    let s = Collection.stats c in
+                    Printf.printf
+                      "%-20s %5d trees %5d taxa %6d bips (%d shared) %8.2fx\n" name
+                      s.Collection.s_trees s.Collection.s_taxa
+                      s.Collection.s_dict_entries s.Collection.s_shared_entries
+                      (Collection.ratio s))
+                  colls;
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List collections with storage statistics")
+    Term.(ret (const run $ logging $ repo_arg))
+
+let collection_consensus_cmd =
+  let threshold =
+    Arg.(value & opt float 0.5
+         & info [ "threshold" ] ~docv:"T"
+             ~doc:"Keep clades with support > $(docv) (in [0.5, 1]; 1.0 gives \
+                   the strict consensus).")
+  in
+  let run _ dir coll threshold fmt out =
+    coll_guarded (fun () ->
+        with_repo dir (fun repo ->
+            let c = Collection.open_name repo coll in
+            let tree, elapsed_ms, pages =
+              Repo.measure repo (fun () -> Collection.consensus ~threshold c)
+            in
+            emit_tree fmt out tree;
+            ignore
+              (Repo.record_query repo ~elapsed_ms ~pages
+                 ~text:(Printf.sprintf "consensus('%s', %g)" coll threshold)
+                 ~result:(Printf.sprintf "%d nodes" (Tree.node_count tree)));
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "consensus"
+       ~doc:"Majority-rule/strict consensus off the bipartition dictionary")
+    Term.(ret (const run $ logging $ repo_arg $ coll_arg $ threshold $ output_format
+             $ output_file))
+
+let collection_rf_cmd =
+  let run _ dir coll =
+    coll_guarded (fun () ->
+        with_repo dir (fun repo ->
+            let c = Collection.open_name repo coll in
+            let m, elapsed_ms, pages =
+              Repo.measure repo (fun () -> Collection.rf_matrix c)
+            in
+            let names = Array.of_list (Collection.member_names c) in
+            Array.iteri
+              (fun i row ->
+                Printf.printf "%-12s" (if i < Array.length names then names.(i) else "");
+                Array.iter (fun v -> Printf.printf " %4d" v) row;
+                print_newline ())
+              m;
+            ignore
+              (Repo.record_query repo ~elapsed_ms ~pages
+                 ~text:(Printf.sprintf "rfmatrix('%s')" coll)
+                 ~result:(Printf.sprintf "%dx%d matrix" (Array.length m) (Array.length m)));
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "rf" ~doc:"Pairwise Robinson-Foulds matrix over the id sets")
+    Term.(ret (const run $ logging $ repo_arg $ coll_arg))
+
+let collection_support_cmd =
+  let run _ dir coll =
+    coll_guarded (fun () ->
+        with_repo dir (fun repo ->
+            let c = Collection.open_name repo coll in
+            let n = Collection.n_trees c in
+            List.iter (fun (names, count) ->
+                Printf.printf "%4d/%d  {%s}\n" count n (String.concat "," names))
+              (Collection.support c);
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "support" ~doc:"Per-bipartition support counts, highest first")
+    Term.(ret (const run $ logging $ repo_arg $ coll_arg))
+
+let collection_drop_cmd =
+  let run _ dir coll =
+    coll_guarded (fun () ->
+        with_repo dir (fun repo ->
+            Collection.drop repo coll;
+            Printf.printf "dropped collection %s\n" coll;
+            `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "drop" ~doc:"Remove a collection: catalog, dictionary and members")
+    Term.(ret (const run $ logging $ repo_arg $ coll_arg))
+
+let collection_cmd =
+  let doc = "Tree collections: shared-bipartition storage and bulk queries" in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P "A collection stores many trees over one shared taxon set — bootstrap \
+          replicates, per-algorithm reconstructions — as a reference-counted \
+          bipartition dictionary plus per-tree dictionary-id lists \
+          (delta-encoded against the first member when that is smaller). \
+          Consensus, support and Robinson-Foulds queries run off the \
+          dictionary without materialising member trees; the same queries are \
+          served over the wire as CONSENSUS/SUPPORT/RFMATRIX/COLLSTATS.";
+    ]
+  in
+  Cmd.group (Cmd.info "collection" ~doc ~man)
+    [
+      collection_add_cmd; collection_list_cmd; collection_consensus_cmd;
+      collection_rf_cmd; collection_support_cmd; collection_drop_cmd;
+    ]
+
 (* ------------------------------- main ------------------------------ *)
 
 let () =
@@ -1238,7 +1445,7 @@ let () =
         load_cmd; append_species_cmd; list_cmd; delete_cmd; show_cmd; stats_cmd;
         lca_cmd; clade_cmd; project_cmd; match_cmd; query_cmd; profile_cmd;
         simulate_cmd; benchmark_cmd; history_cmd; serve_cmd; connect_cmd;
-        slowlog_cmd; top_cmd;
+        slowlog_cmd; top_cmd; collection_cmd;
       ]
   in
   exit (Cmd.eval group)

@@ -107,6 +107,25 @@ let parse_query s =
   if !pos <> n then bad "trailing input after ')'";
   { fn; args = List.rev !args }
 
+(* The call syntax is shared with the collection query surface
+   ([Crimson_collection.Coll_lang] parses the same fn(args) texts), so
+   the parser is exported behind a small stable facade. *)
+module Call = struct
+  type nonrec arg = arg =
+    | Name of string
+    | Number of float
+
+  type t = call = {
+    fn : string;
+    args : arg list;
+  }
+
+  let parse text =
+    match parse_query text with
+    | call -> Ok call
+    | exception Bad_query msg -> Error msg
+end
+
 (* ---------------------------- Execution ---------------------------- *)
 
 let node_label stored n =
@@ -332,6 +351,10 @@ let trap f =
   | exception Newick.Parse_error { pos; message } ->
       Error (Printf.sprintf "Newick error at offset %d: %s" pos message)
   | exception Stored_tree.Unknown_node n -> Error (Printf.sprintf "unknown node %d" n)
+  (* Typed storage errors (read-only refusals above all) carry a clear
+     message of their own — don't bury it under "internal error". *)
+  | exception Crimson_storage.Error.Error e ->
+      Error (Crimson_storage.Error.to_string e)
   | exception Stack_overflow -> Error "query too deeply nested"
   | exception Out_of_memory -> raise Out_of_memory
   (* A request deadline expiring mid-query must unwind to the server's
@@ -356,9 +379,16 @@ let run ?rng ?(record = true) repo stored text =
                 result)))
   with
   | Error _ as e -> e
-  | Ok (result, elapsed_ms, pages) ->
-      if record then ignore (Repo.record_query repo ~elapsed_ms ~pages ~text ~result);
-      Ok { text; result }
+  | Ok (result, elapsed_ms, pages) -> (
+      (* Recording is part of the mutating path: on a read-only
+         repository it must refuse with the typed error's message, not
+         raise past a successful execution. *)
+      match
+        if record then ignore (Repo.record_query repo ~elapsed_ms ~pages ~text ~result)
+      with
+      | () -> Ok { text; result }
+      | exception Crimson_storage.Error.Error e ->
+          Error (Crimson_storage.Error.to_string e))
 
 let explain stored text = trap (fun () -> plan stored (parse_query text))
 
@@ -376,12 +406,15 @@ let profile ?rng ?(record = true) repo stored text =
                     Profile.stage "execute" (fun () -> execute ~rng repo stored call)))))
   with
   | Error _ as e -> e
-  | Ok ((result, report), elapsed_ms, pages) ->
-      if record then begin
-        let cost = Crimson_obs.Json.to_string (Profile.cost_summary report) in
-        ignore (Repo.record_query repo ~elapsed_ms ~pages ~cost ~text ~result)
-      end;
-      Ok ({ text; result }, report)
+  | Ok ((result, report), elapsed_ms, pages) -> (
+      match
+        if record then
+          let cost = Crimson_obs.Json.to_string (Profile.cost_summary report) in
+          ignore (Repo.record_query repo ~elapsed_ms ~pages ~cost ~text ~result)
+      with
+      | () -> Ok ({ text; result }, report)
+      | exception Crimson_storage.Error.Error e ->
+          Error (Crimson_storage.Error.to_string e))
   | exception Crimson_obs.Deadline.Expired -> raise Crimson_obs.Deadline.Expired
   | exception e -> Error (Printf.sprintf "internal error: %s" (Printexc.to_string e))
 

@@ -29,6 +29,23 @@ type outcome = {
   result : string;  (** Human-readable result. *)
 }
 
+(** The shared [fn(arg, …)] call syntax. The collection query surface
+    ([Crimson_collection.Coll_lang]) parses the same texts, so the
+    parser is exported here instead of duplicated. *)
+module Call : sig
+  type arg =
+    | Name of string  (** Bare or single-quoted word. *)
+    | Number of float
+
+  type t = {
+    fn : string;  (** Lowercased function name. *)
+    args : arg list;
+  }
+
+  val parse : string -> (t, string) result
+  (** Parse one call expression; never raises. *)
+end
+
 val run :
   ?rng:Crimson_util.Prng.t ->
   ?record:bool ->

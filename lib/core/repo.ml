@@ -11,6 +11,9 @@ type t = {
   leaves : Table.t;
   species : Table.t;
   queries : Table.t;
+  collections : Table.t;
+  bips : Table.t;
+  members : Table.t;
   mutable next_query_id : int option; (* lazily initialised from storage *)
 }
 
@@ -82,6 +85,31 @@ let open_tables db =
       ~indexes:Schema.Species.indexes
   in
   let queries = open_queries db in
+  (* The collection tables arrived after repositories already existed in
+     the wild. A read-write open creates them (empty) on the spot; a
+     read-only open of a pre-collection repository cannot, and refuses
+     with the same typed advice the queries migration gives. *)
+  (if Database.mode db = Database.Read_only then
+     let existing = Database.table_names db in
+     if not (List.mem "collections" existing) then
+       Crimson_storage.Error.fail
+         (Crimson_storage.Error.Read_only
+            {
+              file = (match Database.dir db with Some d -> d | None -> "<mem>");
+              op = "create collection tables (open read-write once)";
+            }));
+  let collections =
+    Database.table db ~name:"collections" ~schema:Schema.Collections.schema
+      ~indexes:Schema.Collections.indexes
+  in
+  let bips =
+    Database.table db ~name:"bips" ~schema:Schema.Bips.schema
+      ~indexes:Schema.Bips.indexes
+  in
+  let members =
+    Database.table db ~name:"members" ~schema:Schema.Members.schema
+      ~indexes:Schema.Members.indexes
+  in
   {
     db;
     trees;
@@ -91,6 +119,9 @@ let open_tables db =
     leaves;
     species;
     queries;
+    collections;
+    bips;
+    members;
     next_query_id = None;
   }
 
@@ -150,6 +181,9 @@ let subtrees t = t.subtrees
 let leaves t = t.leaves
 let species t = t.species
 let queries t = t.queries
+let collections t = t.collections
+let bips t = t.bips
+let members t = t.members
 
 let flush t = Database.flush t.db
 let close t = Database.close t.db

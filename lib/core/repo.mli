@@ -62,6 +62,18 @@ val leaves : t -> Table.t
 val species : t -> Table.t
 val queries : t -> Table.t
 
+val collections : t -> Table.t
+(** The tree-collection catalog (see {!Schema.Collections} and the
+    [Crimson_collection] library, which owns all access logic). *)
+
+val bips : t -> Table.t
+(** The shared bipartition dictionary: reference-counted canonical clade
+    bitmaps, keyed by dense id and by bitmap. *)
+
+val members : t -> Table.t
+(** Per-member encodings: dictionary-id lists, full or delta-encoded
+    against a base member. *)
+
 val flush : t -> unit
 val close : t -> unit
 

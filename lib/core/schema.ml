@@ -188,6 +188,122 @@ module Species = struct
     ]
 end
 
+(* ------------------------- Tree collections ------------------------- *)
+
+(* A collection is a named set of trees over one shared taxon set,
+   stored as a bipartition dictionary plus per-member id lists (see
+   lib/collection). Three tables: the catalog row per collection, the
+   reference-counted dictionary of canonical clade bitmaps, and the
+   member encodings. *)
+
+module Collections = struct
+  let schema : Record.schema =
+    [|
+      ("id", Record.Int);
+      ("name", Record.Text);
+      ("n_taxa", Record.Int);
+      ("n_trees", Record.Int);
+      ("next_bip", Record.Int);
+      ("taxa", Record.Blob);
+      ("created", Record.Float);
+    |]
+
+  let c_id = 0
+  let c_name = 1
+  let c_n_taxa = 2
+  let c_n_trees = 3
+  let c_next_bip = 4
+  let c_taxa = 5
+  let c_created = 6
+  let key_id id = Key.int id
+  let key_name name = Key.text name
+
+  let indexes =
+    [
+      ix "by_id" (fun row -> key_id (Record.get_int row c_id)) true;
+      ix "by_name" (fun row -> key_name (Record.get_text row c_name)) true;
+    ]
+end
+
+module Bips = struct
+  (* One row per distinct bipartition (clade) of a collection: the
+     canonical leaf-set bitmap (ceil(n_taxa/8) bytes, taxon ordinal i at
+     byte i/8 bit i%8) keyed both by dense dictionary id and by the
+     bitmap itself — the by_bitmap B+tree is what makes sharing across
+     members a point lookup. [count] is the occurrence count across the
+     collection's members (the reference count consensus and support
+     read). *)
+  let schema : Record.schema =
+    [|
+      ("coll", Record.Int);
+      ("bip", Record.Int);
+      ("count", Record.Int);
+      ("bitmap", Record.Blob);
+    |]
+
+  let c_coll = 0
+  let c_bip = 1
+  let c_count = 2
+  let c_bitmap = 3
+  let key_id ~coll bip = Key.cat [ Key.int coll; Key.int bip ]
+  let key_bitmap ~coll bitmap = Key.cat [ Key.int coll; Key.text bitmap ]
+  let key_coll coll = Key.int coll
+
+  let indexes =
+    [
+      ix "by_id"
+        (fun row -> key_id ~coll:(Record.get_int row c_coll) (Record.get_int row c_bip))
+        true;
+      ix "by_bitmap"
+        (fun row ->
+          key_bitmap ~coll:(Record.get_int row c_coll) (Record.get_blob row c_bitmap))
+        true;
+    ]
+end
+
+module Members = struct
+  (* One row per member tree: its clade set as dictionary ids. [kind] 0
+     stores the sorted id list gap-varint-encoded in [enc]; kind 1
+     delta-encodes against member [base]'s id set (adds + removes, both
+     gap-varint lists). [n_bips] is the decoded set size either way. *)
+  let kind_full = 0
+  let kind_delta = 1
+
+  let schema : Record.schema =
+    [|
+      ("coll", Record.Int);
+      ("member", Record.Int);
+      ("name", Record.Text);
+      ("kind", Record.Int);
+      ("base", Record.Int);
+      ("n_bips", Record.Int);
+      ("enc", Record.Blob);
+    |]
+
+  let c_coll = 0
+  let c_member = 1
+  let c_name = 2
+  let c_kind = 3
+  let c_base = 4
+  let c_n_bips = 5
+  let c_enc = 6
+  let key_id ~coll member = Key.cat [ Key.int coll; Key.int member ]
+  let key_name ~coll name = Key.cat [ Key.int coll; Key.text name ]
+  let key_coll coll = Key.int coll
+
+  let indexes =
+    [
+      ix "by_id"
+        (fun row ->
+          key_id ~coll:(Record.get_int row c_coll) (Record.get_int row c_member))
+        true;
+      ix "by_name"
+        (fun row ->
+          key_name ~coll:(Record.get_int row c_coll) (Record.get_text row c_name))
+        true;
+    ]
+end
+
 module Queries = struct
   let schema : Record.schema =
     [|

@@ -99,6 +99,60 @@ module Species : sig
   val key_name : tree:int -> name:string -> string
 end
 
+(** [collections] columns — the tree-collection catalog. One row per
+    named collection: taxon count, member count, the next free
+    dictionary id and the sorted taxon names (length-prefixed blob).
+    All access logic lives in the [Crimson_collection] library. *)
+module Collections : sig
+  val schema : Record.schema
+  val c_id : int
+  val c_name : int
+  val c_n_taxa : int
+  val c_n_trees : int
+  val c_next_bip : int
+  val c_taxa : int
+  val c_created : int
+  val indexes : Table.index_spec list
+  val key_id : int -> string
+  val key_name : string -> string
+end
+
+(** [bips] columns — the shared bipartition dictionary: canonical clade
+    bitmaps with occurrence counts, keyed by dense id and by bitmap. *)
+module Bips : sig
+  val schema : Record.schema
+  val c_coll : int
+  val c_bip : int
+  val c_count : int
+  val c_bitmap : int
+  val indexes : Table.index_spec list
+  val key_id : coll:int -> int -> string
+  val key_bitmap : coll:int -> string -> string
+
+  val key_coll : int -> string
+  (** Prefix of every key of one collection, for dictionary scans. *)
+end
+
+(** [members] columns — per-tree encodings as dictionary-id lists,
+    stored full (kind 0) or delta-encoded against a base member
+    (kind 1). *)
+module Members : sig
+  val kind_full : int
+  val kind_delta : int
+  val schema : Record.schema
+  val c_coll : int
+  val c_member : int
+  val c_name : int
+  val c_kind : int
+  val c_base : int
+  val c_n_bips : int
+  val c_enc : int
+  val indexes : Table.index_spec list
+  val key_id : coll:int -> int -> string
+  val key_name : coll:int -> string -> string
+  val key_coll : int -> string
+end
+
 (** [queries] columns — the Query Repository. *)
 module Queries : sig
   val schema : Record.schema

@@ -53,6 +53,10 @@ type command =
   | Query of string
   | Explain of string
   | Profile of string
+  | Consensus of string
+  | Support of string
+  | Rfmatrix of string
+  | Collstats of string
   | Top
   | Stats
   | Slowlog of int option
@@ -86,6 +90,16 @@ let parse_command line =
     | "EXPLAIN", text -> Ok (Explain text)
     | "PROFILE", "" -> Error "PROFILE needs a query text"
     | "PROFILE", text -> Ok (Profile text)
+    (* Collection verbs: the payload is "<collection> [threshold]" —
+       the worker rewrites it into the canonical call syntax. *)
+    | "CONSENSUS", "" -> Error "CONSENSUS needs a collection name"
+    | "CONSENSUS", p -> Ok (Consensus p)
+    | "SUPPORT", "" -> Error "SUPPORT needs a collection name"
+    | "SUPPORT", p -> Ok (Support p)
+    | "RFMATRIX", "" -> Error "RFMATRIX needs a collection name"
+    | "RFMATRIX", p -> Ok (Rfmatrix p)
+    | "COLLSTATS", "" -> Error "COLLSTATS needs a collection name"
+    | "COLLSTATS", p -> Ok (Collstats p)
     | "TOP", "" -> Ok Top
     | "TOP", _ -> Error "TOP takes no argument"
     | "STATS", "" -> Ok Stats
@@ -103,7 +117,8 @@ let parse_command line =
         Error
           (Printf.sprintf
              "unknown command %S (expected HELLO, USE, SEED, QUERY, EXPLAIN, PROFILE, \
-              TOP, STATS, SLOWLOG, METRICS or QUIT)"
+              CONSENSUS, SUPPORT, RFMATRIX, COLLSTATS, TOP, STATS, SLOWLOG, METRICS \
+              or QUIT)"
              verb)
 
 (* ------------------------------ Framing ---------------------------- *)

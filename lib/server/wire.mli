@@ -13,6 +13,10 @@
     QUERY <text>          run a Query_lang expression on the session tree
     EXPLAIN <text>        describe the query's plan without executing it
     PROFILE <text>        run the query with a per-stage cost breakdown
+    CONSENSUS <coll> [t]  collection consensus (threshold t, default 0.5)
+    SUPPORT <coll>        per-bipartition support counts of a collection
+    RFMATRIX <coll>       pairwise Robinson-Foulds matrix of a collection
+    COLLSTATS <coll>      collection dictionary / storage statistics
     TOP                   per-session cumulative accounting, cost hogs first
     STATS                 telemetry registry snapshot as JSON
     SLOWLOG [n]           most recent slow-query trace records (all by default)
@@ -46,6 +50,12 @@ type command =
   | Query of string
   | Explain of string
   | Profile of string
+  | Consensus of string
+      (** Payload: ["<collection> [threshold]"], rewritten by the worker
+          into the canonical [consensus('<coll>', t)] call text. *)
+  | Support of string
+  | Rfmatrix of string
+  | Collstats of string
   | Top
   | Stats
   | Slowlog of int option  (** [SLOWLOG \[n\]]: at most [n] entries *)

@@ -1,6 +1,8 @@
 module Repo = Crimson_core.Repo
 module Stored_tree = Crimson_core.Stored_tree
 module Query_lang = Crimson_core.Query_lang
+module Collection = Crimson_collection.Collection
+module Coll_lang = Crimson_collection.Coll_lang
 module Json = Crimson_obs.Json
 module Metrics = Crimson_obs.Metrics
 module Span = Crimson_obs.Span
@@ -34,6 +36,10 @@ let default_config =
     flush_interval = 5.0;
     workers = 1;
   }
+
+(* [--workers auto]: one domain per recommended core, minus the
+   coordinator's accept loop, never less than one worker. *)
+let auto_workers () = max 1 (Domain.recommended_domain_count () - 1)
 
 type session = {
   id : int;
@@ -302,6 +308,7 @@ let protocol_error t s msg =
 
 let hello t s =
   let trees = List.map (fun (_, name) -> Json.Str name) (Stored_tree.list_all t.repo) in
+  let colls = List.map (fun (_, name) -> Json.Str name) (Collection.list_all t.repo) in
   keep
     (Wire.ok
        [
@@ -310,6 +317,7 @@ let hello t s =
          ("session", num s.id);
          ("max_line", num t.cfg.max_line);
          ("trees", Json.List trees);
+         ("collections", Json.List colls);
        ])
 
 let use t s name =
@@ -337,7 +345,94 @@ let use t s name =
              ("leaves", num (Stored_tree.leaf_count stored));
            ])
 
+(* ----------------------- Collection queries ------------------------ *)
+
+(* Collection queries need no selected tree: they run straight off the
+   bipartition dictionary. QUERY/EXPLAIN/PROFILE texts that parse as
+   collection calls route here, and the dedicated CONSENSUS/SUPPORT/
+   RFMATRIX/COLLSTATS verbs are sugar that rewrites into the same call
+   syntax. *)
+let coll_query t s text =
+  match
+    Repo.measure t.repo (fun () ->
+        Deadline.with_timeout t.cfg.request_timeout (fun () ->
+            Coll_lang.run ~record:false t.repo text))
+  with
+  | result, elapsed_ms, pages -> (
+      match result with
+      | Ok (Ok outcome) ->
+          record t ~elapsed_ms ~pages ~text ~result:outcome.Coll_lang.result ();
+          s.pages <- s.pages + pages;
+          Metrics.Counter.add t.m_sess_pages pages;
+          keep
+            (Wire.ok
+               [
+                 ("result", Json.Str outcome.Coll_lang.result);
+                 ("elapsed_ms", Json.Num elapsed_ms);
+                 ("pages", num pages);
+               ])
+      | Ok (Error msg) -> error t msg
+      | Error `Timeout ->
+          Metrics.Counter.incr t.m_timeouts;
+          Metrics.Counter.incr t.mw_timeouts;
+          error t (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout))
+
+let coll_profile t s text =
+  match
+    Repo.measure t.repo (fun () ->
+        Deadline.with_timeout t.cfg.request_timeout (fun () ->
+            Coll_lang.profile ~record:false t.repo text))
+  with
+  | result, elapsed_ms, pages -> (
+      match result with
+      | Ok (Ok (outcome, report)) ->
+          let cost = Json.to_string (Crimson_obs.Profile.cost_summary report) in
+          record t ~elapsed_ms ~pages ~cost ~text ~result:outcome.Coll_lang.result ();
+          s.pages <- s.pages + pages;
+          Metrics.Counter.add t.m_sess_pages pages;
+          keep
+            (Wire.ok
+               [
+                 ("result", Json.Str outcome.Coll_lang.result);
+                 ("elapsed_ms", Json.Num elapsed_ms);
+                 ("pages", num pages);
+                 ("profile", Crimson_obs.Profile.report_to_json report);
+               ])
+      | Ok (Error msg) -> error t msg
+      | Error `Timeout ->
+          Metrics.Counter.incr t.m_timeouts;
+          Metrics.Counter.incr t.mw_timeouts;
+          error t (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout))
+
+(* Rewrite a verb payload ("<collection> [threshold]") into the
+   canonical call text recorded in the Query Repository. *)
+let coll_call_text fn payload =
+  let parts =
+    String.split_on_char ' ' payload |> List.filter (fun s -> s <> "")
+  in
+  match parts with
+  | [ name ] when not (String.contains name '\'') ->
+      Ok (Printf.sprintf "%s('%s')" fn name)
+  | [ name; th ] when fn = "consensus" && not (String.contains name '\'') -> (
+      match float_of_string_opt th with
+      | Some _ -> Ok (Printf.sprintf "%s('%s', %s)" fn name th)
+      | None -> Error "CONSENSUS threshold must be a number")
+  | _ ->
+      Error
+        (Printf.sprintf "%s takes a collection name%s"
+           (String.uppercase_ascii fn)
+           (if fn = "consensus" then " and an optional threshold" else ""))
+
+let coll_verb t s fn payload =
+  match coll_call_text fn payload with
+  | Ok text -> coll_query t s text
+  | Error msg -> error t msg
+
+(* ------------------------- Per-tree queries ------------------------- *)
+
 let query t s text =
+  if Coll_lang.is_collection_query text then coll_query t s text
+  else
   match s.tree with
   | None -> error t "no tree selected (USE <tree> first)"
   | Some stored -> (
@@ -381,21 +476,27 @@ let query t s text =
               error t
                 (Printf.sprintf "query timed out after %gs" t.cfg.request_timeout)))
 
+let explain_reply t text = function
+  | Ok plan ->
+      keep
+        (Wire.ok
+           [
+             ("query", Json.Str text);
+             ("plan", Json.List (List.map (fun l -> Json.Str l) plan));
+           ])
+  | Error msg -> error t msg
+
 let explain t s text =
-  match s.tree with
-  | None -> error t "no tree selected (USE <tree> first)"
-  | Some stored -> (
-      match Query_lang.explain stored text with
-      | Ok plan ->
-          keep
-            (Wire.ok
-               [
-                 ("query", Json.Str text);
-                 ("plan", Json.List (List.map (fun l -> Json.Str l) plan));
-               ])
-      | Error msg -> error t msg)
+  if Coll_lang.is_collection_query text then
+    explain_reply t text (Coll_lang.explain t.repo text)
+  else
+    match s.tree with
+    | None -> error t "no tree selected (USE <tree> first)"
+    | Some stored -> explain_reply t text (Query_lang.explain stored text)
 
 let profile t s text =
+  if Coll_lang.is_collection_query text then coll_profile t s text
+  else
   match s.tree with
   | None -> error t "no tree selected (USE <tree> first)"
   | Some stored -> (
@@ -531,6 +632,10 @@ let handle_line t s line =
         | Ok (Wire.Query text) -> query t s text
         | Ok (Wire.Explain text) -> explain t s text
         | Ok (Wire.Profile text) -> profile t s text
+        | Ok (Wire.Consensus p) -> coll_verb t s "consensus" p
+        | Ok (Wire.Support p) -> coll_verb t s "support" p
+        | Ok (Wire.Rfmatrix p) -> coll_verb t s "rfmatrix" p
+        | Ok (Wire.Collstats p) -> coll_verb t s "collstats" p
         | Ok Wire.Top -> top t
         | Ok Wire.Stats -> stats t
         | Ok (Wire.Slowlog n) -> slowlog t n

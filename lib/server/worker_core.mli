@@ -33,6 +33,11 @@ type config = {
 
 val default_config : config
 
+val auto_workers : unit -> int
+(** The fleet size [--workers auto] resolves to: the runtime's
+    recommended domain count minus one (the coordinator's accept loop
+    runs on the spawning domain), floored at one worker. *)
+
 type t
 (** One worker core. Not thread-safe: a core and all its sessions are
     confined to the domain that created it. *)

@@ -1,0 +1,78 @@
+#!/bin/sh
+# Collection-store smoke: ingest 20 bootstrap replicates through the
+# CLI, then require the majority-rule consensus to be byte-stable —
+# across two CLI runs, and across a served fleet at --workers 1 vs 4.
+set -eu
+
+BIN=${CRIMSON_BIN:-_build/default/bin/crimson.exe}
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# Two Yule topologies over one taxon set (simulate names leaves
+# T0..T(n-1), so equal leaf counts share taxa); 12 + 8 = 20 replicates
+# make T0-side clades majority and the rest minority.
+for S in 3 4; do
+    "$BIN" simulate --model yule --leaves 32 --seed "$S" -o "$WORK/t$S.nex" >/dev/null
+    "$BIN" load -r "$WORK/stage" -n "t$S" "$WORK/t$S.nex" >/dev/null
+    "$BIN" show -r "$WORK/stage" -t "t$S" --format newick -o "$WORK/t$S.nwk"
+done
+: > "$WORK/reps.nwk"
+i=0
+while [ "$i" -lt 20 ]; do
+    if [ "$i" -lt 12 ]; then cat "$WORK/t3.nwk"; else cat "$WORK/t4.nwk"; fi \
+        >> "$WORK/reps.nwk"
+    i=$((i + 1))
+done
+
+"$BIN" collection add -r "$WORK/repo" -c boot "$WORK/reps.nwk" >/dev/null
+if ! "$BIN" collection list -r "$WORK/repo" | grep -q '20 trees'; then
+    echo "collection-smoke: expected 20 members after add" >&2
+    "$BIN" collection list -r "$WORK/repo" >&2
+    exit 1
+fi
+
+# Byte-stability across two CLI runs.
+"$BIN" collection consensus -r "$WORK/repo" -c boot --format newick -o "$WORK/c1.nwk"
+"$BIN" collection consensus -r "$WORK/repo" -c boot --format newick -o "$WORK/c2.nwk"
+if ! cmp -s "$WORK/c1.nwk" "$WORK/c2.nwk"; then
+    echo "collection-smoke: consensus differs between two CLI runs" >&2
+    exit 1
+fi
+
+# Byte-stability across served worker counts: the CONSENSUS verb must
+# return the identical result from a 1-worker and a 4-domain fleet.
+consensus_via_server() {
+    SOCK="$WORK/w$1.sock"
+    "$BIN" serve -r "$WORK/repo" --listen "unix:$SOCK" --workers "$1" \
+        --max-sessions 8 &
+    PID=$!
+    i=0
+    while [ ! -S "$SOCK" ] && [ "$i" -lt 100 ]; do
+        sleep 0.05
+        i=$((i + 1))
+    done
+    if [ ! -S "$SOCK" ]; then
+        echo "collection-smoke: socket never appeared (workers=$1)" >&2
+        kill -9 "$PID" 2>/dev/null || true
+        exit 1
+    fi
+    "$BIN" connect --to "unix:$SOCK" 'CONSENSUS boot' 'QUIT' \
+        | sed -n 's/.*"result":"\([^"]*\)".*/\1/p' > "$WORK/served$1.txt"
+    kill -TERM "$PID"
+    wait "$PID" || {
+        echo "collection-smoke: server exited non-zero (workers=$1)" >&2
+        exit 1
+    }
+}
+consensus_via_server 1
+consensus_via_server 4
+if [ ! -s "$WORK/served1.txt" ]; then
+    echo "collection-smoke: served CONSENSUS returned no result" >&2
+    exit 1
+fi
+if ! cmp -s "$WORK/served1.txt" "$WORK/served4.txt"; then
+    echo "collection-smoke: consensus differs between --workers 1 and 4" >&2
+    diff "$WORK/served1.txt" "$WORK/served4.txt" >&2 || true
+    exit 1
+fi
+echo "collection-smoke: 20 replicates, consensus byte-stable (CLI x2, workers 1 vs 4)"

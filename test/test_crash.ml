@@ -14,6 +14,8 @@ module Loader = Crimson_core.Loader
 module Stored_tree = Crimson_core.Stored_tree
 module Projection = Crimson_core.Projection
 module Tree = Crimson_tree.Tree
+module Newick = Crimson_formats.Newick
+module Collection = Crimson_collection.Collection
 
 let check = Alcotest.check
 
@@ -58,7 +60,37 @@ let step_queries repo =
   done;
   Repo.flush repo
 
-let steps = [| step_load; step_species; step_queries |]
+(* Collection steps: ingest into the bipartition dictionary (including
+   the delta-encoded replicate path), then an atomic create+drop swap.
+   Each groups its writes with [~flush:false] so the step's final
+   operation is its one checkpoint. *)
+
+let coll_t1 () = Newick.parse "((a,b),(c,d));"
+let coll_t2 () = Newick.parse "((a,c),(b,d));"
+let coll_taxa = [ "a"; "b"; "c"; "d" ]
+
+let step_coll_create repo =
+  let c = Collection.create ~flush:false repo ~name:"boot" ~taxa:coll_taxa in
+  ignore (Collection.ingest ~flush:false c (coll_t1 ()));
+  ignore (Collection.ingest c (coll_t2 ()))
+
+let step_coll_ingest repo =
+  let c = Collection.open_name repo "boot" in
+  (* A replicate of member 0: exercises the dictionary-hit update path
+     and the delta encoding under faults. *)
+  ignore (Collection.ingest c (coll_t1 ()))
+
+let step_coll_swap repo =
+  let c = Collection.create ~flush:false repo ~name:"algs" ~taxa:coll_taxa in
+  ignore (Collection.ingest ~flush:false c (coll_t2 ()));
+  Collection.drop repo "boot"
+
+let steps =
+  [|
+    step_load; step_species; step_queries; step_coll_create; step_coll_ingest;
+    step_coll_swap;
+  |]
+
 let n_steps = Array.length steps
 
 (* Run the workload through [io]. Returns how many steps returned
@@ -129,15 +161,50 @@ let verify ~label ~observed dir =
         | 0 -> false
         | n -> Alcotest.failf "%s: torn query history (%d/3 rows)" label n
       in
+      (* Collection steps. A surviving collection must be complete: every
+         member decodes and the dictionary's occurrence counts equal the
+         sum of the members' clade counts — a torn ingest (member row
+         without its count bumps, or vice versa) fails here. *)
+      let coll_complete name =
+        let c = Collection.open_name repo name in
+        let n = Collection.n_trees c in
+        let decoded = ref 0 in
+        for m = 0 to n - 1 do
+          decoded := !decoded + Array.length (Collection.member_ids c m)
+        done;
+        let counted =
+          List.fold_left (fun acc (_, k) -> acc + k) 0 (Collection.support c)
+        in
+        if !decoded <> counted then
+          Alcotest.failf "%s: torn dictionary in %s (%d decoded, %d counted)"
+            label name !decoded counted;
+        ignore (Collection.consensus c);
+        n
+      in
+      let colls = List.map snd (Collection.list_all repo) in
+      let boot = List.mem "boot" colls and algs = List.mem "algs" colls in
+      if boot && algs then
+        Alcotest.failf "%s: boot survived its committed drop" label;
+      let boot_trees = if boot then coll_complete "boot" else 0 in
+      if boot && boot_trees <> 2 && boot_trees <> 3 then
+        Alcotest.failf "%s: torn boot collection (%d trees)" label boot_trees;
+      if algs && coll_complete "algs" <> 1 then
+        Alcotest.failf "%s: torn algs collection" label;
+      let step4 = algs || boot in
+      let step5 = algs || boot_trees = 3 in
+      let step6 = algs in
       let present =
-        match (step1, step2, step3) with
-        | true, true, true -> 3
-        | true, true, false -> 2
-        | true, false, false -> 1
-        | false, false, false -> 0
+        match (step1, step2, step3, step4, step5, step6) with
+        | true, true, true, true, true, true -> 6
+        | true, true, true, true, true, false -> 5
+        | true, true, true, true, false, false -> 4
+        | true, true, true, false, false, false -> 3
+        | true, true, false, false, false, false -> 2
+        | true, false, false, false, false, false -> 1
+        | false, false, false, false, false, false -> 0
         | _ ->
-            Alcotest.failf "%s: non-prefix state (%b,%b,%b)" label step1 step2
-              step3
+            Alcotest.failf "%s: non-prefix state (%b,%b,%b,%b,%b,%b)" label step1
+              step2 step3 step4 step5 step6
       in
       (* A step that returned committed durably; the step the fault
          interrupted may or may not have reached its commit point (a

@@ -15,8 +15,11 @@ module Json = Crimson_obs.Json
 module Metrics = Crimson_obs.Metrics
 module Wire = Crimson_server.Wire
 module Engine = Crimson_server.Engine
+module Worker_core = Crimson_server.Worker_core
 module Server = Crimson_server.Server
 module Client = Crimson_server.Client
+module Collection = Crimson_collection.Collection
+module Coll_lang = Crimson_collection.Coll_lang
 
 let check = Alcotest.check
 
@@ -563,6 +566,69 @@ let test_e2e_smoke () =
           check Alcotest.bool "server recorded queries" true (List.length served >= 3);
           Repo.close repo))
 
+(* --------------------------- Collection verbs ------------------------ *)
+
+(* Collection queries need no USE: both the dedicated verbs and plain
+   QUERY/EXPLAIN/PROFILE texts that parse as collection calls run off
+   the bipartition dictionary, and the dedicated verbs answer
+   byte-identically to their canonical QUERY spelling. *)
+let test_collection_verbs () =
+  let repo, _ = load_test_repo () in
+  let tree = Models.yule ~rng:(Prng.create 9) ~leaves:15 () in
+  let taxa =
+    Array.to_list (Tree.leaves tree) |> List.filter_map (Tree.name tree)
+  in
+  let c = Collection.create repo ~name:"boot" ~taxa in
+  ignore (Collection.ingest c tree);
+  ignore (Collection.ingest c tree);
+  let t = Engine.create repo in
+  let s = match Engine.open_session t with Ok s -> s | Error _ -> Alcotest.fail "open" in
+  (* HELLO lists collections alongside trees. *)
+  (match field "collections" (expect_ok (Engine.handle_line t s "HELLO")) with
+  | Json.List [ Json.Str "boot" ] -> ()
+  | other -> Alcotest.failf "collections field: %s" (Json.to_string other));
+  let result line =
+    match field "result" (expect_ok (Engine.handle_line t s line)) with
+    | Json.Str r -> r
+    | _ -> Alcotest.failf "non-string result for %s" line
+  in
+  let via_verb = result "CONSENSUS boot" in
+  check Alcotest.string "verb matches canonical query text" via_verb
+    (result "QUERY consensus('boot')");
+  check Alcotest.string "threshold passes through"
+    (result "CONSENSUS boot 1.0")
+    (result "QUERY consensus('boot', 1.0)");
+  check Alcotest.string "rf of identical replicates" "0 0\n0 0"
+    (result "RFMATRIX boot");
+  check Alcotest.bool "support runs" true (String.length (result "SUPPORT boot") > 0);
+  check Alcotest.bool "collstats runs" true
+    (contains "bipartitions" (result "COLLSTATS boot"));
+  (* EXPLAIN and PROFILE route collection texts without a selected tree. *)
+  (match field "plan" (expect_ok (Engine.handle_line t s "EXPLAIN consensus('boot')")) with
+  | Json.List (_ :: _) -> ()
+  | _ -> Alcotest.fail "collection explain plan empty");
+  let r = expect_ok (Engine.handle_line t s "PROFILE consensus('boot')") in
+  (match field "profile" r with
+  | Json.Obj _ as p ->
+      check Alcotest.bool "profile charges dict_scan" true
+        (contains "dict_scan" (Json.to_string p))
+  | _ -> Alcotest.fail "profile field missing");
+  (* Errors stay protocol errors, not crashes. *)
+  ignore (expect_err (Engine.handle_line t s "CONSENSUS"));
+  ignore (expect_err (Engine.handle_line t s "CONSENSUS nosuch"));
+  ignore (expect_err (Engine.handle_line t s "CONSENSUS boot high"));
+  ignore (expect_err (Engine.handle_line t s "QUERY consensus('boot', 0.1)"));
+  ignore (Engine.handle_line t s "QUIT")
+
+(* --workers auto sizes the fleet from the machine: always at least one
+   worker, and never the whole machine (the coordinator keeps a core
+   when more than one is available). *)
+let test_auto_workers () =
+  let n = Worker_core.auto_workers () in
+  check Alcotest.bool "auto workers >= 1" true (n >= 1);
+  check Alcotest.bool "auto workers leaves the coordinator a core" true
+    (n <= max 1 (Domain.recommended_domain_count () - 1))
+
 (* ------------------------ Read-only repositories --------------------- *)
 
 (* The worker-domain contract: a [~mode:Read_only] open serves every
@@ -571,11 +637,17 @@ let test_e2e_smoke () =
 let test_read_only_mode () =
   with_tmp_dir (fun dir ->
       let repo_dir = Filename.concat dir "repo" in
+      let ro_tree = Models.yule ~rng:(Prng.create 13) ~leaves:10 () in
       let leaves =
         let repo = Repo.open_dir repo_dir in
         let tree = Models.yule ~rng:(Prng.create 3) ~leaves:20 () in
         let stored = (Loader.load_tree ~f:4 repo ~name:"gold" tree).Loader.tree in
         ignore (Repo.record_query repo ~text:"info()" ~result:"r");
+        let taxa =
+          Array.to_list (Tree.leaves ro_tree) |> List.filter_map (Tree.name ro_tree)
+        in
+        let c = Collection.create repo ~name:"boot" ~taxa in
+        ignore (Collection.ingest c ro_tree);
         let n = Stored_tree.leaf_count stored in
         Repo.close repo;
         n
@@ -606,6 +678,26 @@ let test_read_only_mode () =
       | exception e ->
           Alcotest.failf "wrong refusal: %s" (Printexc.to_string e)
       | _ -> Alcotest.fail "record_query on a read-only repo should refuse");
+      (* Every query-language mutating path surfaces the refusal as
+         Error, never an escaped exception: recording a tree query,
+         recording a collection query, and collection ingest. *)
+      (match Query_lang.run ~rng:(Prng.create 1) ro stored "lca(T0, T1)" with
+      | Error msg ->
+          check Alcotest.bool "tree-query recording names read-only" true
+            (contains "read-only" msg)
+      | Ok _ -> Alcotest.fail "recording tree query on read-only should refuse");
+      (match Coll_lang.run ro "consensus('boot')" with
+      | Error msg ->
+          check Alcotest.bool "collection recording names read-only" true
+            (contains "read-only" msg)
+      | Ok _ -> Alcotest.fail "recording collection query on read-only should refuse");
+      (match Collection.ingest (Collection.open_name ro "boot") ro_tree with
+      | exception
+          Crimson_storage.Error.Error (Crimson_storage.Error.Read_only _) ->
+          ()
+      | exception e ->
+          Alcotest.failf "ingest wrong refusal: %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "collection ingest on a read-only repo should refuse");
       Repo.close ro;
       (* A read-only open leaves the repository writable for others. *)
       let rw = Repo.open_dir ~create:false repo_dir in
@@ -862,6 +954,8 @@ let () =
           Alcotest.test_case "over-budget profile line" `Quick
             test_profile_over_budget_line;
           Alcotest.test_case "request timeout" `Quick test_request_timeout;
+          Alcotest.test_case "collection verbs" `Quick test_collection_verbs;
+          Alcotest.test_case "auto workers" `Quick test_auto_workers;
         ] );
       ( "repo",
         [
